@@ -1,0 +1,53 @@
+//! Baseline race detectors for the paper's case studies (§V.C, Table 6).
+//!
+//! The paper compares its dynamic-granularity FastTrack against two
+//! industrial tools. Neither can be linked into a Rust workspace, so this
+//! crate reimplements their *algorithm classes* (the substitution is
+//! documented in `DESIGN.md` §3):
+//!
+//! * [`SegmentDetector`] — Valgrind **DRD**'s class. DRD's race core is
+//!   based on RecPlay: the execution is divided into *segments* (code
+//!   between successive synchronization operations); each segment
+//!   collects its accessed addresses in bitmaps, and concurrent segments
+//!   with conflicting bitmaps signal races. No per-location vector
+//!   clocks: less memory than FastTrack, but set operations per access
+//!   make it slower — exactly the profile Table 6 reports.
+//! * [`LockSetDetector`] — Eraser's LockSet algorithm (§I). Reports
+//!   potential races whenever a shared location is not consistently
+//!   protected by at least one common lock; fast but prone to false
+//!   alarms on lock-free synchronization idioms.
+//! * [`HybridDetector`] — Intel **Inspector XE**'s class: a hybrid
+//!   lockset + happens-before checker. Keeps full per-location access
+//!   history (heavier than FastTrack's epochs — Inspector's ~2.8× memory
+//!   footprint) and keys race reports by access pair rather than by
+//!   location, so the same location can be reported more than once
+//!   (Inspector's instruction-pointer/timeline keying).
+
+//! ```
+//! use dgrace_baselines::{LockSetDetector, SegmentDetector};
+//! use dgrace_detectors::DetectorExt;
+//! use dgrace_trace::{AccessSize, TraceBuilder};
+//!
+//! // fork/join ordering without locks: fine for happens-before
+//! // detectors, a false alarm for the LockSet discipline checker.
+//! let mut b = TraceBuilder::new();
+//! b.write(0u32, 0x10u64, AccessSize::U32)
+//!     .fork(0u32, 1u32)
+//!     .write(1u32, 0x10u64, AccessSize::U32)
+//!     .join(0u32, 1u32)
+//!     .write(0u32, 0x10u64, AccessSize::U32);
+//! let trace = b.build();
+//! assert!(SegmentDetector::new().run(&trace).races.is_empty());
+//! assert_eq!(LockSetDetector::new().run(&trace).races.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hybrid;
+mod lockset;
+mod segment;
+
+pub use hybrid::HybridDetector;
+pub use lockset::{LockSetDetector, LocksetState};
+pub use segment::SegmentDetector;

@@ -1,0 +1,53 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out: the
+//! Init state, temporary first-epoch sharing, and group-race reporting —
+//! the performance side of Table 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dgrace_core::{DynamicConfig, DynamicGranularity};
+use dgrace_detectors::DetectorExt;
+use dgrace_workloads::{Workload, WorkloadKind};
+
+fn configs() -> Vec<(&'static str, DynamicConfig)> {
+    vec![
+        ("paper-default", DynamicConfig::paper_default()),
+        ("no-sharing-at-init", DynamicConfig::no_sharing_at_init()),
+        ("no-init-state", DynamicConfig::no_init_state()),
+        (
+            "scan-16",
+            DynamicConfig {
+                first_epoch_scan: 16,
+                ..DynamicConfig::default()
+            },
+        ),
+        (
+            "scan-512",
+            DynamicConfig {
+                first_epoch_scan: 512,
+                ..DynamicConfig::default()
+            },
+        ),
+    ]
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    // dedup: the alloc-churn workload where Init sharing matters most.
+    for kind in [WorkloadKind::Dedup, WorkloadKind::Streamcluster] {
+        let (trace, _) = Workload::new(kind).with_scale(0.5).generate();
+        let mut group = c.benchmark_group(format!("ablation/{}", kind.name()));
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.sample_size(10);
+        for (name, cfg) in configs() {
+            group.bench_function(BenchmarkId::from_parameter(name), |b| {
+                let mut det = DynamicGranularity::with_config(cfg);
+                b.iter(|| {
+                    let rep = det.run(&trace);
+                    std::hint::black_box(rep.stats.peak_vc_count)
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Figure 2: drives one location through every edge of the vector-clock
+//! state machine and prints the observed transitions.
+
+use dgrace_core::DynamicGranularity;
+use dgrace_detectors::Detector;
+use dgrace_trace::{AccessSize, Addr, Event, Tid};
+
+fn show(det: &DynamicGranularity, addr: u64, label: &str) {
+    match det.write_group(Addr(addr)) {
+        Some(snap) => println!(
+            "  0x{addr:x} after {label:<28} state={:<18} group={:?}",
+            snap.state.to_string(),
+            snap.members
+        ),
+        None => println!("  0x{addr:x} after {label:<28} (no shadow state)"),
+    }
+}
+
+fn main() {
+    println!("Figure 2 — vector clock state machine walkthrough (write plane)\n");
+    let mut det = DynamicGranularity::new();
+    let a = 0x1000u64;
+    let b = 0x1004u64;
+    let feed = |det: &mut DynamicGranularity, ev: Event| det.on_event(&ev);
+
+    println!("[first epoch: T0 initializes two adjacent words]");
+    feed(
+        &mut det,
+        Event::Write {
+            tid: Tid(0),
+            addr: Addr(a),
+            size: AccessSize::U32,
+        },
+    );
+    show(&det, a, "first access (Init)");
+    feed(
+        &mut det,
+        Event::Write {
+            tid: Tid(0),
+            addr: Addr(b),
+            size: AccessSize::U32,
+        },
+    );
+    show(&det, a, "neighbor initialized");
+    show(&det, b, "first access, equal clock");
+
+    println!("\n[second epoch: T0 writes both again → firm sharing decision]");
+    feed(
+        &mut det,
+        Event::Release {
+            tid: Tid(0),
+            lock: dgrace_trace::LockId(0),
+        },
+    );
+    feed(
+        &mut det,
+        Event::Write {
+            tid: Tid(0),
+            addr: Addr(a),
+            size: AccessSize::U32,
+        },
+    );
+    show(&det, a, "2nd-epoch access (split)");
+    feed(
+        &mut det,
+        Event::Write {
+            tid: Tid(0),
+            addr: Addr(b),
+            size: AccessSize::U32,
+        },
+    );
+    show(&det, a, "neighbor re-shares");
+    show(&det, b, "2nd-epoch access (Shared)");
+
+    println!("\n[data race: T1 writes a member without synchronization]");
+    feed(
+        &mut det,
+        Event::Fork {
+            parent: Tid(0),
+            child: Tid(1),
+        },
+    );
+    // T1 does not know T0's latest epoch for these cells: the fork
+    // happened after them? No — fork publishes everything so far. Build
+    // the race from a third unsynchronized epoch instead.
+    feed(
+        &mut det,
+        Event::Release {
+            tid: Tid(0),
+            lock: dgrace_trace::LockId(1),
+        },
+    );
+    feed(
+        &mut det,
+        Event::Write {
+            tid: Tid(0),
+            addr: Addr(a),
+            size: AccessSize::U32,
+        },
+    );
+    feed(
+        &mut det,
+        Event::Write {
+            tid: Tid(0),
+            addr: Addr(b),
+            size: AccessSize::U32,
+        },
+    );
+    show(&det, a, "T0 re-clocks the group");
+    feed(
+        &mut det,
+        Event::Write {
+            tid: Tid(1),
+            addr: Addr(b),
+            size: AccessSize::U32,
+        },
+    );
+    show(&det, a, "race: group dissolved");
+    show(&det, b, "race: private Race clock");
+
+    let rep = det.finish();
+    println!("\nraces reported: {}", rep.races.len());
+    for r in &rep.races {
+        println!(
+            "  {} race at {} ({} vs {}), sharing {} locations",
+            r.kind, r.addr, r.current, r.previous, r.share_count
+        );
+    }
+    let sh = rep.stats.sharing.expect("dynamic detector has sharing stats");
+    println!(
+        "shares={} splits={} max-group={}",
+        sh.shares, sh.splits, sh.max_group
+    );
+}

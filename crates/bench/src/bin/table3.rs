@@ -1,0 +1,32 @@
+//! Table 3: maximum number of vector clocks present per granularity,
+//! plus the dynamic detector's average sharing count.
+
+use dgrace_bench::{f2, granularity_suite, parse_args, prepare, run_timed, selected, Table};
+
+fn main() {
+    let (scale, filter) = parse_args();
+    println!("Table 3 — peak live vector clocks (scale {scale})\n");
+    let mut table = Table::new(&["program", "byte", "word", "dynamic", "avg-sharing"]);
+    for kind in selected(filter) {
+        let p = prepare(kind, scale);
+        let mut cells = Vec::new();
+        let mut avg = 0.0;
+        for mut det in granularity_suite() {
+            let r = run_timed(det.as_mut(), &p.trace);
+            cells.push(r.report.stats.peak_vc_count);
+            if let Some(sh) = &r.report.stats.sharing {
+                avg = sh.avg_share_count;
+            }
+        }
+        table.row(vec![
+            kind.name().to_string(),
+            cells[0].to_string(),
+            cells[1].to_string(),
+            cells[2].to_string(),
+            f2(avg),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper shape: dynamic keeps ~4x fewer clocks than byte and ~3x fewer than");
+    println!("word on average; pbzip2's sharing count dwarfs the rest (paper: 33.3).");
+}

@@ -1,0 +1,59 @@
+//! Table 4: slowdown vs. the fraction of same-epoch accesses per
+//! granularity — the mechanism behind the dynamic speedup.
+
+use dgrace_bench::{f2, granularity_suite, parse_args, prepare, run_timed, selected, Table};
+
+fn main() {
+    let (scale, filter) = parse_args();
+    println!("Table 4 — slowdown and same-epoch accesses (scale {scale})\n");
+    let mut table = Table::new(&[
+        "program",
+        "slow/byte",
+        "slow/word",
+        "slow/dyn",
+        "same-ep/byte",
+        "same-ep/word",
+        "same-ep/dyn",
+    ]);
+    let mut sums = [0.0f64; 6];
+    let mut n = 0;
+    for kind in selected(filter) {
+        let p = prepare(kind, scale);
+        let mut slows = Vec::new();
+        let mut fracs = Vec::new();
+        for mut det in granularity_suite() {
+            let r = run_timed(det.as_mut(), &p.trace);
+            slows.push(p.slowdown(&r));
+            fracs.push(r.report.stats.same_epoch_fraction());
+        }
+        for i in 0..3 {
+            sums[i] += slows[i];
+            sums[3 + i] += fracs[i];
+        }
+        n += 1;
+        table.row(vec![
+            kind.name().to_string(),
+            f2(slows[0]),
+            f2(slows[1]),
+            f2(slows[2]),
+            format!("{:.0}%", fracs[0] * 100.0),
+            format!("{:.0}%", fracs[1] * 100.0),
+            format!("{:.0}%", fracs[2] * 100.0),
+        ]);
+    }
+    if n > 1 {
+        table.row(vec![
+            "average".into(),
+            f2(sums[0] / n as f64),
+            f2(sums[1] / n as f64),
+            f2(sums[2] / n as f64),
+            format!("{:.0}%", sums[3] / n as f64 * 100.0),
+            format!("{:.0}%", sums[4] / n as f64 * 100.0),
+            format!("{:.0}%", sums[5] / n as f64 * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper shape: gains track the same-epoch fraction (facesim 74%→94%,");
+    println!("streamcluster 51%→97%); canneal/raytrace fractions barely move, so no gain;");
+    println!("pbzip2 gains despite equal fractions — from eliminated clock alloc/free.");
+}

@@ -1,0 +1,99 @@
+//! Tiny dependency-free argument parsing.
+
+use std::collections::HashMap;
+
+/// A parsed argument list: positionals plus `--flag value` options from a
+/// fixed allow-list.
+pub struct Parsed<'a> {
+    positionals: Vec<&'a str>,
+    options: HashMap<&'a str, &'a str>,
+}
+
+impl<'a> Parsed<'a> {
+    /// Parses `argv`, accepting only the options in `allowed` (each takes
+    /// exactly one value).
+    pub fn parse(argv: &'a [String], allowed: &[&str]) -> Result<Self, String> {
+        let mut positionals = Vec::new();
+        let mut options = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = argv[i].as_str();
+            if a.starts_with('-') && a.len() > 1 {
+                if !allowed.contains(&a) {
+                    return Err(format!("unknown option `{a}`"));
+                }
+                let v = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("option `{a}` needs a value"))?;
+                options.insert(a, v.as_str());
+                i += 2;
+            } else {
+                positionals.push(a);
+                i += 1;
+            }
+        }
+        Ok(Parsed {
+            positionals,
+            options,
+        })
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).copied()
+    }
+
+    /// The raw value of an option.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.options.get(name).copied()
+    }
+
+    /// Parses an option value.
+    pub fn opt_parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.opt(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("option `{name}`: cannot parse `{v}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = argv(&["ferret", "--scale", "0.5", "-o", "out.dgrt"]);
+        let p = Parsed::parse(&a, &["--scale", "-o"]).unwrap();
+        assert_eq!(p.positional(0), Some("ferret"));
+        assert_eq!(p.opt("-o"), Some("out.dgrt"));
+        assert_eq!(p.opt_parse::<f64>("--scale").unwrap(), Some(0.5));
+        assert_eq!(p.opt_parse::<u64>("--seed").unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let a = argv(&["--bogus", "1"]);
+        assert!(Parsed::parse(&a, &["--scale"]).is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let a = argv(&["--scale"]);
+        assert!(Parsed::parse(&a, &["--scale"]).is_err());
+    }
+
+    #[test]
+    fn bad_parse_reported() {
+        let a = argv(&["--scale", "abc"]);
+        let p = Parsed::parse(&a, &["--scale"]).unwrap();
+        assert!(p.opt_parse::<f64>("--scale").is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! `dgrace` — the command-line interface.
+//!
+//! ```text
+//! dgrace gen <workload> [--scale S] [--seed N] -o trace.dgrt
+//! dgrace detect <detector> <trace.dgrt> [--max-races N]
+//! dgrace stats <trace.dgrt>
+//! dgrace list
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use dgrace_baselines::{HybridDetector, LockSetDetector, SegmentDetector};
+use dgrace_core::{DynamicConfig, DynamicGranularity};
+use dgrace_detectors::{Detector, DetectorExt, Djit, FastTrack, Granularity, OracleDetector};
+use dgrace_trace::io::{read_trace, write_trace};
+use dgrace_trace::{stats::stats, validate, Trace};
+use dgrace_workloads::{Workload, WorkloadKind};
+
+mod args;
+mod render;
+
+use args::Parsed;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dgrace: {e}");
+            eprintln!("run `dgrace help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "detect" => cmd_detect(rest),
+        "compare" => cmd_compare(rest),
+        "stats" => cmd_stats(rest),
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "dgrace — dynamic-granularity data race detection\n\n\
+         USAGE:\n\
+         \x20 dgrace gen <workload> [--scale S] [--seed N] -o <file>   generate a workload trace\n\
+         \x20 dgrace detect <detector> <file> [--max-races N]          run a detector over a trace\n\
+         \x20 dgrace compare <detA> <detB> <file>                      diff two detectors' findings\n\
+         \x20 dgrace stats <file>                                      trace statistics\n\
+         \x20 dgrace list                                              available workloads & detectors\n\n\
+         DETECTORS:\n\
+         \x20 byte | word | dynamic | dynamic-no-init | dynamic-guided |\n\
+         \x20 djit | oracle | segment | hybrid | lockset"
+    );
+}
+
+fn cmd_list() {
+    println!("workloads (the paper's 11 benchmarks):");
+    for k in WorkloadKind::ALL {
+        println!(
+            "  {:<14} {} worker threads, {} planted races",
+            k.name(),
+            k.workers(),
+            k.planted_races()
+        );
+    }
+    println!("\ndetectors:");
+    for (name, what) in [
+        ("byte", "FastTrack, byte granularity (paper baseline)"),
+        ("word", "FastTrack, word granularity"),
+        ("dynamic", "FastTrack + dynamic granularity (the paper)"),
+        ("dynamic-no-init", "dynamic without the Init state (Table 5)"),
+        ("dynamic-guided", "dynamic + write-guided read sharing (§VII)"),
+        ("djit", "DJIT+ (full vector clocks)"),
+        ("oracle", "exact first-race oracle (slow; ground truth)"),
+        ("segment", "segment comparison (Valgrind DRD class)"),
+        ("hybrid", "lockset + happens-before (Inspector XE class)"),
+        ("lockset", "Eraser LockSet (discipline checker)"),
+    ] {
+        println!("  {name:<16} {what}");
+    }
+}
+
+fn make_detector(name: &str) -> Result<Box<dyn Detector>, String> {
+    Ok(match name {
+        "byte" => Box::new(FastTrack::with_granularity(Granularity::Byte)),
+        "word" => Box::new(FastTrack::with_granularity(Granularity::Word)),
+        "dynamic" => Box::new(DynamicGranularity::new()),
+        "dynamic-no-init" => {
+            Box::new(DynamicGranularity::with_config(DynamicConfig::no_init_state()))
+        }
+        "dynamic-guided" => {
+            Box::new(DynamicGranularity::with_config(DynamicConfig::write_guided()))
+        }
+        "djit" => Box::new(Djit::new()),
+        "oracle" => Box::new(OracleDetector::new()),
+        "segment" => Box::new(SegmentDetector::new()),
+        "hybrid" => Box::new(HybridDetector::new()),
+        "lockset" => Box::new(LockSetDetector::new()),
+        other => return Err(format!("unknown detector `{other}` (see `dgrace list`)")),
+    })
+}
+
+fn cmd_gen(rest: &[String]) -> Result<(), String> {
+    let p = Parsed::parse(rest, &["--scale", "--seed", "-o"])?;
+    let name = p.positional(0).ok_or("gen: missing workload name")?;
+    let kind = WorkloadKind::from_name(name)
+        .ok_or_else(|| format!("unknown workload `{name}` (see `dgrace list`)"))?;
+    let scale: f64 = p.opt_parse("--scale")?.unwrap_or(1.0);
+    let seed: u64 = p.opt_parse("--seed")?.unwrap_or(0);
+    let out = p.opt("-o").ok_or("gen: missing -o <file>")?;
+
+    let mut wl = Workload::new(kind).with_scale(scale);
+    if seed != 0 {
+        wl = wl.with_seed(seed);
+    }
+    let (trace, truth) = wl.generate();
+    let mut w = BufWriter::new(File::create(out).map_err(|e| format!("create {out}: {e}"))?);
+    write_trace(&trace, &mut w).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote {} events to {out} ({} planted racy locations)",
+        trace.len(),
+        truth.racy_addrs.len()
+    );
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let trace = read_trace(&mut BufReader::new(f)).map_err(|e| format!("decode {path}: {e}"))?;
+    validate(&trace).map_err(|e| format!("invalid trace: {e}"))?;
+    Ok(trace)
+}
+
+fn cmd_detect(rest: &[String]) -> Result<(), String> {
+    let p = Parsed::parse(rest, &["--max-races"])?;
+    let det_name = p.positional(0).ok_or("detect: missing detector name")?;
+    let path = p.positional(1).ok_or("detect: missing trace file")?;
+    let max_races: usize = p.opt_parse("--max-races")?.unwrap_or(25);
+
+    let trace = load_trace(path)?;
+    let mut det = make_detector(det_name)?;
+    let start = std::time::Instant::now();
+    let report = det.run(&trace);
+    let secs = start.elapsed().as_secs_f64();
+    render::report(&report, &trace, secs, max_races);
+    Ok(())
+}
+
+fn cmd_compare(rest: &[String]) -> Result<(), String> {
+    let p = Parsed::parse(rest, &[])?;
+    let a_name = p.positional(0).ok_or("compare: missing first detector")?;
+    let b_name = p.positional(1).ok_or("compare: missing second detector")?;
+    let path = p.positional(2).ok_or("compare: missing trace file")?;
+    let trace = load_trace(path)?;
+
+    let run = |name: &str| -> Result<_, String> {
+        let mut det = make_detector(name)?;
+        let start = std::time::Instant::now();
+        let rep = det.run(&trace);
+        Ok((rep, start.elapsed().as_secs_f64()))
+    };
+    let (ra, ta) = run(a_name)?;
+    let (rb, tb) = run(b_name)?;
+
+    println!(
+        "{:<20} {:>8} races  {:>10.1} ms  {:>10.1} KiB peak",
+        ra.detector,
+        ra.races.len(),
+        ta * 1e3,
+        ra.stats.peak_total_bytes as f64 / 1024.0
+    );
+    println!(
+        "{:<20} {:>8} races  {:>10.1} ms  {:>10.1} KiB peak",
+        rb.detector,
+        rb.races.len(),
+        tb * 1e3,
+        rb.stats.peak_total_bytes as f64 / 1024.0
+    );
+
+    let sa = ra.race_addrs();
+    let sb = rb.race_addrs();
+    let only_a: Vec<_> = sa.iter().filter(|x| !sb.contains(x)).collect();
+    let only_b: Vec<_> = sb.iter().filter(|x| !sa.contains(x)).collect();
+    let both = sa.iter().filter(|x| sb.contains(x)).count();
+    println!("\nagreement: {both} locations in both reports");
+    if only_a.is_empty() && only_b.is_empty() {
+        println!("the detectors agree exactly on racy locations");
+    }
+    if !only_a.is_empty() {
+        println!("only {}: {:?}", ra.detector, only_a);
+    }
+    if !only_b.is_empty() {
+        println!("only {}: {:?}", rb.detector, only_b);
+    }
+    // Taint annotations help triage disagreements with `dynamic`.
+    for (rep, others) in [(&ra, &sb), (&rb, &sa)] {
+        let tainted_extras = rep
+            .races
+            .iter()
+            .filter(|r| r.tainted && !others.contains(&r.addr))
+            .count();
+        if tainted_extras > 0 {
+            println!(
+                "{} flags {tainted_extras} of its extra reports as tainted (sharing artifacts)",
+                rep.detector
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(rest: &[String]) -> Result<(), String> {
+    let p = Parsed::parse(rest, &[])?;
+    let path = p.positional(0).ok_or("stats: missing trace file")?;
+    let trace = load_trace(path)?;
+    render::trace_stats(&stats(&trace), trace.len());
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Human-readable report rendering.
+
+use dgrace_detectors::Report;
+use dgrace_trace::stats::TraceStats;
+use dgrace_trace::Trace;
+
+/// Prints a detector report.
+pub fn report(rep: &Report, trace: &Trace, secs: f64, max_races: usize) {
+    let s = &rep.stats;
+    println!("detector      : {}", rep.detector);
+    println!(
+        "trace         : {} events, {} threads",
+        trace.len(),
+        trace.thread_count()
+    );
+    println!(
+        "time          : {:.1} ms ({:.1}M events/s)",
+        secs * 1e3,
+        trace.len() as f64 / secs.max(1e-9) / 1e6
+    );
+    println!(
+        "accesses      : {} ({:.0}% same-epoch fast path)",
+        s.accesses,
+        s.same_epoch_fraction() * 100.0
+    );
+    println!(
+        "shadow peak   : {:.1} KiB (hash {:.1}, clocks {:.1}, bitmaps {:.1})",
+        s.peak_total_bytes as f64 / 1024.0,
+        s.peak_hash_bytes as f64 / 1024.0,
+        s.peak_vc_bytes as f64 / 1024.0,
+        s.peak_bitmap_bytes as f64 / 1024.0
+    );
+    println!("peak clocks   : {}", s.peak_vc_count);
+    if let Some(sh) = &s.sharing {
+        println!(
+            "sharing       : {} shares, {} splits, avg {:.1} locations/clock, max group {}",
+            sh.shares, sh.splits, sh.avg_share_count, sh.max_group
+        );
+    }
+    println!("races         : {}", rep.races.len());
+    for race in rep.races.iter().take(max_races) {
+        println!(
+            "  {} at {}  current {}  previous {}{}{}",
+            race.kind,
+            race.addr,
+            race.current,
+            race.previous,
+            if race.share_count > 1 {
+                format!("  [group of {}]", race.share_count)
+            } else {
+                String::new()
+            },
+            if race.tainted { "  [tainted: verify]" } else { "" }
+        );
+    }
+    if rep.races.len() > max_races {
+        println!("  … {} more (raise --max-races)", rep.races.len() - max_races);
+    }
+}
+
+/// Prints trace statistics.
+pub fn trace_stats(s: &TraceStats, events: usize) {
+    println!("events        : {events}");
+    println!(
+        "accesses      : {} ({} reads / {} writes)",
+        s.accesses, s.reads, s.writes
+    );
+    println!(
+        "sizes 1/2/4/8 : {} / {} / {} / {}  (sub-word {:.0}%)",
+        s.by_size[0],
+        s.by_size[1],
+        s.by_size[2],
+        s.by_size[3],
+        s.sub_word_fraction() * 100.0
+    );
+    println!("sync          : {} acquires, {} releases", s.acquires, s.releases);
+    println!("threads       : {} ({} forks, {} joins)", s.threads, s.forks, s.joins);
+    println!("locks         : {}", s.locks);
+    println!(
+        "heap churn    : {} allocs / {} frees, {:.1} KiB total",
+        s.allocs,
+        s.frees,
+        s.alloc_bytes as f64 / 1024.0
+    );
+    println!("distinct bytes: {}", s.distinct_bytes);
+}

@@ -1,0 +1,890 @@
+//! The dynamic-granularity detector (Fig. 3's instrumentation routines).
+
+use dgrace_detectors::{
+    AccessKind, Detector, HbState, RaceKind, RaceReport, Report, SharingStats,
+};
+use dgrace_shadow::{MemClass, MemoryModel, SlabId};
+use dgrace_trace::{Addr, Event};
+use dgrace_vc::{AccessClock, Epoch, Tid, VectorClock};
+
+use crate::{DynamicConfig, Plane, VcState};
+
+/// FastTrack with dynamic granularity: the paper's detector.
+///
+/// Two shadow [`Plane`]s track read and write locations separately; each
+/// location's vector clock may be shared with neighbors according to the
+/// [`VcState`](crate::VcState) machine. See the crate docs for the
+/// algorithm summary and [`DynamicConfig`] for the ablation switches.
+#[derive(Debug)]
+pub struct DynamicGranularity {
+    config: DynamicConfig,
+    hb: HbState,
+    read: Plane,
+    write: Plane,
+    model: MemoryModel,
+    races: Vec<RaceReport>,
+    events: u64,
+    accesses: u64,
+    same_epoch: u64,
+    shares: u64,
+    splits: u64,
+    peak_locs: usize,
+    cells_at_peak: usize,
+    event_index: u64,
+    /// Reusable clock buffer: avoids a heap allocation per access.
+    scratch: VectorClock,
+}
+
+impl Default for DynamicGranularity {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DynamicGranularity {
+    /// Creates a detector with the paper's default configuration.
+    pub fn new() -> Self {
+        Self::with_config(DynamicConfig::default())
+    }
+
+    /// Creates a detector with an explicit configuration.
+    pub fn with_config(config: DynamicConfig) -> Self {
+        DynamicGranularity {
+            config,
+            hb: HbState::new(),
+            read: Plane::new(),
+            write: Plane::new(),
+            model: MemoryModel::new(),
+            races: Vec::new(),
+            events: 0,
+            accesses: 0,
+            same_epoch: 0,
+            shares: 0,
+            splits: 0,
+            peak_locs: 0,
+            cells_at_peak: 0,
+            event_index: 0,
+            scratch: VectorClock::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.config
+    }
+
+    /// Read-plane group snapshot for `addr` (testing/diagnostics).
+    pub fn read_group(&self, addr: Addr) -> Option<crate::GroupSnapshot> {
+        self.read.snapshot(addr)
+    }
+
+    /// Write-plane group snapshot for `addr` (testing/diagnostics).
+    pub fn write_group(&self, addr: Addr) -> Option<crate::GroupSnapshot> {
+        self.write.snapshot(addr)
+    }
+
+    /// Checks both planes' structural invariants (testing; O(locations)).
+    pub fn check_invariants(&self) {
+        self.read.check_invariants();
+        self.write.check_invariants();
+    }
+
+    // ------------------------------------------------------------------
+    // Access handling (Fig. 3).
+    // ------------------------------------------------------------------
+
+    fn on_access(&mut self, tid: Tid, addr: Addr, size: u64, kind: AccessKind) {
+        self.accesses += 1;
+
+        // Per-thread bitmap: cheapest same-epoch filter.
+        let first = match kind {
+            AccessKind::Read => self.hb.first_read_in_epoch(tid, addr),
+            AccessKind::Write => self.hb.first_write_in_epoch(tid, addr),
+        };
+        if !first {
+            self.same_epoch += 1;
+            return;
+        }
+
+        let my_epoch = self.hb.epoch(tid);
+        let plane = self.plane(kind);
+        let lookup = plane.lookup(addr);
+
+        // Sharing-derived same-epoch fast path: a neighbor in our group
+        // was already brought to this epoch, so this access needs no
+        // clock work at all ("multiple accesses may be treated as the
+        // same epoch accesses", §III.B). Checked from the epoch alone —
+        // no vector-clock copy.
+        if let Some(id) = lookup {
+            if Self::clock_covers_epoch(&plane.cell(id).clock, my_epoch, kind) {
+                self.same_epoch += 1;
+                return;
+            }
+        }
+
+        let mut now = std::mem::take(&mut self.scratch);
+        now.clone_from(self.hb.clock(tid));
+        match lookup {
+            None => self.first_access(tid, addr, size, kind, &now, my_epoch),
+            Some(id) => {
+                if self.plane(kind).cell(id).state.is_init() {
+                    self.second_epoch_access(tid, addr, size, kind, &now, my_epoch, id);
+                } else {
+                    self.steady_access(tid, addr, size, kind, &now, my_epoch, id);
+                }
+            }
+        }
+        self.scratch = now;
+        self.update_model();
+    }
+
+    /// Is the access already summarized by the cell's clock in this epoch?
+    fn clock_covers_epoch(clock: &AccessClock, my_epoch: Epoch, kind: AccessKind) -> bool {
+        match (kind, clock) {
+            (AccessKind::Write, AccessClock::Epoch(e)) => *e == my_epoch,
+            (AccessKind::Write, AccessClock::Vc(_)) => false,
+            (AccessKind::Read, AccessClock::Epoch(e)) => *e == my_epoch,
+            (AccessKind::Read, AccessClock::Vc(vc)) => vc.get(my_epoch.tid) == my_epoch.clock,
+        }
+    }
+
+    /// First access to a location: create its clock in the Init state and
+    /// attempt first-epoch (temporary) sharing — `insertRead` +
+    /// `shareFirstEpoch` in Fig. 3.
+    fn first_access(
+        &mut self,
+        _tid: Tid,
+        addr: Addr,
+        size: u64,
+        kind: AccessKind,
+        now: &VectorClock,
+        my_epoch: Epoch,
+    ) {
+        let clock = AccessClock::Epoch(my_epoch);
+        let scan = self.config.first_epoch_scan;
+        let init_state = self.config.init_state;
+        let share_at_init = self.config.share_at_init;
+        let enable_sharing = self.config.enable_sharing;
+
+        // Find a share candidate among the nearest populated neighbors.
+        // The predecessor is probed first (array initialization ascends),
+        // and the successor scan is skipped when the predecessor matches.
+        let compatible = |det: &Self, n: Addr, id: SlabId| {
+            let c = det.plane(kind).cell(id);
+            let state_ok = if init_state {
+                share_at_init && c.state.accepts_init_sharing()
+            } else {
+                // No Init state: the one and only decision is made now,
+                // against any non-Race neighbor.
+                c.state != VcState::Race
+            };
+            state_ok && c.clock == clock && det.write_guidance_ok(kind, addr, n)
+        };
+        let neighbor = if !enable_sharing || (init_state && !share_at_init) {
+            None // sharing disabled / Table 5 "no sharing at Init"
+        } else {
+            let plane = self.plane(kind);
+            plane
+                .nearest_predecessor(addr, scan)
+                .filter(|&(n, nid)| compatible(self, n, nid))
+                .or_else(|| {
+                    plane
+                        .nearest_successor(addr, scan)
+                        .filter(|&(n, nid)| compatible(self, n, nid))
+                })
+        };
+
+        let plane = self.plane_mut(kind);
+        let id = match neighbor {
+            Some((n, nid)) => {
+                let id = plane.insert_shared(addr, n, nid);
+                let group_state = if init_state {
+                    VcState::FirstEpochShared
+                } else {
+                    VcState::Shared
+                };
+                plane.set_state(id, group_state);
+                self.shares += 1;
+                id
+            }
+            None => {
+                let state = if init_state {
+                    VcState::FirstEpochPrivate
+                } else {
+                    VcState::Private
+                };
+                plane.insert_private(addr, clock, state)
+            }
+        };
+
+        // Race check (Fig. 3 does this after the sharing step). A fresh
+        // read location may still race with the write history of `addr`;
+        // the clock itself needs no further recording — it was created
+        // as this thread's current epoch.
+        let _ = size;
+        if let Some((race_kind, witness, wt)) = self.race_check(addr, kind, now, Some(id)) {
+            self.report_race(addr, kind, race_kind, witness, my_epoch, wt);
+        }
+    }
+
+    /// Second epoch access to an Init location: `split` + FastTrack
+    /// processing + `shareSecondEpoch` (the firm decision).
+    #[allow(clippy::too_many_arguments)]
+    fn second_epoch_access(
+        &mut self,
+        tid: Tid,
+        addr: Addr,
+        size: u64,
+        kind: AccessKind,
+        now: &VectorClock,
+        my_epoch: Epoch,
+        _old_id: SlabId,
+    ) {
+        // Split L out of any temporary first-epoch group.
+        let plane = self.plane_mut(kind);
+        let (id, split) = plane.split(addr);
+        if split {
+            self.splits += 1;
+        }
+
+        // FastTrack race check against the histories.
+        let race = self.race_check(addr, kind, now, Some(id));
+
+        // Update L's (now private) clock with this access.
+        let inflated = self.record_access(kind, id, tid, now, my_epoch);
+
+        if let Some((race_kind, witness, wt)) = race {
+            self.report_race(addr, kind, race_kind, witness, my_epoch, wt);
+            return;
+        }
+
+        // The firm sharing decision: neighbors at L-size and L+size,
+        // post-Init and equal clocks; "no read-read conflict for a read
+        // location" → an inflated read clock is not shared.
+        let shared = if inflated || !self.config.enable_sharing {
+            false
+        } else {
+            self.try_share_with_exact_neighbors(addr, size, kind, id)
+        };
+        if !shared {
+            self.plane_mut(kind).set_state(id, VcState::Private);
+        }
+    }
+
+    /// Attempts the exact-neighbor (`L±size`) sharing decision for the
+    /// location `addr` whose private cell is `id`. Returns `true` if the
+    /// location joined a neighbor's group (state set to `Shared`).
+    fn try_share_with_exact_neighbors(
+        &mut self,
+        addr: Addr,
+        size: u64,
+        kind: AccessKind,
+        id: SlabId,
+    ) -> bool {
+        let candidate = {
+            let plane = self.plane(kind);
+            let my_clock = &plane.cell(id).clock;
+            let mut found = None;
+            for n in [Addr(addr.0.wrapping_sub(size)), Addr(addr.0 + size)] {
+                if n == addr {
+                    continue;
+                }
+                let Some(nid) = plane.lookup(n) else { continue };
+                if nid == id {
+                    continue;
+                }
+                let nc = plane.cell(nid);
+                if nc.state.accepts_second_epoch_sharing()
+                    && nc.clock == *my_clock
+                    && self.write_guidance_ok(kind, addr, n)
+                {
+                    found = Some((n, nid));
+                    break;
+                }
+            }
+            found
+        };
+        if let Some((n, nid)) = candidate {
+            let plane = self.plane_mut(kind);
+            let gid = plane.rejoin(addr, n, nid);
+            plane.set_state(gid, VcState::Shared);
+            self.shares += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Steady-state access (Shared / Private / Race): plain FastTrack on
+    /// the (possibly shared) cell.
+    #[allow(clippy::too_many_arguments)]
+    fn steady_access(
+        &mut self,
+        tid: Tid,
+        addr: Addr,
+        size: u64,
+        kind: AccessKind,
+        now: &VectorClock,
+        my_epoch: Epoch,
+        id: SlabId,
+    ) {
+        let raced = self.plane(kind).cell(id).state.is_raced();
+        let race = if raced {
+            None
+        } else {
+            self.race_check(addr, kind, now, Some(id))
+        };
+        let inflated = self.record_access(kind, id, tid, now, my_epoch);
+        if let Some((race_kind, witness, wt)) = race {
+            self.report_race(addr, kind, race_kind, witness, my_epoch, wt);
+            return;
+        }
+        // §VII #2: a Private location may revisit the sharing decision a
+        // bounded number of times after the second epoch.
+        if self.config.max_redecisions > 0 && !inflated {
+            let eligible = {
+                let c = self.plane(kind).cell(id);
+                c.state == VcState::Private
+                    && c.count == 1
+                    && c.redecisions < self.config.max_redecisions
+            };
+            if eligible {
+                self.plane_mut(kind).bump_redecisions(id);
+                self.try_share_with_exact_neighbors(addr, size, kind, id);
+            }
+        }
+    }
+
+    /// §VII #1: may a *read* location at `addr` share with the read
+    /// location at `n`, judged by the write plane? Sharing is vetoed only
+    /// when both write locations exist and do *not* already share a
+    /// clock — established write-plane separation is strong evidence the
+    /// two addresses are protected separately.
+    fn write_guidance_ok(&self, kind: AccessKind, addr: Addr, n: Addr) -> bool {
+        if kind == AccessKind::Write || !self.config.guide_reads_by_writes {
+            return true;
+        }
+        match (self.write.lookup(addr), self.write.lookup(n)) {
+            (Some(a), Some(b)) => a == b,
+            _ => true, // no write history: nothing to guide by
+        }
+    }
+
+    fn plane(&self, kind: AccessKind) -> &Plane {
+        match kind {
+            AccessKind::Read => &self.read,
+            AccessKind::Write => &self.write,
+        }
+    }
+
+    fn plane_mut(&mut self, kind: AccessKind) -> &mut Plane {
+        match kind {
+            AccessKind::Read => &mut self.read,
+            AccessKind::Write => &mut self.write,
+        }
+    }
+
+    /// FastTrack race check for an access of `kind` at `addr` by a thread
+    /// whose clock is `now`. `same_plane` is the already-resolved cell id
+    /// of `addr` in the accessed plane (saves a hash lookup for writes);
+    /// pass `None` when unknown. Does not mutate anything.
+    ///
+    /// The returned `bool` is the *witness cell's* taint: if the clock
+    /// that testified to the race was ever shared, the race may be a
+    /// sharing artifact even when the accessed location never shared.
+    fn race_check(
+        &self,
+        addr: Addr,
+        kind: AccessKind,
+        now: &VectorClock,
+        same_plane: Option<SlabId>,
+    ) -> Option<(RaceKind, Epoch, bool)> {
+        match kind {
+            AccessKind::Read => {
+                // Write-read race: the last write is concurrent with us.
+                let wid = self.write.lookup(addr)?;
+                let wcell = self.write.cell(wid);
+                wcell
+                    .clock
+                    .find_concurrent(now)
+                    .map(|w| (RaceKind::WriteRead, w, wcell.tainted))
+            }
+            AccessKind::Write => {
+                // Write-write first, then read-write (FastTrack order).
+                if let Some(wid) = same_plane.or_else(|| self.write.lookup(addr)) {
+                    let wcell = self.write.cell(wid);
+                    if let Some(w) = wcell.clock.find_concurrent(now) {
+                        return Some((RaceKind::WriteWrite, w, wcell.tainted));
+                    }
+                }
+                if let Some(rid) = self.read.lookup(addr) {
+                    let rcell = self.read.cell(rid);
+                    if let Some(r) = rcell.clock.find_concurrent(now) {
+                        return Some((RaceKind::ReadWrite, r, rcell.tainted));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Records the access into the location's clock. Returns `true` if a
+    /// read clock inflated to a full vector clock (a "read-read
+    /// conflict", which vetoes sharing).
+    fn record_access(
+        &mut self,
+        kind: AccessKind,
+        id: SlabId,
+        tid: Tid,
+        now: &VectorClock,
+        my_epoch: Epoch,
+    ) -> bool {
+        match kind {
+            AccessKind::Write => {
+                self.write
+                    .update_clock(id, |c| c.set_write(tid, my_epoch.clock));
+                false
+            }
+            AccessKind::Read => {
+                let mut inflated = false;
+                self.read.update_clock(id, |c| {
+                    inflated = c.record_read(tid, now);
+                });
+                inflated
+            }
+        }
+    }
+
+    /// Reports a race at `addr` and executes `splitAndSetRace`: the whole
+    /// sharing group is dissolved, every member becomes `Race` with a
+    /// private clock. With `report_group_races` (default), a race is
+    /// reported for every member — the paper's observed x264 behaviour.
+    fn report_race(
+        &mut self,
+        addr: Addr,
+        kind: AccessKind,
+        race_kind: RaceKind,
+        witness: Epoch,
+        my_epoch: Epoch,
+        witness_tainted: bool,
+    ) {
+        let plane = self.plane_mut(kind);
+        let id = plane.lookup(addr).expect("racy location exists");
+        let count = plane.cell(id).count;
+        let tainted = plane.cell(id).tainted || witness_tainted;
+        if count > 1 {
+            let members = plane.dissolve_group(addr, VcState::Race);
+            self.splits += (members.len() - 1) as u64;
+            let report_all = self.config.report_group_races;
+            for m in members {
+                if m != addr && !report_all {
+                    continue;
+                }
+                self.races.push(RaceReport {
+                    addr: m,
+                    kind: race_kind,
+                    current: my_epoch,
+                    previous: witness,
+                    event_index: Some(self.event_index),
+                    share_count: count,
+                    tainted,
+                });
+            }
+        } else {
+            plane.set_state(id, VcState::Race);
+            self.races.push(RaceReport {
+                addr,
+                kind: race_kind,
+                current: my_epoch,
+                previous: witness,
+                event_index: Some(self.event_index),
+                share_count: 1,
+                tainted,
+            });
+        }
+    }
+
+    fn update_model(&mut self) {
+        // The read and write planes index (almost always) the same
+        // addresses; like the paper's structure (one chunk entry holding
+        // the location's read and write clock pointers), the modeled
+        // index cost is the larger plane, not the sum.
+        self.model
+            .set(MemClass::Hash, self.read.hash_bytes().max(self.write.hash_bytes()));
+        self.model
+            .set(MemClass::VectorClock, self.read.vc_bytes() + self.write.vc_bytes());
+        self.model.set(MemClass::Bitmap, self.hb.bitmap_bytes());
+        let cells = self.read.cell_count() + self.write.cell_count();
+        self.model.set_vc_count(cells);
+        let locs = self.read.loc_count() + self.write.loc_count();
+        if locs > self.peak_locs {
+            self.peak_locs = locs;
+            self.cells_at_peak = cells;
+        }
+    }
+}
+
+impl Detector for DynamicGranularity {
+    fn name(&self) -> String {
+        self.config.label().to_string()
+    }
+
+    fn on_event(&mut self, ev: &Event) {
+        self.events += 1;
+        match *ev {
+            Event::Read { tid, addr, size } => {
+                self.on_access(tid, addr, size.bytes(), AccessKind::Read)
+            }
+            Event::Write { tid, addr, size } => {
+                self.on_access(tid, addr, size.bytes(), AccessKind::Write)
+            }
+            Event::Free { addr, size, .. } => {
+                self.read.remove_range(addr, size);
+                self.write.remove_range(addr, size);
+                self.update_model();
+            }
+            Event::Alloc { .. } => {}
+            _ => {
+                self.hb.on_sync(ev);
+                self.model.set(MemClass::Bitmap, self.hb.bitmap_bytes());
+            }
+        }
+        self.event_index += 1;
+    }
+
+    fn finish(&mut self) -> Report {
+        // Table 3's "Avg. sharing count": locations per live clock at the
+        // moment the location population peaks.
+        let avg_share = if self.cells_at_peak == 0 {
+            0.0
+        } else {
+            self.peak_locs as f64 / self.cells_at_peak as f64
+        };
+        let mut rep = Report {
+            detector: self.name(),
+            races: std::mem::take(&mut self.races),
+            ..Report::default()
+        };
+        rep.stats.events = self.events;
+        rep.stats.accesses = self.accesses;
+        rep.stats.same_epoch = self.same_epoch;
+        rep.stats.vc_allocs = self.read.vc_allocs() + self.write.vc_allocs();
+        rep.stats.vc_frees = self.read.vc_frees() + self.write.vc_frees();
+        rep.stats.peak_vc_count = self.model.peak_vc_count();
+        rep.stats.peak_hash_bytes = self.model.peak(MemClass::Hash);
+        rep.stats.peak_vc_bytes = self.model.peak(MemClass::VectorClock);
+        rep.stats.peak_bitmap_bytes = self.hb.peak_bitmap_bytes();
+        rep.stats.peak_total_bytes = self.model.peak_total();
+        rep.stats.sharing = Some(SharingStats {
+            shares: self.shares,
+            splits: self.splits,
+            avg_share_count: avg_share,
+            max_group: self.read.max_group().max(self.write.max_group()),
+        });
+        *self = DynamicGranularity::with_config(self.config);
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrace_detectors::{DetectorExt, FastTrack};
+    use dgrace_trace::{AccessSize, TraceBuilder};
+
+    const X: u64 = 0x1000;
+
+    #[test]
+    fn detects_simple_write_write_race() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .write(0u32, X, AccessSize::U32)
+            .write(1u32, X, AccessSize::U32);
+        let rep = DynamicGranularity::new().run(&b.build());
+        assert_eq!(rep.races.len(), 1);
+        assert_eq!(rep.races[0].kind, RaceKind::WriteWrite);
+        assert_eq!(rep.races[0].addr, Addr(X));
+    }
+
+    #[test]
+    fn init_sharing_groups_array_writes() {
+        let mut det = DynamicGranularity::new();
+        let mut b = TraceBuilder::new();
+        b.write_block(0u32, X, 64, AccessSize::U32);
+        let t = b.build();
+        for ev in t.iter() {
+            det.on_event(ev);
+        }
+        let snap = det.write_group(Addr(X)).unwrap();
+        assert_eq!(snap.state, VcState::FirstEpochShared);
+        assert_eq!(snap.members.len(), 16, "16 words share one clock");
+        let rep = det.finish();
+        assert!(rep.races.is_empty());
+        // One cell serves 16 locations.
+        assert_eq!(rep.stats.sharing.as_ref().unwrap().max_group, 16);
+        assert!(rep.stats.peak_vc_count < 16);
+    }
+
+    #[test]
+    fn no_sharing_when_disabled() {
+        let mut det = DynamicGranularity::with_config(DynamicConfig::no_sharing_at_init());
+        let mut b = TraceBuilder::new();
+        b.write_block(0u32, X, 64, AccessSize::U32);
+        for ev in b.build().iter() {
+            det.on_event(ev);
+        }
+        let snap = det.write_group(Addr(X)).unwrap();
+        assert_eq!(snap.state, VcState::FirstEpochPrivate);
+        assert_eq!(snap.members, vec![Addr(X)]);
+        let rep = det.finish();
+        assert_eq!(rep.stats.sharing.unwrap().shares, 0);
+        assert_eq!(rep.stats.peak_vc_count, 16);
+    }
+
+    #[test]
+    fn second_epoch_resharing_after_common_epoch() {
+        // Array written in epoch 1 (init group), then written again in
+        // epoch 2: each location splits, updates, and re-shares with its
+        // equal-clock neighbor.
+        let mut det = DynamicGranularity::new();
+        let mut b = TraceBuilder::new();
+        b.write_block(0u32, X, 32, AccessSize::U32)
+            .release(0u32, 0u32)
+            .write_block(0u32, X, 32, AccessSize::U32);
+        for ev in b.build().iter() {
+            det.on_event(ev);
+        }
+        let snap = det.write_group(Addr(X)).unwrap();
+        assert_eq!(snap.state, VcState::Shared);
+        assert_eq!(snap.members.len(), 8);
+        let rep = det.finish();
+        assert!(rep.races.is_empty());
+    }
+
+    #[test]
+    fn separately_locked_elements_become_private() {
+        // Two words are initialized together (shared at Init), then each
+        // is protected by its own lock — the firm decision must split
+        // them, and there must be no false alarm.
+        let a = X;
+        let bq = X + 4;
+        let mut b = TraceBuilder::new();
+        b.write(0u32, a, AccessSize::U32)
+            .write(0u32, bq, AccessSize::U32)
+            .fork(0u32, 1u32)
+            // T0 uses lock 0 for a; T1 uses lock 1 for bq. Disjoint locks,
+            // but no shared data → race free.
+            .locked(0u32, 0u32, |t| {
+                t.write(0u32, a, AccessSize::U32);
+            })
+            .locked(1u32, 1u32, |t| {
+                t.write(1u32, bq, AccessSize::U32);
+            })
+            .locked(0u32, 0u32, |t| {
+                t.write(0u32, a, AccessSize::U32);
+            })
+            .locked(1u32, 1u32, |t| {
+                t.write(1u32, bq, AccessSize::U32);
+            });
+        let rep = DynamicGranularity::new().run(&b.build());
+        assert!(
+            rep.races.is_empty(),
+            "init-time sharing must not cause false alarms: {:?}",
+            rep.races
+        );
+    }
+
+    #[test]
+    fn no_init_state_config_causes_false_alarm() {
+        // Same program as above, but with the Init state disabled the
+        // initialization-time sharing decision is permanent, so the
+        // separately-locked updates look like races (Table 5's point).
+        let a = X;
+        let bq = X + 4;
+        let mut b = TraceBuilder::new();
+        b.write(0u32, a, AccessSize::U32)
+            .write(0u32, bq, AccessSize::U32)
+            .fork(0u32, 1u32)
+            .locked(0u32, 0u32, |t| {
+                t.write(0u32, a, AccessSize::U32);
+            })
+            .locked(1u32, 1u32, |t| {
+                t.write(1u32, bq, AccessSize::U32);
+            });
+        let trace = b.build();
+        let with_init = DynamicGranularity::new().run(&trace);
+        assert!(with_init.races.is_empty());
+        let rep = DynamicGranularity::with_config(DynamicConfig::no_init_state()).run(&trace);
+        assert!(
+            !rep.races.is_empty(),
+            "no-Init-state config should produce a false alarm"
+        );
+    }
+
+    #[test]
+    fn race_during_init_splits_quietly() {
+        // A race that fires at a location's second-epoch access happens
+        // *after* the split (Fig. 3 order), so only the accessed location
+        // is reported even if it was temporarily shared.
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32) // fork FIRST: T1 does not see the init
+            .write_block(0u32, X, 16, AccessSize::U32)
+            .write(1u32, X + 4, AccessSize::U32);
+        let rep = DynamicGranularity::new().run(&b.build());
+        assert_eq!(rep.races.len(), 1);
+        assert_eq!(rep.races[0].addr, Addr(X + 4));
+    }
+
+    /// Build a steady-state Shared group of 4 words owned by T0, then
+    /// race on one member from T1.
+    fn steady_group_race_trace() -> dgrace_trace::Trace {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .write_block(0u32, X, 16, AccessSize::U32) // epoch 2: init group
+            .release(0u32, 0u32) // T0 → epoch 3
+            .write_block(0u32, X, 16, AccessSize::U32) // re-share → Shared
+            .write(1u32, X + 4, AccessSize::U32); // race from T1
+        b.build()
+    }
+
+    #[test]
+    fn steady_group_race_reports_every_member() {
+        // The x264 observation: a race on a location whose clock is
+        // shared dissolves the group and reports each member.
+        let trace = steady_group_race_trace();
+        let rep = DynamicGranularity::new().run(&trace);
+        assert_eq!(rep.races.len(), 4, "{:?}", rep.races);
+        assert!(rep.races.iter().all(|r| r.share_count == 4));
+        let byte = FastTrack::new().run(&trace);
+        assert_eq!(
+            byte.races.len(),
+            1,
+            "byte granularity reports only the real race"
+        );
+        // With group reporting disabled, counts match byte granularity.
+        let cfg = DynamicConfig {
+            report_group_races: false,
+            ..DynamicConfig::default()
+        };
+        let rep = DynamicGranularity::with_config(cfg).run(&trace);
+        assert_eq!(rep.races.len(), 1);
+        assert_eq!(rep.races[0].share_count, 4);
+    }
+
+    #[test]
+    fn agrees_with_fasttrack_on_private_patterns() {
+        // Accesses to isolated addresses (no neighbors) must behave
+        // exactly like byte-granularity FastTrack.
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .write(0u32, 0x1000u64, AccessSize::U32)
+            .write(1u32, 0x9000u64, AccessSize::U32)
+            .read(1u32, 0x1000u64, AccessSize::U32) // write-read race
+            .locked(0u32, 0u32, |t| {
+                t.write(0u32, 0x5000u64, AccessSize::U32);
+            })
+            .locked(1u32, 0u32, |t| {
+                t.read(1u32, 0x5000u64, AccessSize::U32);
+            });
+        let trace = b.build();
+        let dynamic = DynamicGranularity::new().run(&trace);
+        let byte = FastTrack::new().run(&trace);
+        assert_eq!(dynamic.race_addrs(), byte.race_addrs());
+        assert_eq!(dynamic.races.len(), 1);
+        assert_eq!(dynamic.races[0].kind, RaceKind::WriteRead);
+    }
+
+    #[test]
+    fn sharing_reduces_vc_allocations() {
+        let mut b = TraceBuilder::new();
+        b.write_block(0u32, X, 4096, AccessSize::U64);
+        let trace = b.build();
+        let dynamic = DynamicGranularity::new().run(&trace);
+        let byte = FastTrack::new().run(&trace);
+        let dyn_allocs = dynamic.stats.vc_allocs;
+        let byte_allocs = byte.stats.vc_allocs;
+        assert!(
+            dyn_allocs * 10 < byte_allocs,
+            "sharing should slash allocations: {dyn_allocs} vs {byte_allocs}"
+        );
+        assert!(dynamic.stats.peak_vc_bytes < byte.stats.peak_vc_bytes / 10);
+    }
+
+    #[test]
+    fn one_epoch_temporaries_share_and_free() {
+        // The dedup pattern: allocate, touch once, free — repeatedly.
+        let mut b = TraceBuilder::new();
+        for i in 0..16u64 {
+            let base = 0x10_0000 + i * 0x100;
+            b.alloc(0u32, base, 64)
+                .write_block(0u32, base, 64, AccessSize::U64)
+                .free(0u32, base, 64);
+        }
+        let rep = DynamicGranularity::new().run(&b.build());
+        assert!(rep.races.is_empty());
+        // At most a couple of cells live at any time thanks to Init
+        // sharing + free.
+        assert!(rep.stats.peak_vc_count <= 4, "peak={}", rep.stats.peak_vc_count);
+        assert_eq!(rep.stats.vc_allocs, rep.stats.vc_frees);
+    }
+
+    #[test]
+    fn read_inflation_vetoes_sharing() {
+        // Two threads read two adjacent words concurrently; the read
+        // clocks inflate, and inflated clocks are not shared.
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .read(0u32, X, AccessSize::U32)
+            .read(0u32, X + 4, AccessSize::U32)
+            .read(1u32, X, AccessSize::U32)
+            .read(1u32, X + 4, AccessSize::U32);
+        let mut det = DynamicGranularity::new();
+        for ev in b.build().iter() {
+            det.on_event(ev);
+        }
+        let snap = det.read_group(Addr(X)).unwrap();
+        assert_eq!(snap.members, vec![Addr(X)]);
+        let rep = det.finish();
+        assert!(rep.races.is_empty());
+    }
+
+    #[test]
+    fn same_epoch_fast_path_via_sharing() {
+        // Write the array once (init group), release, then sweep it again
+        // in one later epoch: the first touch re-clocks the group via the
+        // second-epoch path; once re-shared, subsequent members that
+        // split-and-reshare keep cell count low and the *third* sweep is
+        // pure same-epoch.
+        let mut b = TraceBuilder::new();
+        b.write_block(0u32, X, 64, AccessSize::U32)
+            .release(0u32, 0u32)
+            .write_block(0u32, X, 64, AccessSize::U32)
+            .write_block(0u32, X, 64, AccessSize::U32);
+        let rep = DynamicGranularity::new().run(&b.build());
+        // Third sweep: all 16 accesses same-epoch via the bitmap; second
+        // sweep re-shares. Expect a high same-epoch count.
+        assert!(rep.stats.same_epoch >= 16, "same_epoch={}", rep.stats.same_epoch);
+        assert!(rep.races.is_empty());
+    }
+
+    #[test]
+    fn finish_resets_detector() {
+        let mut det = DynamicGranularity::new();
+        let mut b = TraceBuilder::new();
+        b.write(0u32, X, AccessSize::U32);
+        let t = b.build();
+        let r1 = det.run(&t);
+        let r2 = det.run(&t);
+        assert_eq!(r1.stats.events, r2.stats.events);
+        assert_eq!(r1.stats.peak_vc_count, r2.stats.peak_vc_count);
+    }
+
+    #[test]
+    fn name_reflects_config() {
+        assert_eq!(DynamicGranularity::new().name(), "dynamic");
+        assert_eq!(
+            DynamicGranularity::with_config(DynamicConfig::no_init_state()).name(),
+            "dynamic-no-init-state"
+        );
+    }
+}

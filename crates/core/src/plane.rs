@@ -1,0 +1,662 @@
+//! A shadow plane: one [`ShadowTable`] of locations whose cells may be
+//! shared.
+//!
+//! The detector keeps two planes — one for read locations, one for write
+//! locations — because "only the same access type (read or write) of
+//! vector clocks can be shared" (§III.A).
+//!
+//! A *location* is a populated slot in the shadow table; its payload is a
+//! [`SlabId`] pointing into the plane's cell slab plus the location's
+//! index in its group's member list. Each shared cell records its member
+//! addresses (`members`), because a race dissolves the whole group ("the
+//! sharing is terminated and each of these locations become Race and is
+//! assigned with a private vector clock"). Singleton groups keep
+//! `members` empty — the sole member is implicit — so private locations
+//! (the common case) never allocate a member list. All group operations
+//! are O(1) except dissolution and compaction after a partial free,
+//! which are O(group size).
+
+use dgrace_shadow::accounting::vc_cell_bytes;
+use dgrace_shadow::{ShadowTable, Slab, SlabId};
+use dgrace_trace::Addr;
+use dgrace_vc::AccessClock;
+
+use crate::VcState;
+
+/// A shared vector-clock cell: the paper's `{vector clock, state, count}`
+/// triple plus the member list needed by `splitAndSetRace`.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// The access clock (epoch or full vector clock).
+    pub clock: AccessClock,
+    /// Sharing state (Fig. 2).
+    pub state: VcState,
+    /// Number of locations sharing this cell (`L.count` in Fig. 3).
+    pub count: u32,
+    /// `true` once this clock has ever been shared (directly or via a
+    /// split-off copy): its value may summarize *neighbors'* accesses,
+    /// so a race it witnesses may be a sharing artifact. Surfaced in
+    /// race reports as a "verify this one" diagnostic.
+    pub tainted: bool,
+    /// Extra post-second-epoch sharing attempts consumed (§VII #2).
+    pub redecisions: u8,
+    /// Member addresses when shared; empty for singletons.
+    members: Vec<Addr>,
+}
+
+impl Cell {
+    fn bytes(&self) -> usize {
+        vc_cell_bytes(match &self.clock {
+            AccessClock::Epoch(_) => 0,
+            AccessClock::Vc(vc) => vc.width().max(1),
+        })
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Loc {
+    cell: SlabId,
+    /// Index in the cell's member list (0 for singletons).
+    idx: u32,
+}
+
+/// A debugging/testing view of one sharing group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupSnapshot {
+    /// The shared clock.
+    pub clock: AccessClock,
+    /// The shared state.
+    pub state: VcState,
+    /// Every member location, sorted by address.
+    pub members: Vec<Addr>,
+}
+
+/// One shadow plane (read or write locations).
+#[derive(Debug, Default)]
+pub struct Plane {
+    table: ShadowTable<Loc>,
+    cells: Slab<Cell>,
+    vc_bytes: usize,
+    vc_allocs: u64,
+    vc_frees: u64,
+    max_group: u32,
+}
+
+impl Plane {
+    /// Creates an empty plane.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cell id of `addr`, if the location exists.
+    pub fn lookup(&self, addr: Addr) -> Option<SlabId> {
+        self.table.get(addr).map(|l| l.cell)
+    }
+
+    /// Borrows a cell.
+    pub fn cell(&self, id: SlabId) -> &Cell {
+        self.cells.get(id)
+    }
+
+    /// Mutates a cell's clock, keeping byte accounting consistent.
+    pub fn update_clock(&mut self, id: SlabId, f: impl FnOnce(&mut AccessClock)) {
+        let cell = self.cells.get_mut(id);
+        let before = cell.bytes();
+        f(&mut cell.clock);
+        let after = cell.bytes();
+        self.vc_bytes = self.vc_bytes + after - before;
+    }
+
+    /// Sets a cell's state.
+    pub fn set_state(&mut self, id: SlabId, state: VcState) {
+        self.cells.get_mut(id).state = state;
+    }
+
+    /// Consumes one post-second-epoch sharing attempt (§VII #2).
+    pub fn bump_redecisions(&mut self, id: SlabId) {
+        self.cells.get_mut(id).redecisions += 1;
+    }
+
+    fn alloc_cell(&mut self, clock: AccessClock, state: VcState) -> SlabId {
+        let cell = Cell {
+            clock,
+            state,
+            count: 1,
+            tainted: false,
+            redecisions: 0,
+            members: Vec::new(),
+        };
+        self.vc_bytes += cell.bytes();
+        self.vc_allocs += 1;
+        self.cells.alloc(cell)
+    }
+
+    fn free_cell(&mut self, id: SlabId) {
+        let freed = self.cells.free(id);
+        self.vc_bytes -= freed.bytes();
+        self.vc_frees += 1;
+    }
+
+    /// Creates a brand-new private location.
+    pub fn insert_private(&mut self, addr: Addr, clock: AccessClock, state: VcState) -> SlabId {
+        debug_assert!(self.table.get(addr).is_none(), "location already exists");
+        let id = self.alloc_cell(clock, state);
+        self.table.insert(addr, Loc { cell: id, idx: 0 });
+        id
+    }
+
+    /// Attaches `addr` to `neighbor`'s cell (`id`, already resolved by
+    /// the caller's neighbor search). `addr` must not have a location
+    /// yet.
+    fn attach(&mut self, addr: Addr, neighbor: Addr, id: SlabId) -> SlabId {
+        debug_assert_eq!(self.table.get(neighbor).expect("neighbor exists").cell, id);
+        let cell = self.cells.get_mut(id);
+        if cell.members.is_empty() {
+            // Singleton → explicit member list; the neighbor's implicit
+            // index 0 becomes its real index 0.
+            cell.members.push(neighbor);
+        }
+        cell.members.push(addr);
+        let idx = (cell.members.len() - 1) as u32;
+        cell.count += 1;
+        cell.tainted = true;
+        if cell.count > self.max_group {
+            self.max_group = cell.count;
+        }
+        self.table.insert(addr, Loc { cell: id, idx });
+        id
+    }
+
+    /// Creates location `addr` sharing `neighbor`'s cell (first-epoch
+    /// temporary sharing). `nid` is the neighbor's cell id from the
+    /// neighbor search.
+    pub fn insert_shared(&mut self, addr: Addr, neighbor: Addr, nid: SlabId) -> SlabId {
+        debug_assert!(self.table.get(addr).is_none(), "location already exists");
+        self.attach(addr, neighbor, nid)
+    }
+
+    /// Re-points an *existing* private location at `neighbor`'s cell (the
+    /// firm second-epoch sharing decision). The location's own cell is
+    /// freed; it must not be shared (`count == 1`).
+    pub fn rejoin(&mut self, addr: Addr, neighbor: Addr, nid: SlabId) -> SlabId {
+        let loc = *self.table.get(addr).expect("location must exist");
+        debug_assert_eq!(
+            self.cells.get(loc.cell).count,
+            1,
+            "rejoin requires a private cell"
+        );
+        self.free_cell(loc.cell);
+        self.table.remove(addr);
+        self.attach(addr, neighbor, nid)
+    }
+
+    /// Detaches `addr` from the member list of `cell_id`, patching the
+    /// index of the member that `swap_remove` relocates.
+    fn detach(&mut self, addr: Addr, cell_id: SlabId, idx: u32) {
+        let cell = self.cells.get_mut(cell_id);
+        debug_assert!(cell.count > 1 && !cell.members.is_empty());
+        debug_assert_eq!(cell.members[idx as usize], addr);
+        cell.members.swap_remove(idx as usize);
+        cell.count -= 1;
+        if (idx as usize) < cell.members.len() {
+            let moved = cell.members[idx as usize];
+            self.table.get_mut(moved).expect("moved member exists").idx = idx;
+        }
+    }
+
+    /// Splits `addr` out of its sharing group: it receives a private copy
+    /// of the group clock (the paper's `split(L, addr, size)`). No-op for
+    /// already-private locations. Returns the location's cell id after
+    /// the split and whether a split actually happened.
+    pub fn split(&mut self, addr: Addr) -> (SlabId, bool) {
+        let loc = *self.table.get(addr).expect("location must exist");
+        let group = self.cells.get(loc.cell);
+        if group.count == 1 {
+            return (loc.cell, false);
+        }
+        let (clock, state, tainted) = (group.clock.clone(), group.state, group.tainted);
+        self.detach(addr, loc.cell, loc.idx);
+        let new_id = self.alloc_cell(clock, state);
+        self.cells.get_mut(new_id).tainted = tainted;
+        let l = self.table.get_mut(addr).expect("loc");
+        l.cell = new_id;
+        l.idx = 0;
+        (new_id, true)
+    }
+
+    /// Every member of `addr`'s sharing group (including `addr`), sorted.
+    pub fn group_members(&self, addr: Addr) -> Vec<Addr> {
+        let Some(loc) = self.table.get(addr) else {
+            return vec![addr];
+        };
+        let cell = self.cells.get(loc.cell);
+        if cell.members.is_empty() {
+            vec![addr]
+        } else {
+            let mut m = cell.members.clone();
+            m.sort();
+            m
+        }
+    }
+
+    /// Dissolves `addr`'s group entirely: every member gets a private
+    /// copy of the group clock in the given `state` (the paper's
+    /// `splitAndSetRace`). Returns the member list (sorted).
+    pub fn dissolve_group(&mut self, addr: Addr, state: VcState) -> Vec<Addr> {
+        let loc = *self.table.get(addr).expect("location must exist");
+        let cell = self.cells.get_mut(loc.cell);
+        if cell.members.is_empty() {
+            cell.state = state;
+            return vec![addr];
+        }
+        let members = std::mem::take(&mut cell.members);
+        let clock = cell.clock.clone();
+        self.free_cell(loc.cell);
+        for &m in &members {
+            let id = self.alloc_cell(clock.clone(), state);
+            self.cells.get_mut(id).tainted = true;
+            let l = self.table.get_mut(m).expect("member exists");
+            l.cell = id;
+            l.idx = 0;
+        }
+        let mut sorted = members;
+        sorted.sort();
+        sorted
+    }
+
+    /// A debugging snapshot of `addr`'s group.
+    pub fn snapshot(&self, addr: Addr) -> Option<GroupSnapshot> {
+        let id = self.lookup(addr)?;
+        let cell = self.cell(id);
+        Some(GroupSnapshot {
+            clock: cell.clock.clone(),
+            state: cell.state,
+            members: self.group_members(addr),
+        })
+    }
+
+    /// Finds the nearest populated location strictly before `addr`
+    /// (within `max_dist` bytes), returning its address and cell id.
+    pub fn nearest_predecessor(&self, addr: Addr, max_dist: u64) -> Option<(Addr, SlabId)> {
+        self.table
+            .nearest_predecessor(addr, max_dist)
+            .map(|(a, l)| (a, l.cell))
+    }
+
+    /// Finds the nearest populated location strictly after `addr`.
+    pub fn nearest_successor(&self, addr: Addr, max_dist: u64) -> Option<(Addr, SlabId)> {
+        self.table
+            .nearest_successor(addr, max_dist)
+            .map(|(a, l)| (a, l.cell))
+    }
+
+    /// Removes every location in `[base, base+len)`, freeing cells whose
+    /// count drops to zero — `free()`'s shadow cleanup (§IV.B).
+    ///
+    /// Removal is chunk-wise (no per-address hash probes). Groups fully
+    /// inside the range simply disappear; groups *spanning* the range
+    /// boundary (rare — a program freeing part of a grouped structure)
+    /// are compacted afterwards, which costs O(survivors) only for the
+    /// affected cells.
+    pub fn remove_range(&mut self, base: Addr, len: u64) {
+        let end = base.0 + len;
+        let cells = &mut self.cells;
+        let vc_bytes = &mut self.vc_bytes;
+        let vc_frees = &mut self.vc_frees;
+        let mut dirty: Vec<SlabId> = Vec::new();
+        self.table.remove_range(base, len, |_, loc: Loc| {
+            let cell = cells.get_mut(loc.cell);
+            cell.count -= 1;
+            if cell.count == 0 {
+                let freed = cells.free(loc.cell);
+                *vc_bytes -= freed.bytes();
+                *vc_frees += 1;
+            } else if !dirty.contains(&loc.cell) {
+                dirty.push(loc.cell);
+            }
+        });
+        // Compact surviving boundary-spanning groups.
+        for id in dirty {
+            if !self.cells.contains(id) {
+                continue;
+            }
+            let cell = self.cells.get_mut(id);
+            cell.members.retain(|a| a.0 < base.0 || a.0 >= end);
+            debug_assert_eq!(cell.members.len(), cell.count as usize);
+            let survivors = cell.members.clone();
+            for (i, a) in survivors.into_iter().enumerate() {
+                self.table.get_mut(a).expect("survivor exists").idx = i as u32;
+            }
+        }
+    }
+
+    /// Removes a single location.
+    pub fn remove(&mut self, addr: Addr) {
+        let Some(&loc) = self.table.get(addr) else {
+            return;
+        };
+        if self.cells.get(loc.cell).count == 1 {
+            self.free_cell(loc.cell);
+        } else {
+            self.detach(addr, loc.cell, loc.idx);
+            // A group reduced to one member keeps its (now length-1)
+            // member list; enumeration stays correct either way.
+        }
+        self.table.remove(addr);
+    }
+
+    /// Number of populated locations.
+    pub fn loc_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of live cells (vector clocks).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Modeled bytes of live cells.
+    pub fn vc_bytes(&self) -> usize {
+        self.vc_bytes
+    }
+
+    /// Modeled bytes of the hash/indexing structure.
+    pub fn hash_bytes(&self) -> usize {
+        self.table.hash_bytes()
+    }
+
+    /// Cells allocated over the run.
+    pub fn vc_allocs(&self) -> u64 {
+        self.vc_allocs
+    }
+
+    /// Cells freed over the run.
+    pub fn vc_frees(&self) -> u64 {
+        self.vc_frees
+    }
+
+    /// Largest sharing group seen.
+    pub fn max_group(&self) -> u32 {
+        self.max_group
+    }
+
+    /// Exhaustively checks the plane's structural invariants; panics with
+    /// a description on the first violation. O(locations) — used by
+    /// property tests and debug assertions, never on the hot path.
+    pub fn check_invariants(&self) {
+        let mut per_cell: std::collections::HashMap<SlabId, usize> =
+            std::collections::HashMap::new();
+        for (addr, loc) in self.table.iter() {
+            assert!(
+                self.cells.contains(loc.cell),
+                "location {addr:?} points at a dead cell"
+            );
+            *per_cell.entry(loc.cell).or_default() += 1;
+            let cell = self.cells.get(loc.cell);
+            if cell.members.is_empty() {
+                assert_eq!(loc.idx, 0, "singleton {addr:?} has nonzero idx");
+            } else {
+                assert_eq!(
+                    cell.members.get(loc.idx as usize),
+                    Some(&addr),
+                    "member index of {addr:?} is stale"
+                );
+            }
+        }
+        assert_eq!(
+            per_cell.values().sum::<usize>(),
+            self.table.len(),
+            "location count mismatch"
+        );
+        let mut bytes = 0usize;
+        for (id, cell) in self.cells.iter() {
+            let refs = per_cell.get(&id).copied().unwrap_or(0);
+            assert_eq!(
+                cell.count as usize, refs,
+                "cell {id:?} count {} != {} referencing locations",
+                cell.count, refs
+            );
+            assert!(refs > 0, "cell {id:?} is unreachable");
+            if !cell.members.is_empty() {
+                assert_eq!(
+                    cell.members.len(),
+                    refs,
+                    "cell {id:?} member list out of sync"
+                );
+            }
+            bytes += cell.bytes();
+        }
+        assert_eq!(bytes, self.vc_bytes, "vc byte accounting drifted");
+        assert_eq!(self.cells.len(), self.cell_count());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrace_vc::{Epoch, Tid};
+
+    fn epoch(c: u32, t: u32) -> AccessClock {
+        AccessClock::Epoch(Epoch::new(c, Tid(t)))
+    }
+
+    #[test]
+    fn private_insert_lookup() {
+        let mut p = Plane::new();
+        let id = p.insert_private(Addr(0x100), epoch(1, 0), VcState::FirstEpochPrivate);
+        assert_eq!(p.lookup(Addr(0x100)), Some(id));
+        assert_eq!(p.cell(id).count, 1);
+        assert_eq!(p.loc_count(), 1);
+        assert_eq!(p.cell_count(), 1);
+        assert!(p.vc_bytes() > 0);
+    }
+
+    #[test]
+    fn shared_insert_grows_group() {
+        let mut p = Plane::new();
+        let id = p.insert_private(Addr(0x100), epoch(1, 0), VcState::FirstEpochShared);
+        let id2 = p.insert_shared(Addr(0x104), Addr(0x100), p.lookup(Addr(0x100)).unwrap());
+        let id3 = p.insert_shared(Addr(0x108), Addr(0x104), p.lookup(Addr(0x104)).unwrap());
+        assert_eq!(id, id2);
+        assert_eq!(id, id3);
+        assert_eq!(p.cell(id).count, 3);
+        assert_eq!(p.cell_count(), 1);
+        assert_eq!(p.loc_count(), 3);
+        assert_eq!(
+            p.group_members(Addr(0x104)),
+            vec![Addr(0x100), Addr(0x104), Addr(0x108)]
+        );
+        assert_eq!(p.max_group(), 3);
+    }
+
+    #[test]
+    fn split_detaches_one_member() {
+        let mut p = Plane::new();
+        p.insert_private(Addr(0x100), epoch(1, 0), VcState::FirstEpochShared);
+        p.insert_shared(Addr(0x104), Addr(0x100), p.lookup(Addr(0x100)).unwrap());
+        p.insert_shared(Addr(0x108), Addr(0x104), p.lookup(Addr(0x104)).unwrap());
+        // Split the middle member.
+        let (new_id, split) = p.split(Addr(0x104));
+        assert!(split);
+        assert_eq!(p.cell(new_id).count, 1);
+        assert_eq!(p.group_members(Addr(0x104)), vec![Addr(0x104)]);
+        assert_eq!(
+            p.group_members(Addr(0x100)),
+            vec![Addr(0x100), Addr(0x108)]
+        );
+        assert_eq!(p.cell_count(), 2);
+        // Splitting a private location is a no-op.
+        let (same, split2) = p.split(Addr(0x104));
+        assert!(!split2);
+        assert_eq!(same, new_id);
+    }
+
+    #[test]
+    fn rejoin_moves_private_into_group() {
+        let mut p = Plane::new();
+        p.insert_private(Addr(0x100), epoch(3, 0), VcState::Private);
+        p.insert_private(Addr(0x104), epoch(3, 0), VcState::Private);
+        let id = p.rejoin(Addr(0x104), Addr(0x100), p.lookup(Addr(0x100)).unwrap());
+        assert_eq!(p.lookup(Addr(0x100)), Some(id));
+        assert_eq!(p.cell(id).count, 2);
+        assert_eq!(p.cell_count(), 1);
+        assert_eq!(p.vc_frees(), 1);
+        assert_eq!(
+            p.group_members(Addr(0x100)),
+            vec![Addr(0x100), Addr(0x104)]
+        );
+    }
+
+    #[test]
+    fn dissolve_group_privatizes_every_member() {
+        let mut p = Plane::new();
+        p.insert_private(Addr(0x100), epoch(1, 0), VcState::FirstEpochShared);
+        for i in 1..5u64 {
+            let nb = Addr(0x100 + 4 * (i - 1));
+            p.insert_shared(Addr(0x100 + 4 * i), nb, p.lookup(nb).unwrap());
+        }
+        assert_eq!(p.cell_count(), 1);
+        let members = p.dissolve_group(Addr(0x108), VcState::Race);
+        assert_eq!(members.len(), 5);
+        assert_eq!(p.cell_count(), 5);
+        for &m in &members {
+            let id = p.lookup(m).unwrap();
+            assert_eq!(p.cell(id).state, VcState::Race);
+            assert_eq!(p.cell(id).count, 1);
+            assert_eq!(p.group_members(m), vec![m]);
+        }
+    }
+
+    #[test]
+    fn dissolve_singleton_sets_state() {
+        let mut p = Plane::new();
+        let id = p.insert_private(Addr(0x100), epoch(1, 0), VcState::Private);
+        let members = p.dissolve_group(Addr(0x100), VcState::Race);
+        assert_eq!(members, vec![Addr(0x100)]);
+        assert_eq!(p.cell(id).state, VcState::Race);
+        assert_eq!(p.cell_count(), 1);
+    }
+
+    #[test]
+    fn update_clock_tracks_bytes() {
+        let mut p = Plane::new();
+        let id = p.insert_private(Addr(0x100), epoch(1, 0), VcState::Private);
+        let small = p.vc_bytes();
+        p.update_clock(id, |c| {
+            let mut vc = dgrace_vc::VectorClock::new();
+            vc.set(Tid(0), 1);
+            vc.set(Tid(7), 3);
+            *c = AccessClock::Vc(vc);
+        });
+        assert!(p.vc_bytes() > small);
+        p.update_clock(id, |c| *c = epoch(2, 0));
+        assert_eq!(p.vc_bytes(), small);
+    }
+
+    #[test]
+    fn remove_updates_group_and_counts() {
+        let mut p = Plane::new();
+        p.insert_private(Addr(0x100), epoch(1, 0), VcState::FirstEpochShared);
+        p.insert_shared(Addr(0x104), Addr(0x100), p.lookup(Addr(0x100)).unwrap());
+        p.insert_shared(Addr(0x108), Addr(0x104), p.lookup(Addr(0x104)).unwrap());
+        p.remove(Addr(0x104));
+        assert_eq!(p.loc_count(), 2);
+        assert_eq!(p.cell_count(), 1);
+        let id = p.lookup(Addr(0x100)).unwrap();
+        assert_eq!(p.cell(id).count, 2);
+        assert_eq!(
+            p.group_members(Addr(0x100)),
+            vec![Addr(0x100), Addr(0x108)]
+        );
+        p.remove(Addr(0x100));
+        p.remove(Addr(0x108));
+        assert_eq!(p.cell_count(), 0);
+        assert_eq!(p.vc_bytes(), 0);
+    }
+
+    #[test]
+    fn remove_range_clears_span() {
+        let mut p = Plane::new();
+        p.insert_private(Addr(0x100), epoch(1, 0), VcState::FirstEpochShared);
+        p.insert_shared(Addr(0x104), Addr(0x100), p.lookup(Addr(0x100)).unwrap());
+        p.insert_private(Addr(0x200), epoch(2, 0), VcState::Private);
+        p.remove_range(Addr(0x100), 0x100);
+        assert_eq!(p.loc_count(), 1);
+        assert_eq!(p.lookup(Addr(0x100)), None);
+        assert_eq!(p.lookup(Addr(0x104)), None);
+        assert!(p.lookup(Addr(0x200)).is_some());
+        assert_eq!(p.cell_count(), 1);
+    }
+
+    #[test]
+    fn remove_range_compacts_boundary_spanning_group() {
+        // Group {0xfc, 0x100, 0x104, 0x108}; free [0x100, 0x108): the
+        // two inner members go, the outer two must stay a valid group.
+        let mut p = Plane::new();
+        p.insert_private(Addr(0xfc), epoch(1, 0), VcState::FirstEpochShared);
+        p.insert_shared(Addr(0x100), Addr(0xfc), p.lookup(Addr(0xfc)).unwrap());
+        p.insert_shared(Addr(0x104), Addr(0x100), p.lookup(Addr(0x100)).unwrap());
+        p.insert_shared(Addr(0x108), Addr(0x104), p.lookup(Addr(0x104)).unwrap());
+        p.remove_range(Addr(0x100), 8);
+        assert_eq!(p.loc_count(), 2);
+        let id = p.lookup(Addr(0xfc)).unwrap();
+        assert_eq!(p.cell(id).count, 2);
+        assert_eq!(
+            p.group_members(Addr(0xfc)),
+            vec![Addr(0xfc), Addr(0x108)]
+        );
+        assert_eq!(p.group_members(Addr(0x108)), p.group_members(Addr(0xfc)));
+        // Splitting a survivor still works (indices were compacted).
+        let (nid, split) = p.split(Addr(0x108));
+        assert!(split);
+        assert_eq!(p.cell(nid).count, 1);
+        assert_eq!(p.group_members(Addr(0xfc)), vec![Addr(0xfc)]);
+    }
+
+    #[test]
+    fn neighbor_search_delegates_to_table() {
+        let mut p = Plane::new();
+        p.insert_private(Addr(0x100), epoch(1, 0), VcState::Private);
+        p.insert_private(Addr(0x110), epoch(1, 0), VcState::Private);
+        assert_eq!(
+            p.nearest_predecessor(Addr(0x110), 64).map(|(a, _)| a),
+            Some(Addr(0x100))
+        );
+        assert_eq!(
+            p.nearest_successor(Addr(0x100), 64).map(|(a, _)| a),
+            Some(Addr(0x110))
+        );
+        assert_eq!(p.nearest_predecessor(Addr(0x100), 64), None);
+    }
+
+    #[test]
+    fn snapshot_reflects_group() {
+        let mut p = Plane::new();
+        p.insert_private(Addr(0x100), epoch(5, 1), VcState::FirstEpochShared);
+        p.insert_shared(Addr(0x101), Addr(0x100), p.lookup(Addr(0x100)).unwrap());
+        let snap = p.snapshot(Addr(0x101)).unwrap();
+        assert_eq!(snap.state, VcState::FirstEpochShared);
+        assert_eq!(snap.clock, epoch(5, 1));
+        assert_eq!(snap.members, vec![Addr(0x100), Addr(0x101)]);
+        assert!(p.snapshot(Addr(0x999)).is_none());
+    }
+
+    #[test]
+    fn split_patches_swapped_member_index() {
+        let mut p = Plane::new();
+        p.insert_private(Addr(0x100), epoch(1, 0), VcState::FirstEpochShared);
+        p.insert_shared(Addr(0x104), Addr(0x100), p.lookup(Addr(0x100)).unwrap());
+        p.insert_shared(Addr(0x108), Addr(0x100), p.lookup(Addr(0x100)).unwrap());
+        p.insert_shared(Addr(0x10c), Addr(0x100), p.lookup(Addr(0x100)).unwrap());
+        // Remove a middle member; the last member is swapped into its
+        // index and must remain splittable.
+        let (_, s1) = p.split(Addr(0x104));
+        assert!(s1);
+        let (_, s2) = p.split(Addr(0x10c));
+        assert!(s2);
+        assert_eq!(
+            p.group_members(Addr(0x100)),
+            vec![Addr(0x100), Addr(0x108)]
+        );
+    }
+}

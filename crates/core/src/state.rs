@@ -1,0 +1,150 @@
+//! The vector-clock state machine of Fig. 2.
+
+use std::fmt;
+
+/// The sharing state of a (read or write) location's vector clock.
+///
+/// Transitions (Fig. 2):
+///
+/// ```text
+/// first access ──► FirstEpochPrivate ──(equal-clock Init neighbor)──► FirstEpochShared
+///                       │  ▲                      │
+///                       │  └──(new Init neighbor with equal clock joins)
+///                       │                         │
+///               second epoch access        second epoch access
+///                       │                         │
+///                       ▼                         ▼
+///            (split +) new sharing decision:
+///                Private ◄──────────────► Shared
+///                   │    (equal-clock Shared/Private neighbor; a Private
+///                   │     neighbor that is joined becomes Shared too)
+///                   │
+///          any state ──(data race)──► Race   (group split; each member
+///                                             gets a private clock)
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VcState {
+    /// `Init` + `1st-Epoch-Private`: first epoch, not (currently) sharing.
+    FirstEpochPrivate,
+    /// `Init` + `1st-Epoch-Shared`: first epoch, temporarily sharing with
+    /// at least one neighbor.
+    FirstEpochShared,
+    /// Firmly sharing a vector clock with neighbors (post-Init).
+    Shared,
+    /// Firmly private (post-Init).
+    Private,
+    /// A data race was found on this location (or on a location sharing
+    /// its clock); the clock is private forever after.
+    Race,
+}
+
+impl VcState {
+    /// Is the location still in its first epoch (`Init` super-state)?
+    pub fn is_init(self) -> bool {
+        matches!(self, VcState::FirstEpochPrivate | VcState::FirstEpochShared)
+    }
+
+    /// May this location's clock currently be shared with a *new* Init
+    /// neighbor (first-epoch temporary sharing)?
+    ///
+    /// Per Fig. 2 this is allowed exactly while in `Init`: "This vector
+    /// clock can be shared with L's neighbors if they have the same clock
+    /// value and are in the Init state as well."
+    pub fn accepts_init_sharing(self) -> bool {
+        self.is_init()
+    }
+
+    /// May a second-epoch location join this location's clock? Only
+    /// post-Init, non-raced locations qualify: "As long as the neighbors
+    /// are not in the Init or Race state, we compare the vector clock of
+    /// L with those of its neighbors."
+    pub fn accepts_second_epoch_sharing(self) -> bool {
+        matches!(self, VcState::Shared | VcState::Private)
+    }
+
+    /// The state after the second-epoch sharing decision.
+    pub fn decide_second_epoch(shared: bool) -> VcState {
+        if shared {
+            VcState::Shared
+        } else {
+            VcState::Private
+        }
+    }
+
+    /// The state after the first-access sharing attempt.
+    pub fn decide_first_epoch(shared: bool) -> VcState {
+        if shared {
+            VcState::FirstEpochShared
+        } else {
+            VcState::FirstEpochPrivate
+        }
+    }
+
+    /// Returns `true` once a race has been recorded.
+    pub fn is_raced(self) -> bool {
+        self == VcState::Race
+    }
+}
+
+impl fmt::Display for VcState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VcState::FirstEpochPrivate => "1st-epoch-private",
+            VcState::FirstEpochShared => "1st-epoch-shared",
+            VcState::Shared => "shared",
+            VcState::Private => "private",
+            VcState::Race => "race",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_superstate() {
+        assert!(VcState::FirstEpochPrivate.is_init());
+        assert!(VcState::FirstEpochShared.is_init());
+        assert!(!VcState::Shared.is_init());
+        assert!(!VcState::Private.is_init());
+        assert!(!VcState::Race.is_init());
+    }
+
+    #[test]
+    fn init_sharing_only_within_init() {
+        for s in [VcState::FirstEpochPrivate, VcState::FirstEpochShared] {
+            assert!(s.accepts_init_sharing());
+        }
+        for s in [VcState::Shared, VcState::Private, VcState::Race] {
+            assert!(!s.accepts_init_sharing());
+        }
+    }
+
+    #[test]
+    fn second_epoch_sharing_excludes_init_and_race() {
+        assert!(VcState::Shared.accepts_second_epoch_sharing());
+        assert!(VcState::Private.accepts_second_epoch_sharing());
+        assert!(!VcState::FirstEpochPrivate.accepts_second_epoch_sharing());
+        assert!(!VcState::FirstEpochShared.accepts_second_epoch_sharing());
+        assert!(!VcState::Race.accepts_second_epoch_sharing());
+    }
+
+    #[test]
+    fn decisions() {
+        assert_eq!(VcState::decide_first_epoch(true), VcState::FirstEpochShared);
+        assert_eq!(
+            VcState::decide_first_epoch(false),
+            VcState::FirstEpochPrivate
+        );
+        assert_eq!(VcState::decide_second_epoch(true), VcState::Shared);
+        assert_eq!(VcState::decide_second_epoch(false), VcState::Private);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(VcState::Race.to_string(), "race");
+        assert_eq!(VcState::FirstEpochShared.to_string(), "1st-epoch-shared");
+    }
+}

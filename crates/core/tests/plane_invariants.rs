@@ -1,0 +1,175 @@
+//! Random-operation property tests for the sharing plane and the full
+//! detector, checked against `check_invariants` after every step.
+
+use dgrace_core::{DynamicConfig, DynamicGranularity, Plane, VcState};
+use dgrace_detectors::Detector;
+use dgrace_trace::{AccessSize, Addr, Event, LockId, Tid};
+use dgrace_vc::{AccessClock, Epoch};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum PlaneOp {
+    InsertPrivate(u8, u8),
+    ShareWithPred(u8),
+    Split(u8),
+    Dissolve(u8),
+    Remove(u8),
+    RemoveRange(u8, u8),
+    Touch(u8, u8),
+}
+
+fn arb_plane_op() -> impl Strategy<Value = PlaneOp> {
+    prop_oneof![
+        (0u8..40, 0u8..6).prop_map(|(a, c)| PlaneOp::InsertPrivate(a, c)),
+        (0u8..40).prop_map(PlaneOp::ShareWithPred),
+        (0u8..40).prop_map(PlaneOp::Split),
+        (0u8..40).prop_map(PlaneOp::Dissolve),
+        (0u8..40).prop_map(PlaneOp::Remove),
+        (0u8..40, 1u8..16).prop_map(|(a, l)| PlaneOp::RemoveRange(a, l)),
+        (0u8..40, 0u8..6).prop_map(|(a, c)| PlaneOp::Touch(a, c)),
+    ]
+}
+
+fn addr(slot: u8) -> Addr {
+    Addr(0x100 + slot as u64 * 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every reachable sequence of plane operations preserves the
+    /// structural invariants (counts, member lists, indices, byte
+    /// accounting).
+    #[test]
+    fn plane_invariants_under_random_ops(ops in proptest::collection::vec(arb_plane_op(), 1..80)) {
+        let mut p = Plane::new();
+        for op in ops {
+            match op {
+                PlaneOp::InsertPrivate(a, c) => {
+                    if p.lookup(addr(a)).is_none() {
+                        p.insert_private(
+                            addr(a),
+                            AccessClock::Epoch(Epoch::new(c as u32 + 1, Tid(0))),
+                            VcState::FirstEpochPrivate,
+                        );
+                    }
+                }
+                PlaneOp::ShareWithPred(a) => {
+                    if p.lookup(addr(a)).is_none() {
+                        if let Some((n, nid)) = p.nearest_predecessor(addr(a), 64) {
+                            p.insert_shared(addr(a), n, nid);
+                        }
+                    }
+                }
+                PlaneOp::Split(a) => {
+                    if p.lookup(addr(a)).is_some() {
+                        p.split(addr(a));
+                    }
+                }
+                PlaneOp::Dissolve(a) => {
+                    if p.lookup(addr(a)).is_some() {
+                        p.dissolve_group(addr(a), VcState::Race);
+                    }
+                }
+                PlaneOp::Remove(a) => p.remove(addr(a)),
+                PlaneOp::RemoveRange(a, l) => {
+                    p.remove_range(addr(a), l as u64 * 4);
+                }
+                PlaneOp::Touch(a, c) => {
+                    if let Some(id) = p.lookup(addr(a)) {
+                        p.update_clock(id, |clk| {
+                            clk.set_write(Tid(1), c as u32 + 1);
+                        });
+                    }
+                }
+            }
+            p.check_invariants();
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum TraceOp {
+    Read(u8, u8),
+    Write(u8, u8),
+    Lock(u8, u8),
+    Unlock(u8, u8),
+    Free(u8, u8),
+}
+
+fn arb_trace_op() -> impl Strategy<Value = TraceOp> {
+    prop_oneof![
+        (0u8..3, 0u8..32).prop_map(|(t, a)| TraceOp::Read(t, a)),
+        (0u8..3, 0u8..32).prop_map(|(t, a)| TraceOp::Write(t, a)),
+        (0u8..3, 0u8..3).prop_map(|(t, l)| TraceOp::Lock(t, l)),
+        (0u8..3, 0u8..3).prop_map(|(t, l)| TraceOp::Unlock(t, l)),
+        (0u8..3, 0u8..32).prop_map(|(t, a)| TraceOp::Free(t, a)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The whole detector preserves the plane invariants after every
+    /// event, for arbitrary (even racy) access patterns, in both the
+    /// paper configuration and the §VII-extended one.
+    #[test]
+    fn detector_invariants_under_random_traces(
+        ops in proptest::collection::vec(arb_trace_op(), 1..150)
+    ) {
+        // Lock events are legalized on the fly (only unlock what's held).
+        for cfg in [DynamicConfig::paper_default(), DynamicConfig::with_redecisions(2)] {
+            let mut det = DynamicGranularity::with_config(cfg);
+            let mut held: Vec<(u8, u8)> = Vec::new();
+            det.on_event(&Event::Fork { parent: Tid(0), child: Tid(1) });
+            det.on_event(&Event::Fork { parent: Tid(0), child: Tid(2) });
+            for op in &ops {
+                let ev = match *op {
+                    TraceOp::Read(t, a) => Some(Event::Read {
+                        tid: Tid(t as u32),
+                        addr: addr(a),
+                        size: AccessSize::U32,
+                    }),
+                    TraceOp::Write(t, a) => Some(Event::Write {
+                        tid: Tid(t as u32),
+                        addr: addr(a),
+                        size: AccessSize::U32,
+                    }),
+                    TraceOp::Lock(t, l) => {
+                        if held.iter().any(|&(_, hl)| hl == l) {
+                            None
+                        } else {
+                            held.push((t, l));
+                            Some(Event::Acquire {
+                                tid: Tid(t as u32),
+                                lock: LockId(l as u32),
+                            })
+                        }
+                    }
+                    TraceOp::Unlock(t, l) => {
+                        if let Some(i) = held.iter().position(|&h| h == (t, l)) {
+                            held.swap_remove(i);
+                            Some(Event::Release {
+                                tid: Tid(t as u32),
+                                lock: LockId(l as u32),
+                            })
+                        } else {
+                            None
+                        }
+                    }
+                    TraceOp::Free(t, a) => Some(Event::Free {
+                        tid: Tid(t as u32),
+                        addr: addr(a),
+                        size: 8,
+                    }),
+                };
+                if let Some(ev) = ev {
+                    det.on_event(&ev);
+                    det.check_invariants();
+                }
+            }
+            let rep = det.finish();
+            prop_assert!(rep.stats.vc_frees <= rep.stats.vc_allocs);
+        }
+    }
+}

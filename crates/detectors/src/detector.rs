@@ -1,0 +1,74 @@
+//! The detector interface.
+
+use dgrace_trace::{Event, Trace};
+
+use crate::Report;
+
+/// An online race detector: consumes the instrumentation event stream and
+/// produces a [`Report`].
+///
+/// Detectors are single-threaded state machines; the `dgrace-runtime`
+/// crate serializes events from live threads into a detector behind a
+/// lock, exactly as the paper's PIN tool serializes analysis callbacks
+/// around its global structures.
+///
+/// The `Any` supertrait lets hosts recover a concrete detector from a
+/// `Box<dyn Detector>` (e.g. the runtime extracting a [`crate::Recorder`]'s
+/// captured trace).
+pub trait Detector: std::any::Any {
+    /// A short stable name (e.g. `"fasttrack-byte"`, `"dynamic"`).
+    fn name(&self) -> String;
+
+    /// Processes one event.
+    fn on_event(&mut self, ev: &Event);
+
+    /// Finishes the run and extracts the report. The detector is reset to
+    /// a fresh state afterwards.
+    fn finish(&mut self) -> Report;
+}
+
+/// Convenience extensions for running whole traces.
+pub trait DetectorExt: Detector {
+    /// Feeds every event of `trace` and returns the final report.
+    fn run(&mut self, trace: &Trace) -> Report {
+        for ev in trace.iter() {
+            self.on_event(ev);
+        }
+        self.finish()
+    }
+}
+
+impl<D: Detector + ?Sized> DetectorExt for D {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NopDetector;
+    use dgrace_trace::{AccessSize, TraceBuilder};
+
+    #[test]
+    fn run_feeds_all_events() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .write(1u32, 0x10u64, AccessSize::U32)
+            .join(0u32, 1u32);
+        let trace = b.build();
+        let mut d = NopDetector::default();
+        let rep = d.run(&trace);
+        assert_eq!(rep.stats.events, 3);
+        assert_eq!(rep.stats.accesses, 1);
+        assert!(rep.races.is_empty());
+        // Detector is reusable after finish().
+        let rep2 = d.run(&trace);
+        assert_eq!(rep2.stats.events, 3);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut d = NopDetector::default();
+        let dyn_d: &mut dyn Detector = &mut d;
+        assert_eq!(dyn_d.name(), "nop");
+        let rep = dyn_d.run(&dgrace_trace::Trace::new());
+        assert_eq!(rep.stats.events, 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The DJIT+ detector (§II.B): full per-location read/write vector clocks.
+
+use dgrace_shadow::accounting::vc_cell_bytes;
+use dgrace_shadow::{MemClass, MemoryModel, ShadowTable};
+use dgrace_trace::{Addr, Event};
+use dgrace_vc::{Epoch, Tid, VectorClock};
+
+use crate::{
+    AccessKind, Detector, Granularity, HbState, RaceKind, RaceReport, Report,
+};
+
+#[derive(Clone, Debug)]
+struct Cell {
+    read: VectorClock,
+    write: VectorClock,
+    raced: bool,
+}
+
+impl Cell {
+    fn new() -> Self {
+        Cell {
+            read: VectorClock::new(),
+            write: VectorClock::new(),
+            raced: false,
+        }
+    }
+
+    /// Modeled bytes: two VC cells plus payloads.
+    fn bytes(&self) -> usize {
+        vc_cell_bytes(self.read.width().max(1)) + vc_cell_bytes(self.write.width().max(1))
+    }
+}
+
+/// DJIT+ (Pozniansky & Schuster): every location keeps a full read vector
+/// clock and a full write vector clock; only the first read and first
+/// write per epoch are checked; the first race per location is reported.
+#[derive(Debug, Default)]
+pub struct Djit {
+    granularity: Granularity,
+    hb: HbState,
+    table: ShadowTable<Box<Cell>>,
+    model: MemoryModel,
+    vc_bytes: usize,
+    races: Vec<RaceReport>,
+    events: u64,
+    accesses: u64,
+    same_epoch: u64,
+    vc_allocs: u64,
+    vc_frees: u64,
+    event_index: u64,
+    /// Reusable clock buffer: avoids a heap allocation per access.
+    scratch: VectorClock,
+}
+
+impl Djit {
+    /// Creates a byte-granularity DJIT+ detector.
+    pub fn new() -> Self {
+        Self::with_granularity(Granularity::Byte)
+    }
+
+    /// Creates a DJIT+ detector at the given granularity.
+    pub fn with_granularity(granularity: Granularity) -> Self {
+        Djit {
+            granularity,
+            ..Default::default()
+        }
+    }
+
+    fn on_access(&mut self, tid: Tid, addr: Addr, kind: AccessKind) {
+        self.accesses += 1;
+        let loc = self.granularity.locate(addr);
+
+        // Same-epoch filter (DJIT+'s core optimization).
+        let first = match kind {
+            AccessKind::Read => self.hb.first_read_in_epoch(tid, loc),
+            AccessKind::Write => self.hb.first_write_in_epoch(tid, loc),
+        };
+        if !first {
+            self.same_epoch += 1;
+            return;
+        }
+
+        let mut now = std::mem::take(&mut self.scratch);
+        now.clone_from(self.hb.clock(tid));
+        let my_epoch = Epoch::new(now.get(tid), tid);
+
+        if self.table.get(loc).is_none() {
+            self.table.insert(loc, Box::new(Cell::new()));
+            self.vc_allocs += 2;
+            self.vc_bytes += vc_cell_bytes(1) * 2;
+        }
+        let cell = self.table.get_mut(loc).expect("just inserted");
+        let before = cell.bytes();
+
+        let mut race: Option<(RaceKind, Epoch)> = None;
+        if !cell.raced {
+            match kind {
+                AccessKind::Read => {
+                    // Write-read race: some write is not known to us.
+                    if let Some((t, c)) = cell.write.first_exceeding(&now) {
+                        race = Some((RaceKind::WriteRead, Epoch::new(c, t)));
+                    }
+                }
+                AccessKind::Write => {
+                    if let Some((t, c)) = cell.write.first_exceeding(&now) {
+                        race = Some((RaceKind::WriteWrite, Epoch::new(c, t)));
+                    } else if let Some((t, c)) = cell.read.first_exceeding(&now) {
+                        race = Some((RaceKind::ReadWrite, Epoch::new(c, t)));
+                    }
+                }
+            }
+        }
+
+        match kind {
+            AccessKind::Read => cell.read.set(tid, my_epoch.clock),
+            AccessKind::Write => cell.write.set(tid, my_epoch.clock),
+        }
+
+        let after = cell.bytes();
+        if let Some((kind, previous)) = race {
+            cell.raced = true;
+            self.races.push(RaceReport {
+                addr: loc,
+                kind,
+                current: my_epoch,
+                previous,
+                event_index: Some(self.event_index),
+                share_count: 1,
+                tainted: false,
+            });
+        }
+
+        self.vc_bytes = self.vc_bytes + after - before;
+        self.scratch = now;
+        self.update_model();
+    }
+
+    fn update_model(&mut self) {
+        self.model.set(MemClass::Hash, self.table.hash_bytes());
+        self.model.set(MemClass::VectorClock, self.vc_bytes);
+        self.model.set(MemClass::Bitmap, self.hb.bitmap_bytes());
+        self.model.set_vc_count(self.table.len() * 2);
+    }
+}
+
+impl Detector for Djit {
+    fn name(&self) -> String {
+        format!("djit-{}", self.granularity.label())
+    }
+
+    fn on_event(&mut self, ev: &Event) {
+        self.events += 1;
+        match *ev {
+            Event::Read { tid, addr, .. } => self.on_access(tid, addr, AccessKind::Read),
+            Event::Write { tid, addr, .. } => self.on_access(tid, addr, AccessKind::Write),
+            Event::Free { addr, size, .. } => {
+                let mut freed_bytes = 0usize;
+                let mut freed = 0u64;
+                self.table.remove_range(addr, size, |_, cell| {
+                    freed_bytes += cell.bytes();
+                    freed += 2;
+                });
+                self.vc_bytes -= freed_bytes;
+                self.vc_frees += freed;
+                self.update_model();
+            }
+            Event::Alloc { .. } => {}
+            _ => {
+                self.hb.on_sync(ev);
+                self.model.set(MemClass::Bitmap, self.hb.bitmap_bytes());
+            }
+        }
+        self.event_index += 1;
+    }
+
+    fn finish(&mut self) -> Report {
+        let mut rep = Report {
+            detector: self.name(),
+            races: std::mem::take(&mut self.races),
+            ..Report::default()
+        };
+        rep.stats.events = self.events;
+        rep.stats.accesses = self.accesses;
+        rep.stats.same_epoch = self.same_epoch;
+        rep.stats.vc_allocs = self.vc_allocs;
+        rep.stats.vc_frees = self.vc_frees;
+        rep.stats.peak_vc_count = self.model.peak_vc_count();
+        rep.stats.peak_hash_bytes = self.model.peak(MemClass::Hash);
+        rep.stats.peak_vc_bytes = self.model.peak(MemClass::VectorClock);
+        rep.stats.peak_bitmap_bytes = self.hb.peak_bitmap_bytes();
+        rep.stats.peak_total_bytes = self.model.peak_total();
+        *self = Djit::with_granularity(self.granularity);
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DetectorExt;
+    use dgrace_trace::{AccessSize, TraceBuilder};
+
+    const X: u64 = 0x1000;
+
+    /// Figure 1 of the paper: thread 1 writes x under lock s, thread 0
+    /// then writes x without synchronizing with that release — the write
+    /// is a data race because `W_x[1] ⋢ T_0`.
+    #[test]
+    fn figure1_djit_example() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .acquire(1u32, 0u32)
+            .write(1u32, X, AccessSize::U32)
+            .release(1u32, 0u32)
+            .write(0u32, X, AccessSize::U32);
+        let rep = Djit::new().run(&b.build());
+        assert_eq!(rep.races.len(), 1);
+        let r = &rep.races[0];
+        assert_eq!(r.addr, Addr(X));
+        assert_eq!(r.kind, RaceKind::WriteWrite);
+        assert_eq!(r.previous.tid, Tid(1));
+        assert_eq!(r.current.tid, Tid(0));
+    }
+
+    #[test]
+    fn lock_discipline_has_no_race() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32);
+        for t in [0u32, 1u32] {
+            b.locked(t, 0u32, |b| {
+                b.read(t, X, AccessSize::U32).write(t, X, AccessSize::U32);
+            });
+        }
+        let rep = Djit::new().run(&b.build());
+        assert!(rep.races.is_empty());
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .read(0u32, X, AccessSize::U32)
+            .read(1u32, X, AccessSize::U32);
+        assert!(Djit::new().run(&b.build()).races.is_empty());
+    }
+
+    #[test]
+    fn write_read_race_detected() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .write(0u32, X, AccessSize::U32)
+            .read(1u32, X, AccessSize::U32);
+        let rep = Djit::new().run(&b.build());
+        assert_eq!(rep.races.len(), 1);
+        assert_eq!(rep.races[0].kind, RaceKind::WriteRead);
+    }
+
+    #[test]
+    fn read_write_race_detected() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .read(0u32, X, AccessSize::U32)
+            .write(1u32, X, AccessSize::U32);
+        let rep = Djit::new().run(&b.build());
+        assert_eq!(rep.races.len(), 1);
+        assert_eq!(rep.races[0].kind, RaceKind::ReadWrite);
+    }
+
+    #[test]
+    fn only_first_race_per_location() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32);
+        for _ in 0..3 {
+            b.write(0u32, X, AccessSize::U32)
+                .release(0u32, 1u32) // new epochs so accesses are checked
+                .write(1u32, X, AccessSize::U32)
+                .release(1u32, 2u32);
+        }
+        let rep = Djit::new().run(&b.build());
+        assert_eq!(rep.races.len(), 1);
+    }
+
+    #[test]
+    fn fork_join_orders_accesses() {
+        let mut b = TraceBuilder::new();
+        b.write(0u32, X, AccessSize::U32)
+            .fork(0u32, 1u32)
+            .write(1u32, X, AccessSize::U32)
+            .join(0u32, 1u32)
+            .write(0u32, X, AccessSize::U32);
+        assert!(Djit::new().run(&b.build()).races.is_empty());
+    }
+
+    #[test]
+    fn word_granularity_masks_addresses() {
+        let mut b = TraceBuilder::new();
+        // Two different bytes in the same word: distinct under byte
+        // granularity, one location under word granularity.
+        b.fork(0u32, 1u32)
+            .write(0u32, 0x1001u64, AccessSize::U8)
+            .write(1u32, 0x1002u64, AccessSize::U8);
+        let trace = b.build();
+        assert!(Djit::new().run(&trace).races.is_empty());
+        let rep = Djit::with_granularity(Granularity::Word).run(&trace);
+        assert_eq!(rep.races.len(), 1, "word granularity merges the bytes");
+        assert_eq!(rep.races[0].addr, Addr(0x1000));
+    }
+
+    #[test]
+    fn free_clears_shadow_state() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .write(0u32, X, AccessSize::U32)
+            .free(0u32, X, 4)
+            // Reuse of the block by another thread: no stale race.
+            .release(0u32, 3u32)
+            .acquire(1u32, 3u32)
+            .write(1u32, X, AccessSize::U32);
+        let rep = Djit::new().run(&b.build());
+        assert!(rep.races.is_empty());
+        assert!(rep.stats.vc_frees >= 2);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut b = TraceBuilder::new();
+        b.write(0u32, X, AccessSize::U32)
+            .write(0u32, X, AccessSize::U32);
+        let rep = Djit::new().run(&b.build());
+        assert_eq!(rep.stats.accesses, 2);
+        assert_eq!(rep.stats.same_epoch, 1);
+        assert!(rep.stats.peak_vc_bytes > 0);
+        assert!(rep.stats.peak_hash_bytes > 0);
+        assert!(rep.stats.peak_vc_count >= 2);
+    }
+}

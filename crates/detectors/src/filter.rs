@@ -1,0 +1,214 @@
+//! Address filtering: the `nonsharedread` fast-out of Fig. 3 and the
+//! suppression rules of §V.C.
+//!
+//! The paper's tool does two kinds of filtering:
+//!
+//! * accesses to memory known not to be shared (each thread's stack) are
+//!   dropped before any analysis — "if an instruction accesses non-shared
+//!   memory (e.g., stack), the instrumentation routine returns
+//!   immediately";
+//! * races detected in suppressed modules (libc, ld) are removed from
+//!   the report — "we applied the similar suppression rules as in DRD".
+//!
+//! [`AddressFilter`] expresses both as address-range sets, and
+//! [`FilteredDetector`] wraps any detector with a skip-set (applied to
+//! incoming access events) and a suppression-set (applied to outgoing
+//! race reports).
+
+use dgrace_trace::{Addr, Event};
+
+use crate::{Detector, Report};
+
+/// A set of half-open address ranges `[start, end)`.
+#[derive(Clone, Debug, Default)]
+pub struct AddressFilter {
+    /// Sorted, disjoint ranges.
+    ranges: Vec<(u64, u64)>,
+}
+
+impl AddressFilter {
+    /// An empty filter (matches nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `[start, start+len)`, merging overlaps.
+    pub fn add_range(&mut self, start: Addr, len: u64) -> &mut Self {
+        if len == 0 {
+            return self;
+        }
+        self.ranges.push((start.0, start.0.saturating_add(len)));
+        self.normalize();
+        self
+    }
+
+    fn normalize(&mut self) {
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.ranges.len());
+        for &(s, e) in &self.ranges {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.ranges = merged;
+    }
+
+    /// Does the filter contain `addr`?
+    pub fn contains(&self, addr: Addr) -> bool {
+        let i = self.ranges.partition_point(|&(s, _)| s <= addr.0);
+        i > 0 && addr.0 < self.ranges[i - 1].1
+    }
+
+    /// Number of (merged) ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Is the filter empty?
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// Wraps a detector with access skipping and report suppression.
+pub struct FilteredDetector<D> {
+    inner: D,
+    /// Accesses in these ranges never reach the detector (modeled thread
+    /// stacks / known-private memory).
+    pub skip: AddressFilter,
+    /// Races at these locations are removed from the report (modeled
+    /// libc/ld suppressions).
+    pub suppress: AddressFilter,
+    skipped: u64,
+    suppressed: u64,
+}
+
+impl<D: Detector> FilteredDetector<D> {
+    /// Wraps `inner` with empty filters.
+    pub fn new(inner: D) -> Self {
+        FilteredDetector {
+            inner,
+            skip: AddressFilter::new(),
+            suppress: AddressFilter::new(),
+            skipped: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Adds a skip range (builder style).
+    pub fn skip_range(mut self, start: Addr, len: u64) -> Self {
+        self.skip.add_range(start, len);
+        self
+    }
+
+    /// Adds a suppression range (builder style).
+    pub fn suppress_range(mut self, start: Addr, len: u64) -> Self {
+        self.suppress.add_range(start, len);
+        self
+    }
+
+    /// Accesses dropped by the skip filter so far.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Races removed by the suppression filter in the last `finish`.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
+impl<D: Detector> Detector for FilteredDetector<D> {
+    fn name(&self) -> String {
+        format!("{}+filtered", self.inner.name())
+    }
+
+    fn on_event(&mut self, ev: &Event) {
+        if let Some((addr, _, _)) = ev.access() {
+            if self.skip.contains(addr) {
+                self.skipped += 1;
+                return;
+            }
+        }
+        self.inner.on_event(ev);
+    }
+
+    fn finish(&mut self) -> Report {
+        let mut rep = self.inner.finish();
+        let before = rep.races.len();
+        rep.races.retain(|r| !self.suppress.contains(r.addr));
+        self.suppressed = (before - rep.races.len()) as u64;
+        rep.detector = self.name();
+        self.skipped = 0;
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DetectorExt, FastTrack};
+    use dgrace_trace::{AccessSize, TraceBuilder};
+
+    #[test]
+    fn ranges_merge_and_match() {
+        let mut f = AddressFilter::new();
+        f.add_range(Addr(100), 50).add_range(Addr(120), 100);
+        assert_eq!(f.len(), 1, "overlapping ranges merge");
+        assert!(f.contains(Addr(100)));
+        assert!(f.contains(Addr(219)));
+        assert!(!f.contains(Addr(220)));
+        assert!(!f.contains(Addr(99)));
+        f.add_range(Addr(1000), 8);
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(Addr(1007)));
+        assert!(!f.contains(Addr(1008)));
+        assert!(AddressFilter::new().is_empty());
+    }
+
+    #[test]
+    fn zero_length_range_ignored() {
+        let mut f = AddressFilter::new();
+        f.add_range(Addr(10), 0);
+        assert!(f.is_empty());
+        assert!(!f.contains(Addr(10)));
+    }
+
+    #[test]
+    fn skip_prevents_detection_entirely() {
+        // A racy pair inside the skip range is invisible — the paper's
+        // stack-access fast-out.
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .write(0u32, 0x100u64, AccessSize::U32)
+            .write(1u32, 0x100u64, AccessSize::U32)
+            .write(0u32, 0x900u64, AccessSize::U32)
+            .write(1u32, 0x900u64, AccessSize::U32);
+        let trace = b.build();
+        let mut det = FilteredDetector::new(FastTrack::new()).skip_range(Addr(0x100), 0x10);
+        let rep = det.run(&trace);
+        assert_eq!(rep.races.len(), 1, "only the unskipped race remains");
+        assert_eq!(rep.races[0].addr, Addr(0x900));
+        assert_eq!(rep.stats.accesses, 2, "skipped accesses never counted");
+    }
+
+    #[test]
+    fn suppression_removes_reports_but_detection_ran() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .write(0u32, 0x100u64, AccessSize::U32)
+            .write(1u32, 0x100u64, AccessSize::U32)
+            .write(0u32, 0x900u64, AccessSize::U32)
+            .write(1u32, 0x900u64, AccessSize::U32);
+        let trace = b.build();
+        let mut det =
+            FilteredDetector::new(FastTrack::new()).suppress_range(Addr(0x100), 0x10);
+        let rep = det.run(&trace);
+        assert_eq!(rep.races.len(), 1);
+        assert_eq!(rep.races[0].addr, Addr(0x900));
+        assert_eq!(det.suppressed(), 1);
+        assert_eq!(rep.stats.accesses, 4, "suppression does not skip analysis");
+        assert!(rep.detector.ends_with("+filtered"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Detection granularity: how access addresses map to locations.
+
+use dgrace_trace::Addr;
+
+/// Fixed detection granularity for the DJIT+/FastTrack detectors.
+///
+/// The *location* of an access is its base address masked down to the
+/// granularity. With [`Granularity::Byte`] every distinct base address is
+/// its own location; with [`Granularity::Word`] "non-word-aligned
+/// addresses are masked to word boundary and data races for those
+/// locations are detected as one race" (§V.A) — the source of x264's
+/// under-reporting under word granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// 1-byte granularity: locations are access base addresses.
+    Byte,
+    /// 4-byte granularity: base addresses masked to word boundaries.
+    Word,
+    /// Arbitrary power-of-two granularity in bytes.
+    Fixed(u64),
+}
+
+impl Default for Granularity {
+    /// Detection "starts from byte granularity" (§III); byte is the
+    /// reference configuration throughout the paper.
+    fn default() -> Self {
+        Granularity::Byte
+    }
+}
+
+impl Granularity {
+    /// The mask unit in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Granularity::Byte => 1,
+            Granularity::Word => 4,
+            Granularity::Fixed(n) => n,
+        }
+    }
+
+    /// Maps an access base address to its location.
+    #[inline]
+    pub fn locate(self, addr: Addr) -> Addr {
+        match self {
+            Granularity::Byte => addr,
+            Granularity::Word => addr.align_down(4),
+            Granularity::Fixed(n) => addr.align_down(n),
+        }
+    }
+
+    /// Short name used in detector names and table rows.
+    pub fn label(self) -> String {
+        match self {
+            Granularity::Byte => "byte".to_string(),
+            Granularity::Word => "word".to_string(),
+            Granularity::Fixed(n) => format!("fixed{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_is_identity() {
+        assert_eq!(Granularity::Byte.locate(Addr(0x1003)), Addr(0x1003));
+        assert_eq!(Granularity::Byte.bytes(), 1);
+    }
+
+    #[test]
+    fn word_masks_to_four() {
+        assert_eq!(Granularity::Word.locate(Addr(0x1003)), Addr(0x1000));
+        assert_eq!(Granularity::Word.locate(Addr(0x1004)), Addr(0x1004));
+        assert_eq!(Granularity::Word.bytes(), 4);
+    }
+
+    #[test]
+    fn fixed_masks_to_n() {
+        let g = Granularity::Fixed(16);
+        assert_eq!(g.locate(Addr(0x101f)), Addr(0x1010));
+        assert_eq!(g.bytes(), 16);
+        assert_eq!(g.label(), "fixed16");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Granularity::Byte.label(), "byte");
+        assert_eq!(Granularity::Word.label(), "word");
+    }
+}

@@ -1,0 +1,65 @@
+//! The no-op detector: the "uninstrumented" base of the slowdown tables.
+
+use dgrace_trace::Event;
+
+use crate::{Detector, Report};
+
+/// Consumes events, counts them, and detects nothing.
+///
+/// Replaying a trace through `NopDetector` measures the cost of the event
+/// stream itself; detector slowdowns in the tables are reported relative
+/// to this base, mirroring the paper's "slowdown vs. un-instrumented run".
+#[derive(Clone, Debug, Default)]
+pub struct NopDetector {
+    events: u64,
+    accesses: u64,
+    /// Checksum to prevent the replay loop from being optimized away.
+    sink: u64,
+}
+
+impl Detector for NopDetector {
+    fn name(&self) -> String {
+        "nop".to_string()
+    }
+
+    fn on_event(&mut self, ev: &Event) {
+        self.events += 1;
+        if let Some((addr, size, w)) = ev.access() {
+            self.accesses += 1;
+            self.sink = self
+                .sink
+                .wrapping_add(addr.0 ^ size.bytes() ^ (w as u64));
+        }
+    }
+
+    fn finish(&mut self) -> Report {
+        let mut rep = Report {
+            detector: self.name(),
+            ..Report::default()
+        };
+        rep.stats.events = self.events;
+        rep.stats.accesses = self.accesses;
+        *self = NopDetector::default();
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DetectorExt;
+    use dgrace_trace::{AccessSize, TraceBuilder};
+
+    #[test]
+    fn counts_and_resets() {
+        let mut b = TraceBuilder::new();
+        b.write(0u32, 1u64, AccessSize::U8)
+            .read(0u32, 1u64, AccessSize::U8)
+            .acquire(0u32, 0u32);
+        let mut d = NopDetector::default();
+        let rep = d.run(&b.build());
+        assert_eq!(rep.stats.events, 3);
+        assert_eq!(rep.stats.accesses, 2);
+        assert_eq!(d.events, 0, "finish resets the detector");
+    }
+}

@@ -1,0 +1,119 @@
+//! A recording "detector": captures the event stream into a [`Trace`].
+//!
+//! Composing it with the online runtime gives record/replay (the RecPlay
+//! lineage the segment detector descends from): run the program once
+//! under a [`Recorder`], persist the trace, then replay it offline under
+//! any detector — or under all of them.
+
+use dgrace_trace::{Event, Trace};
+
+use crate::{Detector, Report};
+
+/// Records every event it sees; detects nothing.
+///
+/// `finish` leaves the recorder empty; take the trace with
+/// [`Recorder::take_trace`] (before or after `finish`).
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    events: Vec<Event>,
+    taken: Option<Trace>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Takes the recorded trace, leaving the recorder empty. After
+    /// `finish`, returns the trace recorded up to that point.
+    pub fn take_trace(&mut self) -> Trace {
+        if let Some(t) = self.taken.take() {
+            return t;
+        }
+        Trace::from_events(std::mem::take(&mut self.events))
+    }
+}
+
+impl Detector for Recorder {
+    fn name(&self) -> String {
+        "recorder".to_string()
+    }
+
+    fn on_event(&mut self, ev: &Event) {
+        self.events.push(*ev);
+    }
+
+    fn finish(&mut self) -> Report {
+        let events = std::mem::take(&mut self.events);
+        let mut rep = Report {
+            detector: self.name(),
+            ..Report::default()
+        };
+        rep.stats.events = events.len() as u64;
+        rep.stats.accesses = events.iter().filter(|e| e.is_access()).count() as u64;
+        self.taken = Some(Trace::from_events(events));
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DetectorExt, FastTrack};
+    use dgrace_trace::{AccessSize, TraceBuilder};
+
+    #[test]
+    fn records_everything_in_order() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .write(1u32, 0x10u64, AccessSize::U32)
+            .join(0u32, 1u32);
+        let trace = b.build();
+        let mut rec = Recorder::new();
+        let rep = rec.run(&trace);
+        assert_eq!(rep.stats.events, 3);
+        assert_eq!(rep.stats.accesses, 1);
+        assert!(rep.races.is_empty());
+        assert_eq!(rec.take_trace(), trace);
+    }
+
+    #[test]
+    fn recorded_trace_replays_identically() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .write(0u32, 0x10u64, AccessSize::U32)
+            .write(1u32, 0x10u64, AccessSize::U32);
+        let trace = b.build();
+        let mut rec = Recorder::new();
+        rec.run(&trace);
+        let replayed = rec.take_trace();
+        let direct = FastTrack::new().run(&trace);
+        let from_recording = FastTrack::new().run(&replayed);
+        assert_eq!(direct.race_addrs(), from_recording.race_addrs());
+    }
+
+    #[test]
+    fn take_before_finish_drains() {
+        let mut rec = Recorder::new();
+        rec.on_event(&Event::Fork {
+            parent: dgrace_vc::Tid(0),
+            child: dgrace_vc::Tid(1),
+        });
+        assert_eq!(rec.len(), 1);
+        assert!(!rec.is_empty());
+        let t = rec.take_trace();
+        assert_eq!(t.len(), 1);
+        assert!(rec.is_empty());
+    }
+}

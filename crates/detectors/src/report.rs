@@ -1,0 +1,211 @@
+//! Race reports and detector statistics.
+
+use std::fmt;
+
+use dgrace_trace::Addr;
+use dgrace_vc::Epoch;
+
+/// Whether an access is a read or a write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A memory read.
+    Read,
+    /// A memory write.
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for writes.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+
+    /// Builds from a write flag.
+    pub fn from_write(w: bool) -> Self {
+        if w {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        }
+    }
+}
+
+/// The kind of a data race, named `<previous>-<current>` like the paper
+/// ("a write-read data race is reported" when a read races a prior write).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RaceKind {
+    /// Concurrent writes.
+    WriteWrite,
+    /// A write concurrent with a *previous* read.
+    ReadWrite,
+    /// A read concurrent with a *previous* write.
+    WriteRead,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RaceKind::WriteWrite => "write-write",
+            RaceKind::ReadWrite => "read-write",
+            RaceKind::WriteRead => "write-read",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected data race (the first race on its location).
+///
+/// Mirrors the information the paper's tool reports: "the location of a
+/// race along with the previous access location, thread ids, and the race
+/// memory address".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The racy location (access base address after granularity masking).
+    pub addr: Addr,
+    /// Race classification.
+    pub kind: RaceKind,
+    /// The current (second) access: thread and epoch.
+    pub current: Epoch,
+    /// The previous access it races with.
+    pub previous: Epoch,
+    /// Index of the triggering event in the trace, when known.
+    pub event_index: Option<u64>,
+    /// For the dynamic-granularity detector: how many locations were
+    /// sharing the vector clock when the race fired (1 = private). Fixed-
+    /// granularity detectors always report 1.
+    pub share_count: u32,
+    /// For the dynamic-granularity detector: `true` if the witnessing
+    /// clock was ever shared with neighbors — the report may then be a
+    /// sharing artifact and deserves manual confirmation (the paper's
+    /// x264/streamcluster discrepancies are exactly these).
+    pub tainted: bool,
+}
+
+/// Statistics a detector gathers over a run — the raw material for
+/// Tables 1–4.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DetectorStats {
+    /// All events processed.
+    pub events: u64,
+    /// Memory-access events processed.
+    pub accesses: u64,
+    /// Accesses that took the same-epoch fast path (Table 4).
+    pub same_epoch: u64,
+    /// Vector-clock objects created.
+    pub vc_allocs: u64,
+    /// Vector-clock objects destroyed.
+    pub vc_frees: u64,
+    /// Peak number of simultaneously live vector-clock objects (Table 3).
+    pub peak_vc_count: usize,
+    /// Peak modeled bytes of hash/indexing structures (Table 2 "Hash").
+    pub peak_hash_bytes: usize,
+    /// Peak modeled bytes of vector clocks (Table 2 "Vector clock").
+    pub peak_vc_bytes: usize,
+    /// Peak modeled bytes of same-epoch bitmaps (Table 2 "Bitmap").
+    pub peak_bitmap_bytes: usize,
+    /// Peak of the instantaneous total (Table 2 "Overhead total").
+    pub peak_total_bytes: usize,
+    /// Dynamic-granularity sharing statistics, if applicable.
+    pub sharing: Option<SharingStats>,
+}
+
+impl DetectorStats {
+    /// Fraction of accesses that hit the same-epoch fast path.
+    pub fn same_epoch_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.same_epoch as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Sharing behaviour of the dynamic-granularity detector (Table 3).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SharingStats {
+    /// Sharing decisions that joined a location to a neighbor's clock.
+    pub shares: u64,
+    /// Splits (copy-on-write un-sharings).
+    pub splits: u64,
+    /// Average locations per vector clock at the moment of peak VC count
+    /// (Table 3 "Avg. sharing count").
+    pub avg_share_count: f64,
+    /// Largest sharing group observed.
+    pub max_group: u32,
+}
+
+/// The outcome of a detector run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Detector name (e.g. `fasttrack-byte`, `dynamic`).
+    pub detector: String,
+    /// Detected races, in detection order; first race per location.
+    pub races: Vec<RaceReport>,
+    /// Run statistics.
+    pub stats: DetectorStats,
+}
+
+impl Report {
+    /// The set of racy locations, sorted and deduplicated.
+    pub fn race_addrs(&self) -> Vec<Addr> {
+        let mut v: Vec<Addr> = self.races.iter().map(|r| r.addr).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Number of reported races.
+    pub fn race_count(&self) -> usize {
+        self.races.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrace_vc::Tid;
+
+    #[test]
+    fn access_kind_helpers() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+        assert_eq!(AccessKind::from_write(true), AccessKind::Write);
+        assert_eq!(AccessKind::from_write(false), AccessKind::Read);
+    }
+
+    #[test]
+    fn race_kind_display() {
+        assert_eq!(RaceKind::WriteWrite.to_string(), "write-write");
+        assert_eq!(RaceKind::WriteRead.to_string(), "write-read");
+        assert_eq!(RaceKind::ReadWrite.to_string(), "read-write");
+    }
+
+    #[test]
+    fn race_addrs_sorted_dedup() {
+        let race = |a: u64| RaceReport {
+            addr: Addr(a),
+            kind: RaceKind::WriteWrite,
+            current: Epoch::new(1, Tid(1)),
+            previous: Epoch::new(1, Tid(0)),
+            event_index: None,
+            share_count: 1,
+            tainted: false,
+        };
+        let rep = Report {
+            detector: "x".into(),
+            races: vec![race(5), race(1), race(5)],
+            stats: DetectorStats::default(),
+        };
+        assert_eq!(rep.race_addrs(), vec![Addr(1), Addr(5)]);
+        assert_eq!(rep.race_count(), 3);
+    }
+
+    #[test]
+    fn same_epoch_fraction_handles_zero() {
+        let mut s = DetectorStats::default();
+        assert_eq!(s.same_epoch_fraction(), 0.0);
+        s.accesses = 10;
+        s.same_epoch = 9;
+        assert!((s.same_epoch_fraction() - 0.9).abs() < 1e-12);
+    }
+}

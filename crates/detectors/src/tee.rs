@@ -1,0 +1,98 @@
+//! The [`Tee`] combinator: drive two detectors from one event stream.
+//!
+//! The canonical use is `Tee::new(Recorder::new(), <live detector>)` —
+//! detect races online *and* keep the execution for offline replay under
+//! other detectors.
+
+use dgrace_trace::Event;
+
+use crate::{Detector, Report};
+
+/// Feeds every event to both `a` and `b`. [`Detector::finish`] returns
+/// `b`'s report (the "primary" analysis); access `a` through
+/// [`Tee::first`]/[`Tee::first_mut`] or take both with
+/// [`Tee::into_parts`].
+#[derive(Debug, Default)]
+pub struct Tee<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Detector, B: Detector> Tee<A, B> {
+    /// Combines two detectors.
+    pub fn new(a: A, b: B) -> Self {
+        Tee { a, b }
+    }
+
+    /// The first (secondary) detector.
+    pub fn first(&self) -> &A {
+        &self.a
+    }
+
+    /// The first detector, mutably.
+    pub fn first_mut(&mut self) -> &mut A {
+        &mut self.a
+    }
+
+    /// The second (primary) detector.
+    pub fn second(&self) -> &B {
+        &self.b
+    }
+
+    /// Splits the tee back into its detectors.
+    pub fn into_parts(self) -> (A, B) {
+        (self.a, self.b)
+    }
+}
+
+impl<A: Detector, B: Detector> Detector for Tee<A, B> {
+    fn name(&self) -> String {
+        format!("{}+{}", self.a.name(), self.b.name())
+    }
+
+    fn on_event(&mut self, ev: &Event) {
+        self.a.on_event(ev);
+        self.b.on_event(ev);
+    }
+
+    fn finish(&mut self) -> Report {
+        // Finish both (both reset), report the primary.
+        let _ = self.a.finish();
+        let mut rep = self.b.finish();
+        rep.detector = self.name();
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DetectorExt, FastTrack, Recorder};
+    use dgrace_trace::{AccessSize, TraceBuilder};
+
+    #[test]
+    fn both_sides_see_the_stream() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .write(0u32, 0x10u64, AccessSize::U32)
+            .write(1u32, 0x10u64, AccessSize::U32);
+        let trace = b.build();
+
+        let mut tee = Tee::new(Recorder::new(), FastTrack::new());
+        let rep = tee.run(&trace);
+        assert_eq!(rep.races.len(), 1, "primary detector's races reported");
+        assert!(rep.detector.contains("recorder"));
+        assert!(rep.detector.contains("fasttrack"));
+        // The recorder captured the identical execution.
+        let recorded = tee.first_mut().take_trace();
+        assert_eq!(recorded, trace);
+    }
+
+    #[test]
+    fn into_parts_returns_detectors() {
+        let tee = Tee::new(Recorder::new(), FastTrack::new());
+        let (rec, ft) = tee.into_parts();
+        assert!(rec.is_empty());
+        assert_eq!(ft.name(), "fasttrack-byte");
+    }
+}

@@ -1,0 +1,201 @@
+//! The runtime core: event funnel, thread handles, fork/join tracking.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dgrace_detectors::{Detector, Report};
+use dgrace_trace::{Event, LockId, Tid};
+use parking_lot::Mutex;
+
+pub(crate) struct Inner {
+    detector: Mutex<Box<dyn Detector + Send>>,
+    next_tid: AtomicU32,
+    next_lock: AtomicU32,
+    next_addr: AtomicU64,
+}
+
+impl Inner {
+    pub(crate) fn emit(&self, ev: Event) {
+        self.detector.lock().on_event(&ev);
+    }
+
+    pub(crate) fn alloc_lock(&self) -> LockId {
+        LockId(self.next_lock.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Reserves `len` bytes of *virtual* tracked address space, aligned
+    /// to 8 and padded so that distinct objects are never sharing-
+    /// adjacent by accident.
+    pub(crate) fn alloc_addr(&self, len: u64) -> u64 {
+        let len = (len + 7) & !7;
+        self.next_addr.fetch_add(len + 256, Ordering::Relaxed)
+    }
+}
+
+/// A live detector fed by real threads.
+///
+/// Cloning is cheap (the state is shared); [`Runtime::finish`] extracts
+/// the report once all tracked threads are joined.
+#[derive(Clone)]
+pub struct Runtime {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl Runtime {
+    /// Wraps a detector for online use.
+    pub fn new<D: Detector + Send + 'static>(detector: D) -> Self {
+        Runtime {
+            inner: Arc::new(Inner {
+                detector: Mutex::new(Box::new(detector)),
+                next_tid: AtomicU32::new(1), // 0 is the main thread
+                next_lock: AtomicU32::new(0),
+                next_addr: AtomicU64::new(0x1000),
+            }),
+        }
+    }
+
+    /// The main thread's handle (tid 0).
+    pub fn main(&self) -> ThreadHandle {
+        ThreadHandle {
+            inner: Arc::clone(&self.inner),
+            tid: Tid::MAIN,
+        }
+    }
+
+    /// Creates a tracked mutex protecting `value`.
+    pub fn mutex<T>(&self, value: T) -> crate::TrackedMutex<T> {
+        crate::TrackedMutex::new(self, value)
+    }
+
+    /// Creates a tracked shared cell holding `value`.
+    pub fn cell(&self, value: u64) -> crate::TrackedCell {
+        crate::TrackedCell::new(self, value)
+    }
+
+    /// Creates a tracked shared array of `len` 64-bit words.
+    pub fn array(&self, len: usize) -> crate::TrackedArray {
+        crate::TrackedArray::new(self, len)
+    }
+
+    /// Stops detection and returns the report. Call after every tracked
+    /// thread has been joined.
+    pub fn finish(&self) -> Report {
+        self.inner.detector.lock().finish()
+    }
+
+    /// If the runtime's detector is a [`dgrace_detectors::Recorder`]
+    /// (or a [`dgrace_detectors::Tee`] whose first side is), takes the
+    /// trace captured so far. Returns `None` for other detectors.
+    pub fn take_recorded(&self) -> Option<dgrace_trace::Trace> {
+        use dgrace_detectors::{Recorder, Tee};
+        let mut det = self.inner.detector.lock();
+        let any: &mut dyn std::any::Any = &mut **det;
+        if let Some(rec) = any.downcast_mut::<Recorder>() {
+            return Some(rec.take_trace());
+        }
+        // Common compositions: Recorder teed with a live detector.
+        macro_rules! try_tee {
+            ($($live:ty),*) => {$(
+                if let Some(tee) = (&mut **det as &mut dyn std::any::Any)
+                    .downcast_mut::<Tee<Recorder, $live>>()
+                {
+                    return Some(tee.first_mut().take_trace());
+                }
+            )*};
+        }
+        try_tee!(
+            dgrace_core::DynamicGranularity,
+            dgrace_detectors::FastTrack,
+            dgrace_detectors::Djit
+        );
+        None
+    }
+}
+
+/// The identity of one tracked thread; every tracked operation takes a
+/// `&ThreadHandle` to attribute the event (PIN's `tid` argument).
+pub struct ThreadHandle {
+    pub(crate) inner: Arc<Inner>,
+    pub(crate) tid: Tid,
+}
+
+/// Proof that a child was forked; consumed by [`ThreadHandle::join`]
+/// after the real thread has been joined.
+#[must_use = "join() the child with this ticket"]
+pub struct JoinTicket {
+    child: Tid,
+}
+
+impl ThreadHandle {
+    /// This thread's id.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// Forks a tracked child thread: emits the `Fork` event and returns
+    /// the child's handle (move it into the new thread) plus the ticket
+    /// the parent uses to record the join.
+    pub fn fork(&self) -> (ThreadHandle, JoinTicket) {
+        let child = Tid(self.inner.next_tid.fetch_add(1, Ordering::Relaxed));
+        self.inner.emit(Event::Fork {
+            parent: self.tid,
+            child,
+        });
+        (
+            ThreadHandle {
+                inner: Arc::clone(&self.inner),
+                tid: child,
+            },
+            JoinTicket { child },
+        )
+    }
+
+    /// Records that the child thread has been joined. Call *after* the
+    /// real `std::thread::JoinHandle::join` returns, so the event order
+    /// reflects the real schedule.
+    pub fn join(&self, ticket: JoinTicket) {
+        self.inner.emit(Event::Join {
+            parent: self.tid,
+            child: ticket.child,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrace_detectors::NopDetector;
+    use std::thread;
+
+    #[test]
+    fn fork_join_produce_events() {
+        let rt = Runtime::new(NopDetector::default());
+        let main = rt.main();
+        let (child, ticket) = main.fork();
+        let jh = thread::spawn(move || child.tid().index());
+        let idx = jh.join().unwrap();
+        main.join(ticket);
+        assert_eq!(idx, 1);
+        let rep = rt.finish();
+        assert_eq!(rep.stats.events, 2); // fork + join
+    }
+
+    #[test]
+    fn tids_are_unique() {
+        let rt = Runtime::new(NopDetector::default());
+        let main = rt.main();
+        let (c1, t1) = main.fork();
+        let (c2, t2) = main.fork();
+        assert_ne!(c1.tid(), c2.tid());
+        main.join(t1);
+        main.join(t2);
+    }
+
+    #[test]
+    fn address_allocation_pads() {
+        let rt = Runtime::new(NopDetector::default());
+        let a = rt.inner.alloc_addr(8);
+        let b = rt.inner.alloc_addr(8);
+        assert!(b >= a + 8 + 256, "objects must not be sharing-adjacent");
+    }
+}

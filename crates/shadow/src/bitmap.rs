@@ -1,0 +1,187 @@
+//! Per-thread same-epoch access bitmaps (§IV.A).
+//!
+//! DJIT+-family detectors only need to process the *first* read and the
+//! first write of each location in an epoch. Answering "have I already
+//! accessed this location in my current epoch?" from the global shadow
+//! structure would require synchronized lookups, so the paper gives every
+//! thread a private bitmap: the first access sets a bit, and the bitmap is
+//! reset at every lock release (the start of the thread's next epoch).
+
+use dgrace_trace::Addr;
+
+use crate::hash::FastMap;
+
+use crate::accounting::bitmap_chunk_bytes;
+
+/// Addresses covered by one chunk.
+const CHUNK_SPAN: u64 = 2048;
+/// Two bits (read, write) per address → payload bytes per chunk.
+const CHUNK_PAYLOAD: usize = (CHUNK_SPAN as usize * 2) / 8;
+
+/// A per-thread bitmap recording which locations this thread has already
+/// read / written during its current epoch.
+///
+/// Two bits are kept per byte address (one for reads, one for writes);
+/// chunks are allocated lazily as 2048-address spans.
+#[derive(Clone, Debug, Default)]
+pub struct EpochBitmap {
+    chunks: FastMap<u64, Box<[u8; CHUNK_PAYLOAD]>>,
+    /// High-water mark of simultaneously allocated chunks, for accounting.
+    peak_chunks: usize,
+}
+
+impl EpochBitmap {
+    /// Creates an empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if `(addr, is_write)` is already marked.
+    #[inline]
+    pub fn test(&self, addr: Addr, is_write: bool) -> bool {
+        let (key, byte, mask) = locate(addr, is_write);
+        self.chunks
+            .get(&key)
+            .is_some_and(|c| c[byte] & mask != 0)
+    }
+
+    /// Marks `(addr, is_write)`; returns `true` if it was already set.
+    #[inline]
+    pub fn test_and_set(&mut self, addr: Addr, is_write: bool) -> bool {
+        let (key, byte, mask) = locate(addr, is_write);
+        let chunk = self.chunks.entry(key).or_insert_with(|| {
+            Box::new([0u8; CHUNK_PAYLOAD])
+        });
+        let was = chunk[byte] & mask != 0;
+        chunk[byte] |= mask;
+        if self.chunks.len() > self.peak_chunks {
+            self.peak_chunks = self.chunks.len();
+        }
+        was
+    }
+
+    /// A *write* in the current epoch also covers subsequent reads for the
+    /// purpose of the first-access filter in FastTrack (a read after a
+    /// write by the same thread in the same epoch cannot be the first of a
+    /// new race). This checks both planes.
+    #[inline]
+    pub fn test_either(&self, addr: Addr) -> bool {
+        let (key, byte, _) = locate(addr, false);
+        let both = read_mask(addr) | write_mask(addr);
+        self.chunks
+            .get(&key)
+            .is_some_and(|c| c[byte] & both != 0)
+    }
+
+    /// Resets the bitmap — called at every lock release, when the thread's
+    /// next epoch begins.
+    pub fn reset(&mut self) {
+        self.chunks.clear();
+    }
+
+    /// Current modeled bytes.
+    pub fn bytes(&self) -> usize {
+        self.chunks.len() * bitmap_chunk_bytes(CHUNK_PAYLOAD)
+    }
+
+    /// Peak modeled bytes over the bitmap's lifetime.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_chunks * bitmap_chunk_bytes(CHUNK_PAYLOAD)
+    }
+
+    /// Number of chunk allocations currently live.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+#[inline]
+fn read_mask(addr: Addr) -> u8 {
+    1 << (((addr.0 % 4) as u8) * 2)
+}
+
+#[inline]
+fn write_mask(addr: Addr) -> u8 {
+    2 << (((addr.0 % 4) as u8) * 2)
+}
+
+/// Maps `(addr, plane)` to `(chunk key, byte index, bit mask)`.
+#[inline]
+fn locate(addr: Addr, is_write: bool) -> (u64, usize, u8) {
+    let key = addr.0 / CHUNK_SPAN;
+    let off = (addr.0 % CHUNK_SPAN) as usize;
+    let byte = off / 4;
+    let mask = if is_write {
+        write_mask(addr)
+    } else {
+        read_mask(addr)
+    };
+    (key, byte, mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_then_test() {
+        let mut b = EpochBitmap::new();
+        let a = Addr(0x1234);
+        assert!(!b.test(a, false));
+        assert!(!b.test_and_set(a, false));
+        assert!(b.test(a, false));
+        assert!(b.test_and_set(a, false));
+        // The write plane is independent.
+        assert!(!b.test(a, true));
+        assert!(!b.test_and_set(a, true));
+        assert!(b.test(a, true));
+    }
+
+    #[test]
+    fn neighbors_do_not_alias() {
+        let mut b = EpochBitmap::new();
+        for off in 0..8u64 {
+            assert!(!b.test_and_set(Addr(0x100 + off), false));
+        }
+        for off in 0..8u64 {
+            assert!(b.test(Addr(0x100 + off), false));
+            assert!(!b.test(Addr(0x100 + off), true));
+        }
+        assert!(!b.test(Addr(0xff), false));
+        assert!(!b.test(Addr(0x108), false));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut b = EpochBitmap::new();
+        b.test_and_set(Addr(7), true);
+        b.test_and_set(Addr(70_000), false);
+        assert_eq!(b.chunk_count(), 2);
+        b.reset();
+        assert!(!b.test(Addr(7), true));
+        assert_eq!(b.chunk_count(), 0);
+        assert_eq!(b.bytes(), 0);
+        // Peak survives the reset.
+        assert!(b.peak_bytes() >= 2 * bitmap_chunk_bytes(CHUNK_PAYLOAD));
+    }
+
+    #[test]
+    fn test_either_sees_both_planes() {
+        let mut b = EpochBitmap::new();
+        b.test_and_set(Addr(0x40), true);
+        assert!(b.test_either(Addr(0x40)));
+        assert!(!b.test_either(Addr(0x41)));
+        b.test_and_set(Addr(0x41), false);
+        assert!(b.test_either(Addr(0x41)));
+    }
+
+    #[test]
+    fn chunk_boundaries() {
+        let mut b = EpochBitmap::new();
+        b.test_and_set(Addr(CHUNK_SPAN - 1), false);
+        b.test_and_set(Addr(CHUNK_SPAN), false);
+        assert_eq!(b.chunk_count(), 2);
+        assert!(b.test(Addr(CHUNK_SPAN - 1), false));
+        assert!(b.test(Addr(CHUNK_SPAN), false));
+    }
+}

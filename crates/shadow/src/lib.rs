@@ -1,0 +1,51 @@
+//! Shadow memory and memory accounting for `dgrace` detectors.
+//!
+//! This crate implements the indexing substrate of §IV of the paper:
+//!
+//! * [`ShadowTable`] — the chained hash table of Fig. 4. Addresses are
+//!   hashed by their upper bits (`addr >> log2(m)`, m = 128 by default) to
+//!   a chunk entry; each entry holds an indexing array of slot pointers.
+//!   New entries start with `m/4` word-aligned slots ("the most common
+//!   access pattern is word access") and are expanded to `m` byte slots
+//!   when the first unaligned access hits the chunk.
+//! * [`EpochBitmap`] — the per-thread bitmap used to answer "is this the
+//!   first access to this location in my current epoch?" without touching
+//!   the global shadow structure (§IV.A). The bitmap is reset at every
+//!   lock release (i.e. at each new epoch of the thread).
+//! * [`MemoryModel`] — the memory-accounting model that regenerates the
+//!   *Hash / Vector clock / Bitmap* columns of Table 2 and the
+//!   vector-clock population counts of Table 3. Sizes are modeled from the
+//!   paper's 32-bit object layout so that measured overheads are
+//!   comparable across detectors and independent of the host allocator.
+//!
+//! A **location** in this crate (and throughout `dgrace`) is the *base
+//! address of an access* after granularity masking — an access `(addr,
+//! size)` touches exactly one location, matching the paper's model where
+//! second-epoch neighbors of `L` live at `L-size` and `L+size`.
+
+//! ```
+//! use dgrace_shadow::ShadowTable;
+//! use dgrace_trace::Addr;
+//!
+//! let mut t: ShadowTable<u32> = ShadowTable::new(128);
+//! t.insert(Addr(0x100), 7);         // word-mode chunk: 32 slots
+//! let small = t.hash_bytes();
+//! t.insert(Addr(0x103), 9);         // byte access → expand to 128 slots
+//! assert!(t.hash_bytes() > small);
+//! assert_eq!(t.get(Addr(0x100)), Some(&7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+mod bitmap;
+mod hash;
+mod slab;
+mod table;
+
+pub use accounting::{MemClass, MemoryModel};
+pub use hash::{FastMap, FibBuildHasher, FibHasher};
+pub use bitmap::EpochBitmap;
+pub use slab::{Slab, SlabId};
+pub use table::ShadowTable;

@@ -1,0 +1,285 @@
+//! Fluent construction of traces.
+
+use dgrace_vc::Tid;
+
+use crate::{AccessSize, Addr, Event, LockId, Trace};
+
+/// A fluent builder for [`Trace`]s.
+///
+/// The builder appends events in global interleaving order; helpers exist
+/// for each event kind plus composite patterns that occur constantly in
+/// tests and workloads (locked accesses, block initialization).
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<Event>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TraceBuilder { events: Vec::new() }
+    }
+
+    /// Creates a builder with pre-reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        TraceBuilder {
+            events: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a raw event.
+    pub fn push(&mut self, ev: Event) -> &mut Self {
+        self.events.push(ev);
+        self
+    }
+
+    /// Appends a read of `size` bytes at `addr` by `tid`.
+    pub fn read(&mut self, tid: impl Into<Tid>, addr: impl Into<Addr>, size: AccessSize) -> &mut Self {
+        self.push(Event::Read {
+            tid: tid.into(),
+            addr: addr.into(),
+            size,
+        })
+    }
+
+    /// Appends a write of `size` bytes at `addr` by `tid`.
+    pub fn write(&mut self, tid: impl Into<Tid>, addr: impl Into<Addr>, size: AccessSize) -> &mut Self {
+        self.push(Event::Write {
+            tid: tid.into(),
+            addr: addr.into(),
+            size,
+        })
+    }
+
+    /// Appends a lock acquire.
+    pub fn acquire(&mut self, tid: impl Into<Tid>, lock: impl Into<LockId>) -> &mut Self {
+        self.push(Event::Acquire {
+            tid: tid.into(),
+            lock: lock.into(),
+        })
+    }
+
+    /// Appends a lock release.
+    pub fn release(&mut self, tid: impl Into<Tid>, lock: impl Into<LockId>) -> &mut Self {
+        self.push(Event::Release {
+            tid: tid.into(),
+            lock: lock.into(),
+        })
+    }
+
+    /// Appends a thread fork.
+    pub fn fork(&mut self, parent: impl Into<Tid>, child: impl Into<Tid>) -> &mut Self {
+        self.push(Event::Fork {
+            parent: parent.into(),
+            child: child.into(),
+        })
+    }
+
+    /// Appends a thread join.
+    pub fn join(&mut self, parent: impl Into<Tid>, child: impl Into<Tid>) -> &mut Self {
+        self.push(Event::Join {
+            parent: parent.into(),
+            child: child.into(),
+        })
+    }
+
+    /// Appends an allocation of `size` bytes at `addr`.
+    pub fn alloc(&mut self, tid: impl Into<Tid>, addr: impl Into<Addr>, size: u64) -> &mut Self {
+        self.push(Event::Alloc {
+            tid: tid.into(),
+            addr: addr.into(),
+            size,
+        })
+    }
+
+    /// Appends a free of the `size`-byte block at `addr`.
+    pub fn free(&mut self, tid: impl Into<Tid>, addr: impl Into<Addr>, size: u64) -> &mut Self {
+        self.push(Event::Free {
+            tid: tid.into(),
+            addr: addr.into(),
+            size,
+        })
+    }
+
+    /// Appends a rwlock read-acquire.
+    pub fn acquire_read(&mut self, tid: impl Into<Tid>, lock: impl Into<LockId>) -> &mut Self {
+        self.push(Event::AcquireRead {
+            tid: tid.into(),
+            lock: lock.into(),
+        })
+    }
+
+    /// Appends a rwlock read-release.
+    pub fn release_read(&mut self, tid: impl Into<Tid>, lock: impl Into<LockId>) -> &mut Self {
+        self.push(Event::ReleaseRead {
+            tid: tid.into(),
+            lock: lock.into(),
+        })
+    }
+
+    /// Appends a condition-variable signal.
+    pub fn cv_signal(&mut self, tid: impl Into<Tid>, cv: impl Into<LockId>) -> &mut Self {
+        self.push(Event::CvSignal {
+            tid: tid.into(),
+            cv: cv.into(),
+        })
+    }
+
+    /// Appends a condition-variable wait return.
+    pub fn cv_wait(&mut self, tid: impl Into<Tid>, cv: impl Into<LockId>) -> &mut Self {
+        self.push(Event::CvWait {
+            tid: tid.into(),
+            cv: cv.into(),
+        })
+    }
+
+    /// Appends a barrier arrival.
+    pub fn barrier_arrive(&mut self, tid: impl Into<Tid>, bar: impl Into<LockId>) -> &mut Self {
+        self.push(Event::BarrierArrive {
+            tid: tid.into(),
+            bar: bar.into(),
+        })
+    }
+
+    /// Appends a barrier departure.
+    pub fn barrier_depart(&mut self, tid: impl Into<Tid>, bar: impl Into<LockId>) -> &mut Self {
+        self.push(Event::BarrierDepart {
+            tid: tid.into(),
+            bar: bar.into(),
+        })
+    }
+
+    /// Appends a full barrier round for `tids`: every thread arrives,
+    /// then every thread departs.
+    pub fn barrier_round(&mut self, tids: &[u32], bar: impl Into<LockId> + Copy) -> &mut Self {
+        for &t in tids {
+            self.barrier_arrive(t, bar);
+        }
+        for &t in tids {
+            self.barrier_depart(t, bar);
+        }
+        self
+    }
+
+    /// Appends `acquire_read(lock); f(self); release_read(lock)`.
+    pub fn read_locked(
+        &mut self,
+        tid: impl Into<Tid> + Copy,
+        lock: impl Into<LockId> + Copy,
+        f: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        self.acquire_read(tid, lock);
+        f(self);
+        self.release_read(tid, lock)
+    }
+
+    /// Appends `acquire(lock); f(self); release(lock)`.
+    pub fn locked(
+        &mut self,
+        tid: impl Into<Tid> + Copy,
+        lock: impl Into<LockId> + Copy,
+        f: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        self.acquire(tid, lock);
+        f(self);
+        self.release(tid, lock)
+    }
+
+    /// Appends writes covering the block `[base, base+len)` in `step`-byte
+    /// accesses — the "zero-out an array" initialization pattern (§III,
+    /// observation 2).
+    pub fn write_block(
+        &mut self,
+        tid: impl Into<Tid> + Copy,
+        base: impl Into<Addr>,
+        len: u64,
+        step: AccessSize,
+    ) -> &mut Self {
+        let base = base.into();
+        let mut off = 0;
+        while off < len {
+            self.write(tid, base.offset(off as i64), step);
+            off += step.bytes();
+        }
+        self
+    }
+
+    /// Appends reads covering the block `[base, base+len)`.
+    pub fn read_block(
+        &mut self,
+        tid: impl Into<Tid> + Copy,
+        base: impl Into<Addr>,
+        len: u64,
+        step: AccessSize,
+    ) -> &mut Self {
+        let base = base.into();
+        let mut off = 0;
+        while off < len {
+            self.read(tid, base.offset(off as i64), step);
+            off += step.bytes();
+        }
+        self
+    }
+
+    /// Number of events so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finishes the trace.
+    pub fn build(&mut self) -> Trace {
+        Trace {
+            events: std::mem::take(&mut self.events),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locked_brackets_the_body() {
+        let mut b = TraceBuilder::new();
+        b.locked(0u32, 1u32, |b| {
+            b.write(0u32, 100u64, AccessSize::U32);
+        });
+        let t = b.build();
+        assert_eq!(t.len(), 3);
+        assert!(matches!(t.events[0], Event::Acquire { .. }));
+        assert!(matches!(t.events[1], Event::Write { .. }));
+        assert!(matches!(t.events[2], Event::Release { .. }));
+    }
+
+    #[test]
+    fn write_block_covers_range_exactly() {
+        let mut b = TraceBuilder::new();
+        b.write_block(0u32, 0x100u64, 16, AccessSize::U32);
+        let t = b.build();
+        assert_eq!(t.len(), 4);
+        let addrs: Vec<u64> = t
+            .events
+            .iter()
+            .map(|e| e.access().unwrap().0 .0)
+            .collect();
+        assert_eq!(addrs, vec![0x100, 0x104, 0x108, 0x10c]);
+    }
+
+    #[test]
+    fn builder_reuse_after_build() {
+        let mut b = TraceBuilder::with_capacity(4);
+        b.read(0u32, 1u64, AccessSize::U8);
+        let t1 = b.build();
+        assert!(b.is_empty());
+        b.read(0u32, 2u64, AccessSize::U8);
+        let t2 = b.build();
+        assert_eq!(t1.len(), 1);
+        assert_eq!(t2.len(), 1);
+        assert_ne!(t1, t2);
+    }
+}

@@ -1,0 +1,341 @@
+//! The event vocabulary: what a PIN-style instrumentation layer reports.
+
+use std::fmt;
+
+use dgrace_vc::Tid;
+
+/// A byte address in the (simulated) program address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Offsets the address by `delta` bytes.
+    #[inline]
+    pub fn offset(self, delta: i64) -> Addr {
+        Addr(self.0.wrapping_add(delta as u64))
+    }
+
+    /// Masks the address down to an `align`-byte boundary.
+    /// `align` must be a power of two.
+    #[inline]
+    pub fn align_down(self, align: u64) -> Addr {
+        debug_assert!(align.is_power_of_two());
+        Addr(self.0 & !(align - 1))
+    }
+
+    /// Returns `true` if the address is aligned to `align` bytes.
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1) == 0
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// A synchronization (lock) object identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(pub u32);
+
+impl fmt::Debug for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u32> for LockId {
+    fn from(v: u32) -> Self {
+        LockId(v)
+    }
+}
+
+/// Size in bytes of a single memory access. C/C++ programs access memory in
+/// 1, 2, 4 or 8-byte units (wider SIMD accesses are modeled as several
+/// 8-byte accesses by the generators).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum AccessSize {
+    /// One byte.
+    U8 = 1,
+    /// Two bytes (half-word).
+    U16 = 2,
+    /// Four bytes (word).
+    U32 = 4,
+    /// Eight bytes (double word).
+    U64 = 8,
+}
+
+impl AccessSize {
+    /// The size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        self as u64
+    }
+
+    /// Constructs from a byte count.
+    pub fn from_bytes(n: u64) -> Option<AccessSize> {
+        match n {
+            1 => Some(AccessSize::U8),
+            2 => Some(AccessSize::U16),
+            4 => Some(AccessSize::U32),
+            8 => Some(AccessSize::U64),
+            _ => None,
+        }
+    }
+}
+
+/// One instrumentation callback.
+///
+/// `Read`/`Write` correspond to PIN memory-access callbacks; `Acquire`/
+/// `Release` to `pthread_mutex_lock`/`unlock` wrappers; `Fork`/`Join` to
+/// `pthread_create`/`join`; `Alloc`/`Free` to `malloc`/`free` interposition
+/// (the paper deletes vector clock entries on `free()`, §IV.B).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Event {
+    /// Thread `tid` reads `size` bytes at `addr`.
+    Read {
+        /// Accessing thread.
+        tid: Tid,
+        /// Base address of the access.
+        addr: Addr,
+        /// Access width.
+        size: AccessSize,
+    },
+    /// Thread `tid` writes `size` bytes at `addr`.
+    Write {
+        /// Accessing thread.
+        tid: Tid,
+        /// Base address of the access.
+        addr: Addr,
+        /// Access width.
+        size: AccessSize,
+    },
+    /// Thread `tid` acquires lock `lock`.
+    Acquire {
+        /// Acquiring thread.
+        tid: Tid,
+        /// The lock.
+        lock: LockId,
+    },
+    /// Thread `tid` releases lock `lock`.
+    Release {
+        /// Releasing thread.
+        tid: Tid,
+        /// The lock.
+        lock: LockId,
+    },
+    /// Thread `parent` spawns thread `child`.
+    Fork {
+        /// Spawning thread.
+        parent: Tid,
+        /// New thread.
+        child: Tid,
+    },
+    /// Thread `parent` joins thread `child` (waits for its termination).
+    Join {
+        /// Waiting thread.
+        parent: Tid,
+        /// Joined thread.
+        child: Tid,
+    },
+    /// Thread `tid` allocates `size` bytes at `addr`.
+    Alloc {
+        /// Allocating thread.
+        tid: Tid,
+        /// Base address of the block.
+        addr: Addr,
+        /// Block length in bytes.
+        size: u64,
+    },
+    /// Thread `tid` frees the block at `addr` of length `size` bytes.
+    ///
+    /// The length is carried so the analysis can drop shadow state for the
+    /// whole block without tracking allocation tables itself.
+    Free {
+        /// Freeing thread.
+        tid: Tid,
+        /// Base address of the block.
+        addr: Addr,
+        /// Block length in bytes.
+        size: u64,
+    },
+    /// Thread `tid` acquires `lock` for **reading** (`pthread_rwlock_rdlock`).
+    ///
+    /// Readers synchronize with prior *writer* releases only; concurrent
+    /// readers are unordered among themselves.
+    AcquireRead {
+        /// Acquiring thread.
+        tid: Tid,
+        /// The reader-writer lock.
+        lock: LockId,
+    },
+    /// Thread `tid` releases a **read** hold on `lock`
+    /// (`pthread_rwlock_unlock` from a reader).
+    ReleaseRead {
+        /// Releasing thread.
+        tid: Tid,
+        /// The reader-writer lock.
+        lock: LockId,
+    },
+    /// Thread `tid` signals condition variable `cv`
+    /// (`pthread_cond_signal`/`broadcast`): publishes the signaler's
+    /// clock to the condition variable.
+    CvSignal {
+        /// Signaling thread.
+        tid: Tid,
+        /// The condition variable (shares the lock id space).
+        cv: LockId,
+    },
+    /// Thread `tid` returns from a wait on `cv`
+    /// (`pthread_cond_wait`): joins the clocks published by signalers.
+    ///
+    /// The mutex release before blocking and the re-acquisition after
+    /// waking are separate `Release`/`Acquire` events, exactly as a PIN
+    /// tool observes them.
+    CvWait {
+        /// Waiting thread.
+        tid: Tid,
+        /// The condition variable.
+        cv: LockId,
+    },
+    /// Thread `tid` arrives at barrier `bar` (`pthread_barrier_wait`,
+    /// first half): contributes its clock to the barrier generation.
+    BarrierArrive {
+        /// Arriving thread.
+        tid: Tid,
+        /// The barrier (shares the lock id space).
+        bar: LockId,
+    },
+    /// Thread `tid` departs barrier `bar` (second half): adopts the
+    /// joined clock of every participant of the generation.
+    BarrierDepart {
+        /// Departing thread.
+        tid: Tid,
+        /// The barrier.
+        bar: LockId,
+    },
+}
+
+impl Event {
+    /// The thread performing the event (the parent, for fork/join).
+    pub fn tid(&self) -> Tid {
+        match *self {
+            Event::Read { tid, .. }
+            | Event::Write { tid, .. }
+            | Event::Acquire { tid, .. }
+            | Event::Release { tid, .. }
+            | Event::Alloc { tid, .. }
+            | Event::Free { tid, .. }
+            | Event::AcquireRead { tid, .. }
+            | Event::ReleaseRead { tid, .. }
+            | Event::CvSignal { tid, .. }
+            | Event::CvWait { tid, .. }
+            | Event::BarrierArrive { tid, .. }
+            | Event::BarrierDepart { tid, .. } => tid,
+            Event::Fork { parent, .. } | Event::Join { parent, .. } => parent,
+        }
+    }
+
+    /// All threads mentioned by the event.
+    pub fn tids(&self) -> impl Iterator<Item = Tid> {
+        let (a, b) = match *self {
+            Event::Fork { parent, child } | Event::Join { parent, child } => {
+                (parent, Some(child))
+            }
+            other => (other.tid(), None),
+        };
+        std::iter::once(a).chain(b)
+    }
+
+    /// Returns `(addr, size)` if the event is a memory access.
+    pub fn access(&self) -> Option<(Addr, AccessSize, bool)> {
+        match *self {
+            Event::Read { addr, size, .. } => Some((addr, size, false)),
+            Event::Write { addr, size, .. } => Some((addr, size, true)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for `Read`/`Write`.
+    pub fn is_access(&self) -> bool {
+        matches!(self, Event::Read { .. } | Event::Write { .. })
+    }
+
+    /// Returns `true` for synchronization events (acquire/release/fork/join).
+    pub fn is_sync(&self) -> bool {
+        matches!(
+            self,
+            Event::Acquire { .. }
+                | Event::Release { .. }
+                | Event::Fork { .. }
+                | Event::Join { .. }
+                | Event::AcquireRead { .. }
+                | Event::ReleaseRead { .. }
+                | Event::CvSignal { .. }
+                | Event::CvWait { .. }
+                | Event::BarrierArrive { .. }
+                | Event::BarrierDepart { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_alignment_helpers() {
+        let a = Addr(0x1003);
+        assert_eq!(a.align_down(4), Addr(0x1000));
+        assert!(!a.is_aligned(4));
+        assert!(Addr(0x1000).is_aligned(8));
+        assert_eq!(a.offset(-3), Addr(0x1000));
+        assert_eq!(a.offset(5), Addr(0x1008));
+    }
+
+    #[test]
+    fn access_size_roundtrip() {
+        for n in [1u64, 2, 4, 8] {
+            assert_eq!(AccessSize::from_bytes(n).unwrap().bytes(), n);
+        }
+        assert_eq!(AccessSize::from_bytes(3), None);
+        assert_eq!(AccessSize::from_bytes(16), None);
+    }
+
+    #[test]
+    fn event_classification() {
+        let r = Event::Read {
+            tid: Tid(1),
+            addr: Addr(8),
+            size: AccessSize::U32,
+        };
+        assert!(r.is_access());
+        assert!(!r.is_sync());
+        assert_eq!(r.access(), Some((Addr(8), AccessSize::U32, false)));
+        assert_eq!(r.tid(), Tid(1));
+
+        let f = Event::Fork {
+            parent: Tid(0),
+            child: Tid(2),
+        };
+        assert!(f.is_sync());
+        assert_eq!(f.tid(), Tid(0));
+        assert_eq!(f.tids().collect::<Vec<_>>(), vec![Tid(0), Tid(2)]);
+    }
+}

@@ -1,0 +1,436 @@
+//! Versioned binary trace format.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   : b"DGRT"
+//! version : u32            (currently 1)
+//! count   : u64            number of events
+//! events  : count records  (tag: u8, then fields per kind)
+//! ```
+//!
+//! Records:
+//!
+//! | tag | kind    | fields                              |
+//! |-----|---------|--------------------------------------|
+//! | 0   | Read    | tid u32, addr u64, size u8           |
+//! | 1   | Write   | tid u32, addr u64, size u8           |
+//! | 2   | Acquire | tid u32, lock u32                    |
+//! | 3   | Release | tid u32, lock u32                    |
+//! | 4   | Fork    | parent u32, child u32                |
+//! | 5   | Join    | parent u32, child u32                |
+//! | 6   | Alloc   | tid u32, addr u64, size u64          |
+//! | 7   | Free    | tid u32, addr u64, size u64          |
+//! | 8   | AcquireRead   | tid u32, lock u32              |
+//! | 9   | ReleaseRead   | tid u32, lock u32              |
+//! | 10  | CvSignal      | tid u32, cv u32                |
+//! | 11  | CvWait        | tid u32, cv u32                |
+//! | 12  | BarrierArrive | tid u32, bar u32               |
+//! | 13  | BarrierDepart | tid u32, bar u32               |
+
+use std::io;
+
+use dgrace_vc::Tid;
+
+use crate::{AccessSize, Addr, Event, LockId, Trace};
+
+const MAGIC: &[u8; 4] = b"DGRT";
+const VERSION: u32 = 1;
+
+/// Errors while decoding a trace stream.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// Underlying I/O error.
+    Io(io::Error),
+    /// Stream does not start with the `DGRT` magic.
+    BadMagic([u8; 4]),
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Unknown event tag.
+    BadTag(u8),
+    /// Invalid access size byte.
+    BadSize(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Io(e) => write!(f, "i/o error: {e}"),
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:?}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::BadTag(t) => write!(f, "unknown event tag {t}"),
+            DecodeError::BadSize(s) => write!(f, "invalid access size {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<io::Error> for DecodeError {
+    fn from(e: io::Error) -> Self {
+        DecodeError::Io(e)
+    }
+}
+
+/// Writes `trace` to `w` in the binary format.
+pub fn write_trace<W: io::Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for ev in trace.iter() {
+        write_event(ev, w)?;
+    }
+    Ok(())
+}
+
+fn write_event<W: io::Write>(ev: &Event, w: &mut W) -> io::Result<()> {
+    match *ev {
+        Event::Read { tid, addr, size } => {
+            w.write_all(&[0u8])?;
+            w.write_all(&tid.0.to_le_bytes())?;
+            w.write_all(&addr.0.to_le_bytes())?;
+            w.write_all(&[size as u8])?;
+        }
+        Event::Write { tid, addr, size } => {
+            w.write_all(&[1u8])?;
+            w.write_all(&tid.0.to_le_bytes())?;
+            w.write_all(&addr.0.to_le_bytes())?;
+            w.write_all(&[size as u8])?;
+        }
+        Event::Acquire { tid, lock } => {
+            w.write_all(&[2u8])?;
+            w.write_all(&tid.0.to_le_bytes())?;
+            w.write_all(&lock.0.to_le_bytes())?;
+        }
+        Event::Release { tid, lock } => {
+            w.write_all(&[3u8])?;
+            w.write_all(&tid.0.to_le_bytes())?;
+            w.write_all(&lock.0.to_le_bytes())?;
+        }
+        Event::Fork { parent, child } => {
+            w.write_all(&[4u8])?;
+            w.write_all(&parent.0.to_le_bytes())?;
+            w.write_all(&child.0.to_le_bytes())?;
+        }
+        Event::Join { parent, child } => {
+            w.write_all(&[5u8])?;
+            w.write_all(&parent.0.to_le_bytes())?;
+            w.write_all(&child.0.to_le_bytes())?;
+        }
+        Event::Alloc { tid, addr, size } => {
+            w.write_all(&[6u8])?;
+            w.write_all(&tid.0.to_le_bytes())?;
+            w.write_all(&addr.0.to_le_bytes())?;
+            w.write_all(&size.to_le_bytes())?;
+        }
+        Event::Free { tid, addr, size } => {
+            w.write_all(&[7u8])?;
+            w.write_all(&tid.0.to_le_bytes())?;
+            w.write_all(&addr.0.to_le_bytes())?;
+            w.write_all(&size.to_le_bytes())?;
+        }
+        Event::AcquireRead { tid, lock } => {
+            w.write_all(&[8u8])?;
+            w.write_all(&tid.0.to_le_bytes())?;
+            w.write_all(&lock.0.to_le_bytes())?;
+        }
+        Event::ReleaseRead { tid, lock } => {
+            w.write_all(&[9u8])?;
+            w.write_all(&tid.0.to_le_bytes())?;
+            w.write_all(&lock.0.to_le_bytes())?;
+        }
+        Event::CvSignal { tid, cv } => {
+            w.write_all(&[10u8])?;
+            w.write_all(&tid.0.to_le_bytes())?;
+            w.write_all(&cv.0.to_le_bytes())?;
+        }
+        Event::CvWait { tid, cv } => {
+            w.write_all(&[11u8])?;
+            w.write_all(&tid.0.to_le_bytes())?;
+            w.write_all(&cv.0.to_le_bytes())?;
+        }
+        Event::BarrierArrive { tid, bar } => {
+            w.write_all(&[12u8])?;
+            w.write_all(&tid.0.to_le_bytes())?;
+            w.write_all(&bar.0.to_le_bytes())?;
+        }
+        Event::BarrierDepart { tid, bar } => {
+            w.write_all(&[13u8])?;
+            w.write_all(&tid.0.to_le_bytes())?;
+            w.write_all(&bar.0.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace from `r`.
+pub fn read_trace<R: io::Read>(r: &mut R) -> Result<Trace, DecodeError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let count = read_u64(r)?;
+    let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        events.push(read_event(r)?);
+    }
+    Ok(Trace { events })
+}
+
+fn read_event<R: io::Read>(r: &mut R) -> Result<Event, DecodeError> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let ev = match tag[0] {
+        0 | 1 => {
+            let tid = Tid(read_u32(r)?);
+            let addr = Addr(read_u64(r)?);
+            let mut sz = [0u8; 1];
+            r.read_exact(&mut sz)?;
+            let size =
+                AccessSize::from_bytes(sz[0] as u64).ok_or(DecodeError::BadSize(sz[0]))?;
+            if tag[0] == 0 {
+                Event::Read { tid, addr, size }
+            } else {
+                Event::Write { tid, addr, size }
+            }
+        }
+        2 | 3 => {
+            let tid = Tid(read_u32(r)?);
+            let lock = LockId(read_u32(r)?);
+            if tag[0] == 2 {
+                Event::Acquire { tid, lock }
+            } else {
+                Event::Release { tid, lock }
+            }
+        }
+        4 | 5 => {
+            let parent = Tid(read_u32(r)?);
+            let child = Tid(read_u32(r)?);
+            if tag[0] == 4 {
+                Event::Fork { parent, child }
+            } else {
+                Event::Join { parent, child }
+            }
+        }
+        6 | 7 => {
+            let tid = Tid(read_u32(r)?);
+            let addr = Addr(read_u64(r)?);
+            let size = read_u64(r)?;
+            if tag[0] == 6 {
+                Event::Alloc { tid, addr, size }
+            } else {
+                Event::Free { tid, addr, size }
+            }
+        }
+        8..=13 => {
+            let tid = Tid(read_u32(r)?);
+            let obj = LockId(read_u32(r)?);
+            match tag[0] {
+                8 => Event::AcquireRead { tid, lock: obj },
+                9 => Event::ReleaseRead { tid, lock: obj },
+                10 => Event::CvSignal { tid, cv: obj },
+                11 => Event::CvWait { tid, cv: obj },
+                12 => Event::BarrierArrive { tid, bar: obj },
+                _ => Event::BarrierDepart { tid, bar: obj },
+            }
+        }
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    Ok(ev)
+}
+
+fn read_u32<R: io::Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: io::Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Serializes a trace to a byte vector.
+pub fn to_bytes(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + trace.len() * 14);
+    write_trace(trace, &mut buf).expect("writing to Vec cannot fail");
+    buf
+}
+
+/// A streaming event reader: decodes one event at a time, so traces far
+/// larger than memory can be fed straight into a detector.
+///
+/// ```
+/// use dgrace_trace::io::{to_bytes, EventReader};
+/// use dgrace_trace::{AccessSize, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// b.write(0u32, 0x10u64, AccessSize::U32);
+/// let bytes = to_bytes(&b.build());
+///
+/// let mut reader = EventReader::new(std::io::Cursor::new(bytes)).unwrap();
+/// assert_eq!(reader.remaining(), 1);
+/// let ev = reader.next().unwrap().unwrap();
+/// assert!(ev.is_access());
+/// assert!(reader.next().is_none());
+/// ```
+pub struct EventReader<R> {
+    src: R,
+    remaining: u64,
+}
+
+impl<R: io::Read> EventReader<R> {
+    /// Opens a stream, consuming and checking the header.
+    pub fn new(mut src: R) -> Result<Self, DecodeError> {
+        let mut magic = [0u8; 4];
+        src.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let version = read_u32(&mut src)?;
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let remaining = read_u64(&mut src)?;
+        Ok(EventReader { src, remaining })
+    }
+
+    /// Events not yet read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl<R: io::Read> Iterator for EventReader<R> {
+    type Item = Result<Event, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(read_event(&mut self.src))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+/// Deserializes a trace from a byte slice.
+pub fn from_bytes(bytes: &[u8]) -> Result<Trace, DecodeError> {
+    read_trace(&mut io::Cursor::new(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .alloc(0u32, 0x1000u64, 64)
+            .acquire(1u32, 2u32)
+            .write(1u32, 0x1000u64, AccessSize::U64)
+            .read(1u32, 0x1004u64, AccessSize::U16)
+            .release(1u32, 2u32)
+            .free(0u32, 0x1000u64, 64)
+            .join(0u32, 1u32);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_all_event_kinds() {
+        let t = sample();
+        let bytes = to_bytes(&t);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = to_bytes(&sample());
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(DecodeError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = to_bytes(&sample());
+        bytes[4] = 99;
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(DecodeError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let bytes = to_bytes(&sample());
+        assert!(matches!(
+            from_bytes(&bytes[..bytes.len() - 3]),
+            Err(DecodeError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let t = Trace::new();
+        let mut bytes = to_bytes(&t);
+        // Claim one event, then supply a bogus tag.
+        bytes[8..16].copy_from_slice(&1u64.to_le_bytes());
+        bytes.push(42);
+        assert!(matches!(from_bytes(&bytes), Err(DecodeError::BadTag(42))));
+    }
+
+    #[test]
+    fn bad_size_rejected() {
+        let mut b = TraceBuilder::new();
+        b.read(0u32, 0u64, AccessSize::U8);
+        let mut bytes = to_bytes(&b.build());
+        let n = bytes.len();
+        bytes[n - 1] = 3; // 3 is not a valid access size
+        assert!(matches!(from_bytes(&bytes), Err(DecodeError::BadSize(3))));
+    }
+
+    #[test]
+    fn event_reader_streams_all_events() {
+        let t = sample();
+        let bytes = to_bytes(&t);
+        let reader = EventReader::new(io::Cursor::new(&bytes)).unwrap();
+        assert_eq!(reader.remaining() as usize, t.len());
+        let events: Result<Vec<_>, _> = reader.collect();
+        assert_eq!(events.unwrap(), t.events);
+    }
+
+    #[test]
+    fn event_reader_reports_truncation() {
+        let bytes = to_bytes(&sample());
+        let mut reader =
+            EventReader::new(io::Cursor::new(&bytes[..bytes.len() - 2])).unwrap();
+        let last = reader.by_ref().last().unwrap();
+        assert!(matches!(last, Err(DecodeError::Io(_))));
+    }
+
+    #[test]
+    fn event_reader_rejects_bad_header() {
+        assert!(matches!(
+            EventReader::new(io::Cursor::new(b"XXXX".to_vec())),
+            Err(DecodeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let t = Trace::new();
+        assert_eq!(from_bytes(&to_bytes(&t)).unwrap(), t);
+    }
+}

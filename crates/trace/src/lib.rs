@@ -1,0 +1,131 @@
+//! Event model and traces for `dgrace`.
+//!
+//! The paper instruments programs with Intel PIN: every shared memory access
+//! and synchronization operation is delivered to the analysis as a callback
+//! (`memoryRead(addr, size, tid)` in Fig. 3). Lacking a Rust dynamic-binary-
+//! instrumentation substrate, `dgrace` preserves that interface as a stream
+//! of [`Event`]s: a **trace** is the interleaved sequence of callbacks a PIN
+//! tool would have observed for one execution.
+//!
+//! Detectors consume traces event-by-event (online), and the
+//! `dgrace-runtime` crate produces the same events live from real threads.
+//!
+//! The crate provides:
+//! * [`Event`], [`Addr`], [`LockId`], [`AccessSize`] — the event vocabulary;
+//! * [`Trace`] and [`TraceBuilder`] — construction helpers;
+//! * [`validate`] — structural well-formedness checks;
+//! * [`io`] — a versioned binary on-disk format;
+//! * [`stats`] — per-trace summary statistics (the "Total shared accesses"
+//!   style columns of Table 1).
+
+//! ```
+//! use dgrace_trace::{validate, AccessSize, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new();
+//! b.fork(0u32, 1u32)
+//!     .locked(1u32, 0u32, |b| {
+//!         b.write(1u32, 0x100u64, AccessSize::U64);
+//!     })
+//!     .join(0u32, 1u32);
+//! let trace = b.build();
+//! assert!(validate(&trace).is_ok());
+//! assert_eq!(trace.thread_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod event;
+pub mod io;
+pub mod stats;
+mod validate;
+
+pub use builder::TraceBuilder;
+pub use event::{AccessSize, Addr, Event, LockId};
+pub use validate::{validate, ValidationError};
+
+pub use dgrace_vc::Tid;
+
+/// An execution trace: the interleaved stream of instrumentation callbacks
+/// for one program run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The events in global interleaving order.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    /// Creates a trace from a list of events.
+    pub fn from_events(events: Vec<Event>) -> Self {
+        Trace { events }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// The number of threads appearing in the trace (max tid + 1).
+    pub fn thread_count(&self) -> usize {
+        self.events
+            .iter()
+            .flat_map(Event::tids)
+            .map(|t| t.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Event;
+    type IntoIter = std::vec::IntoIter<Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_spans_all_event_kinds() {
+        let mut b = TraceBuilder::new();
+        b.fork(Tid(0), Tid(3));
+        let t = b.build();
+        assert_eq!(t.thread_count(), 4);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert_eq!(t.thread_count(), 0);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,338 @@
+//! Structural validation of traces.
+
+use std::collections::{HashMap, HashSet};
+
+use dgrace_vc::Tid;
+
+use crate::{Event, LockId, Trace};
+
+/// A structural defect in a trace.
+///
+/// Validation checks well-formedness of the *schedule*, not race freedom:
+/// a racy trace is perfectly valid; a trace where a thread releases a lock
+/// it does not hold is not (it could never have been observed from a real
+/// pthreads execution).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A thread other than the main thread acted before being forked.
+    UnforkedThread {
+        /// The offending thread.
+        tid: Tid,
+        /// Index of the offending event.
+        at: usize,
+    },
+    /// A thread was forked twice.
+    DoubleFork {
+        /// The twice-forked thread.
+        tid: Tid,
+        /// Index of the second fork.
+        at: usize,
+    },
+    /// A thread acted after being joined.
+    ActedAfterJoin {
+        /// The offending thread.
+        tid: Tid,
+        /// Index of the offending event.
+        at: usize,
+    },
+    /// A join of a thread that was never forked.
+    JoinOfUnforked {
+        /// The joined thread.
+        tid: Tid,
+        /// Index of the join.
+        at: usize,
+    },
+    /// A release of a lock the thread does not hold.
+    ReleaseWithoutAcquire {
+        /// The releasing thread.
+        tid: Tid,
+        /// The lock.
+        lock: LockId,
+        /// Index of the release.
+        at: usize,
+    },
+    /// An acquire of a lock that is already held (no recursion modeled).
+    AcquireOfHeldLock {
+        /// The acquiring thread.
+        tid: Tid,
+        /// The lock.
+        lock: LockId,
+        /// Index of the acquire.
+        at: usize,
+    },
+    /// A memory access of zero length or an alloc of zero bytes.
+    EmptyAccess {
+        /// Index of the offending event.
+        at: usize,
+    },
+    /// A read-release of a rwlock the thread holds no read lock on.
+    ReadReleaseWithoutAcquire {
+        /// The releasing thread.
+        tid: Tid,
+        /// The rwlock.
+        lock: LockId,
+        /// Index of the release.
+        at: usize,
+    },
+    /// A write-acquire while readers hold the rwlock, or a read-acquire
+    /// while a writer holds it.
+    RwLockConflict {
+        /// The acquiring thread.
+        tid: Tid,
+        /// The rwlock.
+        lock: LockId,
+        /// Index of the acquire.
+        at: usize,
+    },
+    /// A barrier departure without a matching arrival by the thread.
+    BarrierDepartWithoutArrive {
+        /// The departing thread.
+        tid: Tid,
+        /// The barrier.
+        bar: LockId,
+        /// Index of the departure.
+        at: usize,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::UnforkedThread { tid, at } => {
+                write!(f, "event {at}: thread {tid} acts before being forked")
+            }
+            ValidationError::DoubleFork { tid, at } => {
+                write!(f, "event {at}: thread {tid} forked twice")
+            }
+            ValidationError::ActedAfterJoin { tid, at } => {
+                write!(f, "event {at}: thread {tid} acts after being joined")
+            }
+            ValidationError::JoinOfUnforked { tid, at } => {
+                write!(f, "event {at}: join of never-forked thread {tid}")
+            }
+            ValidationError::ReleaseWithoutAcquire { tid, lock, at } => {
+                write!(f, "event {at}: thread {tid} releases {lock:?} it does not hold")
+            }
+            ValidationError::AcquireOfHeldLock { tid, lock, at } => {
+                write!(f, "event {at}: thread {tid} acquires already-held {lock:?}")
+            }
+            ValidationError::EmptyAccess { at } => {
+                write!(f, "event {at}: zero-sized alloc/free")
+            }
+            ValidationError::ReadReleaseWithoutAcquire { tid, lock, at } => {
+                write!(f, "event {at}: thread {tid} read-releases {lock:?} it does not hold")
+            }
+            ValidationError::RwLockConflict { tid, lock, at } => {
+                write!(f, "event {at}: thread {tid} acquires {lock:?} against existing holders")
+            }
+            ValidationError::BarrierDepartWithoutArrive { tid, bar, at } => {
+                write!(f, "event {at}: thread {tid} departs {bar:?} without arriving")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks that a trace is a plausible pthreads schedule.
+///
+/// Returns the first defect found, or `Ok(())`.
+pub fn validate(trace: &Trace) -> Result<(), ValidationError> {
+    let mut forked: HashSet<Tid> = HashSet::new();
+    forked.insert(Tid::MAIN);
+    let mut joined: HashSet<Tid> = HashSet::new();
+    // Which thread holds each lock right now.
+    let mut held: HashMap<LockId, Tid> = HashMap::new();
+    // Read holders of each rwlock (same id space as plain locks).
+    let mut read_held: HashMap<LockId, Vec<Tid>> = HashMap::new();
+    // Pending barrier arrivals.
+    let mut arrived: HashMap<LockId, Vec<Tid>> = HashMap::new();
+
+    for (at, ev) in trace.iter().enumerate() {
+        let actor = ev.tid();
+        if !forked.contains(&actor) {
+            return Err(ValidationError::UnforkedThread { tid: actor, at });
+        }
+        if joined.contains(&actor) {
+            return Err(ValidationError::ActedAfterJoin { tid: actor, at });
+        }
+        match *ev {
+            Event::Fork { child, .. } => {
+                if !forked.insert(child) {
+                    return Err(ValidationError::DoubleFork { tid: child, at });
+                }
+            }
+            Event::Join { child, .. } => {
+                if !forked.contains(&child) {
+                    return Err(ValidationError::JoinOfUnforked { tid: child, at });
+                }
+                joined.insert(child);
+            }
+            Event::Acquire { tid, lock } => {
+                if held.contains_key(&lock) {
+                    return Err(ValidationError::AcquireOfHeldLock { tid, lock, at });
+                }
+                if read_held.get(&lock).is_some_and(|r| !r.is_empty()) {
+                    return Err(ValidationError::RwLockConflict { tid, lock, at });
+                }
+                held.insert(lock, tid);
+            }
+            Event::Release { tid, lock } => {
+                if held.get(&lock) != Some(&tid) {
+                    return Err(ValidationError::ReleaseWithoutAcquire { tid, lock, at });
+                }
+                held.remove(&lock);
+            }
+            Event::AcquireRead { tid, lock } => {
+                if held.contains_key(&lock) {
+                    return Err(ValidationError::RwLockConflict { tid, lock, at });
+                }
+                read_held.entry(lock).or_default().push(tid);
+            }
+            Event::ReleaseRead { tid, lock } => {
+                let holders = read_held.entry(lock).or_default();
+                match holders.iter().position(|&t| t == tid) {
+                    Some(i) => {
+                        holders.swap_remove(i);
+                    }
+                    None => {
+                        return Err(ValidationError::ReadReleaseWithoutAcquire {
+                            tid,
+                            lock,
+                            at,
+                        })
+                    }
+                }
+            }
+            Event::CvSignal { .. } | Event::CvWait { .. } => {
+                // The waiter protocol (hold the mutex across the wait) is
+                // the program's business; any signal/wait order is a
+                // schedule some execution can produce.
+            }
+            Event::BarrierArrive { tid, bar } => {
+                arrived.entry(bar).or_default().push(tid);
+            }
+            Event::BarrierDepart { tid, bar } => {
+                let waiting = arrived.entry(bar).or_default();
+                match waiting.iter().position(|&t| t == tid) {
+                    Some(i) => {
+                        waiting.swap_remove(i);
+                    }
+                    None => {
+                        return Err(ValidationError::BarrierDepartWithoutArrive {
+                            tid,
+                            bar,
+                            at,
+                        })
+                    }
+                }
+            }
+            Event::Alloc { size, .. } | Event::Free { size, .. } => {
+                if size == 0 {
+                    return Err(ValidationError::EmptyAccess { at });
+                }
+            }
+            Event::Read { .. } | Event::Write { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessSize, TraceBuilder};
+
+    #[test]
+    fn valid_program_passes() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .acquire(1u32, 0u32)
+            .write(1u32, 0x10u64, AccessSize::U32)
+            .release(1u32, 0u32)
+            .join(0u32, 1u32);
+        assert_eq!(validate(&b.build()), Ok(()));
+    }
+
+    #[test]
+    fn unforked_thread_rejected() {
+        let mut b = TraceBuilder::new();
+        b.read(3u32, 0u64, AccessSize::U8);
+        assert_eq!(
+            validate(&b.build()),
+            Err(ValidationError::UnforkedThread { tid: Tid(3), at: 0 })
+        );
+    }
+
+    #[test]
+    fn release_without_acquire_rejected() {
+        let mut b = TraceBuilder::new();
+        b.release(0u32, 5u32);
+        assert!(matches!(
+            validate(&b.build()),
+            Err(ValidationError::ReleaseWithoutAcquire { .. })
+        ));
+    }
+
+    #[test]
+    fn release_by_other_thread_rejected() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32).acquire(0u32, 5u32).release(1u32, 5u32);
+        assert!(matches!(
+            validate(&b.build()),
+            Err(ValidationError::ReleaseWithoutAcquire { .. })
+        ));
+    }
+
+    #[test]
+    fn double_acquire_rejected() {
+        let mut b = TraceBuilder::new();
+        b.acquire(0u32, 5u32).acquire(0u32, 5u32);
+        assert!(matches!(
+            validate(&b.build()),
+            Err(ValidationError::AcquireOfHeldLock { .. })
+        ));
+    }
+
+    #[test]
+    fn act_after_join_rejected() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .join(0u32, 1u32)
+            .read(1u32, 0u64, AccessSize::U8);
+        assert!(matches!(
+            validate(&b.build()),
+            Err(ValidationError::ActedAfterJoin { tid: Tid(1), at: 2 })
+        ));
+    }
+
+    #[test]
+    fn double_fork_rejected() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32).fork(0u32, 1u32);
+        assert!(matches!(
+            validate(&b.build()),
+            Err(ValidationError::DoubleFork { tid: Tid(1), at: 1 })
+        ));
+    }
+
+    #[test]
+    fn join_of_unforked_rejected() {
+        let mut b = TraceBuilder::new();
+        b.join(0u32, 7u32);
+        assert!(matches!(
+            validate(&b.build()),
+            Err(ValidationError::JoinOfUnforked { tid: Tid(7), at: 0 })
+        ));
+    }
+
+    #[test]
+    fn zero_sized_alloc_rejected() {
+        let mut b = TraceBuilder::new();
+        b.alloc(0u32, 0x100u64, 0);
+        assert_eq!(
+            validate(&b.build()),
+            Err(ValidationError::EmptyAccess { at: 0 })
+        );
+    }
+}

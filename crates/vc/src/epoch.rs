@@ -1,0 +1,105 @@
+//! FastTrack epochs: the `c@t` compressed last-access representation.
+
+use std::fmt;
+
+use crate::{ClockValue, Tid, VectorClock};
+
+/// A FastTrack epoch `c@t`: the last access to a location was performed by
+/// thread `t` at its logical clock `c`.
+///
+/// FastTrack's key insight is that, before the first race on a location, all
+/// writes to it are totally ordered by happens-before, so the full write
+/// vector clock can be replaced by the epoch of the *last* write — reducing
+/// both space and comparison time from `O(n)` to `O(1)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Epoch {
+    /// The logical clock of the access.
+    pub clock: ClockValue,
+    /// The accessing thread.
+    pub tid: Tid,
+}
+
+impl Epoch {
+    /// The "never accessed" epoch: clock 0 at thread 0. Because thread
+    /// clocks start at 1, `NONE ⊑ C` for every thread clock `C`.
+    pub const NONE: Epoch = Epoch {
+        clock: 0,
+        tid: Tid(0),
+    };
+
+    /// Creates an epoch `clock@tid`.
+    #[inline]
+    pub fn new(clock: ClockValue, tid: Tid) -> Self {
+        Epoch { clock, tid }
+    }
+
+    /// Returns `true` if this is the "never accessed" epoch.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.clock == 0
+    }
+
+    /// `self ⊑ vc`: the access summarized by this epoch happens-before (or
+    /// is known to) the point summarized by `vc`.
+    ///
+    /// For an epoch `c@t`, `c@t ⊑ V` iff `c ≤ V[t]`.
+    #[inline]
+    pub fn leq(self, vc: &VectorClock) -> bool {
+        self.clock <= vc.get(self.tid)
+    }
+
+    /// Returns `true` if this epoch equals the current epoch of the thread
+    /// described by `vc` — i.e. `self == vc[t]@t` for `t = self.tid`.
+    #[inline]
+    pub fn is_current_in(self, tid: Tid, vc: &VectorClock) -> bool {
+        self.tid == tid && self.clock == vc.get(tid)
+    }
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.clock, self.tid)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.clock, self.tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_epoch_precedes_everything() {
+        let vc = VectorClock::from_slice(&[0, 0, 0]);
+        assert!(Epoch::NONE.leq(&vc));
+        assert!(Epoch::NONE.is_none());
+    }
+
+    #[test]
+    fn leq_checks_single_component() {
+        let vc = VectorClock::from_slice(&[3, 1]);
+        assert!(Epoch::new(3, Tid(0)).leq(&vc));
+        assert!(!Epoch::new(4, Tid(0)).leq(&vc));
+        assert!(Epoch::new(1, Tid(1)).leq(&vc));
+        assert!(!Epoch::new(2, Tid(1)).leq(&vc));
+        // Thread beyond the clock's width has implicit clock 0.
+        assert!(!Epoch::new(1, Tid(7)).leq(&vc));
+    }
+
+    #[test]
+    fn is_current_in_matches_exact_epoch() {
+        let vc = VectorClock::from_slice(&[5, 2]);
+        assert!(Epoch::new(5, Tid(0)).is_current_in(Tid(0), &vc));
+        assert!(!Epoch::new(4, Tid(0)).is_current_in(Tid(0), &vc));
+        assert!(!Epoch::new(5, Tid(0)).is_current_in(Tid(1), &vc));
+    }
+
+    #[test]
+    fn display_formats_c_at_t() {
+        assert_eq!(format!("{}", Epoch::new(7, Tid(2))), "7@T2");
+    }
+}

@@ -1,0 +1,74 @@
+//! Thread identifiers and logical clock values.
+
+use std::fmt;
+
+/// A logical clock value.
+///
+/// Clocks start at 1 for the first epoch of a thread (0 is reserved as the
+/// "never accessed" value so that a zeroed vector clock means "no access by
+/// any thread is known").
+pub type ClockValue = u32;
+
+/// A thread identifier.
+///
+/// Thread ids are dense small integers assigned in spawn order; they index
+/// directly into [`crate::VectorClock`]s.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid(pub u32);
+
+impl Tid {
+    /// The main thread of a program.
+    pub const MAIN: Tid = Tid(0);
+
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Tid {
+    #[inline]
+    fn from(v: u32) -> Self {
+        Tid(v)
+    }
+}
+
+impl From<usize> for Tid {
+    #[inline]
+    fn from(v: usize) -> Self {
+        Tid(v as u32)
+    }
+}
+
+impl fmt::Debug for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_roundtrip_and_ordering() {
+        let a = Tid::from(3u32);
+        let b = Tid::from(4usize);
+        assert_eq!(a.index(), 3);
+        assert!(a < b);
+        assert_eq!(format!("{a}"), "T3");
+        assert_eq!(format!("{b:?}"), "T4");
+    }
+
+    #[test]
+    fn main_thread_is_zero() {
+        assert_eq!(Tid::MAIN, Tid(0));
+    }
+}

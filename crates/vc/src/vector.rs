@@ -1,0 +1,284 @@
+//! Full vector clocks.
+
+use std::fmt;
+
+use crate::{ClockValue, Epoch, Tid};
+
+/// A vector of logical clocks indexed by thread id.
+///
+/// The vector is *sparse at the tail*: entries beyond `self.0.len()` are
+/// implicitly zero, so two clocks of different lengths compare as if the
+/// shorter one were zero-padded. This keeps clocks for programs that spawn
+/// threads late small, and matches the paper's definition of equality
+/// ("two vector clocks are the same when they are the same size and their
+/// contents are of equal value" — we normalize by ignoring trailing zeros,
+/// which is the same equivalence).
+#[derive(Clone, Default, PartialOrd, Ord)]
+pub struct VectorClock(Vec<ClockValue>);
+
+impl VectorClock {
+    /// Creates an empty (all-zero) vector clock.
+    #[inline]
+    pub fn new() -> Self {
+        VectorClock(Vec::new())
+    }
+
+    /// Creates a clock with capacity for `n` threads without touching values.
+    #[inline]
+    pub fn with_capacity(n: usize) -> Self {
+        VectorClock(Vec::with_capacity(n))
+    }
+
+    /// Creates a clock from explicit per-thread values.
+    pub fn from_slice(values: &[ClockValue]) -> Self {
+        let mut vc = VectorClock(values.to_vec());
+        vc.trim();
+        vc
+    }
+
+    /// The logical clock of thread `t` (zero if never set).
+    #[inline]
+    pub fn get(&self, t: Tid) -> ClockValue {
+        self.0.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// Sets the logical clock of thread `t`.
+    #[inline]
+    pub fn set(&mut self, t: Tid, value: ClockValue) {
+        let i = t.index();
+        if i >= self.0.len() {
+            if value == 0 {
+                return;
+            }
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] = value;
+    }
+
+    /// Increments the clock of thread `t` by one and returns the new value.
+    #[inline]
+    pub fn tick(&mut self, t: Tid) -> ClockValue {
+        let v = self.get(t) + 1;
+        self.set(t, v);
+        v
+    }
+
+    /// Element-wise maximum: `self := self ⊔ other`.
+    ///
+    /// This is the update performed by lock acquire (thread clock joins the
+    /// lock clock) and lock release (lock clock joins the thread clock).
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.0.len() > self.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, &o) in self.0.iter_mut().zip(other.0.iter()) {
+            if o > *s {
+                *s = o;
+            }
+        }
+    }
+
+    /// Returns `true` if `self ⊑ other` (every component ≤).
+    ///
+    /// `a ⊑ b` means every operation summarized by `a` happens-before (or
+    /// equals) the point summarized by `b`.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.0.get(i).copied().unwrap_or(0))
+    }
+
+    /// Returns `true` if the two clocks are concurrent (neither ⊑ the other).
+    #[inline]
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+
+    /// Number of threads with a non-zero entry.
+    pub fn active_threads(&self) -> usize {
+        self.0.iter().filter(|&&v| v != 0).count()
+    }
+
+    /// Length of the underlying storage (highest touched tid + 1).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Modeled heap size in bytes of this clock's payload, used by the
+    /// memory-accounting model (4 bytes per slot).
+    #[inline]
+    pub fn payload_bytes(&self) -> usize {
+        self.0.len() * std::mem::size_of::<ClockValue>()
+    }
+
+    /// Iterates `(Tid, clock)` pairs with non-zero clocks.
+    pub fn iter(&self) -> impl Iterator<Item = (Tid, ClockValue)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(i, &v)| (Tid::from(i), v))
+    }
+
+    /// Finds a thread whose entry in `self` exceeds its entry in `other`,
+    /// i.e. a witness that `self ⋢ other`. Returns `None` if `self ⊑ other`.
+    pub fn first_exceeding(&self, other: &VectorClock) -> Option<(Tid, ClockValue)> {
+        self.0
+            .iter()
+            .enumerate()
+            .find(|(i, &v)| v > other.0.get(*i).copied().unwrap_or(0))
+            .map(|(i, &v)| (Tid::from(i), v))
+    }
+
+    /// Records an epoch into this clock: `self[e.tid] := max(self[e.tid], e.clock)`.
+    #[inline]
+    pub fn join_epoch(&mut self, e: Epoch) {
+        if e.clock > self.get(e.tid) {
+            self.set(e.tid, e.clock);
+        }
+    }
+
+    fn trim(&mut self) {
+        while self.0.last() == Some(&0) {
+            self.0.pop();
+        }
+    }
+}
+
+impl PartialEq for VectorClock {
+    fn eq(&self, other: &Self) -> bool {
+        let (short, long) = if self.0.len() <= other.0.len() {
+            (&self.0, &other.0)
+        } else {
+            (&other.0, &self.0)
+        };
+        short == &long[..short.len()] && long[short.len()..].iter().all(|&v| v == 0)
+    }
+}
+
+impl Eq for VectorClock {}
+
+impl std::hash::Hash for VectorClock {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash must agree with the trailing-zero-insensitive equality.
+        let mut len = self.0.len();
+        while len > 0 && self.0[len - 1] == 0 {
+            len -= 1;
+        }
+        self.0[..len].hash(state);
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl FromIterator<ClockValue> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = ClockValue>>(iter: I) -> Self {
+        let mut vc = VectorClock(iter.into_iter().collect());
+        vc.trim();
+        vc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(vals: &[u32]) -> VectorClock {
+        VectorClock::from_slice(vals)
+    }
+
+    #[test]
+    fn get_set_tick() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.get(Tid(5)), 0);
+        c.set(Tid(2), 7);
+        assert_eq!(c.get(Tid(2)), 7);
+        assert_eq!(c.tick(Tid(2)), 8);
+        assert_eq!(c.tick(Tid(9)), 1);
+        assert_eq!(c.get(Tid(9)), 1);
+    }
+
+    #[test]
+    fn join_is_elementwise_max() {
+        let mut a = vc(&[1, 5, 0]);
+        let b = vc(&[3, 2, 0, 4]);
+        a.join(&b);
+        assert_eq!(a, vc(&[3, 5, 0, 4]));
+    }
+
+    #[test]
+    fn leq_and_concurrency() {
+        let a = vc(&[1, 2]);
+        let b = vc(&[2, 2]);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        let c = vc(&[0, 3]);
+        assert!(b.concurrent_with(&c));
+        assert!(!a.concurrent_with(&a));
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zeros() {
+        assert_eq!(vc(&[1, 2]), vc(&[1, 2, 0, 0]));
+        assert_ne!(vc(&[1, 2]), vc(&[1, 2, 1]));
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &VectorClock| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&vc(&[1, 2])), h(&vc(&[1, 2, 0])));
+    }
+
+    #[test]
+    fn set_zero_beyond_len_is_noop() {
+        let mut c = VectorClock::new();
+        c.set(Tid(10), 0);
+        assert_eq!(c.width(), 0);
+    }
+
+    #[test]
+    fn first_exceeding_finds_witness() {
+        let a = vc(&[1, 5, 2]);
+        let b = vc(&[1, 3, 2]);
+        assert_eq!(a.first_exceeding(&b), Some((Tid(1), 5)));
+        assert_eq!(b.first_exceeding(&a), None);
+    }
+
+    #[test]
+    fn join_epoch_records_max() {
+        let mut a = vc(&[2, 1]);
+        a.join_epoch(Epoch::new(5, Tid(1)));
+        assert_eq!(a.get(Tid(1)), 5);
+        a.join_epoch(Epoch::new(1, Tid(0)));
+        assert_eq!(a.get(Tid(0)), 2);
+    }
+
+    #[test]
+    fn iter_skips_zero_entries() {
+        let a = vc(&[0, 3, 0, 7]);
+        let got: Vec<_> = a.iter().collect();
+        assert_eq!(got, vec![(Tid(1), 3), (Tid(3), 7)]);
+        assert_eq!(a.active_threads(), 2);
+    }
+
+    #[test]
+    fn payload_bytes_tracks_width() {
+        let a = vc(&[1, 2, 3]);
+        assert_eq!(a.payload_bytes(), 12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the vector-clock algebra.
+
+use dgrace_vc::{Epoch, ReadClock, Tid, VectorClock};
+use proptest::prelude::*;
+
+const MAX_THREADS: usize = 6;
+
+fn arb_vc() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u32..20, 0..MAX_THREADS).prop_map(|v| VectorClock::from_slice(&v))
+}
+
+fn arb_epoch() -> impl Strategy<Value = Epoch> {
+    (1u32..20, 0u32..MAX_THREADS as u32).prop_map(|(c, t)| Epoch::new(c, Tid(t)))
+}
+
+proptest! {
+    /// join is the least upper bound: both operands ⊑ join, and join ⊑ any
+    /// common upper bound.
+    #[test]
+    fn join_is_lub(a in arb_vc(), b in arb_vc(), ub in arb_vc()) {
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+        if a.leq(&ub) && b.leq(&ub) {
+            prop_assert!(j.leq(&ub));
+        }
+    }
+
+    /// join is commutative and idempotent.
+    #[test]
+    fn join_commutative_idempotent(a in arb_vc(), b in arb_vc()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut aa = a.clone();
+        aa.join(&a);
+        prop_assert_eq!(&aa, &a);
+    }
+
+    /// leq is a partial order: reflexive, antisymmetric, transitive.
+    #[test]
+    fn leq_partial_order(a in arb_vc(), b in arb_vc(), c in arb_vc()) {
+        prop_assert!(a.leq(&a));
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    /// Epoch ⊑ VC agrees with the single-component definition and with
+    /// treating the epoch as a one-entry vector clock.
+    #[test]
+    fn epoch_leq_agrees_with_vc_leq(e in arb_epoch(), v in arb_vc()) {
+        let mut as_vc = VectorClock::new();
+        as_vc.join_epoch(e);
+        prop_assert_eq!(e.leq(&v), as_vc.leq(&v));
+    }
+
+    /// first_exceeding returns Some iff not leq, and the witness is valid.
+    #[test]
+    fn first_exceeding_is_leq_witness(a in arb_vc(), b in arb_vc()) {
+        match a.first_exceeding(&b) {
+            None => prop_assert!(a.leq(&b)),
+            Some((t, c)) => {
+                prop_assert!(!a.leq(&b));
+                prop_assert_eq!(a.get(t), c);
+                prop_assert!(c > b.get(t));
+            }
+        }
+    }
+
+    /// ReadClock::record_read preserves the invariant that the stored
+    /// history ⊑ any clock that has observed all recorded reads.
+    #[test]
+    fn read_clock_records_all_reads(
+        reads in proptest::collection::vec((0u32..MAX_THREADS as u32, arb_vc()), 1..10)
+    ) {
+        let mut rc = ReadClock::none();
+        let mut everything = VectorClock::new();
+        for (t, mut now) in reads {
+            // A thread's own clock component must be positive.
+            if now.get(Tid(t)) == 0 {
+                now.set(Tid(t), 1);
+            }
+            rc.record_read(Tid(t), &now);
+            everything.join(&now);
+            // After recording, the latest read from t is remembered:
+            prop_assert!(rc.find_concurrent_read(&everything).is_none());
+        }
+        prop_assert!(rc.leq(&everything));
+    }
+}

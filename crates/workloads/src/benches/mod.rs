@@ -1,0 +1,124 @@
+//! The 11 benchmark generators.
+//!
+//! Each function returns `(trace, ground_truth)`. Address-space layout is
+//! per-workload (traces are independent). Conventions shared by all
+//! generators:
+//!
+//! * worker tids are `1..=N` (`kind.workers()`); tid 0 is main;
+//! * **planted races** are written in a racing thread's *first block*,
+//!   before that thread acquires any lock — no interleaving of blocks can
+//!   then order the accesses, so the ground truth is schedule-independent;
+//! * disjoint data partitions / consistent locks everywhere else keep the
+//!   rest of the trace race-free by construction (integration tests
+//!   verify this against the exact oracle).
+
+mod apps;
+mod parsec_a;
+mod parsec_b;
+
+pub use apps::{ffmpeg, hmmsearch, pbzip2};
+pub use parsec_a::{facesim, ferret, fluidanimate, raytrace};
+pub use parsec_b::{canneal, dedup, streamcluster, x264};
+
+use crate::gen::{BlockBuilder, GroundTruth};
+use dgrace_trace::{AccessSize, Addr};
+
+/// Scales a base iteration count, keeping at least one iteration.
+pub(crate) fn rounds(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(1)
+}
+
+/// Plants write-write races on `addrs`: both `a` and `b` write every
+/// address in their first blocks (call before adding any other blocks to
+/// these builders). Registers the locations in `truth`.
+pub(crate) fn plant_ww(
+    a: &mut BlockBuilder,
+    b: &mut BlockBuilder,
+    addrs: &[(u64, AccessSize)],
+    truth: &mut GroundTruth,
+) {
+    assert!(
+        a.tid() != b.tid(),
+        "races need two distinct threads"
+    );
+    for &(addr, size) in addrs {
+        a.write(addr, size);
+        b.write(addr, size);
+        truth.plant(Addr(addr));
+    }
+    a.cut();
+    b.cut();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Scheduler;
+    use crate::{Workload, WorkloadKind};
+    use dgrace_trace::validate;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_workloads_generate_valid_traces() {
+        for kind in WorkloadKind::ALL {
+            let (trace, truth) = Workload::new(kind).with_scale(0.05).generate();
+            validate(&trace).unwrap_or_else(|e| panic!("{}: invalid trace: {e:?}", kind.name()));
+            assert_eq!(
+                truth.racy_addrs.len(),
+                kind.planted_races(),
+                "{}: planted race count mismatch",
+                kind.name()
+            );
+            assert_eq!(
+                trace.thread_count(),
+                kind.workers() + 1,
+                "{}: thread count",
+                kind.name()
+            );
+            assert!(trace.len() > 100, "{}: trace too small", kind.name());
+        }
+    }
+
+    #[test]
+    fn scale_scales_events() {
+        let small = Workload::new(WorkloadKind::Facesim)
+            .with_scale(0.1)
+            .generate()
+            .0
+            .len();
+        let large = Workload::new(WorkloadKind::Facesim)
+            .with_scale(1.0)
+            .generate()
+            .0
+            .len();
+        assert!(large > small * 3, "large={large} small={small}");
+    }
+
+    #[test]
+    fn plant_ww_registers_truth() {
+        let mut t1 = BlockBuilder::new(1u32);
+        let mut t2 = BlockBuilder::new(2u32);
+        let mut truth = GroundTruth::default();
+        plant_ww(
+            &mut t1,
+            &mut t2,
+            &[(0x10, AccessSize::U32), (0x20, AccessSize::U8)],
+            &mut truth,
+        );
+        truth.finish();
+        assert_eq!(truth.racy_addrs, vec![Addr(0x10), Addr(0x20)]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let trace = Scheduler::new().run(vec![t1, t2], &mut rng);
+        validate(&trace).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct threads")]
+    fn plant_ww_rejects_same_thread() {
+        let mut t1 = BlockBuilder::new(1u32);
+        let mut t2 = BlockBuilder::new(1u32);
+        let mut truth = GroundTruth::default();
+        plant_ww(&mut t1, &mut t2, &[(0x10, AccessSize::U32)], &mut truth);
+    }
+}

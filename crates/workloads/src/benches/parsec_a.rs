@@ -1,0 +1,255 @@
+//! facesim, ferret, fluidanimate, raytrace.
+
+use dgrace_trace::{AccessSize, Trace};
+use rand::rngs::SmallRng;
+
+use super::{plant_ww, rounds};
+use crate::gen::{scattered, BlockBuilder, GroundTruth, Scheduler};
+
+/// PARSEC facesim: a physics solver iterating over large `f64` arrays.
+///
+/// Shape reproduced: word-or-wider accesses only (word granularity saves
+/// nothing over byte), high spatial locality per partition sweep (dynamic
+/// granularity groups whole partitions and turns later sweeps into
+/// same-epoch accesses — the paper's 74% → 94% same-epoch jump).
+pub fn facesim(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
+    const ARRAY: u64 = 0x1_0000;
+    const PART: u64 = 16 * 1024; // bytes per worker partition
+    const STATUS: u64 = 0x9_0000;
+    const FRAME_LOCK: u32 = 100;
+    let workers = 3u32;
+    let frames = rounds(8, scale);
+
+    let mut truth = GroundTruth::default();
+    let mut progs: Vec<BlockBuilder> = (1..=workers).map(BlockBuilder::new).collect();
+
+    // 4 racy status words, written unsynchronized by workers 1 and 2.
+    {
+        let (a, b) = progs.split_at_mut(1);
+        plant_ww(
+            &mut a[0],
+            &mut b[0],
+            &[
+                (STATUS, AccessSize::U32),
+                (STATUS + 8, AccessSize::U32),
+                (STATUS + 16, AccessSize::U32),
+                (STATUS + 24, AccessSize::U32),
+            ],
+            &mut truth,
+        );
+    }
+
+    for frame in 0..frames {
+        for (w, prog) in progs.iter_mut().enumerate() {
+            let base = ARRAY + w as u64 * PART;
+            // Solver sweep: read then update every element of the
+            // partition, in cache-friendly 2 KiB tiles.
+            for tile in 0..(PART / 2048) {
+                let tbase = base + tile * 2048;
+                // The solver reads each element several times per frame
+                // (stencil neighbors) — the paper's 74% byte-granularity
+                // same-epoch fraction comes from exactly this reuse.
+                prog.read_block(tbase, 2048, AccessSize::U64);
+                prog.read_block(tbase, 2048, AccessSize::U64);
+                prog.read_block(tbase, 2048, AccessSize::U64);
+                prog.write_block(tbase, 2048, AccessSize::U64);
+                prog.cut();
+            }
+            // Frame-boundary synchronization through a shared lock.
+            let fc = STATUS + 0x100 + (frame as u64 % 4) * 8;
+            prog.locked(FRAME_LOCK, |b| {
+                b.read(fc, AccessSize::U64).write(fc, AccessSize::U64);
+            })
+            .cut();
+        }
+    }
+
+    let trace = Scheduler::new()
+        .prologue(|b| {
+            // main zeroes the whole array before forking workers.
+            b.write_block(ARRAY, workers as u64 * PART, AccessSize::U64);
+        })
+        .run(progs, rng);
+    truth.finish();
+    (trace, truth)
+}
+
+/// PARSEC ferret: a similarity-search pipeline. Two loader threads
+/// allocate query items and publish them through a locked queue; four
+/// ranker threads consume, score and free them.
+///
+/// Shape reproduced: heap-allocated structs accessed as a unit (dynamic
+/// granularity groups each item), moderate word-granularity benefit.
+pub fn ferret(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
+    const ITEMS: u64 = 0x20_0000;
+    const ITEM_SIZE: u64 = 128;
+    const ITEM_STRIDE: u64 = 256;
+    const QUEUE: u64 = 0x30_0000;
+    const STATS: u64 = 0xf_0000;
+    const QL: u32 = 200;
+    let loaders = 2u32;
+    let rankers = 4u32;
+    let per_loader = rounds(60, scale);
+
+    let mut truth = GroundTruth::default();
+    let mut load_progs: Vec<BlockBuilder> = (1..=loaders).map(BlockBuilder::new).collect();
+
+    // 1 racy stats word between the two loaders.
+    {
+        let (a, b) = load_progs.split_at_mut(1);
+        plant_ww(&mut a[0], &mut b[0], &[(STATS, AccessSize::U32)], &mut truth);
+    }
+
+    let total_items = loaders as usize * per_loader;
+    for (li, prog) in load_progs.iter_mut().enumerate() {
+        for i in 0..per_loader {
+            let idx = (li * per_loader + i) as u64;
+            let item = ITEMS + idx * ITEM_STRIDE;
+            prog.alloc(item, ITEM_SIZE)
+                .write_block(item, ITEM_SIZE, AccessSize::U32)
+                .locked(QL, |b| {
+                    b.write(QUEUE + idx * 8, AccessSize::U64);
+                })
+                .cut();
+        }
+    }
+
+    // Rankers run in a later phase (pipeline order), partitioned by item.
+    // Each ranker reuses a private 4 KiB scoring workspace for every
+    // item — the indexing/probing working set that dominates ferret's
+    // 223M accesses in the paper (thousands of accesses per location).
+    const WORKSPACE: u64 = 0x38_0000;
+    let mut rank_progs: Vec<BlockBuilder> =
+        (loaders + 1..=loaders + rankers).map(BlockBuilder::new).collect();
+    for idx in 0..total_items as u64 {
+        let r = (idx as usize) % rankers as usize;
+        let item = ITEMS + idx * ITEM_STRIDE;
+        let ws = WORKSPACE + r as u64 * 0x2000;
+        let prog = &mut rank_progs[r];
+        prog.locked(QL, |b| {
+            b.read(QUEUE + idx * 8, AccessSize::U64);
+        })
+        .read_block(item, ITEM_SIZE, AccessSize::U32)
+        .write_block(ws, 4096, AccessSize::U64) // probe tables
+        .read_block(ws, 4096, AccessSize::U64)
+        .write(item + 120, AccessSize::U64) // score field
+        .free(item, ITEM_SIZE)
+        .cut();
+    }
+
+    let trace = Scheduler::new().run_phases(vec![load_progs, rank_progs], rng);
+    truth.finish();
+    (trace, truth)
+}
+
+/// PARSEC fluidanimate: a particle grid updated under fine-grained
+/// per-band locks, `f32` accesses.
+///
+/// Shape reproduced: word accesses with good locality; fine-grained
+/// locking means many epochs (lots of lock releases), so the same-epoch
+/// bitmap resets often — the dynamic detector wins mostly on memory.
+pub fn fluidanimate(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
+    const GRID: u64 = 0x2_0000;
+    const BAND: u64 = 8 * 1024;
+    const BORDER: u64 = 0x8_0000;
+    let workers = 3u32;
+    let iters = rounds(10, scale);
+
+    let mut truth = GroundTruth::default();
+    let mut progs: Vec<BlockBuilder> = (1..=workers).map(BlockBuilder::new).collect();
+
+    // 8 racy border floats between workers 1 and 2.
+    {
+        let (a, b) = progs.split_at_mut(1);
+        let addrs: Vec<(u64, AccessSize)> =
+            (0..8).map(|i| (BORDER + i * 4, AccessSize::U32)).collect();
+        plant_ww(&mut a[0], &mut b[0], &addrs, &mut truth);
+    }
+
+    for _ in 0..iters {
+        for (w, prog) in progs.iter_mut().enumerate() {
+            let band_lock = 300 + w as u32;
+            let base = GRID + w as u64 * BAND;
+            // Update own band in 512-byte cells, each under the band lock.
+            for cell in 0..(BAND / 512) {
+                let cbase = base + cell * 512;
+                prog.locked(band_lock, |b| {
+                    b.read_block(cbase, 512, AccessSize::U32)
+                        .write_block(cbase, 512, AccessSize::U32);
+                })
+                .cut();
+            }
+            // Scatter-update the *next* band's boundary under its lock.
+            if (w as u32) < workers - 1 {
+                let nlock = 300 + w as u32 + 1;
+                let nbase = GRID + (w as u64 + 1) * BAND;
+                prog.locked(nlock, |b| {
+                    b.read_block(nbase, 32, AccessSize::U32)
+                        .write_block(nbase, 32, AccessSize::U32);
+                })
+                .cut();
+            }
+        }
+    }
+
+    let trace = Scheduler::new()
+        .prologue(|b| {
+            b.write_block(GRID, workers as u64 * BAND, AccessSize::U32);
+        })
+        .run(progs, rng);
+    truth.finish();
+    (trace, truth)
+}
+
+/// PARSEC raytrace: read-mostly traversal of a shared scene with poor
+/// spatial locality — together with canneal, the workload where dynamic
+/// granularity does **not** pay off (paper §V.A).
+pub fn raytrace(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
+    const SCENE: u64 = 0x10_0000;
+    const SCENE_LEN: u64 = 16 * 1024;
+    const FB: u64 = 0x40_0000;
+    const CNT: u64 = 0x6_0000;
+    let workers = 2u32;
+    let raysper = rounds(2500, scale);
+
+    let mut truth = GroundTruth::default();
+    let mut progs: Vec<BlockBuilder> = (1..=workers).map(BlockBuilder::new).collect();
+
+    // 2 racy counters.
+    {
+        let (a, b) = progs.split_at_mut(1);
+        plant_ww(
+            &mut a[0],
+            &mut b[0],
+            &[(CNT, AccessSize::U32), (CNT + 64, AccessSize::U32)],
+            &mut truth,
+        );
+    }
+
+    for (w, prog) in progs.iter_mut().enumerate() {
+        let mut fb_cursor = FB + w as u64 * 0x10_0000;
+        for ray in 0..raysper {
+            // Scattered scene reads: no locality for the sharing
+            // heuristic to exploit, and concurrent reads from both
+            // workers inflate the read clocks.
+            for _ in 0..6 {
+                prog.read(scattered(rng, SCENE, SCENE_LEN, 4), AccessSize::U32);
+            }
+            // Sequential framebuffer writes (private per worker).
+            prog.write_block(fb_cursor, 16, AccessSize::U32);
+            fb_cursor += 16;
+            if ray % 16 == 15 {
+                prog.cut();
+            }
+        }
+        prog.cut();
+    }
+
+    let trace = Scheduler::new()
+        .prologue(|b| {
+            b.write_block(SCENE, SCENE_LEN, AccessSize::U64);
+        })
+        .run(progs, rng);
+    truth.finish();
+    (trace, truth)
+}

@@ -1,0 +1,290 @@
+//! x264, canneal, dedup, streamcluster.
+
+use dgrace_trace::{AccessSize, Trace};
+use rand::rngs::SmallRng;
+
+use super::{plant_ww, rounds};
+use crate::gen::{scattered, BlockBuilder, GroundTruth, Scheduler};
+
+/// PARSEC x264: video encoding with mixed access sizes (including
+/// unaligned byte stores into pixel rows) and, famously, on the order of
+/// a thousand real races on encoder flags.
+///
+/// Shapes reproduced (Table 1's precision discrepancies):
+/// * 8 planted race *pairs* live at adjacent bytes of one word, so the
+///   word-granularity detector merges each pair ("non-word-aligned
+///   addresses are masked to word boundary and data races for those
+///   locations are detected as one race");
+/// * one planted race sits on a member of a steady-state shared clock
+///   group, so the dynamic detector additionally reports the 4 innocent
+///   locations sharing that clock.
+pub fn x264(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
+    const ROWS: u64 = 0x10_0000;
+    const ROW_STRIDE: u64 = 0x1000;
+    const RACY_PAIRS: u64 = 0xb_0000;
+    const RACY_ISOLATED: u64 = 0xb_1000;
+    const GROUP: u64 = 0xb_2000;
+    const MBL: u32 = 400;
+    let workers = 8u32;
+    let rows_per = rounds(30, scale);
+
+    let mut truth = GroundTruth::default();
+    let mut phase1: Vec<BlockBuilder> = (1..=workers - 1).map(BlockBuilder::new).collect();
+
+    // 8 same-word byte pairs (16 locations) + 23 isolated words, raced by
+    // workers 1 and 2.
+    {
+        let mut addrs: Vec<(u64, AccessSize)> = Vec::new();
+        for p in 0..8u64 {
+            addrs.push((RACY_PAIRS + p * 8, AccessSize::U8));
+            addrs.push((RACY_PAIRS + p * 8 + 1, AccessSize::U8));
+        }
+        for i in 0..23u64 {
+            addrs.push((RACY_ISOLATED + i * 16, AccessSize::U32));
+        }
+        let (a, b) = phase1.split_at_mut(1);
+        plant_ww(&mut a[0], &mut b[0], &addrs, &mut truth);
+        truth.word_masked_pairs = 8;
+    }
+
+    // Worker 7 builds a steady shared group of 5 words at GROUP: writes
+    // it in two different epochs so the firm (second-epoch) decision
+    // shares the clocks.
+    {
+        let w7 = &mut phase1[6];
+        w7.write_block(GROUP, 20, AccessSize::U32).cut();
+        w7.locked(MBL + 7, |_| {}).cut(); // epoch boundary
+        w7.write_block(GROUP, 20, AccessSize::U32).cut();
+    }
+
+    // Encoding work: each worker writes byte rows of its own slice plus
+    // word-sized macroblock metadata under a lock.
+    for (w, prog) in phase1.iter_mut().enumerate() {
+        for row in 0..rows_per {
+            let base = ROWS + (w as u64 * rows_per as u64 + row as u64) * ROW_STRIDE;
+            // Pixel writes: bytes, deliberately including odd addresses.
+            prog.write_block(base + 1, 160, AccessSize::U8);
+            // Reconstruction read-back.
+            prog.read_block(base + 1, 160, AccessSize::U8);
+            prog.cut();
+            prog.locked(MBL, |b| {
+                b.read(0xc_0000, AccessSize::U32).write(0xc_0000, AccessSize::U32);
+            })
+            .cut();
+        }
+    }
+
+    // Phase 2: worker 8's first-ever block races with a member of worker
+    // 7's (by now steady-shared) group.
+    let mut w8 = BlockBuilder::new(workers);
+    w8.write(GROUP + 8, AccessSize::U32).cut();
+    truth.plant(dgrace_trace::Addr(GROUP + 8));
+    truth.dynamic_extra = 4; // the other 4 group members get reported too
+    for row in 0..rows_per {
+        let base = ROWS + (7 * rows_per as u64 + row as u64) * ROW_STRIDE;
+        w8.write_block(base + 1, 160, AccessSize::U8).cut();
+    }
+
+    let trace = Scheduler::new().run_phases(vec![phase1, vec![w8]], rng);
+    truth.finish();
+    (trace, truth)
+}
+
+/// PARSEC canneal: simulated annealing over a huge netlist with random
+/// element swaps — scattered accesses, the second workload where the
+/// dynamic granularity cannot help (no locality, no shared clocks).
+pub fn canneal(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
+    const NETLIST: u64 = 0x20_0000;
+    const ELEMS: u64 = 4 * 1024; // elements of 8 bytes each
+    const TL: u32 = 500;
+    const CNT: u64 = 0x7_0000;
+    let workers = 3u32;
+    let swaps = rounds(4000, scale);
+
+    let mut truth = GroundTruth::default();
+    let mut progs: Vec<BlockBuilder> = (1..=workers).map(BlockBuilder::new).collect();
+
+    {
+        let (a, b) = progs.split_at_mut(1);
+        plant_ww(
+            &mut a[0],
+            &mut b[0],
+            &[(CNT, AccessSize::U32), (CNT + 128, AccessSize::U32)],
+            &mut truth,
+        );
+    }
+
+    for (w, prog) in progs.iter_mut().enumerate() {
+        for s in 0..swaps {
+            // Each worker owns elements with index ≡ w (mod workers):
+            // scattered but disjoint — race-free without locks, exactly
+            // the access pattern that defeats clock sharing.
+            let slots = ELEMS / workers as u64 - 1;
+            let e1 = scattered(rng, 0, slots, 1) * workers as u64 + w as u64;
+            let e2 = scattered(rng, 0, slots, 1) * workers as u64 + w as u64;
+            let a1 = NETLIST + e1 * 8;
+            let a2 = NETLIST + e2 * 8;
+            prog.read(a1, AccessSize::U64)
+                .read(a2, AccessSize::U64)
+                .write(a1, AccessSize::U64)
+                .write(a2, AccessSize::U64);
+            if s % 2048 == 2047 {
+                // Temperature update under lock.
+                prog.locked(TL, |b| {
+                    b.read(CNT + 0x1000, AccessSize::U64)
+                        .write(CNT + 0x1000, AccessSize::U64);
+                });
+            }
+            if s % 16 == 15 {
+                prog.cut();
+            }
+        }
+        prog.cut();
+    }
+
+    let trace = Scheduler::new().run(progs, rng);
+    truth.finish();
+    (trace, truth)
+}
+
+/// PARSEC dedup: the deduplication pipeline, dominated by allocation
+/// churn — the paper measured ~14 GB allocated/freed vs a 1.7 GB average,
+/// and credits the dynamic detector's 1.78× speedup on dedup to the
+/// collapse of vector-clock create/delete traffic.
+///
+/// Every chunk lives for one epoch: written once, hashed (read) once,
+/// freed — the pattern the `Init`-state temporary sharing targets.
+pub fn dedup(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
+    const CHURN: u64 = 0x100_0000;
+    const CHUNK: u64 = 4096;
+    const CHUNK_STRIDE: u64 = 0x2000;
+    const HASHTAB: u64 = 0x9_0000;
+    const HL: u32 = 600;
+    const RACY: u64 = 0xa_0000;
+    let workers = 6u32;
+    let per_worker = rounds(120, scale);
+
+    let mut truth = GroundTruth::default();
+    let mut progs: Vec<BlockBuilder> = (1..=workers).map(BlockBuilder::new).collect();
+
+    {
+        let (a, b) = progs.split_at_mut(1);
+        plant_ww(
+            &mut a[0],
+            &mut b[0],
+            &[
+                (RACY, AccessSize::U32),
+                (RACY + 4, AccessSize::U32),
+                (RACY + 256, AccessSize::U64),
+            ],
+            &mut truth,
+        );
+    }
+
+    for (w, prog) in progs.iter_mut().enumerate() {
+        for i in 0..per_worker {
+            let idx = w as u64 * per_worker as u64 + i as u64;
+            let chunk = CHURN + idx * CHUNK_STRIDE;
+            prog.alloc(chunk, CHUNK)
+                .write_block(chunk, CHUNK, AccessSize::U64) // fill
+                .read_block(chunk, CHUNK, AccessSize::U64) // hash
+                .free(chunk, CHUNK)
+                .cut();
+            // Hash-table bucket update under the global lock.
+            let bucket = HASHTAB + (scattered(rng, 0, 64, 1)) * 8;
+            prog.locked(HL, |b| {
+                b.read(bucket, AccessSize::U64).write(bucket, AccessSize::U64);
+            })
+            .cut();
+        }
+    }
+
+    let trace = Scheduler::new().run(progs, rng);
+    truth.finish();
+    (trace, truth)
+}
+
+/// PARSEC streamcluster: repeated read sweeps over a point array with a
+/// tight synchronization rhythm.
+///
+/// Shapes reproduced: the paper's biggest same-epoch gap (51% at byte vs
+/// 97% dynamic — each point is read several times per iteration but in
+/// different epochs at byte granularity), and the dynamic detector's
+/// *sharing-induced false alarms*: two adjacent words are written
+/// together long enough to share a clock, then guarded by two different
+/// locks — updates through the shared clock make the properly-locked
+/// accesses look racy.
+pub fn streamcluster(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
+    const POINTS: u64 = 0x30_0000;
+    const PART: u64 = 16 * 1024;
+    const CENTERS: u64 = 0xd_0000;
+    const CL: u32 = 700;
+    const RACY: u64 = 0xe_0000;
+    const FP: u64 = 0xe_1000; // the false-positive pair
+    let workers = 3u32;
+    let iters = rounds(10, scale);
+
+    let mut truth = GroundTruth::default();
+    let mut phase1: Vec<BlockBuilder> = (1..=workers).map(BlockBuilder::new).collect();
+
+    {
+        let (a, b) = phase1.split_at_mut(1);
+        let addrs: Vec<(u64, AccessSize)> =
+            (0..4).map(|i| (RACY + i * 8, AccessSize::U32)).collect();
+        plant_ww(&mut a[0], &mut b[0], &addrs, &mut truth);
+    }
+
+    // Worker 1 writes the FP pair together in two epochs → Shared group.
+    // The FPH lock is released afterwards so that the phase-2 updates are
+    // happens-before ordered w.r.t. this setup (no *real* race on FP).
+    const FPH: u32 = 710;
+    {
+        let w1 = &mut phase1[0];
+        w1.write(FP, AccessSize::U32).write(FP + 4, AccessSize::U32).cut();
+        w1.locked(CL + 1, |_| {}).cut(); // epoch boundary
+        w1.write(FP, AccessSize::U32).write(FP + 4, AccessSize::U32).cut();
+        w1.locked(FPH, |_| {}).cut(); // publish the setup
+    }
+
+    for (w, prog) in phase1.iter_mut().enumerate() {
+        let base = POINTS + w as u64 * PART;
+        for it in 0..iters {
+            // Distance pass 1 and 2: each point read twice in the same
+            // epoch (the byte detector's ~50% same-epoch fraction).
+            prog.read_block(base, PART, AccessSize::U32);
+            prog.read_block(base, PART, AccessSize::U32);
+            prog.cut();
+            // Center update under the global lock = epoch boundary.
+            let c = CENTERS + ((w as u64 * iters as u64 + it as u64) % 32) * 8;
+            prog.locked(CL, |b| {
+                b.read(c, AccessSize::U64).write(c, AccessSize::U64);
+            })
+            .cut();
+        }
+    }
+
+    // Phase 2: workers 2 and 3 update the FP words under *different*
+    // locks — race-free at byte granularity (disjoint addresses), but the
+    // shared clock makes the dynamic detector cry wolf on both members.
+    let mut w2 = BlockBuilder::new(2u32);
+    let mut w3 = BlockBuilder::new(3u32);
+    w2.locked(FPH, |_| {}).cut(); // order after the setup (no real race)
+    w2.locked(CL + 2, |b| {
+        b.write(FP, AccessSize::U32);
+    })
+    .cut();
+    w3.locked(FPH, |_| {}).cut();
+    w3.locked(CL + 3, |b| {
+        b.write(FP + 4, AccessSize::U32);
+    })
+    .cut();
+    truth.dynamic_extra = 2;
+
+    let trace = Scheduler::new()
+        .prologue(|b| {
+            b.write_block(POINTS, workers as u64 * PART, AccessSize::U32);
+        })
+        .run_phases(vec![phase1, vec![w2, w3]], rng);
+    truth.finish();
+    (trace, truth)
+}

@@ -1,0 +1,253 @@
+//! Synthetic multithreaded workloads modeled on the paper's benchmarks.
+//!
+//! The paper evaluates on 8 PARSEC-2.1 programs plus FFmpeg, pbzip2 and
+//! hmmsearch, instrumented with Intel PIN. Running those C programs under
+//! a Rust detector is impossible without dynamic binary instrumentation,
+//! so each generator here synthesizes an event trace with the
+//! *characteristics the paper reports* for its namesake (see `DESIGN.md`
+//! §3): thread count, access-size mix, spatial locality (the property the
+//! dynamic granularity exploits), epoch-lifetime patterns (init-once
+//! data, one-epoch temporaries, allocation churn), and **planted races**
+//! whose byte-granularity locations form the ground truth that the table
+//! harness and the integration tests check against.
+//!
+//! Every generator is deterministic for a given seed and scale.
+//!
+//! ```
+//! use dgrace_workloads::{Workload, WorkloadKind};
+//!
+//! let wl = Workload::new(WorkloadKind::Pbzip2).with_scale(0.1).with_seed(42);
+//! let (trace, truth) = wl.generate();
+//! assert!(trace.len() > 0);
+//! assert_eq!(truth.racy_addrs.len(), wl.kind().planted_races());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benches;
+mod gen;
+
+pub use gen::{BlockBuilder, GroundTruth, Scheduler};
+
+use dgrace_trace::Trace;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The 11 benchmark programs of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// PARSEC facesim: physics solver over large f64 arrays, partitioned
+    /// sweeps — high spatial locality, word/double accesses only.
+    Facesim,
+    /// PARSEC ferret: 4-stage similarity-search pipeline passing
+    /// heap-allocated query objects through locked queues.
+    Ferret,
+    /// PARSEC fluidanimate: particle grid with fine-grained per-cell
+    /// locks, f32 accesses.
+    Fluidanimate,
+    /// PARSEC raytrace: read-mostly scene traversal with poor locality —
+    /// one of the two programs where dynamic granularity does *not* help.
+    Raytrace,
+    /// PARSEC x264: video encoder, mixed access sizes including
+    /// unaligned bytes; the benchmark with ~1000 real races.
+    X264,
+    /// PARSEC canneal: random element swaps over a huge netlist —
+    /// scattered accesses, the other program where sharing does not help.
+    Canneal,
+    /// PARSEC dedup: deduplication pipeline with extreme alloc/free
+    /// churn (~14 GB in the paper) of one-epoch chunks.
+    Dedup,
+    /// PARSEC streamcluster: repeated sweeps over a point array; the
+    /// program where the dynamic detector shows a couple of sharing-
+    /// induced false alarms in the paper.
+    Streamcluster,
+    /// FFmpeg: codec with byte-granularity pixel buffers; word
+    /// granularity produces false alarms here.
+    Ffmpeg,
+    /// pbzip2: parallel block compression of large contiguous buffers —
+    /// the best case for sharing (avg. 33 locations per clock).
+    Pbzip2,
+    /// HMMER hmmsearch: read-only database scan plus a small racy
+    /// result structure (the one race all three tools agree on).
+    Hmmsearch,
+}
+
+impl WorkloadKind {
+    /// All benchmarks in the paper's table order.
+    pub const ALL: [WorkloadKind; 11] = [
+        WorkloadKind::Facesim,
+        WorkloadKind::Ferret,
+        WorkloadKind::Fluidanimate,
+        WorkloadKind::Raytrace,
+        WorkloadKind::X264,
+        WorkloadKind::Canneal,
+        WorkloadKind::Dedup,
+        WorkloadKind::Streamcluster,
+        WorkloadKind::Ffmpeg,
+        WorkloadKind::Pbzip2,
+        WorkloadKind::Hmmsearch,
+    ];
+
+    /// The program name as it appears in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Facesim => "facesim",
+            WorkloadKind::Ferret => "ferret",
+            WorkloadKind::Fluidanimate => "fluidanimate",
+            WorkloadKind::Raytrace => "raytrace",
+            WorkloadKind::X264 => "x264",
+            WorkloadKind::Canneal => "canneal",
+            WorkloadKind::Dedup => "dedup",
+            WorkloadKind::Streamcluster => "streamcluster",
+            WorkloadKind::Ffmpeg => "ffmpeg",
+            WorkloadKind::Pbzip2 => "pbzip2",
+            WorkloadKind::Hmmsearch => "hmmsearch",
+        }
+    }
+
+    /// Worker thread count (plus the main thread), sized like the
+    /// paper's runs on a dual-core machine.
+    pub fn workers(self) -> usize {
+        match self {
+            WorkloadKind::Facesim => 3,
+            WorkloadKind::Ferret => 6,
+            WorkloadKind::Fluidanimate => 3,
+            WorkloadKind::Raytrace => 2,
+            WorkloadKind::X264 => 8,
+            WorkloadKind::Canneal => 3,
+            WorkloadKind::Dedup => 6,
+            WorkloadKind::Streamcluster => 3,
+            WorkloadKind::Ffmpeg => 3,
+            WorkloadKind::Pbzip2 => 6,
+            WorkloadKind::Hmmsearch => 2,
+        }
+    }
+
+    /// Number of distinct racy byte locations planted in the workload
+    /// (the byte-granularity ground truth).
+    pub fn planted_races(self) -> usize {
+        match self {
+            WorkloadKind::Facesim => 4,
+            WorkloadKind::Ferret => 1,
+            WorkloadKind::Fluidanimate => 8,
+            WorkloadKind::Raytrace => 2,
+            WorkloadKind::X264 => 40,
+            WorkloadKind::Canneal => 2,
+            WorkloadKind::Dedup => 3,
+            WorkloadKind::Streamcluster => 4,
+            WorkloadKind::Ffmpeg => 1,
+            WorkloadKind::Pbzip2 => 1,
+            WorkloadKind::Hmmsearch => 1,
+        }
+    }
+
+    /// Parses a benchmark name.
+    pub fn from_name(name: &str) -> Option<WorkloadKind> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// A parameterized workload instance.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    kind: WorkloadKind,
+    scale: f64,
+    seed: u64,
+}
+
+impl Workload {
+    /// Creates a workload with default scale 1.0 and a fixed seed.
+    pub fn new(kind: WorkloadKind) -> Self {
+        Workload {
+            kind,
+            scale: 1.0,
+            seed: 0x5eed_0000 + kind as u64,
+        }
+    }
+
+    /// Scales the amount of work (events) by `scale`. Planted races are
+    /// unaffected — every scale produces the same ground truth.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the RNG seed (schedule jitter only; ground truth is stable).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The benchmark kind.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// The scale factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Generates the trace and its ground truth.
+    pub fn generate(&self) -> (Trace, GroundTruth) {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let s = self.scale;
+        match self.kind {
+            WorkloadKind::Facesim => benches::facesim(s, &mut rng),
+            WorkloadKind::Ferret => benches::ferret(s, &mut rng),
+            WorkloadKind::Fluidanimate => benches::fluidanimate(s, &mut rng),
+            WorkloadKind::Raytrace => benches::raytrace(s, &mut rng),
+            WorkloadKind::X264 => benches::x264(s, &mut rng),
+            WorkloadKind::Canneal => benches::canneal(s, &mut rng),
+            WorkloadKind::Dedup => benches::dedup(s, &mut rng),
+            WorkloadKind::Streamcluster => benches::streamcluster(s, &mut rng),
+            WorkloadKind::Ffmpeg => benches::ffmpeg(s, &mut rng),
+            WorkloadKind::Pbzip2 => benches::pbzip2(s, &mut rng),
+            WorkloadKind::Hmmsearch => benches::hmmsearch(s, &mut rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for k in WorkloadKind::ALL {
+            assert_eq!(WorkloadKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(WorkloadKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let wl = Workload::new(WorkloadKind::Ferret).with_scale(0.05);
+        let (t1, g1) = wl.generate();
+        let (t2, g2) = wl.generate();
+        assert_eq!(t1, t2);
+        assert_eq!(g1.racy_addrs, g2.racy_addrs);
+    }
+
+    #[test]
+    fn seeds_change_schedule_not_truth() {
+        let a = Workload::new(WorkloadKind::Fluidanimate)
+            .with_scale(0.05)
+            .with_seed(1)
+            .generate();
+        let b = Workload::new(WorkloadKind::Fluidanimate)
+            .with_scale(0.05)
+            .with_seed(2)
+            .generate();
+        assert_eq!(a.1.racy_addrs, b.1.racy_addrs);
+        assert_ne!(a.0, b.0, "different seeds should shuffle the schedule");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        let _ = Workload::new(WorkloadKind::Facesim).with_scale(0.0);
+    }
+}

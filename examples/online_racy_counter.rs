@@ -1,0 +1,75 @@
+//! Online detection with *real* threads: a statistics counter updated by
+//! worker threads — one of them forgets the lock, and the live detector
+//! catches the race as it happens.
+//!
+//! ```text
+//! cargo run --example online_racy_counter
+//! ```
+
+use std::sync::Arc;
+use std::thread;
+
+use dgrace::core::DynamicGranularity;
+use dgrace::runtime::Runtime;
+
+fn main() {
+    let rt = Runtime::new(DynamicGranularity::new());
+    let main = rt.main();
+
+    // Shared state: a tracked counter and the mutex that should guard it.
+    let counter = rt.cell(0);
+    let guard = Arc::new(rt.mutex(()));
+
+    let mut joins = Vec::new();
+    let mut tickets = Vec::new();
+
+    // Three well-behaved workers.
+    for _ in 0..3 {
+        let (child, ticket) = main.fork();
+        let counter = counter.clone();
+        let guard = Arc::clone(&guard);
+        tickets.push(ticket);
+        joins.push(thread::spawn(move || {
+            for _ in 0..1000 {
+                let _g = guard.lock(&child);
+                counter.update(&child, |v| v + 1);
+            }
+        }));
+    }
+
+    // One buggy worker: increments without taking the lock.
+    let (buggy, ticket) = main.fork();
+    tickets.push(ticket);
+    let c2 = counter.clone();
+    joins.push(thread::spawn(move || {
+        for _ in 0..10 {
+            c2.update(&buggy, |v| v + 1);
+        }
+    }));
+
+    for jh in joins {
+        jh.join().unwrap();
+    }
+    for t in tickets {
+        main.join(t);
+    }
+
+    let final_value = counter.get(&main);
+    let report = rt.finish();
+
+    println!("final counter value : {final_value}");
+    println!("events observed     : {}", report.stats.events);
+    println!("races detected      : {}", report.races.len());
+    for race in &report.races {
+        println!(
+            "  {} race at {} — thread {} vs thread {}",
+            race.kind, race.addr, race.current.tid, race.previous.tid
+        );
+    }
+
+    assert!(
+        !report.races.is_empty(),
+        "the unlocked increments must be caught"
+    );
+    println!("\nThe buggy worker was caught live — no trace files involved.");
+}

@@ -1,0 +1,58 @@
+//! Record a workload trace to disk, reload it, and verify the detectors
+//! see the identical execution — the offline analysis workflow.
+//!
+//! ```text
+//! cargo run --release --example trace_roundtrip
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use dgrace::core::DynamicGranularity;
+use dgrace::detectors::DetectorExt;
+use dgrace::trace::io::{read_trace, write_trace};
+use dgrace::trace::{stats::stats, validate};
+use dgrace::workloads::{Workload, WorkloadKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (trace, _) = Workload::new(WorkloadKind::Ffmpeg).with_scale(0.2).generate();
+    validate(&trace)?;
+
+    let path = std::env::temp_dir().join("dgrace_ffmpeg.trace");
+    {
+        let mut w = BufWriter::new(File::create(&path)?);
+        write_trace(&trace, &mut w)?;
+    }
+    let size = std::fs::metadata(&path)?.len();
+    println!(
+        "recorded {} events to {} ({} KiB)",
+        trace.len(),
+        path.display(),
+        size / 1024
+    );
+
+    let reloaded = read_trace(&mut BufReader::new(File::open(&path)?))?;
+    assert_eq!(trace, reloaded, "binary round-trip must be lossless");
+
+    let s = stats(&reloaded);
+    println!(
+        "reloaded: {} accesses ({} reads / {} writes), {} threads, {} locks",
+        s.accesses, s.reads, s.writes, s.threads, s.locks
+    );
+    println!(
+        "access sizes 1/2/4/8: {:?}, sub-word fraction {:.0}%",
+        s.by_size,
+        s.sub_word_fraction() * 100.0
+    );
+
+    let live = DynamicGranularity::new().run(&trace);
+    let replayed = DynamicGranularity::new().run(&reloaded);
+    assert_eq!(live.race_addrs(), replayed.race_addrs());
+    println!(
+        "race report identical before and after the round-trip: {:?}",
+        replayed.race_addrs()
+    );
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

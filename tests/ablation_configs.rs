@@ -1,0 +1,128 @@
+//! Table 5's state-machine ablation, asserted as invariants across all
+//! workloads.
+
+use dgrace::core::{DynamicConfig, DynamicGranularity};
+use dgrace::detectors::DetectorExt;
+use dgrace::workloads::{Workload, WorkloadKind};
+
+const SCALE: f64 = 0.05;
+
+/// Temporary sharing at Init never increases peak memory, and on the
+/// one-epoch-data workloads (dedup, pbzip2, ferret) it shrinks the peak
+/// clock population substantially — the point of Table 5's memory
+/// columns.
+#[test]
+fn sharing_at_init_saves_memory() {
+    for kind in WorkloadKind::ALL {
+        let (trace, _) = Workload::new(kind).with_scale(SCALE).generate();
+        let with = DynamicGranularity::with_config(DynamicConfig::paper_default()).run(&trace);
+        let without =
+            DynamicGranularity::with_config(DynamicConfig::no_sharing_at_init()).run(&trace);
+        assert!(
+            with.stats.peak_total_bytes <= without.stats.peak_total_bytes,
+            "{}: init sharing increased memory ({} vs {})",
+            kind.name(),
+            with.stats.peak_total_bytes,
+            without.stats.peak_total_bytes
+        );
+    }
+    for kind in [WorkloadKind::Dedup, WorkloadKind::Pbzip2, WorkloadKind::Ferret] {
+        let (trace, _) = Workload::new(kind).with_scale(SCALE).generate();
+        let with = DynamicGranularity::with_config(DynamicConfig::paper_default()).run(&trace);
+        let without =
+            DynamicGranularity::with_config(DynamicConfig::no_sharing_at_init()).run(&trace);
+        assert!(
+            with.stats.peak_vc_count * 2 <= without.stats.peak_vc_count,
+            "{}: expected ≥2x fewer clocks with Init sharing ({} vs {})",
+            kind.name(),
+            with.stats.peak_vc_count,
+            without.stats.peak_vc_count
+        );
+    }
+}
+
+/// Removing the Init state (one permanent sharing decision at first
+/// access) floods several workloads with false alarms — Table 5's race
+/// columns.
+#[test]
+fn no_init_state_causes_false_alarms() {
+    for kind in WorkloadKind::ALL {
+        let (trace, truth) = Workload::new(kind).with_scale(SCALE).generate();
+        let without =
+            DynamicGranularity::with_config(DynamicConfig::no_init_state()).run(&trace);
+        assert!(
+            without.races.len() >= truth.racy_addrs.len(),
+            "{}: no-Init must still catch the planted races",
+            kind.name()
+        );
+    }
+    // The initialize-together-protect-separately workloads flood
+    // catastrophically (thousands of false alarms), as in Table 5.
+    for kind in [WorkloadKind::Facesim, WorkloadKind::Fluidanimate] {
+        let (trace, _) = Workload::new(kind).with_scale(SCALE).generate();
+        let with = DynamicGranularity::with_config(DynamicConfig::paper_default()).run(&trace);
+        let without =
+            DynamicGranularity::with_config(DynamicConfig::no_init_state()).run(&trace);
+        assert!(
+            without.races.len() > 100 * with.races.len(),
+            "{}: expected a false-alarm flood, got {} vs {}",
+            kind.name(),
+            without.races.len(),
+            with.races.len()
+        );
+    }
+}
+
+/// The Init-state false alarms really are the sharing kind: all flagged
+/// tainted.
+#[test]
+fn no_init_state_extras_are_tainted() {
+    for kind in [WorkloadKind::Facesim, WorkloadKind::Fluidanimate] {
+        let (trace, truth) = Workload::new(kind).with_scale(SCALE).generate();
+        let rep = DynamicGranularity::with_config(DynamicConfig::no_init_state()).run(&trace);
+        for race in &rep.races {
+            if !truth.racy_addrs.contains(&race.addr) {
+                assert!(race.tainted, "{}: untainted false alarm", kind.name());
+            }
+        }
+    }
+}
+
+/// The first-epoch scan distance trades sharing coverage for time, never
+/// correctness: planted races are found at every distance.
+#[test]
+fn scan_distance_does_not_change_planted_findings() {
+    for scan in [0u64, 2, 8, 64, 256] {
+        let cfg = DynamicConfig {
+            first_epoch_scan: scan,
+            ..DynamicConfig::default()
+        };
+        let (trace, truth) = Workload::new(WorkloadKind::Dedup).with_scale(SCALE).generate();
+        let rep = DynamicGranularity::with_config(cfg).run(&trace);
+        for a in &truth.racy_addrs {
+            assert!(
+                rep.race_addrs().contains(a),
+                "scan {scan}: missed planted race at {a:?}"
+            );
+        }
+    }
+}
+
+/// Group-race reporting is the only difference between the default and
+/// the `report_group_races: false` configuration.
+#[test]
+fn group_reporting_only_adds_group_members() {
+    let (trace, _) = Workload::new(WorkloadKind::X264).with_scale(SCALE).generate();
+    let all = DynamicGranularity::new().run(&trace);
+    let cfg = DynamicConfig {
+        report_group_races: false,
+        ..DynamicConfig::default()
+    };
+    let firsts = DynamicGranularity::with_config(cfg).run(&trace);
+    assert!(firsts.races.len() <= all.races.len());
+    // Every suppressed report belonged to a shared group.
+    assert_eq!(
+        all.races.iter().filter(|r| r.share_count == 1).count(),
+        firsts.races.iter().filter(|r| r.share_count == 1).count(),
+    );
+}

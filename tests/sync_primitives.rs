@@ -1,0 +1,205 @@
+//! Happens-before semantics of reader-writer locks, condition variables
+//! and barriers, checked across the whole detector stack.
+
+use dgrace::baselines::SegmentDetector;
+use dgrace::core::DynamicGranularity;
+use dgrace::detectors::{Detector, DetectorExt, Djit, FastTrack, OracleDetector};
+use dgrace::prelude::*;
+use dgrace::trace::validate;
+
+const X: u64 = 0x7000;
+
+fn hb_detectors() -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(OracleDetector::new()),
+        Box::new(FastTrack::new()),
+        Box::new(Djit::new()),
+        Box::new(DynamicGranularity::new()),
+        Box::new(SegmentDetector::new()),
+    ]
+}
+
+fn assert_all(trace: &Trace, expected_races: usize, what: &str) {
+    validate(trace).unwrap();
+    for mut det in hb_detectors() {
+        let rep = det.run(trace);
+        assert_eq!(
+            rep.race_addrs().len(),
+            expected_races,
+            "{what}: {} saw {:?}",
+            rep.detector,
+            rep.race_addrs()
+        );
+    }
+}
+
+#[test]
+fn writer_release_orders_reader() {
+    // Writer updates x under wrlock; reader reads under rdlock: ordered.
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32)
+        .locked(0u32, 5u32, |t| {
+            t.write(0u32, X, AccessSize::U64);
+        })
+        .read_locked(1u32, 5u32, |t| {
+            t.read(1u32, X, AccessSize::U64);
+        });
+    assert_all(&b.build(), 0, "wrlock→rdlock");
+}
+
+#[test]
+fn concurrent_readers_do_not_order_each_other() {
+    // T1 reads x under rdlock, then T2 *writes* x under rdlock (a bug:
+    // writing under a read lock). Readers don't synchronize with each
+    // other, so this is a race.
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32)
+        .fork(0u32, 2u32)
+        .read_locked(1u32, 5u32, |t| {
+            t.read(1u32, X, AccessSize::U64);
+        })
+        .read_locked(2u32, 5u32, |t| {
+            t.write(2u32, X, AccessSize::U64);
+        });
+    assert_all(&b.build(), 1, "rd–rd write bug");
+}
+
+#[test]
+fn reader_release_orders_next_writer() {
+    // Reader reads x under rdlock; writer then writes under wrlock:
+    // the read release → write acquire edge orders them.
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32)
+        .read_locked(0u32, 5u32, |t| {
+            t.read(0u32, X, AccessSize::U64);
+        })
+        .locked(1u32, 5u32, |t| {
+            t.write(1u32, X, AccessSize::U64);
+        });
+    assert_all(&b.build(), 0, "rdlock→wrlock");
+}
+
+#[test]
+fn cv_signal_orders_waiter() {
+    // Producer fills x, signals; consumer waits, then reads: ordered.
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32)
+        .write(0u32, X, AccessSize::U64)
+        .locked(0u32, 3u32, |t| {
+            t.cv_signal(0u32, 9u32);
+        })
+        .cv_wait(1u32, 9u32)
+        .read(1u32, X, AccessSize::U64);
+    assert_all(&b.build(), 0, "signal→wait");
+}
+
+#[test]
+fn unsignaled_access_still_races() {
+    // The consumer skips the wait: the read races with the write.
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32)
+        .write(0u32, X, AccessSize::U64)
+        .cv_signal(0u32, 9u32)
+        .read(1u32, X, AccessSize::U64); // no cv_wait!
+    assert_all(&b.build(), 1, "missing wait");
+}
+
+#[test]
+fn barrier_orders_phases() {
+    // Two workers write disjoint halves, cross the barrier, then read
+    // each other's halves — race-free thanks to the barrier.
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32).fork(0u32, 2u32);
+    b.write(1u32, X, AccessSize::U64)
+        .write(2u32, X + 8, AccessSize::U64);
+    b.barrier_round(&[1, 2], 7u32);
+    b.read(1u32, X + 8, AccessSize::U64)
+        .read(2u32, X, AccessSize::U64);
+    assert_all(&b.build(), 0, "barrier phases");
+}
+
+#[test]
+fn missing_barrier_races() {
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32).fork(0u32, 2u32);
+    b.write(1u32, X, AccessSize::U64)
+        .read(2u32, X, AccessSize::U64); // nobody waited
+    assert_all(&b.build(), 1, "no barrier");
+}
+
+#[test]
+fn rwlock_validation_rejects_misuse() {
+    use dgrace::trace::ValidationError;
+    // Write-acquire while a reader holds the lock.
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32)
+        .acquire_read(0u32, 5u32)
+        .acquire(1u32, 5u32);
+    assert!(matches!(
+        validate(&b.build()),
+        Err(ValidationError::RwLockConflict { .. })
+    ));
+    // Read-release without holding.
+    let mut b = TraceBuilder::new();
+    b.release_read(0u32, 5u32);
+    assert!(matches!(
+        validate(&b.build()),
+        Err(ValidationError::ReadReleaseWithoutAcquire { .. })
+    ));
+    // Barrier departure without arrival.
+    let mut b = TraceBuilder::new();
+    b.barrier_depart(0u32, 7u32);
+    assert!(matches!(
+        validate(&b.build()),
+        Err(ValidationError::BarrierDepartWithoutArrive { .. })
+    ));
+    // Two concurrent readers are fine.
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32)
+        .acquire_read(0u32, 5u32)
+        .acquire_read(1u32, 5u32)
+        .release_read(1u32, 5u32)
+        .release_read(0u32, 5u32);
+    assert!(validate(&b.build()).is_ok());
+}
+
+#[test]
+fn new_events_roundtrip_binary_format() {
+    use dgrace::trace::io::{from_bytes, to_bytes};
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32)
+        .acquire_read(1u32, 5u32)
+        .release_read(1u32, 5u32)
+        .cv_signal(0u32, 9u32)
+        .cv_wait(1u32, 9u32)
+        .barrier_arrive(0u32, 7u32)
+        .barrier_depart(0u32, 7u32);
+    let trace = b.build();
+    assert_eq!(from_bytes(&to_bytes(&trace)).unwrap(), trace);
+}
+
+#[test]
+fn dynamic_granularity_shares_across_barrier_phases() {
+    // A worker initializes an array, the team crosses a barrier, the
+    // worker sweeps it again: the barrier tick separates the epochs, so
+    // the firm sharing decision happens and the array re-groups.
+    let mut det = DynamicGranularity::new();
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32);
+    let mut bb = b;
+    bb.write(1u32, X, AccessSize::U64)
+        .write(1u32, X + 8, AccessSize::U64)
+        .write(1u32, X + 16, AccessSize::U64);
+    bb.barrier_round(&[1], 7u32);
+    bb.write(1u32, X, AccessSize::U64)
+        .write(1u32, X + 8, AccessSize::U64)
+        .write(1u32, X + 16, AccessSize::U64);
+    let trace = bb.build();
+    for ev in trace.iter() {
+        det.on_event(ev);
+    }
+    let snap = det.write_group(Addr(X)).unwrap();
+    assert_eq!(snap.members.len(), 3, "{snap:?}");
+    let rep = det.finish();
+    assert!(rep.races.is_empty());
+}

@@ -1,0 +1,183 @@
+//! Cross-crate integration: every workload through every detector, with
+//! the paper's qualitative shapes asserted.
+
+use dgrace::baselines::{HybridDetector, LockSetDetector, SegmentDetector};
+use dgrace::core::DynamicGranularity;
+use dgrace::detectors::{
+    Detector, DetectorExt, Djit, FastTrack, Granularity, NopDetector, OracleDetector,
+};
+use dgrace::trace::validate;
+use dgrace::workloads::{Workload, WorkloadKind};
+
+const SCALE: f64 = 0.05;
+
+fn all_detectors() -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(NopDetector::default()),
+        Box::new(OracleDetector::new()),
+        Box::new(Djit::new()),
+        Box::new(FastTrack::with_granularity(Granularity::Byte)),
+        Box::new(FastTrack::with_granularity(Granularity::Word)),
+        Box::new(FastTrack::with_granularity(Granularity::Fixed(16))),
+        Box::new(DynamicGranularity::new()),
+        Box::new(SegmentDetector::new()),
+        Box::new(HybridDetector::new()),
+        Box::new(LockSetDetector::new()),
+    ]
+}
+
+/// Smoke: every detector consumes every workload without panicking and
+/// produces internally consistent statistics.
+#[test]
+fn every_detector_runs_every_workload() {
+    for kind in WorkloadKind::ALL {
+        let (trace, _) = Workload::new(kind).with_scale(SCALE).generate();
+        validate(&trace).expect("workload must be structurally valid");
+        for mut det in all_detectors() {
+            let rep = det.run(&trace);
+            assert_eq!(
+                rep.stats.events,
+                trace.len() as u64,
+                "{} on {}: event count",
+                rep.detector,
+                kind.name()
+            );
+            assert!(
+                rep.stats.same_epoch <= rep.stats.accesses,
+                "{} on {}",
+                rep.detector,
+                kind.name()
+            );
+        }
+    }
+}
+
+/// Table 1 memory shape: the dynamic detector's peak shadow footprint is
+/// at most the byte detector's, with big wins on the high-locality
+/// workloads and parity on canneal.
+#[test]
+fn dynamic_memory_never_worse_than_byte() {
+    for kind in WorkloadKind::ALL {
+        let (trace, _) = Workload::new(kind).with_scale(SCALE).generate();
+        let byte = FastTrack::new().run(&trace);
+        let dynamic = DynamicGranularity::new().run(&trace);
+        assert!(
+            dynamic.stats.peak_total_bytes <= byte.stats.peak_total_bytes,
+            "{}: dynamic {} > byte {}",
+            kind.name(),
+            dynamic.stats.peak_total_bytes,
+            byte.stats.peak_total_bytes
+        );
+    }
+    // The headline cases really collapse (facesim/pbzip2 class).
+    for kind in [WorkloadKind::Facesim, WorkloadKind::Pbzip2, WorkloadKind::Hmmsearch] {
+        let (trace, _) = Workload::new(kind).with_scale(SCALE).generate();
+        let byte = FastTrack::new().run(&trace);
+        let dynamic = DynamicGranularity::new().run(&trace);
+        assert!(
+            dynamic.stats.peak_vc_count * 4 <= byte.stats.peak_vc_count,
+            "{}: expected ≥4x fewer clocks, got {} vs {}",
+            kind.name(),
+            dynamic.stats.peak_vc_count,
+            byte.stats.peak_vc_count
+        );
+    }
+}
+
+/// Table 3 shape: pbzip2 has by far the largest sharing groups.
+#[test]
+fn pbzip2_has_extreme_sharing() {
+    let (trace, _) = Workload::new(WorkloadKind::Pbzip2).with_scale(SCALE).generate();
+    let rep = DynamicGranularity::new().run(&trace);
+    let sh = rep.stats.sharing.unwrap();
+    assert!(sh.max_group >= 512, "max group {}", sh.max_group);
+    assert!(sh.avg_share_count > 10.0, "avg {}", sh.avg_share_count);
+}
+
+/// Table 4 shape: the same-epoch fraction rises under dynamic
+/// granularity for the sweep-style workloads and stays put for canneal.
+#[test]
+fn same_epoch_fractions_shift_as_in_table4() {
+    for (kind, should_rise) in [
+        (WorkloadKind::Facesim, true),
+        (WorkloadKind::Streamcluster, true),
+        (WorkloadKind::Canneal, false),
+    ] {
+        // Enough iterations for steady-state (post-resharing) sweeps.
+        let (trace, _) = Workload::new(kind).with_scale(0.6).generate();
+        let byte = FastTrack::new().run(&trace);
+        let dynamic = DynamicGranularity::new().run(&trace);
+        let b = byte.stats.same_epoch_fraction();
+        let d = dynamic.stats.same_epoch_fraction();
+        if should_rise {
+            assert!(
+                d > b + 0.05,
+                "{}: expected same-epoch rise, byte {:.2} dyn {:.2}",
+                kind.name(),
+                b,
+                d
+            );
+        } else {
+            assert!(
+                (d - b).abs() < 0.05,
+                "{}: fractions should match, byte {:.2} dyn {:.2}",
+                kind.name(),
+                b,
+                d
+            );
+        }
+    }
+}
+
+/// Table 6 shapes: the segment detector has no per-location index and
+/// modest memory; the hybrid detector is the heaviest precise detector.
+#[test]
+fn case_study_memory_ordering() {
+    for kind in [WorkloadKind::Streamcluster, WorkloadKind::Fluidanimate] {
+        let (trace, _) = Workload::new(kind).with_scale(SCALE).generate();
+        let dynamic = DynamicGranularity::new().run(&trace);
+        let seg = SegmentDetector::new().run(&trace);
+        let hybrid = HybridDetector::new().run(&trace);
+        assert_eq!(seg.stats.peak_hash_bytes, 0, "{}", kind.name());
+        assert!(
+            hybrid.stats.peak_total_bytes > 2 * dynamic.stats.peak_total_bytes,
+            "{}: hybrid {} vs dynamic {}",
+            kind.name(),
+            hybrid.stats.peak_total_bytes,
+            dynamic.stats.peak_total_bytes
+        );
+    }
+}
+
+/// Precision: the three happens-before case-study detectors agree on
+/// racy locations for every workload (the paper's observation that the
+/// tools found the same races).
+#[test]
+fn case_study_detectors_agree_on_locations() {
+    for kind in WorkloadKind::ALL {
+        let (trace, truth) = Workload::new(kind).with_scale(SCALE).generate();
+        let seg = SegmentDetector::new().run(&trace);
+        let hybrid = HybridDetector::new().run(&trace);
+        assert_eq!(seg.race_addrs(), truth.racy_addrs, "{}", kind.name());
+        assert_eq!(hybrid.race_addrs(), truth.racy_addrs, "{}", kind.name());
+    }
+}
+
+/// The dynamic detector's sharing artifacts are all flagged `tainted`.
+#[test]
+fn dynamic_extras_are_tainted() {
+    for kind in [WorkloadKind::X264, WorkloadKind::Streamcluster] {
+        let (trace, truth) = Workload::new(kind).with_scale(SCALE).generate();
+        let rep = DynamicGranularity::new().run(&trace);
+        for race in &rep.races {
+            if !truth.racy_addrs.contains(&race.addr) {
+                assert!(
+                    race.tainted,
+                    "{}: artifact at {:?} not flagged",
+                    kind.name(),
+                    race.addr
+                );
+            }
+        }
+    }
+}
