@@ -76,7 +76,11 @@ impl LockSetDetector {
             last_writer: None,
             reported: false,
         });
-        let before = if is_new { 0 } else { 32 + entry.lockset.len() * 4 };
+        let before = if is_new {
+            0
+        } else {
+            32 + entry.lockset.len() * 4
+        };
 
         // Eraser state machine.
         let new_state = match entry.state {
@@ -109,7 +113,9 @@ impl LockSetDetector {
         };
         entry.state = new_state;
 
-        if entry.state == LocksetState::SharedModified && entry.lockset.is_empty() && !entry.reported
+        if entry.state == LocksetState::SharedModified
+            && entry.lockset.is_empty()
+            && !entry.reported
         {
             entry.reported = true;
             let prev = entry.last_writer.unwrap_or(Tid(0));

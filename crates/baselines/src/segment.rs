@@ -114,10 +114,7 @@ impl SegmentDetector {
         // Check against every concurrent segment of another thread.
         if !self.raced.contains(&addr) {
             let mut witness: Option<(RaceKind, Epoch)> = None;
-            let iter = self
-                .finished
-                .iter()
-                .chain(self.current.iter().flatten());
+            let iter = self.finished.iter().chain(self.current.iter().flatten());
             for seg in iter {
                 if seg.tid == tid {
                     continue;
@@ -182,11 +179,7 @@ impl SegmentDetector {
             _ => &[],
         };
         for &t in ended {
-            if let Some(seg) = self
-                .current
-                .get_mut(t.index())
-                .and_then(Option::take)
-            {
+            if let Some(seg) = self.current.get_mut(t.index()).and_then(Option::take) {
                 if !seg.is_empty() {
                     self.finished.push(seg);
                 }

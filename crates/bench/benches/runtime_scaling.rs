@@ -1,0 +1,93 @@
+//! Online-runtime scaling: events/sec through the detection engine at
+//! 1/2/4/8 producer threads, serialized baseline vs the sharded engine.
+//!
+//! * `serialized` — one shard, buffer capacity 1: every event takes the
+//!   shard lock individually, reproducing the original global-mutex
+//!   funnel.
+//! * `sharded` — 8 detector shards, 256-event thread buffers: the
+//!   lock-free fast path plus address-routed dispatch.
+//!
+//! Each producer writes its own tracked array (disjoint objects, so the
+//! router spreads them across shards) and periodically takes a shared
+//! tracked lock, so sync broadcasts are part of the measured cost.
+
+use std::sync::Arc;
+use std::thread;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dgrace_core::DynamicGranularity;
+use dgrace_runtime::{Runtime, RuntimeOptions};
+
+const WRITES_PER_PRODUCER: usize = 4_096;
+const LOCK_EVERY: usize = 256;
+
+/// Runs `producers` real threads through `rt`; returns the event total.
+fn drive(rt: &Runtime, producers: usize) -> u64 {
+    let main = rt.main();
+    let shared = Arc::new(rt.mutex(0u64));
+    let arrays: Vec<_> = (0..producers).map(|_| rt.array(64)).collect();
+
+    let mut joins = Vec::new();
+    let mut tickets = Vec::new();
+    for arr in arrays {
+        let (child, ticket) = main.fork();
+        let lock = Arc::clone(&shared);
+        tickets.push(ticket);
+        joins.push(thread::spawn(move || {
+            for i in 0..WRITES_PER_PRODUCER {
+                arr.set(&child, i % 64, i as u64);
+                if i % LOCK_EVERY == 0 {
+                    let mut g = lock.lock(&child);
+                    *g += 1;
+                }
+            }
+        }));
+    }
+    for jh in joins {
+        jh.join().unwrap();
+    }
+    for t in tickets {
+        main.join(t);
+    }
+    rt.finish().stats.events
+}
+
+fn bench_runtime_scaling(c: &mut Criterion) {
+    let proto = DynamicGranularity::new();
+    let serialized = RuntimeOptions {
+        shards: 1,
+        buffer_capacity: 1,
+        record: false,
+    };
+    let sharded = RuntimeOptions {
+        shards: 8,
+        buffer_capacity: 256,
+        record: false,
+    };
+
+    let mut group = c.benchmark_group("runtime_scaling");
+    group.sample_size(10);
+    for producers in [1usize, 2, 4, 8] {
+        // Events: per-producer writes + lock round-trips, fork/join,
+        // allocs, and the shared-lock traffic — measured exactly by the
+        // engine, but Throughput uses the dominant term for stability.
+        let approx = (producers * WRITES_PER_PRODUCER) as u64;
+        group.throughput(Throughput::Elements(approx));
+        group.bench_function(BenchmarkId::new("serialized", producers), |b| {
+            b.iter(|| {
+                let rt = Runtime::sharded_with_options(&proto, serialized);
+                std::hint::black_box(drive(&rt, producers))
+            });
+        });
+        group.bench_function(BenchmarkId::new("sharded-8", producers), |b| {
+            b.iter(|| {
+                let rt = Runtime::sharded_with_options(&proto, sharded);
+                std::hint::black_box(drive(&rt, producers))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_scaling);
+criterion_main!(benches);

@@ -126,7 +126,10 @@ fn main() {
             r.kind, r.addr, r.current, r.previous, r.share_count
         );
     }
-    let sh = rep.stats.sharing.expect("dynamic detector has sharing stats");
+    let sh = rep
+        .stats
+        .sharing
+        .expect("dynamic detector has sharing stats");
     println!(
         "shares={} splits={} max-group={}",
         sh.shares, sh.splits, sh.max_group

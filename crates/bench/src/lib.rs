@@ -132,7 +132,10 @@ pub fn case_study_suite() -> Vec<Box<dyn Detector>> {
 /// The Table 5 state-machine ablation suite.
 pub fn ablation_suite() -> Vec<(String, DynamicConfig)> {
     vec![
-        ("no-sharing-at-init".into(), DynamicConfig::no_sharing_at_init()),
+        (
+            "no-sharing-at-init".into(),
+            DynamicConfig::no_sharing_at_init(),
+        ),
         ("sharing-at-init".into(), DynamicConfig::paper_default()),
         ("no-init-state".into(), DynamicConfig::no_init_state()),
         ("with-init-state".into(), DynamicConfig::paper_default()),

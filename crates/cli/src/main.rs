@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dgrace gen <workload> [--scale S] [--seed N] -o trace.dgrt
-//! dgrace detect <detector> <trace.dgrt> [--max-races N]
+//! dgrace detect <detector> <trace.dgrt> [--max-races N] [--shards N]
 //! dgrace stats <trace.dgrt>
 //! dgrace list
 //! ```
@@ -13,7 +13,10 @@ use std::process::ExitCode;
 
 use dgrace_baselines::{HybridDetector, LockSetDetector, SegmentDetector};
 use dgrace_core::{DynamicConfig, DynamicGranularity};
-use dgrace_detectors::{Detector, DetectorExt, Djit, FastTrack, Granularity, OracleDetector};
+use dgrace_detectors::{
+    Detector, DetectorExt, Djit, FastTrack, Granularity, OracleDetector, ShardableDetector,
+};
+use dgrace_runtime::replay_sharded;
 use dgrace_trace::io::{read_trace, write_trace};
 use dgrace_trace::{stats::stats, validate, Trace};
 use dgrace_workloads::{Workload, WorkloadKind};
@@ -62,7 +65,9 @@ fn print_help() {
         "dgrace — dynamic-granularity data race detection\n\n\
          USAGE:\n\
          \x20 dgrace gen <workload> [--scale S] [--seed N] -o <file>   generate a workload trace\n\
-         \x20 dgrace detect <detector> <file> [--max-races N]          run a detector over a trace\n\
+         \x20 dgrace detect <detector> <file> [--max-races N] [--shards N]\n\
+         \x20                                                          run a detector over a trace,\n\
+         \x20                                                          optionally across N address shards\n\
          \x20 dgrace compare <detA> <detB> <file>                      diff two detectors' findings\n\
          \x20 dgrace stats <file>                                      trace statistics\n\
          \x20 dgrace list                                              available workloads & detectors\n\n\
@@ -87,8 +92,14 @@ fn cmd_list() {
         ("byte", "FastTrack, byte granularity (paper baseline)"),
         ("word", "FastTrack, word granularity"),
         ("dynamic", "FastTrack + dynamic granularity (the paper)"),
-        ("dynamic-no-init", "dynamic without the Init state (Table 5)"),
-        ("dynamic-guided", "dynamic + write-guided read sharing (§VII)"),
+        (
+            "dynamic-no-init",
+            "dynamic without the Init state (Table 5)",
+        ),
+        (
+            "dynamic-guided",
+            "dynamic + write-guided read sharing (§VII)",
+        ),
         ("djit", "DJIT+ (full vector clocks)"),
         ("oracle", "exact first-race oracle (slow; ground truth)"),
         ("segment", "segment comparison (Valgrind DRD class)"),
@@ -104,12 +115,12 @@ fn make_detector(name: &str) -> Result<Box<dyn Detector>, String> {
         "byte" => Box::new(FastTrack::with_granularity(Granularity::Byte)),
         "word" => Box::new(FastTrack::with_granularity(Granularity::Word)),
         "dynamic" => Box::new(DynamicGranularity::new()),
-        "dynamic-no-init" => {
-            Box::new(DynamicGranularity::with_config(DynamicConfig::no_init_state()))
-        }
-        "dynamic-guided" => {
-            Box::new(DynamicGranularity::with_config(DynamicConfig::write_guided()))
-        }
+        "dynamic-no-init" => Box::new(DynamicGranularity::with_config(
+            DynamicConfig::no_init_state(),
+        )),
+        "dynamic-guided" => Box::new(DynamicGranularity::with_config(
+            DynamicConfig::write_guided(),
+        )),
         "djit" => Box::new(Djit::new()),
         "oracle" => Box::new(OracleDetector::new()),
         "segment" => Box::new(SegmentDetector::new()),
@@ -150,17 +161,48 @@ fn load_trace(path: &str) -> Result<Trace, String> {
     Ok(trace)
 }
 
+/// Prototype for sharded replay, for the detectors that support address
+/// partitioning (the vector-clock family).
+fn make_shardable(name: &str) -> Result<Box<dyn ShardableDetector>, String> {
+    Ok(match name {
+        "byte" => Box::new(FastTrack::with_granularity(Granularity::Byte)),
+        "word" => Box::new(FastTrack::with_granularity(Granularity::Word)),
+        "dynamic" => Box::new(DynamicGranularity::new()),
+        "dynamic-no-init" => Box::new(DynamicGranularity::with_config(
+            DynamicConfig::no_init_state(),
+        )),
+        "dynamic-guided" => Box::new(DynamicGranularity::with_config(
+            DynamicConfig::write_guided(),
+        )),
+        "djit" => Box::new(Djit::new()),
+        other => {
+            return Err(format!(
+                "detector `{other}` does not support --shards (shardable: \
+                 byte, word, dynamic, dynamic-no-init, dynamic-guided, djit)"
+            ))
+        }
+    })
+}
+
 fn cmd_detect(rest: &[String]) -> Result<(), String> {
-    let p = Parsed::parse(rest, &["--max-races"])?;
+    let p = Parsed::parse(rest, &["--max-races", "--shards"])?;
     let det_name = p.positional(0).ok_or("detect: missing detector name")?;
     let path = p.positional(1).ok_or("detect: missing trace file")?;
     let max_races: usize = p.opt_parse("--max-races")?.unwrap_or(25);
+    let shards: usize = p.opt_parse("--shards")?.unwrap_or(1);
 
     let trace = load_trace(path)?;
-    let mut det = make_detector(det_name)?;
     let start = std::time::Instant::now();
-    let report = det.run(&trace);
+    let report = if shards > 1 {
+        let proto = make_shardable(det_name)?;
+        replay_sharded(proto.as_ref(), &trace, shards)
+    } else {
+        make_detector(det_name)?.run(&trace)
+    };
     let secs = start.elapsed().as_secs_f64();
+    if shards > 1 {
+        println!("sharded replay: {shards} detector shards (merged report)");
+    }
     render::report(&report, &trace, secs, max_races);
     Ok(())
 }

@@ -50,11 +50,18 @@ pub fn report(rep: &Report, trace: &Trace, secs: f64, max_races: usize) {
             } else {
                 String::new()
             },
-            if race.tainted { "  [tainted: verify]" } else { "" }
+            if race.tainted {
+                "  [tainted: verify]"
+            } else {
+                ""
+            }
         );
     }
     if rep.races.len() > max_races {
-        println!("  … {} more (raise --max-races)", rep.races.len() - max_races);
+        println!(
+            "  … {} more (raise --max-races)",
+            rep.races.len() - max_races
+        );
     }
 }
 
@@ -73,8 +80,14 @@ pub fn trace_stats(s: &TraceStats, events: usize) {
         s.by_size[3],
         s.sub_word_fraction() * 100.0
     );
-    println!("sync          : {} acquires, {} releases", s.acquires, s.releases);
-    println!("threads       : {} ({} forks, {} joins)", s.threads, s.forks, s.joins);
+    println!(
+        "sync          : {} acquires, {} releases",
+        s.acquires, s.releases
+    );
+    println!(
+        "threads       : {} ({} forks, {} joins)",
+        s.threads, s.forks, s.joins
+    );
     println!("locks         : {}", s.locks);
     println!(
         "heap churn    : {} allocs / {} frees, {:.1} KiB total",

@@ -1,7 +1,7 @@
 //! The dynamic-granularity detector (Fig. 3's instrumentation routines).
 
 use dgrace_detectors::{
-    AccessKind, Detector, HbState, RaceKind, RaceReport, Report, SharingStats,
+    AccessKind, Detector, HbState, RaceKind, RaceReport, Report, ShardableDetector, SharingStats,
 };
 use dgrace_shadow::{MemClass, MemoryModel, SlabId};
 use dgrace_trace::{Addr, Event};
@@ -509,10 +509,14 @@ impl DynamicGranularity {
         // addresses; like the paper's structure (one chunk entry holding
         // the location's read and write clock pointers), the modeled
         // index cost is the larger plane, not the sum.
-        self.model
-            .set(MemClass::Hash, self.read.hash_bytes().max(self.write.hash_bytes()));
-        self.model
-            .set(MemClass::VectorClock, self.read.vc_bytes() + self.write.vc_bytes());
+        self.model.set(
+            MemClass::Hash,
+            self.read.hash_bytes().max(self.write.hash_bytes()),
+        );
+        self.model.set(
+            MemClass::VectorClock,
+            self.read.vc_bytes() + self.write.vc_bytes(),
+        );
         self.model.set(MemClass::Bitmap, self.hb.bitmap_bytes());
         let cells = self.read.cell_count() + self.write.cell_count();
         self.model.set_vc_count(cells);
@@ -521,6 +525,12 @@ impl DynamicGranularity {
             self.peak_locs = locs;
             self.cells_at_peak = cells;
         }
+    }
+}
+
+impl ShardableDetector for DynamicGranularity {
+    fn new_shard(&self) -> Box<dyn Detector + Send> {
+        Box::new(DynamicGranularity::with_config(self.config))
     }
 }
 
@@ -824,7 +834,11 @@ mod tests {
         assert!(rep.races.is_empty());
         // At most a couple of cells live at any time thanks to Init
         // sharing + free.
-        assert!(rep.stats.peak_vc_count <= 4, "peak={}", rep.stats.peak_vc_count);
+        assert!(
+            rep.stats.peak_vc_count <= 4,
+            "peak={}",
+            rep.stats.peak_vc_count
+        );
         assert_eq!(rep.stats.vc_allocs, rep.stats.vc_frees);
     }
 
@@ -863,7 +877,11 @@ mod tests {
         let rep = DynamicGranularity::new().run(&b.build());
         // Third sweep: all 16 accesses same-epoch via the bitmap; second
         // sweep re-shares. Expect a high same-epoch count.
-        assert!(rep.stats.same_epoch >= 16, "same_epoch={}", rep.stats.same_epoch);
+        assert!(
+            rep.stats.same_epoch >= 16,
+            "same_epoch={}",
+            rep.stats.same_epoch
+        );
         assert!(rep.races.is_empty());
     }
 

@@ -480,10 +480,7 @@ mod tests {
         assert!(split);
         assert_eq!(p.cell(new_id).count, 1);
         assert_eq!(p.group_members(Addr(0x104)), vec![Addr(0x104)]);
-        assert_eq!(
-            p.group_members(Addr(0x100)),
-            vec![Addr(0x100), Addr(0x108)]
-        );
+        assert_eq!(p.group_members(Addr(0x100)), vec![Addr(0x100), Addr(0x108)]);
         assert_eq!(p.cell_count(), 2);
         // Splitting a private location is a no-op.
         let (same, split2) = p.split(Addr(0x104));
@@ -501,10 +498,7 @@ mod tests {
         assert_eq!(p.cell(id).count, 2);
         assert_eq!(p.cell_count(), 1);
         assert_eq!(p.vc_frees(), 1);
-        assert_eq!(
-            p.group_members(Addr(0x100)),
-            vec![Addr(0x100), Addr(0x104)]
-        );
+        assert_eq!(p.group_members(Addr(0x100)), vec![Addr(0x100), Addr(0x104)]);
     }
 
     #[test]
@@ -564,10 +558,7 @@ mod tests {
         assert_eq!(p.cell_count(), 1);
         let id = p.lookup(Addr(0x100)).unwrap();
         assert_eq!(p.cell(id).count, 2);
-        assert_eq!(
-            p.group_members(Addr(0x100)),
-            vec![Addr(0x100), Addr(0x108)]
-        );
+        assert_eq!(p.group_members(Addr(0x100)), vec![Addr(0x100), Addr(0x108)]);
         p.remove(Addr(0x100));
         p.remove(Addr(0x108));
         assert_eq!(p.cell_count(), 0);
@@ -601,10 +592,7 @@ mod tests {
         assert_eq!(p.loc_count(), 2);
         let id = p.lookup(Addr(0xfc)).unwrap();
         assert_eq!(p.cell(id).count, 2);
-        assert_eq!(
-            p.group_members(Addr(0xfc)),
-            vec![Addr(0xfc), Addr(0x108)]
-        );
+        assert_eq!(p.group_members(Addr(0xfc)), vec![Addr(0xfc), Addr(0x108)]);
         assert_eq!(p.group_members(Addr(0x108)), p.group_members(Addr(0xfc)));
         // Splitting a survivor still works (indices were compacted).
         let (nid, split) = p.split(Addr(0x108));
@@ -654,9 +642,6 @@ mod tests {
         assert!(s1);
         let (_, s2) = p.split(Addr(0x10c));
         assert!(s2);
-        assert_eq!(
-            p.group_members(Addr(0x100)),
-            vec![Addr(0x100), Addr(0x108)]
-        );
+        assert_eq!(p.group_members(Addr(0x100)), vec![Addr(0x100), Addr(0x108)]);
     }
 }

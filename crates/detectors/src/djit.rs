@@ -6,7 +6,7 @@ use dgrace_trace::{Addr, Event};
 use dgrace_vc::{Epoch, Tid, VectorClock};
 
 use crate::{
-    AccessKind, Detector, Granularity, HbState, RaceKind, RaceReport, Report,
+    AccessKind, Detector, Granularity, HbState, RaceKind, RaceReport, Report, ShardableDetector,
 };
 
 #[derive(Clone, Debug)]
@@ -140,6 +140,12 @@ impl Djit {
         self.model.set(MemClass::VectorClock, self.vc_bytes);
         self.model.set(MemClass::Bitmap, self.hb.bitmap_bytes());
         self.model.set_vc_count(self.table.len() * 2);
+    }
+}
+
+impl ShardableDetector for Djit {
+    fn new_shard(&self) -> Box<dyn Detector + Send> {
+        Box::new(Djit::with_granularity(self.granularity))
     }
 }
 

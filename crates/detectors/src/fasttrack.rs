@@ -5,7 +5,9 @@ use dgrace_shadow::{MemClass, MemoryModel, ShadowTable};
 use dgrace_trace::{Addr, Event};
 use dgrace_vc::{Epoch, ReadClock, Tid};
 
-use crate::{AccessKind, Detector, Granularity, HbState, RaceKind, RaceReport, Report};
+use crate::{
+    AccessKind, Detector, Granularity, HbState, RaceKind, RaceReport, Report, ShardableDetector,
+};
 
 /// Shadow state of one location: a write epoch (always `O(1)` — all
 /// race-free writes are totally ordered) and an adaptive read clock.
@@ -159,6 +161,12 @@ impl FastTrack {
         self.model.set(MemClass::VectorClock, self.vc_bytes);
         self.model.set(MemClass::Bitmap, self.hb.bitmap_bytes());
         self.model.set_vc_count(self.table.len() * 2);
+    }
+}
+
+impl ShardableDetector for FastTrack {
+    fn new_shard(&self) -> Box<dyn Detector + Send> {
+        Box::new(FastTrack::with_granularity(self.granularity))
     }
 }
 

@@ -202,8 +202,7 @@ mod tests {
             .write(0u32, 0x900u64, AccessSize::U32)
             .write(1u32, 0x900u64, AccessSize::U32);
         let trace = b.build();
-        let mut det =
-            FilteredDetector::new(FastTrack::new()).suppress_range(Addr(0x100), 0x10);
+        let mut det = FilteredDetector::new(FastTrack::new()).suppress_range(Addr(0x100), 0x10);
         let rep = det.run(&trace);
         assert_eq!(rep.races.len(), 1);
         assert_eq!(rep.races[0].addr, Addr(0x900));

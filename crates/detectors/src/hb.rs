@@ -263,10 +263,16 @@ mod tests {
         let mut hb = HbState::new();
         let l = LockId(1);
         // T0 releases: lock learns T0's clock, T0 enters epoch 2.
-        hb.on_sync(&Event::Release { tid: Tid(0), lock: l });
+        hb.on_sync(&Event::Release {
+            tid: Tid(0),
+            lock: l,
+        });
         assert_eq!(hb.epoch(Tid(0)), Epoch::new(2, Tid(0)));
         // T1 acquires: learns T0's epoch-1 clock.
-        hb.on_sync(&Event::Acquire { tid: Tid(1), lock: l });
+        hb.on_sync(&Event::Acquire {
+            tid: Tid(1),
+            lock: l,
+        });
         assert_eq!(hb.clock(Tid(1)).get(Tid(0)), 1);
         assert_eq!(hb.clock(Tid(1)).get(Tid(1)), 1);
     }
@@ -351,15 +357,34 @@ mod tests {
         let mut hb = HbState::new();
         // T0 write-releases L (publishes epoch 1), T1 read-releases L
         // (publishes into `all` only).
-        hb.on_sync(&Event::Release { tid: Tid(0), lock: LockId(5) });
-        hb.on_sync(&Event::AcquireRead { tid: Tid(1), lock: LockId(5) });
-        assert_eq!(hb.clock(Tid(1)).get(Tid(0)), 1, "reader sees writer release");
-        hb.on_sync(&Event::ReleaseRead { tid: Tid(1), lock: LockId(5) });
+        hb.on_sync(&Event::Release {
+            tid: Tid(0),
+            lock: LockId(5),
+        });
+        hb.on_sync(&Event::AcquireRead {
+            tid: Tid(1),
+            lock: LockId(5),
+        });
+        assert_eq!(
+            hb.clock(Tid(1)).get(Tid(0)),
+            1,
+            "reader sees writer release"
+        );
+        hb.on_sync(&Event::ReleaseRead {
+            tid: Tid(1),
+            lock: LockId(5),
+        });
         // Another reader: must NOT see T1's read-release...
-        hb.on_sync(&Event::AcquireRead { tid: Tid(2), lock: LockId(5) });
+        hb.on_sync(&Event::AcquireRead {
+            tid: Tid(2),
+            lock: LockId(5),
+        });
         assert_eq!(hb.clock(Tid(2)).get(Tid(1)), 0, "readers unordered");
         // ...but a writer sees both the write and the read release.
-        hb.on_sync(&Event::Acquire { tid: Tid(3), lock: LockId(5) });
+        hb.on_sync(&Event::Acquire {
+            tid: Tid(3),
+            lock: LockId(5),
+        });
         assert_eq!(hb.clock(Tid(3)).get(Tid(0)), 1);
         assert_eq!(hb.clock(Tid(3)).get(Tid(1)), 1);
     }
@@ -367,12 +392,21 @@ mod tests {
     #[test]
     fn condvar_signal_then_wait_orders() {
         let mut hb = HbState::new();
-        hb.on_sync(&Event::CvSignal { tid: Tid(0), cv: LockId(9) });
+        hb.on_sync(&Event::CvSignal {
+            tid: Tid(0),
+            cv: LockId(9),
+        });
         assert_eq!(hb.epoch(Tid(0)), Epoch::new(2, Tid(0)), "signal ticks");
-        hb.on_sync(&Event::CvWait { tid: Tid(1), cv: LockId(9) });
+        hb.on_sync(&Event::CvWait {
+            tid: Tid(1),
+            cv: LockId(9),
+        });
         assert_eq!(hb.clock(Tid(1)).get(Tid(0)), 1, "waiter joined signaler");
         // Waiting on a never-signaled cv is a no-op.
-        hb.on_sync(&Event::CvWait { tid: Tid(2), cv: LockId(8) });
+        hb.on_sync(&Event::CvWait {
+            tid: Tid(2),
+            cv: LockId(8),
+        });
         assert_eq!(hb.clock(Tid(2)).get(Tid(0)), 0);
     }
 
@@ -380,10 +414,16 @@ mod tests {
     fn barrier_departure_joins_all_arrivals() {
         let mut hb = HbState::new();
         for t in 0..3 {
-            hb.on_sync(&Event::BarrierArrive { tid: Tid(t), bar: LockId(7) });
+            hb.on_sync(&Event::BarrierArrive {
+                tid: Tid(t),
+                bar: LockId(7),
+            });
         }
         for t in 0..3 {
-            hb.on_sync(&Event::BarrierDepart { tid: Tid(t), bar: LockId(7) });
+            hb.on_sync(&Event::BarrierDepart {
+                tid: Tid(t),
+                bar: LockId(7),
+            });
         }
         // Every departing thread knows every arrival epoch (1 each).
         for t in 0..3 {
@@ -402,7 +442,10 @@ mod tests {
         let mut hb = HbState::new();
         let a = Addr(0x20);
         assert!(hb.first_write_in_epoch(Tid(0), a));
-        hb.on_sync(&Event::BarrierArrive { tid: Tid(0), bar: LockId(7) });
+        hb.on_sync(&Event::BarrierArrive {
+            tid: Tid(0),
+            bar: LockId(7),
+        });
         assert!(hb.first_write_in_epoch(Tid(0), a), "new epoch after arrive");
     }
 

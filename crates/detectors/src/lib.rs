@@ -46,16 +46,18 @@ mod nop;
 mod oracle;
 mod recorder;
 mod report;
+mod shard;
 mod tee;
 
 pub use detector::{Detector, DetectorExt};
-pub use filter::{AddressFilter, FilteredDetector};
 pub use djit::Djit;
 pub use fasttrack::FastTrack;
+pub use filter::{AddressFilter, FilteredDetector};
 pub use granularity::Granularity;
 pub use hb::HbState;
 pub use nop::NopDetector;
 pub use oracle::OracleDetector;
 pub use recorder::Recorder;
-pub use tee::Tee;
 pub use report::{AccessKind, DetectorStats, RaceKind, RaceReport, Report, SharingStats};
+pub use shard::{merge_shard_reports, race_signature, sort_races, ShardableDetector};
+pub use tee::Tee;

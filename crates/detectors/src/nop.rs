@@ -2,7 +2,7 @@
 
 use dgrace_trace::Event;
 
-use crate::{Detector, Report};
+use crate::{Detector, Report, ShardableDetector};
 
 /// Consumes events, counts them, and detects nothing.
 ///
@@ -17,6 +17,12 @@ pub struct NopDetector {
     sink: u64,
 }
 
+impl ShardableDetector for NopDetector {
+    fn new_shard(&self) -> Box<dyn Detector + Send> {
+        Box::new(NopDetector::default())
+    }
+}
+
 impl Detector for NopDetector {
     fn name(&self) -> String {
         "nop".to_string()
@@ -26,9 +32,7 @@ impl Detector for NopDetector {
         self.events += 1;
         if let Some((addr, size, w)) = ev.access() {
             self.accesses += 1;
-            self.sink = self
-                .sink
-                .wrapping_add(addr.0 ^ size.bytes() ^ (w as u64));
+            self.sink = self.sink.wrapping_add(addr.0 ^ size.bytes() ^ (w as u64));
         }
     }
 

@@ -63,9 +63,7 @@ impl OracleDetector {
             // Writes race with any concurrent prior access; reads race
             // only with concurrent prior writes.
             let conflicting: Box<dyn Iterator<Item = (&Epoch, RaceKind)>> = match kind {
-                AccessKind::Read => Box::new(
-                    hist.writes.iter().map(|e| (e, RaceKind::WriteRead)),
-                ),
+                AccessKind::Read => Box::new(hist.writes.iter().map(|e| (e, RaceKind::WriteRead))),
                 AccessKind::Write => Box::new(
                     hist.writes
                         .iter()

@@ -1,0 +1,505 @@
+//! The sharded, batched detection engine.
+//!
+//! This module replaces the original global-mutex event funnel (one
+//! `Mutex<Box<dyn Detector>>` taken per event) with a design that keeps
+//! detection off the instrumented threads' fast path and lets independent
+//! address regions be analyzed in parallel:
+//!
+//! * **Per-thread batching.** Every tracked thread owns a private
+//!   fixed-capacity lock-free queue ([`ThreadBuf`]). Memory accesses are
+//!   appended without taking any lock; the buffer is flushed when it
+//!   overflows, at *every* synchronization operation the thread performs,
+//!   and at `finish`.
+//! * **Address-sharded detectors.** The engine owns N detector shards,
+//!   each a complete detector instance behind its own mutex. Accesses are
+//!   routed by address: each allocated object (with its anti-sharing
+//!   padding) is assigned wholly to one shard, so the dynamic-granularity
+//!   neighbor-sharing machine sees every sharing-adjacent byte inside a
+//!   single shard.
+//! * **Broadcast synchronization.** Sync events (acquire/release,
+//!   fork/join, rwlock, condvar, barrier) are stamped with a global
+//!   sequence number while *all* shard locks are held and fed to every
+//!   shard, so each shard's happens-before state is exact and identical.
+//!
+//! ## Why this is equivalent to the serialized detector
+//!
+//! Sequence stamps are allocated while holding the destination shard's
+//! lock (all shard locks, for a broadcast), so for every shard the feed
+//! order equals the stamp order. Sorting the journal by stamp therefore
+//! yields a single serialization σ of the run whose restriction to each
+//! shard's addresses (plus all syncs) is exactly what that shard
+//! processed. A vector-clock detector's verdict on an address depends
+//! only on the sync events and the accesses to sharing-adjacent
+//! addresses — and the router keeps sharing-adjacent addresses (same
+//! padded object) in one shard — so replaying σ through one serialized
+//! detector reproduces the union of the shards' race sets. The
+//! differential tests in `tests/sharded_equivalence.rs` check this
+//! end-to-end.
+//!
+//! ## Flush ordering rules (the part that is easy to get wrong)
+//!
+//! 1. A thread's buffer is flushed **before** any of its sync events is
+//!    broadcast — including lock *acquires*: the detector merges the
+//!    lock's clock into the thread's clock at the acquire, so a buffered
+//!    pre-acquire access processed after it would appear protected.
+//! 2. A child's buffer is flushed **before** the parent's `Join` is
+//!    broadcast (the parent drains it; the real thread has already
+//!    terminated), otherwise the child's tail accesses would appear
+//!    ordered after the join edge and races would be missed or invented.
+//! 3. `finish` flushes every registered buffer before collecting shard
+//!    reports, so `stats.events` equals the exact number of emitted
+//!    events.
+//!
+//! Lock order is always: buffer flush lock → shard locks in ascending
+//! index. No path acquires them in the reverse direction, so the engine
+//! cannot deadlock against itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::ArrayQueue;
+use dgrace_detectors::{merge_shard_reports, Detector, Recorder, Report, Tee};
+use dgrace_trace::{Event, Tid, Trace};
+use parking_lot::{Mutex, MutexGuard, RwLock};
+
+/// Tuning knobs for the online runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeOptions {
+    /// Number of detector shards. `1` reproduces the serialized engine.
+    pub shards: usize,
+    /// Capacity of each thread's private event buffer. `1` disables
+    /// batching (every access is dispatched individually — the
+    /// serialized-baseline configuration of the scaling bench).
+    pub buffer_capacity: usize,
+    /// When `true`, the engine journals every event with its sequence
+    /// stamp; `take_recorded` then reconstructs the observed
+    /// serialization as a [`Trace`].
+    pub record: bool,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            shards: 1,
+            buffer_capacity: 256,
+            record: false,
+        }
+    }
+}
+
+/// One thread's private event buffer: a lock-free bounded queue plus a
+/// flush lock that serializes drainers (the owner on overflow/sync, the
+/// parent at join, the engine at finish).
+pub(crate) struct ThreadBuf {
+    queue: ArrayQueue<Event>,
+    flush: Mutex<()>,
+}
+
+impl ThreadBuf {
+    fn new(capacity: usize) -> Self {
+        ThreadBuf {
+            queue: ArrayQueue::new(capacity.max(1)),
+            flush: Mutex::new(()),
+        }
+    }
+}
+
+struct ShardState {
+    det: Box<dyn Detector + Send>,
+    /// `(stamp, event)` pairs, appended in stamp order; only populated
+    /// when recording.
+    journal: Vec<(u64, Event)>,
+}
+
+/// Region size of the fallback router for addresses outside every
+/// registered allocation (4 KiB). Offline traces that carry no `Alloc`
+/// events are routed at this granularity; a region boundary can then
+/// split sharing-adjacent addresses across shards, which is documented
+/// as a limitation of offline sharded replay (the online runtime always
+/// registers whole objects).
+const REGION_BITS: u32 = 12;
+
+/// Routes addresses to shards. Allocated objects are registered as whole
+/// ranges (round-robin across shards) so neighbor sharing never crosses
+/// a shard boundary; unregistered addresses fall back to hashing their
+/// 4 KiB region.
+struct Router {
+    /// Sorted, disjoint `(base, end, shard)` ranges.
+    ranges: Vec<(u64, u64, usize)>,
+    next_shard: usize,
+    shards: usize,
+}
+
+impl Router {
+    fn new(shards: usize) -> Self {
+        Router {
+            ranges: Vec::new(),
+            next_shard: 0,
+            shards,
+        }
+    }
+
+    fn route(&self, addr: u64) -> usize {
+        if self.shards <= 1 {
+            return 0;
+        }
+        use std::cmp::Ordering as O;
+        match self.ranges.binary_search_by(|&(base, end, _)| {
+            if end <= addr {
+                O::Less
+            } else if base > addr {
+                O::Greater
+            } else {
+                O::Equal
+            }
+        }) {
+            Ok(i) => self.ranges[i].2,
+            Err(_) => ((addr >> REGION_BITS) as usize) % self.shards,
+        }
+    }
+
+    fn register(&mut self, base: u64, len: u64) {
+        if self.shards <= 1 {
+            return;
+        }
+        let shard = self.next_shard;
+        self.next_shard = (self.next_shard + 1) % self.shards;
+        let pos = self.ranges.partition_point(|r| r.0 < base);
+        self.ranges.insert(pos, (base, base + len.max(1), shard));
+    }
+}
+
+/// The sharded, batched detection engine. See the module docs for the
+/// design and its ordering rules.
+pub(crate) struct Engine {
+    shards: Vec<Mutex<ShardState>>,
+    /// Global sequence stamp; allocated under shard locks so per-shard
+    /// feed order equals stamp order.
+    seq: AtomicU64,
+    /// Exact count of logical events emitted (broadcasts count once).
+    emitted: AtomicU64,
+    record: bool,
+    capacity: usize,
+    router: RwLock<Router>,
+    /// Per-tid buffer registry, indexed by `Tid::index()`.
+    bufs: RwLock<Vec<Option<Arc<ThreadBuf>>>>,
+}
+
+impl Engine {
+    pub(crate) fn new(detectors: Vec<Box<dyn Detector + Send>>, opts: RuntimeOptions) -> Self {
+        assert!(!detectors.is_empty(), "engine needs at least one shard");
+        let shards = detectors
+            .into_iter()
+            .map(|det| {
+                Mutex::new(ShardState {
+                    det,
+                    journal: Vec::new(),
+                })
+            })
+            .collect::<Vec<_>>();
+        let n = shards.len();
+        Engine {
+            shards,
+            seq: AtomicU64::new(0),
+            emitted: AtomicU64::new(0),
+            record: opts.record,
+            capacity: opts.buffer_capacity,
+            router: RwLock::new(Router::new(n)),
+            bufs: RwLock::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The buffer of `tid`, creating it on first use.
+    pub(crate) fn buffer_for(&self, tid: Tid) -> Arc<ThreadBuf> {
+        let idx = tid.index();
+        {
+            let bufs = self.bufs.read();
+            if let Some(Some(buf)) = bufs.get(idx) {
+                return Arc::clone(buf);
+            }
+        }
+        let mut bufs = self.bufs.write();
+        if bufs.len() <= idx {
+            bufs.resize_with(idx + 1, || None);
+        }
+        Arc::clone(bufs[idx].get_or_insert_with(|| Arc::new(ThreadBuf::new(self.capacity))))
+    }
+
+    fn get_buf(&self, tid: Tid) -> Option<Arc<ThreadBuf>> {
+        self.bufs.read().get(tid.index()).cloned().flatten()
+    }
+
+    /// Lock-free fast path: appends an access to `buf`, flushing first
+    /// when the buffer is full.
+    pub(crate) fn push(&self, buf: &ThreadBuf, ev: Event) {
+        let mut ev = ev;
+        loop {
+            match buf.queue.push(ev) {
+                Ok(()) => return,
+                Err(back) => {
+                    self.flush_buf(buf);
+                    ev = back;
+                }
+            }
+        }
+    }
+
+    /// Drains `buf` and dispatches the drained batch to the shards.
+    ///
+    /// The flush lock serializes drainers so a batch is always a
+    /// program-order prefix of the owner's pending events.
+    pub(crate) fn flush_buf(&self, buf: &ThreadBuf) {
+        let _g = buf.flush.lock();
+        let mut batch = Vec::with_capacity(buf.queue.len());
+        while let Some(ev) = buf.queue.pop() {
+            batch.push(ev);
+        }
+        if !batch.is_empty() {
+            self.dispatch(batch);
+        }
+    }
+
+    /// Flushes every registered thread buffer.
+    pub(crate) fn flush_all(&self) {
+        let bufs: Vec<Arc<ThreadBuf>> = self.bufs.read().iter().flatten().cloned().collect();
+        for buf in bufs {
+            self.flush_buf(&buf);
+        }
+    }
+
+    /// Flushes `tid`'s buffer if it exists (used by the join protocol and
+    /// offline replay, where a tid may have no buffer).
+    pub(crate) fn flush_tid(&self, tid: Tid) {
+        if let Some(buf) = self.get_buf(tid) {
+            self.flush_buf(&buf);
+        }
+    }
+
+    /// Routes a batch of access/alloc/free events to the shards.
+    ///
+    /// Each per-shard part receives one sequence stamp, taken while the
+    /// shard lock is held; events within a part keep their program order.
+    pub(crate) fn dispatch(&self, batch: Vec<Event>) {
+        let n = batch.len() as u64;
+        if self.shards.len() == 1 {
+            let mut shard = self.shards[0].lock();
+            let stamp = self.seq.fetch_add(1, Ordering::Relaxed);
+            for ev in &batch {
+                shard.det.on_event(ev);
+            }
+            if self.record {
+                shard
+                    .journal
+                    .extend(batch.into_iter().map(|ev| (stamp, ev)));
+            }
+        } else {
+            let mut parts: Vec<Vec<Event>> = vec![Vec::new(); self.shards.len()];
+            {
+                let router = self.router.read();
+                for ev in batch {
+                    parts[router.route(route_addr(&ev))].push(ev);
+                }
+            }
+            for (i, part) in parts.into_iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                let mut shard = self.shards[i].lock();
+                let stamp = self.seq.fetch_add(1, Ordering::Relaxed);
+                for ev in &part {
+                    shard.det.on_event(ev);
+                }
+                if self.record {
+                    shard.journal.extend(part.into_iter().map(|ev| (stamp, ev)));
+                }
+            }
+        }
+        self.emitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Emits a sync event as `tid`: flushes `tid`'s buffer (rule 1 of the
+    /// module docs), then broadcasts the event to every shard.
+    pub(crate) fn emit_sync(&self, tid: Tid, ev: Event) {
+        self.flush_tid(tid);
+        self.broadcast(ev);
+    }
+
+    /// Stamps a sync event once (holding every shard lock) and feeds it
+    /// to all shards, keeping their happens-before states identical.
+    fn broadcast(&self, ev: Event) {
+        let mut guards: Vec<MutexGuard<'_, ShardState>> =
+            self.shards.iter().map(|s| s.lock()).collect();
+        let stamp = self.seq.fetch_add(1, Ordering::Relaxed);
+        for g in guards.iter_mut() {
+            g.det.on_event(&ev);
+        }
+        if self.record {
+            guards[0].journal.push((stamp, ev));
+        }
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers an allocated object's (padded) range so all its bytes —
+    /// and thus all its sharing-adjacent neighbors — route to one shard.
+    pub(crate) fn register_range(&self, base: u64, len: u64) {
+        self.router.write().register(base, len);
+    }
+
+    /// Emits an allocation event: flushes the allocating thread's buffer,
+    /// then dispatches the event to the object's shard immediately, so
+    /// every shard-feed (and the journal) shows the `Alloc` before any
+    /// access to the object.
+    pub(crate) fn emit_alloc(&self, tid: Tid, ev: Event) {
+        self.flush_tid(tid);
+        self.dispatch(vec![ev]);
+    }
+
+    /// Flushes all buffers, finishes every shard, and merges the reports.
+    /// `stats.events` of the merged report is the exact emitted count.
+    pub(crate) fn finish(&self) -> Report {
+        self.flush_all();
+        let reports: Vec<Report> = self.shards.iter().map(|s| s.lock().det.finish()).collect();
+        let emitted = self.emitted.swap(0, Ordering::Relaxed);
+        if reports.len() == 1 {
+            reports.into_iter().next().expect("one shard")
+        } else {
+            let mut merged = merge_shard_reports(reports);
+            // Broadcasts reach every shard; the sum over-counts them.
+            merged.stats.events = emitted;
+            merged
+        }
+    }
+
+    /// Reconstructs the recorded serialization (journal mode), or falls
+    /// back to the single-shard `Recorder`/`Tee` downcast used by the
+    /// pre-sharding API.
+    pub(crate) fn take_recorded(&self) -> Option<Trace> {
+        self.flush_all();
+        if self.record {
+            let mut entries: Vec<(u64, Event)> = Vec::new();
+            for shard in &self.shards {
+                entries.append(&mut shard.lock().journal);
+            }
+            // Stable: entries sharing a stamp (one dispatched part) keep
+            // their program order.
+            entries.sort_by_key(|&(stamp, _)| stamp);
+            return Some(Trace::from_events(
+                entries.into_iter().map(|(_, ev)| ev).collect(),
+            ));
+        }
+        if self.shards.len() != 1 {
+            return None;
+        }
+        let mut shard = self.shards[0].lock();
+        let any: &mut dyn std::any::Any = &mut *shard.det;
+        if let Some(rec) = any.downcast_mut::<Recorder>() {
+            return Some(rec.take_trace());
+        }
+        // Common compositions: Recorder teed with a live detector.
+        macro_rules! try_tee {
+            ($($live:ty),*) => {$(
+                if let Some(tee) = (&mut *shard.det as &mut dyn std::any::Any)
+                    .downcast_mut::<Tee<Recorder, $live>>()
+                {
+                    return Some(tee.first_mut().take_trace());
+                }
+            )*};
+        }
+        try_tee!(
+            dgrace_core::DynamicGranularity,
+            dgrace_detectors::FastTrack,
+            dgrace_detectors::Djit
+        );
+        None
+    }
+}
+
+/// The routing address of an access/alloc/free event. Sync events never
+/// reach `dispatch`, but routing them to shard 0 is still well-defined.
+fn route_addr(ev: &Event) -> u64 {
+    match *ev {
+        Event::Read { addr, .. }
+        | Event::Write { addr, .. }
+        | Event::Alloc { addr, .. }
+        | Event::Free { addr, .. } => addr.0,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrace_detectors::NopDetector;
+    use dgrace_trace::{AccessSize, Addr};
+
+    fn nop_shards(n: usize) -> Vec<Box<dyn Detector + Send>> {
+        (0..n)
+            .map(|_| Box::new(NopDetector::default()) as Box<dyn Detector + Send>)
+            .collect()
+    }
+
+    #[test]
+    fn router_prefers_registered_ranges() {
+        let mut r = Router::new(4);
+        r.register(0x1000, 0x200);
+        r.register(0x2000, 0x200);
+        let a = r.route(0x1000);
+        assert_eq!(r.route(0x11ff), a, "whole object in one shard");
+        let b = r.route(0x2000);
+        assert_ne!(a, b, "round-robin assigns distinct shards");
+        // Unregistered addresses fall back to region hashing.
+        let _ = r.route(0x9999_0000);
+    }
+
+    #[test]
+    fn overflow_flushes_and_nothing_is_lost() {
+        let eng = Engine::new(
+            nop_shards(2),
+            RuntimeOptions {
+                shards: 2,
+                buffer_capacity: 4,
+                record: true,
+            },
+        );
+        let buf = eng.buffer_for(Tid(0));
+        for i in 0..10u64 {
+            eng.push(
+                &buf,
+                Event::Write {
+                    tid: Tid(0),
+                    addr: Addr(0x1000 + i * 8),
+                    size: AccessSize::U64,
+                },
+            );
+        }
+        let trace = eng.take_recorded().expect("recording engine");
+        assert_eq!(trace.len(), 10);
+        let rep = eng.finish();
+        assert_eq!(rep.stats.events, 10);
+    }
+
+    #[test]
+    fn broadcast_counts_once() {
+        let eng = Engine::new(
+            nop_shards(4),
+            RuntimeOptions {
+                shards: 4,
+                buffer_capacity: 8,
+                record: false,
+            },
+        );
+        eng.emit_sync(
+            Tid(0),
+            Event::Acquire {
+                tid: Tid(0),
+                lock: dgrace_trace::LockId(0),
+            },
+        );
+        let rep = eng.finish();
+        assert_eq!(rep.stats.events, 1, "a broadcast is one logical event");
+    }
+}

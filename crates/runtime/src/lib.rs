@@ -4,8 +4,13 @@
 //! The paper instruments binaries with Intel PIN; this crate is the
 //! library-based analog (the second half of the DESIGN.md substitution):
 //! tracked synchronization and memory types emit exactly the events a PIN
-//! tool would, synchronously, into a detector behind a lock — so the
-//! analysis observes a *real* interleaving of the running threads.
+//! tool would — into a **sharded, batched detection engine**: each thread
+//! appends its accesses to a private lock-free buffer (flushed on
+//! overflow and at every sync operation), accesses are routed by address
+//! to one of N detector shards, and sync events are sequence-stamped and
+//! broadcast to all shards so cross-shard happens-before stays exact.
+//! The analysis still observes a *real* interleaving of the running
+//! threads, but no longer serializes them through a global lock.
 //!
 //! ```
 //! use dgrace_runtime::Runtime;
@@ -36,12 +41,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod mem;
+mod replay;
 mod runtime;
 mod sync;
 mod sync_ext;
 
+pub use engine::RuntimeOptions;
 pub use mem::{TrackedArray, TrackedCell};
+pub use replay::replay_sharded;
 pub use runtime::{JoinTicket, Runtime, ThreadHandle};
 pub use sync::{TrackedMutex, TrackedMutexGuard};
 pub use sync_ext::{

@@ -16,7 +16,6 @@ use crate::runtime::{Inner, Runtime, ThreadHandle};
 /// A tracked shared 64-bit cell.
 #[derive(Clone)]
 pub struct TrackedCell {
-    inner: Arc<Inner>,
     addr: Addr,
     data: Arc<AtomicU64>,
 }
@@ -24,7 +23,6 @@ pub struct TrackedCell {
 impl TrackedCell {
     pub(crate) fn new(rt: &Runtime, value: u64) -> Self {
         TrackedCell {
-            inner: Arc::clone(&rt.inner),
             addr: Addr(rt.inner.alloc_addr(8)),
             data: Arc::new(AtomicU64::new(value)),
         }
@@ -35,9 +33,9 @@ impl TrackedCell {
         self.addr
     }
 
-    /// Reads the cell as thread `h`.
+    /// Reads the cell as thread `h` (lock-free buffered fast path).
     pub fn get(&self, h: &ThreadHandle) -> u64 {
-        self.inner.emit(Event::Read {
+        h.emit_access(Event::Read {
             tid: h.tid,
             addr: self.addr,
             size: AccessSize::U64,
@@ -45,9 +43,9 @@ impl TrackedCell {
         self.data.load(Ordering::Relaxed)
     }
 
-    /// Writes the cell as thread `h`.
+    /// Writes the cell as thread `h` (lock-free buffered fast path).
     pub fn set(&self, h: &ThreadHandle, value: u64) {
-        self.inner.emit(Event::Write {
+        h.emit_access(Event::Write {
             tid: h.tid,
             addr: self.addr,
             size: AccessSize::U64,
@@ -81,11 +79,14 @@ impl TrackedArray {
             base,
             data: Arc::new(data),
         };
-        arr.inner.emit(Event::Alloc {
-            tid: dgrace_trace::Tid::MAIN,
-            addr: base,
-            size: len as u64 * 8,
-        });
+        arr.inner.emit_alloc(
+            dgrace_trace::Tid::MAIN,
+            Event::Alloc {
+                tid: dgrace_trace::Tid::MAIN,
+                addr: base,
+                size: len as u64 * 8,
+            },
+        );
         arr
     }
 
@@ -104,9 +105,9 @@ impl TrackedArray {
         Addr(self.base.0 + (i as u64) * 8)
     }
 
-    /// Reads element `i` as thread `h`.
+    /// Reads element `i` as thread `h` (lock-free buffered fast path).
     pub fn get(&self, h: &ThreadHandle, i: usize) -> u64 {
-        self.inner.emit(Event::Read {
+        h.emit_access(Event::Read {
             tid: h.tid,
             addr: self.addr_of(i),
             size: AccessSize::U64,
@@ -114,9 +115,9 @@ impl TrackedArray {
         self.data[i].load(Ordering::Relaxed)
     }
 
-    /// Writes element `i` as thread `h`.
+    /// Writes element `i` as thread `h` (lock-free buffered fast path).
     pub fn set(&self, h: &ThreadHandle, i: usize, value: u64) {
-        self.inner.emit(Event::Write {
+        h.emit_access(Event::Write {
             tid: h.tid,
             addr: self.addr_of(i),
             size: AccessSize::U64,

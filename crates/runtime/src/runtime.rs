@@ -1,22 +1,41 @@
-//! The runtime core: event funnel, thread handles, fork/join tracking.
+//! The runtime core: thread handles, fork/join tracking, and the public
+//! face of the sharded detection engine.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dgrace_detectors::{Detector, Report};
+use dgrace_detectors::{Detector, Report, ShardableDetector};
 use dgrace_trace::{Event, LockId, Tid};
-use parking_lot::Mutex;
+
+use crate::engine::{Engine, RuntimeOptions, ThreadBuf};
 
 pub(crate) struct Inner {
-    detector: Mutex<Box<dyn Detector + Send>>,
+    pub(crate) engine: Engine,
     next_tid: AtomicU32,
     next_lock: AtomicU32,
     next_addr: AtomicU64,
 }
 
 impl Inner {
-    pub(crate) fn emit(&self, ev: Event) {
-        self.detector.lock().on_event(&ev);
+    fn new(engine: Engine) -> Self {
+        Inner {
+            engine,
+            next_tid: AtomicU32::new(1), // 0 is the main thread
+            next_lock: AtomicU32::new(0),
+            next_addr: AtomicU64::new(0x1000),
+        }
+    }
+
+    /// Emits a sync event as `tid`: the thread's buffer is flushed first,
+    /// then the event is broadcast to every shard.
+    pub(crate) fn emit_sync(&self, tid: Tid, ev: Event) {
+        self.engine.emit_sync(tid, ev);
+    }
+
+    /// Emits an allocation event (flushes `tid`'s buffer, then dispatches
+    /// to the object's shard).
+    pub(crate) fn emit_alloc(&self, tid: Tid, ev: Event) {
+        self.engine.emit_alloc(tid, ev);
     }
 
     pub(crate) fn alloc_lock(&self) -> LockId {
@@ -25,10 +44,14 @@ impl Inner {
 
     /// Reserves `len` bytes of *virtual* tracked address space, aligned
     /// to 8 and padded so that distinct objects are never sharing-
-    /// adjacent by accident.
+    /// adjacent by accident. The padded range is registered with the
+    /// shard router, so a whole object — and therefore every pair of
+    /// sharing-adjacent locations — always lands in one shard.
     pub(crate) fn alloc_addr(&self, len: u64) -> u64 {
         let len = (len + 7) & !7;
-        self.next_addr.fetch_add(len + 256, Ordering::Relaxed)
+        let addr = self.next_addr.fetch_add(len + 256, Ordering::Relaxed);
+        self.engine.register_range(addr, len + 256);
+        addr
     }
 }
 
@@ -42,23 +65,61 @@ pub struct Runtime {
 }
 
 impl Runtime {
-    /// Wraps a detector for online use.
+    /// Wraps a detector for online use with a single shard and default
+    /// batching — the drop-in replacement for the old serialized
+    /// runtime.
     pub fn new<D: Detector + Send + 'static>(detector: D) -> Self {
+        Self::with_options(detector, RuntimeOptions::default())
+    }
+
+    /// Wraps a detector for online use with explicit options. The shard
+    /// count is forced to 1: an arbitrary detector cannot be replicated
+    /// per shard — use [`Runtime::sharded`] for that.
+    pub fn with_options<D: Detector + Send + 'static>(detector: D, opts: RuntimeOptions) -> Self {
+        let opts = RuntimeOptions { shards: 1, ..opts };
         Runtime {
-            inner: Arc::new(Inner {
-                detector: Mutex::new(Box::new(detector)),
-                next_tid: AtomicU32::new(1), // 0 is the main thread
-                next_lock: AtomicU32::new(0),
-                next_addr: AtomicU64::new(0x1000),
-            }),
+            inner: Arc::new(Inner::new(Engine::new(vec![Box::new(detector)], opts))),
         }
+    }
+
+    /// Creates a sharded runtime: `shards` instances of the prototype
+    /// detector, each owning a slice of the tracked address space.
+    pub fn sharded<D: ShardableDetector + ?Sized>(prototype: &D, shards: usize) -> Self {
+        Self::sharded_with_options(
+            prototype,
+            RuntimeOptions {
+                shards,
+                ..RuntimeOptions::default()
+            },
+        )
+    }
+
+    /// Creates a sharded runtime with explicit options (shard count,
+    /// buffer capacity, and journal recording).
+    pub fn sharded_with_options<D: ShardableDetector + ?Sized>(
+        prototype: &D,
+        opts: RuntimeOptions,
+    ) -> Self {
+        let shards = opts.shards.max(1);
+        let opts = RuntimeOptions { shards, ..opts };
+        let detectors = (0..shards).map(|_| prototype.new_shard()).collect();
+        Runtime {
+            inner: Arc::new(Inner::new(Engine::new(detectors, opts))),
+        }
+    }
+
+    /// Number of detector shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.engine.shard_count()
     }
 
     /// The main thread's handle (tid 0).
     pub fn main(&self) -> ThreadHandle {
+        let buf = self.inner.engine.buffer_for(Tid::MAIN);
         ThreadHandle {
             inner: Arc::clone(&self.inner),
             tid: Tid::MAIN,
+            buf,
         }
     }
 
@@ -79,44 +140,38 @@ impl Runtime {
 
     /// Stops detection and returns the report. Call after every tracked
     /// thread has been joined.
+    ///
+    /// Every per-thread buffer is flushed before the shard reports are
+    /// extracted and merged, so `report.stats.events` is the *exact*
+    /// number of events emitted — never a lower bound.
     pub fn finish(&self) -> Report {
-        self.inner.detector.lock().finish()
+        self.inner.engine.finish()
     }
 
-    /// If the runtime's detector is a [`dgrace_detectors::Recorder`]
-    /// (or a [`dgrace_detectors::Tee`] whose first side is), takes the
-    /// trace captured so far. Returns `None` for other detectors.
+    /// Takes the trace captured so far.
+    ///
+    /// Works in two modes: a journaling runtime (built with
+    /// [`RuntimeOptions::record`]) reconstructs the observed global
+    /// serialization from the per-shard journals; a single-shard runtime
+    /// whose detector is a [`dgrace_detectors::Recorder`] (or a
+    /// [`dgrace_detectors::Tee`] whose first side is) drains the
+    /// recorder. Returns `None` otherwise. All thread buffers are
+    /// flushed first.
     pub fn take_recorded(&self) -> Option<dgrace_trace::Trace> {
-        use dgrace_detectors::{Recorder, Tee};
-        let mut det = self.inner.detector.lock();
-        let any: &mut dyn std::any::Any = &mut **det;
-        if let Some(rec) = any.downcast_mut::<Recorder>() {
-            return Some(rec.take_trace());
-        }
-        // Common compositions: Recorder teed with a live detector.
-        macro_rules! try_tee {
-            ($($live:ty),*) => {$(
-                if let Some(tee) = (&mut **det as &mut dyn std::any::Any)
-                    .downcast_mut::<Tee<Recorder, $live>>()
-                {
-                    return Some(tee.first_mut().take_trace());
-                }
-            )*};
-        }
-        try_tee!(
-            dgrace_core::DynamicGranularity,
-            dgrace_detectors::FastTrack,
-            dgrace_detectors::Djit
-        );
-        None
+        self.inner.engine.take_recorded()
     }
 }
 
 /// The identity of one tracked thread; every tracked operation takes a
 /// `&ThreadHandle` to attribute the event (PIN's `tid` argument).
+///
+/// The handle owns the thread's private event buffer: accesses are
+/// appended lock-free and only reach the detector shards in batches.
+/// Dropping the handle flushes the buffer.
 pub struct ThreadHandle {
     pub(crate) inner: Arc<Inner>,
     pub(crate) tid: Tid,
+    buf: Arc<ThreadBuf>,
 }
 
 /// Proof that a child was forked; consumed by [`ThreadHandle::join`]
@@ -132,19 +187,31 @@ impl ThreadHandle {
         self.tid
     }
 
+    /// Appends a memory-access event to this thread's private buffer —
+    /// the lock-free fast path. The buffer is flushed on overflow and at
+    /// every sync operation this thread performs.
+    pub(crate) fn emit_access(&self, ev: Event) {
+        self.inner.engine.push(&self.buf, ev);
+    }
+
     /// Forks a tracked child thread: emits the `Fork` event and returns
     /// the child's handle (move it into the new thread) plus the ticket
     /// the parent uses to record the join.
     pub fn fork(&self) -> (ThreadHandle, JoinTicket) {
         let child = Tid(self.inner.next_tid.fetch_add(1, Ordering::Relaxed));
-        self.inner.emit(Event::Fork {
-            parent: self.tid,
-            child,
-        });
+        self.inner.emit_sync(
+            self.tid,
+            Event::Fork {
+                parent: self.tid,
+                child,
+            },
+        );
+        let buf = self.inner.engine.buffer_for(child);
         (
             ThreadHandle {
                 inner: Arc::clone(&self.inner),
                 tid: child,
+                buf,
             },
             JoinTicket { child },
         )
@@ -153,11 +220,28 @@ impl ThreadHandle {
     /// Records that the child thread has been joined. Call *after* the
     /// real `std::thread::JoinHandle::join` returns, so the event order
     /// reflects the real schedule.
+    ///
+    /// The child's buffer is drained *before* the `Join` event is
+    /// broadcast (the real thread has terminated, so the parent may
+    /// drain it): the child's tail accesses must not appear ordered
+    /// after the join edge.
     pub fn join(&self, ticket: JoinTicket) {
-        self.inner.emit(Event::Join {
-            parent: self.tid,
-            child: ticket.child,
-        });
+        self.inner.engine.flush_tid(ticket.child);
+        self.inner.emit_sync(
+            self.tid,
+            Event::Join {
+                parent: self.tid,
+                child: ticket.child,
+            },
+        );
+    }
+}
+
+impl Drop for ThreadHandle {
+    fn drop(&mut self) {
+        // Backstop flush: a child handle is dropped when the real thread
+        // terminates, publishing its tail accesses before the join.
+        self.inner.engine.flush_buf(&self.buf);
     }
 }
 
@@ -197,5 +281,32 @@ mod tests {
         let a = rt.inner.alloc_addr(8);
         let b = rt.inner.alloc_addr(8);
         assert!(b >= a + 8 + 256, "objects must not be sharing-adjacent");
+    }
+
+    #[test]
+    fn sharded_runtime_counts_exactly() {
+        let rt = Runtime::sharded(&NopDetector::default(), 4);
+        assert_eq!(rt.shard_count(), 4);
+        let main = rt.main();
+        let cells: Vec<_> = (0..8).map(|i| rt.cell(i)).collect();
+        for (i, c) in cells.iter().enumerate() {
+            c.set(&main, i as u64 * 3);
+        }
+        let (child, ticket) = main.fork();
+        let cs: Vec<_> = cells.iter().map(Clone::clone).collect();
+        let jh = thread::spawn(move || {
+            let mut sum = 0;
+            for c in &cs {
+                sum += c.get(&child);
+            }
+            sum
+        });
+        let sum = jh.join().unwrap();
+        main.join(ticket);
+        assert_eq!(sum, (0..8u64).map(|i| i * 3).sum::<u64>());
+        let rep = rt.finish();
+        // 8 writes + 8 reads + fork + join, each counted exactly once.
+        assert_eq!(rep.stats.events, 18);
+        assert_eq!(rep.stats.accesses, 16);
     }
 }

@@ -35,10 +35,13 @@ impl<T> TrackedMutex<T> {
     /// two holders.
     pub fn lock<'a>(&'a self, h: &ThreadHandle) -> TrackedMutexGuard<'a, T> {
         let guard = self.data.lock();
-        self.inner.emit(Event::Acquire {
-            tid: h.tid,
-            lock: self.id,
-        });
+        self.inner.emit_sync(
+            h.tid,
+            Event::Acquire {
+                tid: h.tid,
+                lock: self.id,
+            },
+        );
         TrackedMutexGuard {
             mutex: self,
             tid: h.tid,
@@ -80,16 +83,22 @@ impl<T> TrackedMutexGuard<'_, T> {
         emit_wait: impl FnOnce(Tid),
     ) {
         debug_assert_eq!(h.tid, self.tid, "guard used from a foreign thread");
-        self.mutex.inner.emit(Event::Release {
-            tid: self.tid,
-            lock: self.mutex.id,
-        });
+        self.mutex.inner.emit_sync(
+            self.tid,
+            Event::Release {
+                tid: self.tid,
+                lock: self.mutex.id,
+            },
+        );
         cv.wait(self.guard.as_mut().expect("guard live"));
         emit_wait(self.tid);
-        self.mutex.inner.emit(Event::Acquire {
-            tid: self.tid,
-            lock: self.mutex.id,
-        });
+        self.mutex.inner.emit_sync(
+            self.tid,
+            Event::Acquire {
+                tid: self.tid,
+                lock: self.mutex.id,
+            },
+        );
     }
 }
 
@@ -97,10 +106,13 @@ impl<T> Drop for TrackedMutexGuard<'_, T> {
     fn drop(&mut self) {
         // Emit while still physically holding the lock: the release event
         // is ordered before any subsequent acquire event.
-        self.mutex.inner.emit(Event::Release {
-            tid: self.tid,
-            lock: self.mutex.id,
-        });
+        self.mutex.inner.emit_sync(
+            self.tid,
+            Event::Release {
+                tid: self.tid,
+                lock: self.mutex.id,
+            },
+        );
         drop(self.guard.take());
     }
 }

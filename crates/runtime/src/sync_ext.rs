@@ -34,10 +34,13 @@ impl<T> TrackedRwLock<T> {
     /// Acquires a shared (read) hold as thread `h`.
     pub fn read<'a>(&'a self, h: &ThreadHandle) -> TrackedReadGuard<'a, T> {
         let guard = self.data.read();
-        self.inner.emit(Event::AcquireRead {
-            tid: h.tid(),
-            lock: self.id,
-        });
+        self.inner.emit_sync(
+            h.tid(),
+            Event::AcquireRead {
+                tid: h.tid(),
+                lock: self.id,
+            },
+        );
         TrackedReadGuard {
             lock: self,
             tid: h.tid(),
@@ -48,10 +51,13 @@ impl<T> TrackedRwLock<T> {
     /// Acquires an exclusive (write) hold as thread `h`.
     pub fn write<'a>(&'a self, h: &ThreadHandle) -> TrackedWriteGuard<'a, T> {
         let guard = self.data.write();
-        self.inner.emit(Event::Acquire {
-            tid: h.tid(),
-            lock: self.id,
-        });
+        self.inner.emit_sync(
+            h.tid(),
+            Event::Acquire {
+                tid: h.tid(),
+                lock: self.id,
+            },
+        );
         TrackedWriteGuard {
             lock: self,
             tid: h.tid(),
@@ -76,10 +82,13 @@ impl<T> std::ops::Deref for TrackedReadGuard<'_, T> {
 
 impl<T> Drop for TrackedReadGuard<'_, T> {
     fn drop(&mut self) {
-        self.lock.inner.emit(Event::ReleaseRead {
-            tid: self.tid,
-            lock: self.lock.id,
-        });
+        self.lock.inner.emit_sync(
+            self.tid,
+            Event::ReleaseRead {
+                tid: self.tid,
+                lock: self.lock.id,
+            },
+        );
         drop(self.guard.take());
     }
 }
@@ -106,10 +115,13 @@ impl<T> std::ops::DerefMut for TrackedWriteGuard<'_, T> {
 
 impl<T> Drop for TrackedWriteGuard<'_, T> {
     fn drop(&mut self) {
-        self.lock.inner.emit(Event::Release {
-            tid: self.tid,
-            lock: self.lock.id,
-        });
+        self.lock.inner.emit_sync(
+            self.tid,
+            Event::Release {
+                tid: self.tid,
+                lock: self.lock.id,
+            },
+        );
         drop(self.guard.take());
     }
 }
@@ -133,19 +145,25 @@ impl TrackedCondvar {
 
     /// Signals one waiter (`pthread_cond_signal`).
     pub fn notify_one(&self, h: &ThreadHandle) {
-        self.inner.emit(Event::CvSignal {
-            tid: h.tid(),
-            cv: self.id,
-        });
+        self.inner.emit_sync(
+            h.tid(),
+            Event::CvSignal {
+                tid: h.tid(),
+                cv: self.id,
+            },
+        );
         self.cv.notify_one();
     }
 
     /// Signals all waiters (`pthread_cond_broadcast`).
     pub fn notify_all(&self, h: &ThreadHandle) {
-        self.inner.emit(Event::CvSignal {
-            tid: h.tid(),
-            cv: self.id,
-        });
+        self.inner.emit_sync(
+            h.tid(),
+            Event::CvSignal {
+                tid: h.tid(),
+                cv: self.id,
+            },
+        );
         self.cv.notify_all();
     }
 
@@ -154,7 +172,8 @@ impl TrackedCondvar {
     /// the detector in real order.
     pub fn wait<T>(&self, h: &ThreadHandle, guard: &mut TrackedMutexGuard<'_, T>) {
         guard.cv_wait(h, &self.cv, |tid| {
-            self.inner.emit(Event::CvWait { tid, cv: self.id });
+            self.inner
+                .emit_sync(tid, Event::CvWait { tid, cv: self.id });
         });
     }
 }
@@ -186,29 +205,38 @@ impl TrackedBarrier {
         let mut st = self.state.lock();
         // Arrival is published while holding the barrier's internal
         // mutex, so arrive events of one generation precede its departs.
-        self.inner.emit(Event::BarrierArrive {
-            tid: h.tid(),
-            bar: self.id,
-        });
+        self.inner.emit_sync(
+            h.tid(),
+            Event::BarrierArrive {
+                tid: h.tid(),
+                bar: self.id,
+            },
+        );
         st.0 += 1;
         let gen = st.1;
         if st.0 == self.parties {
             st.0 = 0;
             st.1 += 1;
-            self.inner.emit(Event::BarrierDepart {
-                tid: h.tid(),
-                bar: self.id,
-            });
+            self.inner.emit_sync(
+                h.tid(),
+                Event::BarrierDepart {
+                    tid: h.tid(),
+                    bar: self.id,
+                },
+            );
             drop(st);
             self.cv.notify_all();
         } else {
             while st.1 == gen {
                 self.cv.wait(&mut st);
             }
-            self.inner.emit(Event::BarrierDepart {
-                tid: h.tid(),
-                bar: self.id,
-            });
+            self.inner.emit_sync(
+                h.tid(),
+                Event::BarrierDepart {
+                    tid: h.tid(),
+                    bar: self.id,
+                },
+            );
         }
     }
 }

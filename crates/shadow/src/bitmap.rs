@@ -40,18 +40,17 @@ impl EpochBitmap {
     #[inline]
     pub fn test(&self, addr: Addr, is_write: bool) -> bool {
         let (key, byte, mask) = locate(addr, is_write);
-        self.chunks
-            .get(&key)
-            .is_some_and(|c| c[byte] & mask != 0)
+        self.chunks.get(&key).is_some_and(|c| c[byte] & mask != 0)
     }
 
     /// Marks `(addr, is_write)`; returns `true` if it was already set.
     #[inline]
     pub fn test_and_set(&mut self, addr: Addr, is_write: bool) -> bool {
         let (key, byte, mask) = locate(addr, is_write);
-        let chunk = self.chunks.entry(key).or_insert_with(|| {
-            Box::new([0u8; CHUNK_PAYLOAD])
-        });
+        let chunk = self
+            .chunks
+            .entry(key)
+            .or_insert_with(|| Box::new([0u8; CHUNK_PAYLOAD]));
         let was = chunk[byte] & mask != 0;
         chunk[byte] |= mask;
         if self.chunks.len() > self.peak_chunks {
@@ -68,9 +67,7 @@ impl EpochBitmap {
     pub fn test_either(&self, addr: Addr) -> bool {
         let (key, byte, _) = locate(addr, false);
         let both = read_mask(addr) | write_mask(addr);
-        self.chunks
-            .get(&key)
-            .is_some_and(|c| c[byte] & both != 0)
+        self.chunks.get(&key).is_some_and(|c| c[byte] & both != 0)
     }
 
     /// Resets the bitmap — called at every lock release, when the thread's

@@ -45,7 +45,7 @@ mod slab;
 mod table;
 
 pub use accounting::{MemClass, MemoryModel};
-pub use hash::{FastMap, FibBuildHasher, FibHasher};
 pub use bitmap::EpochBitmap;
+pub use hash::{FastMap, FibBuildHasher, FibHasher};
 pub use slab::{Slab, SlabId};
 pub use table::ShadowTable;

@@ -50,7 +50,10 @@ impl<T> ShadowTable<T> {
     /// Creates a table with `m` slots per chunk. `m` must be a power of two
     /// and at least 4.
     pub fn new(m: usize) -> Self {
-        assert!(m.is_power_of_two() && m >= 4, "m must be a power of two >= 4");
+        assert!(
+            m.is_power_of_two() && m >= 4,
+            "m must be a power of two >= 4"
+        );
         ShadowTable {
             m,
             shift: m.trailing_zeros(),
@@ -334,7 +337,6 @@ impl<T> ShadowTable<T> {
             }
         }
     }
-
 }
 
 #[cfg(test)]
@@ -382,10 +384,7 @@ mod tests {
         t.insert(Addr(0x0), 1);
         t.insert(Addr(0x80), 2); // next chunk for m=128
         t.insert(Addr(0x81), 3); // expands only the second chunk
-        assert_eq!(
-            t.hash_bytes(),
-            hash_entry_bytes(32) + hash_entry_bytes(128)
-        );
+        assert_eq!(t.hash_bytes(), hash_entry_bytes(32) + hash_entry_bytes(128));
         assert_eq!(t.get(Addr(0x0)), Some(&1));
         assert_eq!(t.get(Addr(0x80)), Some(&2));
         assert_eq!(t.get(Addr(0x81)), Some(&3));

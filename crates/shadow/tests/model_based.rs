@@ -43,7 +43,9 @@ struct Model {
 
 impl Model {
     fn pred(&self, a: u64, dist: u64) -> Option<u64> {
-        (a.saturating_sub(dist)..a).rev().find(|k| self.map.contains_key(k))
+        (a.saturating_sub(dist)..a)
+            .rev()
+            .find(|k| self.map.contains_key(k))
     }
     fn succ(&self, a: u64, dist: u64) -> Option<u64> {
         (a + 1..=a + dist).find(|k| self.map.contains_key(k))

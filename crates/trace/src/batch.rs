@@ -1,0 +1,104 @@
+//! Batched event containers for the online runtime.
+//!
+//! The sharded runtime does not feed the detector one event at a time:
+//! each instrumented thread accumulates its memory-access events in a
+//! private buffer and hands them over in [`EventBatch`]es — at buffer
+//! overflow, at every synchronization operation, and at `finish`. A batch
+//! is the unit of work a detector shard receives, so it carries the
+//! originating thread and preserves that thread's program order.
+
+use dgrace_vc::Tid;
+
+use crate::Event;
+
+/// A run of events emitted by one thread between two flush points.
+///
+/// Invariant: all events in the batch were produced by `origin` (for
+/// fork/join events, `origin` is the parent), in program order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventBatch {
+    /// The thread that produced every event in this batch.
+    pub origin: Tid,
+    /// The events, in `origin`'s program order.
+    pub events: Vec<Event>,
+}
+
+impl EventBatch {
+    /// Creates an empty batch for `origin`.
+    pub fn new(origin: Tid) -> Self {
+        EventBatch {
+            origin,
+            events: Vec::new(),
+        }
+    }
+
+    /// Creates an empty batch with room for `capacity` events.
+    pub fn with_capacity(origin: Tid, capacity: usize) -> Self {
+        EventBatch {
+            origin,
+            events: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends an event.
+    ///
+    /// Debug builds assert the batch invariant: the event's acting thread
+    /// is `origin`.
+    pub fn push(&mut self, ev: Event) {
+        debug_assert_eq!(ev.tid(), self.origin, "foreign event in batch");
+        self.events.push(ev);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the buffered events.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// Takes the events out, leaving the batch empty (capacity kept).
+    pub fn drain(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl IntoIterator for EventBatch {
+    type Item = Event;
+    type IntoIter = std::vec::IntoIter<Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessSize, Addr};
+
+    #[test]
+    fn batch_preserves_order() {
+        let mut b = EventBatch::with_capacity(Tid(1), 4);
+        assert!(b.is_empty());
+        for i in 0..3u64 {
+            b.push(Event::Write {
+                tid: Tid(1),
+                addr: Addr(0x100 + i * 8),
+                size: AccessSize::U64,
+            });
+        }
+        assert_eq!(b.len(), 3);
+        let addrs: Vec<u64> = b.iter().map(|e| e.access().unwrap().0 .0).collect();
+        assert_eq!(addrs, vec![0x100, 0x108, 0x110]);
+        let taken = b.drain();
+        assert_eq!(taken.len(), 3);
+        assert!(b.is_empty());
+    }
+}

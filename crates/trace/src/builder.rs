@@ -34,7 +34,12 @@ impl TraceBuilder {
     }
 
     /// Appends a read of `size` bytes at `addr` by `tid`.
-    pub fn read(&mut self, tid: impl Into<Tid>, addr: impl Into<Addr>, size: AccessSize) -> &mut Self {
+    pub fn read(
+        &mut self,
+        tid: impl Into<Tid>,
+        addr: impl Into<Addr>,
+        size: AccessSize,
+    ) -> &mut Self {
         self.push(Event::Read {
             tid: tid.into(),
             addr: addr.into(),
@@ -43,7 +48,12 @@ impl TraceBuilder {
     }
 
     /// Appends a write of `size` bytes at `addr` by `tid`.
-    pub fn write(&mut self, tid: impl Into<Tid>, addr: impl Into<Addr>, size: AccessSize) -> &mut Self {
+    pub fn write(
+        &mut self,
+        tid: impl Into<Tid>,
+        addr: impl Into<Addr>,
+        size: AccessSize,
+    ) -> &mut Self {
         self.push(Event::Write {
             tid: tid.into(),
             addr: addr.into(),
@@ -262,11 +272,7 @@ mod tests {
         b.write_block(0u32, 0x100u64, 16, AccessSize::U32);
         let t = b.build();
         assert_eq!(t.len(), 4);
-        let addrs: Vec<u64> = t
-            .events
-            .iter()
-            .map(|e| e.access().unwrap().0 .0)
-            .collect();
+        let addrs: Vec<u64> = t.events.iter().map(|e| e.access().unwrap().0 .0).collect();
         assert_eq!(addrs, vec![0x100, 0x104, 0x108, 0x10c]);
     }
 

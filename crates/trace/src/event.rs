@@ -255,9 +255,7 @@ impl Event {
     /// All threads mentioned by the event.
     pub fn tids(&self) -> impl Iterator<Item = Tid> {
         let (a, b) = match *self {
-            Event::Fork { parent, child } | Event::Join { parent, child } => {
-                (parent, Some(child))
-            }
+            Event::Fork { parent, child } | Event::Join { parent, child } => (parent, Some(child)),
             other => (other.tid(), None),
         };
         std::iter::once(a).chain(b)

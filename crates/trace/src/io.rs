@@ -191,8 +191,7 @@ fn read_event<R: io::Read>(r: &mut R) -> Result<Event, DecodeError> {
             let addr = Addr(read_u64(r)?);
             let mut sz = [0u8; 1];
             r.read_exact(&mut sz)?;
-            let size =
-                AccessSize::from_bytes(sz[0] as u64).ok_or(DecodeError::BadSize(sz[0]))?;
+            let size = AccessSize::from_bytes(sz[0] as u64).ok_or(DecodeError::BadSize(sz[0]))?;
             if tag[0] == 0 {
                 Event::Read { tid, addr, size }
             } else {
@@ -414,8 +413,7 @@ mod tests {
     #[test]
     fn event_reader_reports_truncation() {
         let bytes = to_bytes(&sample());
-        let mut reader =
-            EventReader::new(io::Cursor::new(&bytes[..bytes.len() - 2])).unwrap();
+        let mut reader = EventReader::new(io::Cursor::new(&bytes[..bytes.len() - 2])).unwrap();
         let last = reader.by_ref().last().unwrap();
         assert!(matches!(last, Err(DecodeError::Io(_))));
     }

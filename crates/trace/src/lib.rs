@@ -35,12 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod builder;
 mod event;
 pub mod io;
 pub mod stats;
 mod validate;
 
+pub use batch::EventBatch;
 pub use builder::TraceBuilder;
 pub use event::{AccessSize, Addr, Event, LockId};
 pub use validate::{validate, ValidationError};

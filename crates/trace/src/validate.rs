@@ -111,7 +111,10 @@ impl std::fmt::Display for ValidationError {
                 write!(f, "event {at}: join of never-forked thread {tid}")
             }
             ValidationError::ReleaseWithoutAcquire { tid, lock, at } => {
-                write!(f, "event {at}: thread {tid} releases {lock:?} it does not hold")
+                write!(
+                    f,
+                    "event {at}: thread {tid} releases {lock:?} it does not hold"
+                )
             }
             ValidationError::AcquireOfHeldLock { tid, lock, at } => {
                 write!(f, "event {at}: thread {tid} acquires already-held {lock:?}")
@@ -120,13 +123,22 @@ impl std::fmt::Display for ValidationError {
                 write!(f, "event {at}: zero-sized alloc/free")
             }
             ValidationError::ReadReleaseWithoutAcquire { tid, lock, at } => {
-                write!(f, "event {at}: thread {tid} read-releases {lock:?} it does not hold")
+                write!(
+                    f,
+                    "event {at}: thread {tid} read-releases {lock:?} it does not hold"
+                )
             }
             ValidationError::RwLockConflict { tid, lock, at } => {
-                write!(f, "event {at}: thread {tid} acquires {lock:?} against existing holders")
+                write!(
+                    f,
+                    "event {at}: thread {tid} acquires {lock:?} against existing holders"
+                )
             }
             ValidationError::BarrierDepartWithoutArrive { tid, bar, at } => {
-                write!(f, "event {at}: thread {tid} departs {bar:?} without arriving")
+                write!(
+                    f,
+                    "event {at}: thread {tid} departs {bar:?} without arriving"
+                )
             }
         }
     }
@@ -196,11 +208,7 @@ pub fn validate(trace: &Trace) -> Result<(), ValidationError> {
                         holders.swap_remove(i);
                     }
                     None => {
-                        return Err(ValidationError::ReadReleaseWithoutAcquire {
-                            tid,
-                            lock,
-                            at,
-                        })
+                        return Err(ValidationError::ReadReleaseWithoutAcquire { tid, lock, at })
                     }
                 }
             }
@@ -219,11 +227,7 @@ pub fn validate(trace: &Trace) -> Result<(), ValidationError> {
                         waiting.swap_remove(i);
                     }
                     None => {
-                        return Err(ValidationError::BarrierDepartWithoutArrive {
-                            tid,
-                            bar,
-                            at,
-                        })
+                        return Err(ValidationError::BarrierDepartWithoutArrive { tid, bar, at })
                     }
                 }
             }

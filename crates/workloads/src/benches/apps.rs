@@ -32,7 +32,12 @@ pub fn ffmpeg(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
     // The real race: one shared flag written by workers 1 and 2.
     {
         let (a, b) = progs.split_at_mut(1);
-        plant_ww(&mut a[0], &mut b[0], &[(REAL_RACE, AccessSize::U8)], &mut truth);
+        plant_ww(
+            &mut a[0],
+            &mut b[0],
+            &[(REAL_RACE, AccessSize::U8)],
+            &mut truth,
+        );
     }
 
     // Word false alarms: distinct bytes of the same word written by
@@ -57,7 +62,8 @@ pub fn ffmpeg(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
             prog.cut();
             // Shared bitstream header under lock.
             prog.locked(HL, |b| {
-                b.read(HEADER, AccessSize::U32).write(HEADER + 4, AccessSize::U32);
+                b.read(HEADER, AccessSize::U32)
+                    .write(HEADER + 4, AccessSize::U32);
             })
             .cut();
         }
@@ -89,8 +95,9 @@ pub fn pbzip2(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
 
     let mut truth = GroundTruth::default();
     let mut prod: Vec<BlockBuilder> = (1..=producers).map(BlockBuilder::new).collect();
-    let mut cons: Vec<BlockBuilder> =
-        (producers + 1..=producers + consumers).map(BlockBuilder::new).collect();
+    let mut cons: Vec<BlockBuilder> = (producers + 1..=producers + consumers)
+        .map(BlockBuilder::new)
+        .collect();
 
     // 1 race: the producers' progress flag vs a consumer's eager read
     // loop (modeled as two unsynchronized writes).

@@ -37,10 +37,7 @@ pub(crate) fn plant_ww(
     addrs: &[(u64, AccessSize)],
     truth: &mut GroundTruth,
 ) {
-    assert!(
-        a.tid() != b.tid(),
-        "races need two distinct threads"
-    );
+    assert!(a.tid() != b.tid(), "races need two distinct threads");
     for &(addr, size) in addrs {
         a.write(addr, size);
         b.write(addr, size);

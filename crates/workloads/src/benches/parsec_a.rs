@@ -97,7 +97,12 @@ pub fn ferret(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
     // 1 racy stats word between the two loaders.
     {
         let (a, b) = load_progs.split_at_mut(1);
-        plant_ww(&mut a[0], &mut b[0], &[(STATS, AccessSize::U32)], &mut truth);
+        plant_ww(
+            &mut a[0],
+            &mut b[0],
+            &[(STATS, AccessSize::U32)],
+            &mut truth,
+        );
     }
 
     let total_items = loaders as usize * per_loader;
@@ -119,8 +124,9 @@ pub fn ferret(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
     // item — the indexing/probing working set that dominates ferret's
     // 223M accesses in the paper (thousands of accesses per location).
     const WORKSPACE: u64 = 0x38_0000;
-    let mut rank_progs: Vec<BlockBuilder> =
-        (loaders + 1..=loaders + rankers).map(BlockBuilder::new).collect();
+    let mut rank_progs: Vec<BlockBuilder> = (loaders + 1..=loaders + rankers)
+        .map(BlockBuilder::new)
+        .collect();
     for idx in 0..total_items as u64 {
         let r = (idx as usize) % rankers as usize;
         let item = ITEMS + idx * ITEM_STRIDE;
@@ -174,8 +180,11 @@ pub fn fluidanimate(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
             for cell in 0..(BAND / 512) {
                 let cbase = base + cell * 512;
                 prog.locked(band_lock, |b| {
-                    b.read_block(cbase, 512, AccessSize::U32)
-                        .write_block(cbase, 512, AccessSize::U32);
+                    b.read_block(cbase, 512, AccessSize::U32).write_block(
+                        cbase,
+                        512,
+                        AccessSize::U32,
+                    );
                 })
                 .cut();
             }
@@ -184,8 +193,11 @@ pub fn fluidanimate(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
                 let nlock = 300 + w as u32 + 1;
                 let nbase = GRID + (w as u64 + 1) * BAND;
                 prog.locked(nlock, |b| {
-                    b.read_block(nbase, 32, AccessSize::U32)
-                        .write_block(nbase, 32, AccessSize::U32);
+                    b.read_block(nbase, 32, AccessSize::U32).write_block(
+                        nbase,
+                        32,
+                        AccessSize::U32,
+                    );
                 })
                 .cut();
             }

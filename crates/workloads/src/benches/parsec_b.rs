@@ -68,7 +68,8 @@ pub fn x264(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
             prog.read_block(base + 1, 160, AccessSize::U8);
             prog.cut();
             prog.locked(MBL, |b| {
-                b.read(0xc_0000, AccessSize::U32).write(0xc_0000, AccessSize::U32);
+                b.read(0xc_0000, AccessSize::U32)
+                    .write(0xc_0000, AccessSize::U32);
             })
             .cut();
         }
@@ -193,7 +194,8 @@ pub fn dedup(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
             // Hash-table bucket update under the global lock.
             let bucket = HASHTAB + (scattered(rng, 0, 64, 1)) * 8;
             prog.locked(HL, |b| {
-                b.read(bucket, AccessSize::U64).write(bucket, AccessSize::U64);
+                b.read(bucket, AccessSize::U64)
+                    .write(bucket, AccessSize::U64);
             })
             .cut();
         }
@@ -240,9 +242,13 @@ pub fn streamcluster(scale: f64, rng: &mut SmallRng) -> (Trace, GroundTruth) {
     const FPH: u32 = 710;
     {
         let w1 = &mut phase1[0];
-        w1.write(FP, AccessSize::U32).write(FP + 4, AccessSize::U32).cut();
+        w1.write(FP, AccessSize::U32)
+            .write(FP + 4, AccessSize::U32)
+            .cut();
         w1.locked(CL + 1, |_| {}).cut(); // epoch boundary
-        w1.write(FP, AccessSize::U32).write(FP + 4, AccessSize::U32).cut();
+        w1.write(FP, AccessSize::U32)
+            .write(FP + 4, AccessSize::U32)
+            .cut();
         w1.locked(FPH, |_| {}).cut(); // publish the setup
     }
 

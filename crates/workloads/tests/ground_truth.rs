@@ -45,15 +45,10 @@ fn word_granularity_masks_and_fabricates_as_planted() {
     for kind in WorkloadKind::ALL {
         let (trace, truth) = gen(kind);
         let rep = FastTrack::with_granularity(Granularity::Word).run(&trace);
-        let expected =
-            truth.racy_addrs.len() - truth.word_masked_pairs + truth.word_false_alarms;
+        let expected = truth.racy_addrs.len() - truth.word_masked_pairs + truth.word_false_alarms;
         // Word-masking may merge planted races; false alarms add reports.
         let word_locs: Vec<Addr> = {
-            let mut v: Vec<Addr> = truth
-                .racy_addrs
-                .iter()
-                .map(|a| a.align_down(4))
-                .collect();
+            let mut v: Vec<Addr> = truth.racy_addrs.iter().map(|a| a.align_down(4)).collect();
             v.sort();
             v.dedup();
             v
@@ -129,7 +124,11 @@ fn dynamic_without_group_reporting_matches_byte_counts_mostly() {
 
 #[test]
 fn scales_do_not_change_detected_locations() {
-    for kind in [WorkloadKind::Ferret, WorkloadKind::X264, WorkloadKind::Hmmsearch] {
+    for kind in [
+        WorkloadKind::Ferret,
+        WorkloadKind::X264,
+        WorkloadKind::Hmmsearch,
+    ] {
         let (t1, _) = Workload::new(kind).with_scale(0.03).generate();
         let (t2, _) = Workload::new(kind).with_scale(0.08).generate();
         let r1 = FastTrack::new().run(&t1);

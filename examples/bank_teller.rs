@@ -96,7 +96,10 @@ fn main() {
 
     let report = rt.finish();
     println!("accounts            : {ACCOUNTS}");
-    println!("grand total         : {grand_total} (expected {})", ACCOUNTS * 100);
+    println!(
+        "grand total         : {grand_total} (expected {})",
+        ACCOUNTS * 100
+    );
     println!("events observed     : {}", report.stats.events);
     println!(
         "shadow peak         : {:.1} KiB, {} clocks",

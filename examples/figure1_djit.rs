@@ -33,7 +33,10 @@ fn main() {
             "  {} race on x={}: T0 at epoch {} vs T1's write at epoch {}",
             r.kind, r.addr, r.current, r.previous
         );
-        println!("  (W_x[1] = {} is NOT <= T_0[1] = 0 — unordered)", r.previous.clock);
+        println!(
+            "  (W_x[1] = {} is NOT <= T_0[1] = 0 — unordered)",
+            r.previous.clock
+        );
     }
     assert_eq!(rep.races.len(), 1);
 

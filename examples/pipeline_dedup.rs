@@ -19,7 +19,12 @@ fn show(name: &str, det: &mut dyn Detector, trace: &Trace) {
         .stats
         .sharing
         .as_ref()
-        .map(|s| format!(", avg sharing {:.1}, max group {}", s.avg_share_count, s.max_group))
+        .map(|s| {
+            format!(
+                ", avg sharing {:.1}, max group {}",
+                s.avg_share_count, s.max_group
+            )
+        })
         .unwrap_or_default();
     println!(
         "{name:<22} peak clocks {:>7}  clock allocs {:>8}  peak shadow KiB {:>8.1}  races {}{sharing}",
@@ -31,7 +36,9 @@ fn show(name: &str, det: &mut dyn Detector, trace: &Trace) {
 }
 
 fn main() {
-    let (trace, truth) = Workload::new(WorkloadKind::Dedup).with_scale(0.5).generate();
+    let (trace, truth) = Workload::new(WorkloadKind::Dedup)
+        .with_scale(0.5)
+        .generate();
     println!(
         "dedup workload: {} events, {} planted races\n",
         trace.len(),

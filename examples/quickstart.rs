@@ -50,5 +50,8 @@ fn main() {
     // The same trace, checked by the byte-granularity FastTrack baseline:
     let byte_report = FastTrack::new().run(&trace);
     assert_eq!(report.race_addrs(), byte_report.race_addrs());
-    println!("\nbyte-granularity FastTrack agrees: {:?}", byte_report.race_addrs());
+    println!(
+        "\nbyte-granularity FastTrack agrees: {:?}",
+        byte_report.race_addrs()
+    );
 }

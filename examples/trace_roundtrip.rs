@@ -15,7 +15,9 @@ use dgrace::trace::{stats::stats, validate};
 use dgrace::workloads::{Workload, WorkloadKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (trace, _) = Workload::new(WorkloadKind::Ffmpeg).with_scale(0.2).generate();
+    let (trace, _) = Workload::new(WorkloadKind::Ffmpeg)
+        .with_scale(0.2)
+        .generate();
     validate(&trace)?;
 
     let path = std::env::temp_dir().join("dgrace_ffmpeg.trace");

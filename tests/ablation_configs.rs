@@ -26,7 +26,11 @@ fn sharing_at_init_saves_memory() {
             without.stats.peak_total_bytes
         );
     }
-    for kind in [WorkloadKind::Dedup, WorkloadKind::Pbzip2, WorkloadKind::Ferret] {
+    for kind in [
+        WorkloadKind::Dedup,
+        WorkloadKind::Pbzip2,
+        WorkloadKind::Ferret,
+    ] {
         let (trace, _) = Workload::new(kind).with_scale(SCALE).generate();
         let with = DynamicGranularity::with_config(DynamicConfig::paper_default()).run(&trace);
         let without =
@@ -48,8 +52,7 @@ fn sharing_at_init_saves_memory() {
 fn no_init_state_causes_false_alarms() {
     for kind in WorkloadKind::ALL {
         let (trace, truth) = Workload::new(kind).with_scale(SCALE).generate();
-        let without =
-            DynamicGranularity::with_config(DynamicConfig::no_init_state()).run(&trace);
+        let without = DynamicGranularity::with_config(DynamicConfig::no_init_state()).run(&trace);
         assert!(
             without.races.len() >= truth.racy_addrs.len(),
             "{}: no-Init must still catch the planted races",
@@ -61,8 +64,7 @@ fn no_init_state_causes_false_alarms() {
     for kind in [WorkloadKind::Facesim, WorkloadKind::Fluidanimate] {
         let (trace, _) = Workload::new(kind).with_scale(SCALE).generate();
         let with = DynamicGranularity::with_config(DynamicConfig::paper_default()).run(&trace);
-        let without =
-            DynamicGranularity::with_config(DynamicConfig::no_init_state()).run(&trace);
+        let without = DynamicGranularity::with_config(DynamicConfig::no_init_state()).run(&trace);
         assert!(
             without.races.len() > 100 * with.races.len(),
             "{}: expected a false-alarm flood, got {} vs {}",
@@ -97,7 +99,9 @@ fn scan_distance_does_not_change_planted_findings() {
             first_epoch_scan: scan,
             ..DynamicConfig::default()
         };
-        let (trace, truth) = Workload::new(WorkloadKind::Dedup).with_scale(SCALE).generate();
+        let (trace, truth) = Workload::new(WorkloadKind::Dedup)
+            .with_scale(SCALE)
+            .generate();
         let rep = DynamicGranularity::with_config(cfg).run(&trace);
         for a in &truth.racy_addrs {
             assert!(
@@ -112,7 +116,9 @@ fn scan_distance_does_not_change_planted_findings() {
 /// the `report_group_races: false` configuration.
 #[test]
 fn group_reporting_only_adds_group_members() {
-    let (trace, _) = Workload::new(WorkloadKind::X264).with_scale(SCALE).generate();
+    let (trace, _) = Workload::new(WorkloadKind::X264)
+        .with_scale(SCALE)
+        .generate();
     let all = DynamicGranularity::new().run(&trace);
     let cfg = DynamicConfig {
         report_group_races: false,

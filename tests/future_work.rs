@@ -87,7 +87,11 @@ fn write_guidance_allows_sharing_when_writes_share() {
 
 #[test]
 fn write_guidance_preserves_planted_findings() {
-    for kind in [WorkloadKind::Streamcluster, WorkloadKind::X264, WorkloadKind::Dedup] {
+    for kind in [
+        WorkloadKind::Streamcluster,
+        WorkloadKind::X264,
+        WorkloadKind::Dedup,
+    ] {
         let (trace, truth) = Workload::new(kind).with_scale(0.05).generate();
         let rep = DynamicGranularity::with_config(DynamicConfig::write_guided()).run(&trace);
         for a in &truth.racy_addrs {
@@ -204,8 +208,7 @@ fn redecisions_tighten_memory_on_late_converging_data() {
     }
     let trace = b.build();
     let paper = DynamicGranularity::new().run(&trace);
-    let adaptive =
-        DynamicGranularity::with_config(DynamicConfig::with_redecisions(4)).run(&trace);
+    let adaptive = DynamicGranularity::with_config(DynamicConfig::with_redecisions(4)).run(&trace);
     // The stagger phase fixes the *peak* for both machines; the adaptive
     // one then collapses the 64 private clocks back into groups, visible
     // as extra clock frees (rejoins) and sharing events.

@@ -41,7 +41,35 @@ fn locked_pipeline_is_race_free() {
     }
     let report = rt.finish();
     assert!(report.races.is_empty(), "{:?}", report.races);
-    assert!(report.stats.events > 4 * 64 * 2);
+    // finish() flushes every per-thread buffer, so the count is exact:
+    // 1 alloc + 4 forks + 4 joins + 4 threads x 64 iterations x
+    // (acquire + read + write + release).
+    assert_eq!(report.stats.events, 1 + 4 + 4 + 4 * 64 * 4);
+}
+
+/// Regression test for the finish protocol: with *no* sync operations at
+/// all, every access sits in a per-thread buffer until `finish` — which
+/// must flush them all, so the event count is exact, not a lower bound.
+#[test]
+fn finish_flushes_unsynced_buffers() {
+    for shards in [1usize, 4] {
+        let rt = Runtime::sharded(&DynamicGranularity::new(), shards);
+        let main = rt.main();
+        let cells: Vec<_> = (0..5).map(|_| rt.cell(0)).collect();
+        // 5 cells x 7 writes each, all buffered (no sync, no overflow).
+        for c in &cells {
+            for v in 0..7 {
+                c.set(&main, v);
+            }
+        }
+        let report = rt.finish();
+        assert_eq!(
+            report.stats.events, 35,
+            "shards={shards}: finish must flush all buffers"
+        );
+        assert_eq!(report.stats.accesses, 35, "shards={shards}");
+        assert!(report.races.is_empty(), "single thread cannot race");
+    }
 }
 
 /// A deliberately racy program is caught by the live detector, and the

@@ -5,9 +5,13 @@
 //! the properties compare the whole detector stack against the exact
 //! oracle.
 
+use std::sync::Arc;
+use std::thread;
+
 use dgrace::baselines::{HybridDetector, SegmentDetector};
 use dgrace::core::{DynamicConfig, DynamicGranularity};
-use dgrace::detectors::{DetectorExt, Djit, FastTrack, OracleDetector};
+use dgrace::detectors::{DetectorExt, Djit, FastTrack, OracleDetector, Report};
+use dgrace::runtime::{Runtime, RuntimeOptions};
 use dgrace::trace::{validate, Trace};
 use dgrace::workloads::{BlockBuilder, Scheduler};
 use proptest::prelude::*;
@@ -75,6 +79,98 @@ fn build(programs: &[Vec<Op>], spacing: u64, seed: u64) -> Trace {
     }
     let mut rng = SmallRng::seed_from_u64(seed);
     Scheduler::new().run(builders, &mut rng)
+}
+
+/// Executes the random per-thread programs on *real threads* under the
+/// sharded online runtime (journaling mode): slots become tracked cells,
+/// lock ids tracked mutexes. Returns the merged sharded report plus the
+/// journal of the schedule that actually ran.
+fn run_online(programs: &[Vec<Op>], shards: usize) -> (Report, Trace) {
+    let rt = Runtime::sharded_with_options(
+        &DynamicGranularity::new(),
+        RuntimeOptions {
+            shards,
+            buffer_capacity: 5, // small + odd: force misaligned overflow flushes
+            record: true,
+        },
+    );
+    let main = rt.main();
+    let cells: Vec<_> = (0..12).map(|_| rt.cell(0)).collect();
+    let locks: Vec<_> = (0..3).map(|_| Arc::new(rt.mutex(()))).collect();
+
+    let mut joins = Vec::new();
+    let mut tickets = Vec::new();
+    for prog in programs {
+        let (child, ticket) = main.fork();
+        let cells = cells.clone();
+        let locks = locks.clone();
+        let prog = prog.clone();
+        tickets.push(ticket);
+        joins.push(thread::spawn(move || {
+            for op in &prog {
+                match op {
+                    Op::Read(s) => {
+                        cells[*s as usize].get(&child);
+                    }
+                    Op::Write(s) => {
+                        cells[*s as usize].set(&child, 1);
+                    }
+                    Op::Locked(l, accs) => {
+                        let _g = locks[*l as usize].lock(&child);
+                        for (s, w) in accs {
+                            if *w {
+                                cells[*s as usize].set(&child, 2);
+                            } else {
+                                cells[*s as usize].get(&child);
+                            }
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    for jh in joins {
+        jh.join().unwrap();
+    }
+    for t in tickets {
+        main.join(t);
+    }
+    let trace = rt.take_recorded().expect("journaling runtime");
+    let report = rt.finish();
+    (report, trace)
+}
+
+proptest! {
+    // Each case spawns real threads; fewer cases than the offline
+    // properties keep the suite fast while still seeding the
+    // regressions file on any counterexample.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The sharded online runtime agrees with the exact oracle on the
+    /// schedule it actually observed: the journal replayed through
+    /// `OracleDetector` yields the same racy locations the live sharded
+    /// dynamic detector reported (cells are padded apart, so sharing
+    /// never blurs the comparison), at every shard count.
+    #[test]
+    fn sharded_online_runtime_agrees_with_oracle(
+        programs in arb_program(),
+        shards in 1usize..=8,
+    ) {
+        let (report, trace) = run_online(&programs, shards);
+        prop_assert!(validate(&trace).is_ok(), "journal must be well-formed");
+        prop_assert_eq!(
+            report.stats.events,
+            trace.len() as u64,
+            "finish must count exactly the journaled events"
+        );
+        let oracle = OracleDetector::new().run(&trace).race_addrs();
+        prop_assert_eq!(
+            report.race_addrs(),
+            oracle,
+            "sharded online (shards={}) vs oracle on the observed schedule",
+            shards
+        );
+    }
 }
 
 proptest! {

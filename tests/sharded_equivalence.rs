@@ -1,0 +1,190 @@
+//! Differential stress tests for the sharded online runtime.
+//!
+//! Real threads drive the sharded engine while it journals every event
+//! with its sequence stamp; the journal is reconstructed into a `Trace`
+//! (the observed serialization) and replayed through a *serialized*
+//! detector. The race sets — addresses plus kinds — must be identical:
+//! the sharded engine may not invent, lose, or reclassify a single race,
+//! at any shard count.
+
+use std::sync::Arc;
+use std::thread;
+
+use dgrace::core::DynamicGranularity;
+use dgrace::detectors::{race_signature, DetectorExt, FastTrack, RaceKind};
+use dgrace::runtime::{Runtime, RuntimeOptions};
+use dgrace::trace::{validate, Addr};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A small buffer forces frequent overflow flushes; an odd size keeps
+/// flush boundaries misaligned with loop iterations.
+fn recording(shards: usize) -> RuntimeOptions {
+    RuntimeOptions {
+        shards,
+        buffer_capacity: 7,
+        record: true,
+    }
+}
+
+/// Mixed workload: `workers` threads update a shared array under a lock
+/// (race-free) and each writes a dedicated cell that the main thread
+/// also writes unsynchronized (a deterministic write-write race per
+/// worker, schedule-independent).
+fn drive_mixed(rt: &Runtime, workers: usize) -> Vec<Addr> {
+    let main = rt.main();
+    let locked = rt.array(64);
+    let m = Arc::new(rt.mutex(()));
+    let racy: Vec<_> = (0..workers).map(|_| rt.cell(0)).collect();
+    let racy_addrs: Vec<Addr> = racy.iter().map(|c| c.addr()).collect();
+
+    let mut joins = Vec::new();
+    let mut tickets = Vec::new();
+    for (w, cell) in racy.iter().enumerate() {
+        let (child, ticket) = main.fork();
+        let locked = locked.clone();
+        let m = Arc::clone(&m);
+        let cell = cell.clone();
+        tickets.push(ticket);
+        joins.push(thread::spawn(move || {
+            for i in 0..50usize {
+                {
+                    let _g = m.lock(&child);
+                    let slot = (w * 7 + i) % 64;
+                    let v = locked.get(&child, slot);
+                    locked.set(&child, slot, v + 1);
+                }
+                cell.set(&child, i as u64);
+            }
+        }));
+    }
+    // Unsynchronized writes racing every worker's cell.
+    for c in &racy {
+        c.set(&main, 999);
+    }
+    for jh in joins {
+        jh.join().unwrap();
+    }
+    for t in tickets {
+        main.join(t);
+    }
+    racy_addrs
+}
+
+/// Fully locked workload: every access to shared state is protected, so
+/// no detector at any shard count may report anything.
+fn drive_locked(rt: &Runtime, workers: usize) {
+    let main = rt.main();
+    let buf = rt.array(128);
+    let m = Arc::new(rt.mutex(0usize));
+
+    let mut joins = Vec::new();
+    let mut tickets = Vec::new();
+    for _ in 0..workers {
+        let (child, ticket) = main.fork();
+        let buf = buf.clone();
+        let m = Arc::clone(&m);
+        tickets.push(ticket);
+        joins.push(thread::spawn(move || {
+            for _ in 0..40 {
+                let mut cursor = m.lock(&child);
+                let i = *cursor % buf.len();
+                let v = buf.get(&child, i);
+                buf.set(&child, i, v + 1);
+                *cursor += 1;
+            }
+        }));
+    }
+    for jh in joins {
+        jh.join().unwrap();
+    }
+    for t in tickets {
+        main.join(t);
+    }
+}
+
+#[test]
+fn sharded_race_set_matches_serialized_dynamic() {
+    let mut signatures: Vec<Vec<(Addr, RaceKind)>> = Vec::new();
+    let mut expected: Vec<Addr> = Vec::new();
+
+    for &shards in &SHARD_COUNTS {
+        let rt = Runtime::sharded_with_options(&DynamicGranularity::new(), recording(shards));
+        assert_eq!(rt.shard_count(), shards);
+        expected = drive_mixed(&rt, 4);
+
+        let trace = rt.take_recorded().expect("journaling runtime");
+        validate(&trace).expect("journal is a well-formed serialization");
+        let report = rt.finish();
+        assert_eq!(
+            report.stats.events,
+            trace.len() as u64,
+            "shards={shards}: journal and event count must agree exactly"
+        );
+
+        // The serialized detector replays the same observed schedule.
+        let serial = DynamicGranularity::new().run(&trace);
+        assert_eq!(
+            race_signature(&report),
+            race_signature(&serial),
+            "shards={shards}: sharded vs serialized race sets differ"
+        );
+        signatures.push(race_signature(&report));
+    }
+
+    // Byte-identical race sets across every shard count (incl. 1).
+    for (i, sig) in signatures.iter().enumerate() {
+        assert_eq!(
+            sig, &signatures[0],
+            "shards={} disagrees with shards={}",
+            SHARD_COUNTS[i], SHARD_COUNTS[0]
+        );
+    }
+    // And they are exactly the planted write-write races (racy cells are
+    // allocated in increasing address order, matching the sorted
+    // signature).
+    let planted: Vec<(Addr, RaceKind)> = expected
+        .iter()
+        .map(|&a| (a, RaceKind::WriteWrite))
+        .collect();
+    assert_eq!(signatures[0], planted);
+}
+
+#[test]
+fn sharded_race_set_matches_serialized_fasttrack() {
+    for &shards in &SHARD_COUNTS {
+        let rt = Runtime::sharded_with_options(&FastTrack::new(), recording(shards));
+        drive_mixed(&rt, 3);
+        let trace = rt.take_recorded().expect("journaling runtime");
+        validate(&trace).expect("journal is a well-formed serialization");
+        let report = rt.finish();
+        let serial = FastTrack::new().run(&trace);
+        assert_eq!(
+            race_signature(&report),
+            race_signature(&serial),
+            "shards={shards}: sharded vs serialized race sets differ"
+        );
+    }
+}
+
+#[test]
+fn sharded_locked_workload_stays_race_free() {
+    for &shards in &SHARD_COUNTS {
+        let rt = Runtime::sharded_with_options(&DynamicGranularity::new(), recording(shards));
+        drive_locked(&rt, 4);
+        let trace = rt.take_recorded().expect("journaling runtime");
+        validate(&trace).expect("journal is a well-formed serialization");
+        let report = rt.finish();
+        assert!(
+            report.races.is_empty(),
+            "shards={shards}: {:?}",
+            report.races
+        );
+        let serial = DynamicGranularity::new().run(&trace);
+        assert!(
+            serial.races.is_empty(),
+            "shards={shards}: serialized replay"
+        );
+        assert_eq!(report.stats.events, trace.len() as u64);
+    }
+}

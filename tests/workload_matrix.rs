@@ -70,7 +70,11 @@ fn dynamic_memory_never_worse_than_byte() {
         );
     }
     // The headline cases really collapse (facesim/pbzip2 class).
-    for kind in [WorkloadKind::Facesim, WorkloadKind::Pbzip2, WorkloadKind::Hmmsearch] {
+    for kind in [
+        WorkloadKind::Facesim,
+        WorkloadKind::Pbzip2,
+        WorkloadKind::Hmmsearch,
+    ] {
         let (trace, _) = Workload::new(kind).with_scale(SCALE).generate();
         let byte = FastTrack::new().run(&trace);
         let dynamic = DynamicGranularity::new().run(&trace);
@@ -87,7 +91,9 @@ fn dynamic_memory_never_worse_than_byte() {
 /// Table 3 shape: pbzip2 has by far the largest sharing groups.
 #[test]
 fn pbzip2_has_extreme_sharing() {
-    let (trace, _) = Workload::new(WorkloadKind::Pbzip2).with_scale(SCALE).generate();
+    let (trace, _) = Workload::new(WorkloadKind::Pbzip2)
+        .with_scale(SCALE)
+        .generate();
     let rep = DynamicGranularity::new().run(&trace);
     let sh = rep.stats.sharing.unwrap();
     assert!(sh.max_group >= 512, "max group {}", sh.max_group);
