@@ -1,0 +1,111 @@
+//! Address-space atomization.
+//!
+//! The passes classify *byte ranges*, but accesses overlap arbitrarily
+//! (a `U64` write over two `U32` reads, etc.). Splitting the address
+//! space at every access boundary yields **atoms**: maximal intervals
+//! that every access either fully contains or does not intersect. Each
+//! pass then keeps one state cell per atom, and every access maps to a
+//! contiguous run of atoms.
+
+use dgrace_trace::{Addr, Trace};
+
+/// The atomized address space of one trace.
+pub(crate) struct Atoms {
+    /// Sorted boundary addresses; atom `i` is `[bounds[i], bounds[i+1])`.
+    bounds: Vec<u64>,
+    /// Whether atom `i` is touched by at least one access (gaps between
+    /// distant accesses become atoms too, but carry no classification).
+    covered: Vec<bool>,
+}
+
+impl Atoms {
+    /// Splits the address space at every access boundary of `trace`.
+    pub fn build(trace: &Trace) -> Self {
+        let mut bounds: Vec<u64> = Vec::new();
+        for ev in trace {
+            if let Some((addr, size, _)) = ev.access() {
+                bounds.push(addr.0);
+                bounds.push(addr.0 + size.bytes());
+            }
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        let n = bounds.len().saturating_sub(1);
+        let mut atoms = Atoms {
+            bounds,
+            covered: vec![false; n],
+        };
+        for ev in trace {
+            if let Some((addr, size, _)) = ev.access() {
+                for i in atoms.span(addr, size.bytes()) {
+                    atoms.covered[i] = true;
+                }
+            }
+        }
+        atoms
+    }
+
+    /// Number of atoms (covered or not).
+    pub fn len(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Whether some access touches atom `i`.
+    pub fn is_covered(&self, i: usize) -> bool {
+        self.covered[i]
+    }
+
+    /// The byte interval `[start, end)` of atom `i`.
+    pub fn interval(&self, i: usize) -> (u64, u64) {
+        (self.bounds[i], self.bounds[i + 1])
+    }
+
+    /// The atom indices an access of `len` bytes at `addr` covers.
+    ///
+    /// Access endpoints are always boundaries (they were inserted during
+    /// [`Atoms::build`]), so the lookups cannot fail for accesses from
+    /// the same trace.
+    pub fn span(&self, addr: Addr, len: u64) -> std::ops::Range<usize> {
+        let lo = self
+            .bounds
+            .binary_search(&addr.0)
+            .expect("access start is a boundary");
+        let hi = self
+            .bounds
+            .binary_search(&(addr.0 + len))
+            .expect("access end is a boundary");
+        lo..hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrace_trace::{AccessSize, TraceBuilder};
+
+    #[test]
+    fn overlapping_accesses_split_into_atoms() {
+        let mut b = TraceBuilder::new();
+        b.write(0u32, 0x100u64, AccessSize::U64)
+            .read(0u32, 0x104u64, AccessSize::U32)
+            .read(0u32, 0x200u64, AccessSize::U8);
+        let atoms = Atoms::build(&b.build());
+        // Boundaries: 0x100, 0x104, 0x108, 0x200, 0x201 → 4 atoms, one
+        // of which (0x108..0x200) is an uncovered gap.
+        assert_eq!(atoms.len(), 4);
+        assert_eq!(atoms.interval(0), (0x100, 0x104));
+        assert_eq!(atoms.interval(1), (0x104, 0x108));
+        assert!(atoms.is_covered(0) && atoms.is_covered(1));
+        assert!(!atoms.is_covered(2), "gap atom is uncovered");
+        assert!(atoms.is_covered(3));
+        assert_eq!(atoms.span(Addr(0x100), 8), 0..2);
+        assert_eq!(atoms.span(Addr(0x104), 4), 1..2);
+        assert_eq!(atoms.span(Addr(0x200), 1), 3..4);
+    }
+
+    #[test]
+    fn empty_trace_has_no_atoms() {
+        let atoms = Atoms::build(&Trace::new());
+        assert_eq!(atoms.len(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The three proof passes.
+//!
+//! Each pass sweeps the trace once and produces one verdict per atom.
+//! All three over-approximate *racing*: a `false`/empty verdict never
+//! suppresses a prune that would have been sound, and a positive verdict
+//! comes with a happens-before argument (DESIGN.md §10) that every
+//! conflicting access pair at the atom is ordered.
+
+use std::collections::HashSet;
+
+use dgrace_baselines::HeldLocks;
+use dgrace_trace::{Event, LockId, Trace};
+use dgrace_vc::{ClockValue, Tid, VectorClock};
+
+use crate::atoms::Atoms;
+
+/// Pass 1 — fork/join ownership.
+///
+/// Tracks per-thread vector clocks advanced by fork/join edges **only**
+/// (locks, condvars and barriers are deliberately ignored: using fewer
+/// HB edges can only make more access pairs look concurrent, so the
+/// verdict under-approximates orderedness and stays sound). An atom is
+/// thread-local when every consecutive access pair is ordered under this
+/// relation — by transitivity the accesses are then totally ordered, and
+/// no HB detector, which sees *at least* these edges, can report a race.
+pub(crate) fn fork_join_ordered(trace: &Trace, atoms: &Atoms) -> Vec<bool> {
+    let nt = trace.thread_count();
+    let mut clocks: Vec<VectorClock> = (0..nt)
+        .map(|t| {
+            let mut vc = VectorClock::new();
+            vc.set(Tid(t as u32), 1);
+            vc
+        })
+        .collect();
+    let mut last: Vec<Option<(Tid, ClockValue)>> = vec![None; atoms.len()];
+    let mut ordered = vec![true; atoms.len()];
+    for ev in trace {
+        match *ev {
+            Event::Fork { parent, child } => {
+                let pv = clocks[parent.index()].clone();
+                clocks[child.index()].join(&pv);
+                // The parent's later events must look concurrent with the
+                // child's, so advance the parent past the snapshot.
+                clocks[parent.index()].tick(parent);
+            }
+            Event::Join { parent, child } => {
+                let cv = clocks[child.index()].clone();
+                clocks[parent.index()].join(&cv);
+            }
+            _ => {
+                if let Some((addr, size, _)) = ev.access() {
+                    let t = ev.tid();
+                    let vc = &clocks[t.index()];
+                    let now = vc.get(t);
+                    for i in atoms.span(addr, size.bytes()) {
+                        if let Some((lt, lc)) = last[i] {
+                            if vc.get(lt) < lc {
+                                ordered[i] = false;
+                            }
+                        }
+                        last[i] = Some((t, now));
+                    }
+                }
+            }
+        }
+    }
+    ordered
+}
+
+/// Pass 2 — read-only after single-threaded initialization.
+///
+/// An atom qualifies when every **write** to it happens while exactly one
+/// thread is live (forked and not yet joined). Such a write is ordered
+/// against all other threads' accesses: threads forked later inherit the
+/// writer's history through fork-edge chains, and threads already joined
+/// drained theirs into a live thread through join-edge chains (at the
+/// moment only one thread is live, every dead thread's join chain has
+/// terminated in it). Reads are unconstrained — read/read pairs never
+/// conflict. A thread forked but never joined keeps the live count high
+/// forever, which only makes the verdict more conservative.
+pub(crate) fn single_threaded_writes(trace: &Trace, atoms: &Atoms) -> Vec<bool> {
+    let mut live: u64 = 1; // the main thread
+    let mut ok = vec![true; atoms.len()];
+    for ev in trace {
+        match *ev {
+            Event::Fork { .. } => live += 1,
+            Event::Join { .. } => live = live.saturating_sub(1),
+            _ => {
+                if let Some((addr, size, is_write)) = ev.access() {
+                    if is_write && live > 1 {
+                        for i in atoms.span(addr, size.bytes()) {
+                            ok[i] = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ok
+}
+
+/// Pass 3 — consistently locked.
+///
+/// Strict whole-trace lockset intersection: the verdict for an atom is
+/// the set of locks held **exclusively** at *every* access to it. Unlike
+/// Eraser's state machine (which forgives the single-threaded init phase
+/// and is therefore only a heuristic), the strict intersection supports
+/// a proof: a lock in every access's held-set induces release→acquire
+/// HB edges between each conflicting pair. Read-mode rwlock holds do not
+/// count — two read-holders run concurrently.
+pub(crate) fn common_locksets(trace: &Trace, atoms: &Atoms) -> Vec<Option<HashSet<LockId>>> {
+    let mut held = HeldLocks::new();
+    let mut sets: Vec<Option<HashSet<LockId>>> = vec![None; atoms.len()];
+    for ev in trace {
+        held.apply(ev);
+        if let Some((addr, size, _)) = ev.access() {
+            let cur = held.exclusive(ev.tid());
+            for i in atoms.span(addr, size.bytes()) {
+                match &mut sets[i] {
+                    None => sets[i] = Some(cur.cloned().unwrap_or_default()),
+                    Some(s) => s.retain(|l| cur.is_some_and(|c| c.contains(l))),
+                }
+            }
+        }
+    }
+    sets
+}

@@ -49,5 +49,5 @@ mod lockset;
 mod segment;
 
 pub use hybrid::HybridDetector;
-pub use lockset::{LockSetDetector, LocksetState};
+pub use lockset::{HeldLocks, LockSetDetector, LocksetState};
 pub use segment::SegmentDetector;

@@ -7,6 +7,59 @@ use dgrace_shadow::{MemClass, MemoryModel};
 use dgrace_trace::{Addr, Event, LockId};
 use dgrace_vc::{Epoch, Tid};
 
+/// Per-thread held-lock bookkeeping, shared between the Eraser checker
+/// here and the ahead-of-time analysis in `dgrace-analysis`.
+///
+/// Exclusive (write) holds and shared (read) holds are tracked
+/// separately: Eraser's candidate sets use the union (a read hold is
+/// still a discipline), while the analyzer's prune proof may only count
+/// exclusive holds (two read holders do not order their accesses).
+#[derive(Clone, Debug, Default)]
+pub struct HeldLocks {
+    exclusive: HashMap<Tid, HashSet<LockId>>,
+    read: HashMap<Tid, HashSet<LockId>>,
+}
+
+impl HeldLocks {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Updates the tracker from one event; non-lock events are ignored.
+    pub fn apply(&mut self, ev: &Event) {
+        match *ev {
+            Event::Acquire { tid, lock } => {
+                self.exclusive.entry(tid).or_default().insert(lock);
+            }
+            Event::Release { tid, lock } => {
+                self.exclusive.entry(tid).or_default().remove(&lock);
+            }
+            Event::AcquireRead { tid, lock } => {
+                self.read.entry(tid).or_default().insert(lock);
+            }
+            Event::ReleaseRead { tid, lock } => {
+                self.read.entry(tid).or_default().remove(&lock);
+            }
+            _ => {}
+        }
+    }
+
+    /// The locks `tid` currently holds exclusively, if any.
+    pub fn exclusive(&self, tid: Tid) -> Option<&HashSet<LockId>> {
+        self.exclusive.get(&tid).filter(|s| !s.is_empty())
+    }
+
+    /// All locks `tid` holds in any mode (Eraser's candidate universe).
+    pub fn any_mode(&self, tid: Tid) -> HashSet<LockId> {
+        let mut out = self.exclusive.get(&tid).cloned().unwrap_or_default();
+        if let Some(r) = self.read.get(&tid) {
+            out.extend(r.iter().copied());
+        }
+        out
+    }
+}
+
 /// Eraser's per-location ownership state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LocksetState {
@@ -42,7 +95,7 @@ struct LocEntry {
 /// precisely to filter those.
 #[derive(Debug, Default)]
 pub struct LockSetDetector {
-    held: HashMap<Tid, HashSet<LockId>>,
+    held: HeldLocks,
     table: HashMap<Addr, LocEntry>,
     races: Vec<RaceReport>,
     model: MemoryModel,
@@ -68,7 +121,7 @@ impl LockSetDetector {
 
     fn on_access(&mut self, tid: Tid, addr: Addr, kind: AccessKind) {
         self.accesses += 1;
-        let held = self.held.entry(tid).or_default().clone();
+        let held = self.held.any_mode(tid);
         let is_new = !self.table.contains_key(&addr);
         let entry = self.table.entry(addr).or_insert_with(|| LocEntry {
             state: LocksetState::Virgin,
@@ -154,14 +207,14 @@ impl Detector for LockSetDetector {
         match *ev {
             Event::Read { tid, addr, .. } => self.on_access(tid, addr, AccessKind::Read),
             Event::Write { tid, addr, .. } => self.on_access(tid, addr, AccessKind::Write),
-            Event::Acquire { tid, lock } | Event::AcquireRead { tid, lock } => {
+            Event::Acquire { .. }
+            | Event::AcquireRead { .. }
+            | Event::Release { .. }
+            | Event::ReleaseRead { .. } => {
                 // Eraser counts read locks toward the candidate set too
                 // (its refinement distinguishes read/write ownership; we
-                // use the simpler common-lock form).
-                self.held.entry(tid).or_default().insert(lock);
-            }
-            Event::Release { tid, lock } | Event::ReleaseRead { tid, lock } => {
-                self.held.entry(tid).or_default().remove(&lock);
+                // use the simpler common-lock form via `any_mode`).
+                self.held.apply(ev);
             }
             Event::Free { addr, size, .. } => {
                 let mut freed = 0usize;

@@ -1,0 +1,65 @@
+//! Ahead-of-time prune benchmarks: what fraction of each workload's
+//! accesses the static analysis proves race-free, what the analysis
+//! pass itself costs, and the end-to-end detection speedup when a
+//! second run warm-starts from the summary (`detect --prune-with`).
+//!
+//! Reported groups:
+//!
+//! * `analyze/<workload>` — the three-pass classification sweep;
+//! * `prune/<workload>/bare` vs `prune/<workload>/pruned` — FastTrack
+//!   (byte granularity) with and without the compiled prune set, on the
+//!   same trace. The pruned fraction is printed once per workload so a
+//!   bench log doubles as the EXPERIMENTS.md prune table.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dgrace_analysis::analyze;
+use dgrace_detectors::{DetectorExt, FastTrack, Granularity, StaticPruneFilter};
+use dgrace_workloads::{Workload, WorkloadKind};
+
+fn bench_prune(c: &mut Criterion) {
+    for kind in [
+        WorkloadKind::Facesim,
+        WorkloadKind::Pbzip2,
+        WorkloadKind::Canneal,
+        WorkloadKind::Ferret,
+    ] {
+        let (trace, _) = Workload::new(kind).with_scale(0.5).generate();
+        let summary = analyze(&trace);
+        let prune = summary.prune_set(1, 0);
+        println!(
+            "{}: {:.1}% of {} accesses prunable",
+            kind.name(),
+            summary.stats.prunable_fraction() * 100.0,
+            summary.stats.total_accesses()
+        );
+
+        let mut group = c.benchmark_group(format!("analyze/{}", kind.name()));
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.sample_size(10);
+        group.bench_function("classify", |b| {
+            b.iter(|| std::hint::black_box(analyze(&trace).stats.prunable_accesses()));
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("prune/{}", kind.name()));
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.sample_size(10);
+        group.bench_function("bare", |b| {
+            b.iter(|| {
+                let rep = FastTrack::with_granularity(Granularity::Byte).run(&trace);
+                std::hint::black_box(rep.races.len())
+            });
+        });
+        group.bench_function("pruned", |b| {
+            b.iter(|| {
+                let det = FastTrack::with_granularity(Granularity::Byte);
+                let rep = StaticPruneFilter::new(det, prune.clone()).run(&trace);
+                std::hint::black_box(rep.races.len())
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_prune);
+criterion_main!(benches);

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! dgrace gen <workload> [--scale S] [--seed N] -o trace.dgrt
-//! dgrace detect <detector> <trace.dgrt> [--max-races N] [--shards N]
+//! dgrace analyze <trace.dgrt> [-o summary.dgas]
+//! dgrace detect <detector> <trace.dgrt> [--max-races N] [--shards N] [--prune-with summary.dgas]
 //! dgrace stats <trace.dgrt>
 //! dgrace list
 //! ```
@@ -11,14 +12,16 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
+use dgrace_analysis::analyze;
 use dgrace_baselines::{HybridDetector, LockSetDetector, SegmentDetector};
 use dgrace_core::{DynamicConfig, DynamicGranularity};
 use dgrace_detectors::{
     Detector, DetectorExt, Djit, FastTrack, Granularity, OracleDetector, ShardableDetector,
+    StaticPruneFilter,
 };
-use dgrace_runtime::replay_sharded;
-use dgrace_trace::io::{read_trace, write_trace};
-use dgrace_trace::{stats::stats, validate, Trace};
+use dgrace_runtime::replay_sharded_pruned;
+use dgrace_trace::io::{read_summary, read_trace, write_summary, write_trace};
+use dgrace_trace::{stats::stats, validate, AnalysisSummary, LocationClass, PruneSet, Trace};
 use dgrace_workloads::{Workload, WorkloadKind};
 
 mod args;
@@ -45,6 +48,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     let rest = &argv[1..];
     match cmd.as_str() {
         "gen" => cmd_gen(rest),
+        "analyze" => cmd_analyze(rest),
         "detect" => cmd_detect(rest),
         "compare" => cmd_compare(rest),
         "stats" => cmd_stats(rest),
@@ -65,9 +69,12 @@ fn print_help() {
         "dgrace — dynamic-granularity data race detection\n\n\
          USAGE:\n\
          \x20 dgrace gen <workload> [--scale S] [--seed N] -o <file>   generate a workload trace\n\
-         \x20 dgrace detect <detector> <file> [--max-races N] [--shards N]\n\
+         \x20 dgrace analyze <file> [-o <summary>]                     classify every location ahead of\n\
+         \x20                                                          time; -o saves a prune summary\n\
+         \x20 dgrace detect <detector> <file> [--max-races N] [--shards N] [--prune-with <summary>]\n\
          \x20                                                          run a detector over a trace,\n\
-         \x20                                                          optionally across N address shards\n\
+         \x20                                                          optionally across N address shards,\n\
+         \x20                                                          skipping provably race-free accesses\n\
          \x20 dgrace compare <detA> <detB> <file>                      diff two detectors' findings\n\
          \x20 dgrace stats <file>                                      trace statistics\n\
          \x20 dgrace list                                              available workloads & detectors\n\n\
@@ -154,6 +161,84 @@ fn cmd_gen(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_analyze(rest: &[String]) -> Result<(), String> {
+    let p = Parsed::parse(rest, &["-o"])?;
+    let path = p.positional(0).ok_or("analyze: missing trace file")?;
+    let trace = load_trace(path)?;
+    let start = std::time::Instant::now();
+    let summary = analyze(&trace);
+    let secs = start.elapsed().as_secs_f64();
+
+    println!(
+        "analyzed      : {} events, {} access events ({:.1} ms)",
+        summary.trace_events,
+        summary.trace_accesses,
+        secs * 1e3
+    );
+    let s = &summary.stats;
+    for (class, c) in [
+        (LocationClass::ThreadLocal.label(), &s.thread_local),
+        (LocationClass::ReadOnlyAfterInit.label(), &s.read_only),
+        ("consistently-locked", &s.locked),
+        (LocationClass::Contended.label(), &s.contended),
+    ] {
+        println!(
+            "  {class:<20} {:>10} bytes  {:>10} accesses",
+            c.bytes, c.accesses
+        );
+    }
+    println!(
+        "prunable      : {} of {} accesses ({:.1}%)",
+        s.prunable_accesses(),
+        s.total_accesses(),
+        s.prunable_fraction() * 100.0
+    );
+    if let Some(out) = p.opt("-o") {
+        let mut w = BufWriter::new(File::create(out).map_err(|e| format!("create {out}: {e}"))?);
+        write_summary(&summary, &mut w).map_err(|e| format!("write {out}: {e}"))?;
+        println!("summary       : written to {out}");
+    }
+    Ok(())
+}
+
+/// Loads a `.dgas` prune summary and checks it was produced from the
+/// trace being detected (pruning with a summary from a *different*
+/// trace would be unsound).
+fn load_summary(path: &str, trace: &Trace) -> Result<AnalysisSummary, String> {
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let summary =
+        read_summary(&mut BufReader::new(f)).map_err(|e| format!("decode {path}: {e}"))?;
+    if summary.trace_events != trace.len() as u64 {
+        return Err(format!(
+            "summary {path} was built from a {}-event trace, but this trace has {} events \
+             (re-run `dgrace analyze`)",
+            summary.trace_events,
+            trace.len()
+        ));
+    }
+    Ok(summary)
+}
+
+/// Compiles a prune set matched to the detector: the granule is the
+/// detector's location width (an access is only pruned when every
+/// granule it touches is provably race-free), and the dynamic detector
+/// gets a 256-byte safety margin so pruned accesses can never have been
+/// clock-sharing neighbors of surviving ones.
+fn compile_prune(det_name: &str, summary: &AnalysisSummary) -> Result<PruneSet, String> {
+    let (granule, margin) = match det_name {
+        "byte" | "djit" => (1, 0),
+        "word" => (4, 0),
+        "dynamic" | "dynamic-no-init" | "dynamic-guided" => (1, 256),
+        other => {
+            return Err(format!(
+                "detector `{other}` does not support --prune-with (supported: \
+                 byte, word, djit, dynamic, dynamic-no-init, dynamic-guided)"
+            ))
+        }
+    };
+    Ok(summary.prune_set(granule, margin))
+}
+
 fn load_trace(path: &str) -> Result<Trace, String> {
     let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let trace = read_trace(&mut BufReader::new(f)).map_err(|e| format!("decode {path}: {e}"))?;
@@ -185,19 +270,26 @@ fn make_shardable(name: &str) -> Result<Box<dyn ShardableDetector>, String> {
 }
 
 fn cmd_detect(rest: &[String]) -> Result<(), String> {
-    let p = Parsed::parse(rest, &["--max-races", "--shards"])?;
+    let p = Parsed::parse(rest, &["--max-races", "--shards", "--prune-with"])?;
     let det_name = p.positional(0).ok_or("detect: missing detector name")?;
     let path = p.positional(1).ok_or("detect: missing trace file")?;
     let max_races: usize = p.opt_parse("--max-races")?.unwrap_or(25);
     let shards: usize = p.opt_parse("--shards")?.unwrap_or(1);
 
     let trace = load_trace(path)?;
+    let prune = match p.opt("--prune-with") {
+        Some(sp) => compile_prune(det_name, &load_summary(sp, &trace)?)?,
+        None => PruneSet::empty(),
+    };
+
     let start = std::time::Instant::now();
     let report = if shards > 1 {
         let proto = make_shardable(det_name)?;
-        replay_sharded(proto.as_ref(), &trace, shards)
-    } else {
+        replay_sharded_pruned(proto.as_ref(), &trace, shards, prune)
+    } else if prune.is_empty() {
         make_detector(det_name)?.run(&trace)
+    } else {
+        StaticPruneFilter::new(make_detector(det_name)?, prune).run(&trace)
     };
     let secs = start.elapsed().as_secs_f64();
     if shards > 1 {

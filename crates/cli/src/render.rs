@@ -23,6 +23,14 @@ pub fn report(rep: &Report, trace: &Trace, secs: f64, max_races: usize) {
         s.accesses,
         s.same_epoch_fraction() * 100.0
     );
+    if s.pruned > 0 {
+        println!(
+            "pruned        : {} accesses skipped by ahead-of-time analysis ({:.0}% of {})",
+            s.pruned,
+            s.pruned as f64 / (s.pruned + s.accesses).max(1) as f64 * 100.0,
+            s.pruned + s.accesses
+        );
+    }
     println!(
         "shadow peak   : {:.1} KiB (hash {:.1}, clocks {:.1}, bitmaps {:.1})",
         s.peak_total_bytes as f64 / 1024.0,

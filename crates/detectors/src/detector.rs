@@ -27,6 +27,30 @@ pub trait Detector: std::any::Any {
     fn finish(&mut self) -> Report;
 }
 
+impl Detector for Box<dyn Detector> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn on_event(&mut self, ev: &Event) {
+        (**self).on_event(ev)
+    }
+    fn finish(&mut self) -> Report {
+        (**self).finish()
+    }
+}
+
+impl Detector for Box<dyn Detector + Send> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn on_event(&mut self, ev: &Event) {
+        (**self).on_event(ev)
+    }
+    fn finish(&mut self) -> Report {
+        (**self).finish()
+    }
+}
+
 /// Convenience extensions for running whole traces.
 pub trait DetectorExt: Detector {
     /// Feeds every event of `trace` and returns the final report.

@@ -52,7 +52,7 @@ mod tee;
 pub use detector::{Detector, DetectorExt};
 pub use djit::Djit;
 pub use fasttrack::FastTrack;
-pub use filter::{AddressFilter, FilteredDetector};
+pub use filter::{AddressFilter, FilteredDetector, StaticPruneFilter};
 pub use granularity::Granularity;
 pub use hb::HbState;
 pub use nop::NopDetector;

@@ -89,6 +89,10 @@ pub struct DetectorStats {
     pub events: u64,
     /// Memory-access events processed.
     pub accesses: u64,
+    /// Accesses dropped before detection by a static prune filter (so
+    /// `accesses` counts only what was actually checked; the trace had
+    /// `accesses + pruned` access events).
+    pub pruned: u64,
     /// Accesses that took the same-epoch fast path (Table 4).
     pub same_epoch: u64,
     /// Vector-clock objects created.

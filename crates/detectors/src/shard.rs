@@ -86,6 +86,7 @@ pub fn merge_shard_reports(reports: Vec<Report>) -> Report {
         let o = rep.stats;
         s.events += o.events;
         s.accesses += o.accesses;
+        s.pruned += o.pruned;
         s.same_epoch += o.same_epoch;
         s.vc_allocs += o.vc_allocs;
         s.vc_frees += o.vc_frees;

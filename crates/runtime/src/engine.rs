@@ -59,7 +59,7 @@ use std::sync::Arc;
 
 use crossbeam::queue::ArrayQueue;
 use dgrace_detectors::{merge_shard_reports, Detector, Recorder, Report, Tee};
-use dgrace_trace::{Event, Tid, Trace};
+use dgrace_trace::{Event, PruneSet, Tid, Trace};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 
 /// Tuning knobs for the online runtime.
@@ -183,10 +183,24 @@ pub(crate) struct Engine {
     router: RwLock<Router>,
     /// Per-tid buffer registry, indexed by `Tid::index()`.
     bufs: RwLock<Vec<Option<Arc<ThreadBuf>>>>,
+    /// Warm-start prune predicate: accesses it covers are dropped before
+    /// buffering/dispatch (and before the journal — a recorded trace
+    /// excludes pruned accesses). Empty by default.
+    prune: PruneSet,
+    /// Accesses dropped by the prune predicate.
+    pruned: AtomicU64,
 }
 
 impl Engine {
     pub(crate) fn new(detectors: Vec<Box<dyn Detector + Send>>, opts: RuntimeOptions) -> Self {
+        Self::with_prune(detectors, opts, PruneSet::empty())
+    }
+
+    pub(crate) fn with_prune(
+        detectors: Vec<Box<dyn Detector + Send>>,
+        opts: RuntimeOptions,
+        prune: PruneSet,
+    ) -> Self {
         assert!(!detectors.is_empty(), "engine needs at least one shard");
         let shards = detectors
             .into_iter()
@@ -206,6 +220,16 @@ impl Engine {
             capacity: opts.buffer_capacity,
             router: RwLock::new(Router::new(n)),
             bufs: RwLock::new(Vec::new()),
+            prune,
+            pruned: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the warm-start predicate drops this event.
+    fn prunes(&self, ev: &Event) -> bool {
+        match ev.access() {
+            Some((addr, size, _)) => self.prune.prunes(addr, size.bytes()),
+            None => false,
         }
     }
 
@@ -234,8 +258,13 @@ impl Engine {
     }
 
     /// Lock-free fast path: appends an access to `buf`, flushing first
-    /// when the buffer is full.
+    /// when the buffer is full. Pruned accesses are dropped here, before
+    /// they ever occupy buffer space.
     pub(crate) fn push(&self, buf: &ThreadBuf, ev: Event) {
+        if !self.prune.is_empty() && self.prunes(&ev) {
+            self.pruned.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let mut ev = ev;
         loop {
             match buf.queue.push(ev) {
@@ -283,7 +312,21 @@ impl Engine {
     ///
     /// Each per-shard part receives one sequence stamp, taken while the
     /// shard lock is held; events within a part keep their program order.
-    pub(crate) fn dispatch(&self, batch: Vec<Event>) {
+    pub(crate) fn dispatch(&self, mut batch: Vec<Event>) {
+        // Offline replay feeds dispatch directly (bypassing push), so the
+        // prune predicate is applied here too; online batches were
+        // already filtered at push time and pass through unchanged.
+        if !self.prune.is_empty() {
+            let before = batch.len();
+            batch.retain(|ev| !self.prunes(ev));
+            let dropped = (before - batch.len()) as u64;
+            if dropped > 0 {
+                self.pruned.fetch_add(dropped, Ordering::Relaxed);
+            }
+            if batch.is_empty() {
+                return;
+            }
+        }
         let n = batch.len() as u64;
         if self.shards.len() == 1 {
             let mut shard = self.shards[0].lock();
@@ -364,14 +407,21 @@ impl Engine {
         self.flush_all();
         let reports: Vec<Report> = self.shards.iter().map(|s| s.lock().det.finish()).collect();
         let emitted = self.emitted.swap(0, Ordering::Relaxed);
-        if reports.len() == 1 {
+        let pruned = self.pruned.swap(0, Ordering::Relaxed);
+        let mut rep = if reports.len() == 1 {
             reports.into_iter().next().expect("one shard")
         } else {
             let mut merged = merge_shard_reports(reports);
             // Broadcasts reach every shard; the sum over-counts them.
             merged.stats.events = emitted;
             merged
-        }
+        };
+        // Same contract as the offline `StaticPruneFilter`: `events`
+        // counts everything that arrived (including pruned accesses),
+        // `accesses` only what was checked.
+        rep.stats.events += pruned;
+        rep.stats.pruned += pruned;
+        rep
     }
 
     /// Reconstructs the recorded serialization (journal mode), or falls

@@ -50,7 +50,7 @@ mod sync_ext;
 
 pub use engine::RuntimeOptions;
 pub use mem::{TrackedArray, TrackedCell};
-pub use replay::replay_sharded;
+pub use replay::{replay_sharded, replay_sharded_pruned};
 pub use runtime::{JoinTicket, Runtime, ThreadHandle};
 pub use sync::{TrackedMutex, TrackedMutexGuard};
 pub use sync_ext::{

@@ -16,7 +16,7 @@
 //! shard.
 
 use dgrace_detectors::{Report, ShardableDetector};
-use dgrace_trace::{Event, Trace};
+use dgrace_trace::{Event, PruneSet, Trace};
 
 use crate::engine::{Engine, RuntimeOptions};
 
@@ -28,6 +28,20 @@ pub fn replay_sharded<D: ShardableDetector + ?Sized>(
     trace: &Trace,
     shards: usize,
 ) -> Report {
+    replay_sharded_pruned(prototype, trace, shards, PruneSet::empty())
+}
+
+/// [`replay_sharded`] with a warm-start prune predicate: accesses the
+/// ahead-of-time analysis proved race-free are dropped before routing,
+/// and surface in the merged report as `stats.pruned`. The prune set
+/// must have been compiled for the prototype detector's granularity
+/// (see `AnalysisSummary::prune_set`).
+pub fn replay_sharded_pruned<D: ShardableDetector + ?Sized>(
+    prototype: &D,
+    trace: &Trace,
+    shards: usize,
+    prune: PruneSet,
+) -> Report {
     let shards = shards.max(1);
     let opts = RuntimeOptions {
         shards,
@@ -35,7 +49,7 @@ pub fn replay_sharded<D: ShardableDetector + ?Sized>(
         record: false,
     };
     let detectors = (0..shards).map(|_| prototype.new_shard()).collect();
-    let engine = Engine::new(detectors, opts);
+    let engine = Engine::with_prune(detectors, opts, prune);
 
     let mut pending: Vec<Event> = Vec::new();
     for ev in trace.iter() {
@@ -103,6 +117,45 @@ mod tests {
             assert_eq!(
                 race_signature(&rep),
                 race_signature(&serial),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_replay_drops_accesses_and_keeps_races() {
+        use dgrace_trace::{Addr, AnalysisSummary, ClassifiedRange, LocationClass};
+        // Thread-local traffic at 0x9000 plus the racy pair at 0x100.
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .write(0u32, 0x100u64, AccessSize::U64)
+            .write(1u32, 0x100u64, AccessSize::U64);
+        for i in 0..8u64 {
+            b.write(0u32, 0x9000 + i * 8, AccessSize::U64);
+        }
+        b.join(0u32, 1u32);
+        let trace = b.build();
+        let summary = AnalysisSummary {
+            ranges: vec![ClassifiedRange {
+                start: Addr(0x9000),
+                len: 64,
+                class: LocationClass::ThreadLocal,
+            }],
+            ..Default::default()
+        };
+        let prune = summary.prune_set(1, 0);
+        let bare = replay_sharded(&FastTrack::new(), &trace, 2);
+        for shards in [1usize, 2, 4] {
+            let rep = replay_sharded_pruned(&FastTrack::new(), &trace, shards, prune.clone());
+            assert_eq!(rep.stats.pruned, 8, "shards={shards}");
+            assert_eq!(
+                rep.stats.events,
+                trace.len() as u64,
+                "events still count pruned accesses (shards={shards})"
+            );
+            assert_eq!(
+                race_signature(&rep),
+                race_signature(&bare),
                 "shards={shards}"
             );
         }

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dgrace_detectors::{Detector, Report, ShardableDetector};
-use dgrace_trace::{Event, LockId, Tid};
+use dgrace_trace::{Event, LockId, PruneSet, Tid};
 
 use crate::engine::{Engine, RuntimeOptions, ThreadBuf};
 
@@ -100,11 +100,29 @@ impl Runtime {
         prototype: &D,
         opts: RuntimeOptions,
     ) -> Self {
+        Self::warm_started(prototype, opts, PruneSet::empty())
+    }
+
+    /// Creates a sharded runtime **warm-started** from an ahead-of-time
+    /// analysis: accesses covered by `prune` (compiled from a previous
+    /// run's `AnalysisSummary` for this detector's granularity) are
+    /// dropped on the instrumented threads' fast path, before they ever
+    /// occupy buffer space. The dropped count appears in the final
+    /// report as `stats.pruned`. An empty prune set makes this identical
+    /// to [`Runtime::sharded_with_options`].
+    ///
+    /// Note that a journaling runtime's recorded trace excludes pruned
+    /// accesses — re-analyzing it would misclassify them as absent.
+    pub fn warm_started<D: ShardableDetector + ?Sized>(
+        prototype: &D,
+        opts: RuntimeOptions,
+        prune: PruneSet,
+    ) -> Self {
         let shards = opts.shards.max(1);
         let opts = RuntimeOptions { shards, ..opts };
         let detectors = (0..shards).map(|_| prototype.new_shard()).collect();
         Runtime {
-            inner: Arc::new(Inner::new(Engine::new(detectors, opts))),
+            inner: Arc::new(Inner::new(Engine::with_prune(detectors, opts, prune))),
         }
     }
 

@@ -27,15 +27,33 @@
 //! | 11  | CvWait        | tid u32, cv u32                |
 //! | 12  | BarrierArrive | tid u32, bar u32               |
 //! | 13  | BarrierDepart | tid u32, bar u32               |
+//!
+//! The module also defines the `DGAS` container for [`AnalysisSummary`]
+//! artifacts (see [`write_summary`]):
+//!
+//! ```text
+//! magic          : b"DGAS"
+//! version        : u32      (currently 1)
+//! trace_events   : u64
+//! trace_accesses : u64
+//! stats          : 8 × u64  (bytes, accesses per class, in declaration order)
+//! count          : u64      number of classified ranges
+//! ranges         : count records — start u64, len u64, class u8,
+//!                  then for class 2 (locked): lock_count u32, lock u32 …
+//! ```
 
 use std::io;
 
 use dgrace_vc::Tid;
 
+use crate::summary::{
+    AnalysisSummary, ClassCounts, ClassifiedRange, LocationClass, SummaryStats, SUMMARY_VERSION,
+};
 use crate::{AccessSize, Addr, Event, LockId, Trace};
 
 const MAGIC: &[u8; 4] = b"DGRT";
 const VERSION: u32 = 1;
+const SUMMARY_MAGIC: &[u8; 4] = b"DGAS";
 
 /// Errors while decoding a trace stream.
 #[derive(Debug)]
@@ -50,6 +68,8 @@ pub enum DecodeError {
     BadTag(u8),
     /// Invalid access size byte.
     BadSize(u8),
+    /// Unknown location-class tag in a `DGAS` summary.
+    BadClass(u8),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -60,6 +80,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
             DecodeError::BadTag(t) => write!(f, "unknown event tag {t}"),
             DecodeError::BadSize(s) => write!(f, "invalid access size {s}"),
+            DecodeError::BadClass(c) => write!(f, "unknown location class {c}"),
         }
     }
 }
@@ -328,6 +349,108 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Trace, DecodeError> {
     read_trace(&mut io::Cursor::new(bytes))
 }
 
+/// Writes an analysis summary to `w` in the `DGAS` format.
+pub fn write_summary<W: io::Write>(summary: &AnalysisSummary, w: &mut W) -> io::Result<()> {
+    w.write_all(SUMMARY_MAGIC)?;
+    w.write_all(&SUMMARY_VERSION.to_le_bytes())?;
+    w.write_all(&summary.trace_events.to_le_bytes())?;
+    w.write_all(&summary.trace_accesses.to_le_bytes())?;
+    for c in [
+        summary.stats.thread_local,
+        summary.stats.read_only,
+        summary.stats.locked,
+        summary.stats.contended,
+    ] {
+        w.write_all(&c.bytes.to_le_bytes())?;
+        w.write_all(&c.accesses.to_le_bytes())?;
+    }
+    w.write_all(&(summary.ranges.len() as u64).to_le_bytes())?;
+    for r in &summary.ranges {
+        w.write_all(&r.start.0.to_le_bytes())?;
+        w.write_all(&r.len.to_le_bytes())?;
+        match &r.class {
+            LocationClass::ThreadLocal => w.write_all(&[0u8])?,
+            LocationClass::ReadOnlyAfterInit => w.write_all(&[1u8])?,
+            LocationClass::ConsistentlyLocked { lockset } => {
+                w.write_all(&[2u8])?;
+                w.write_all(&(lockset.len() as u32).to_le_bytes())?;
+                for l in lockset {
+                    w.write_all(&l.0.to_le_bytes())?;
+                }
+            }
+            LocationClass::Contended => w.write_all(&[3u8])?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads a `DGAS` analysis summary from `r`.
+pub fn read_summary<R: io::Read>(r: &mut R) -> Result<AnalysisSummary, DecodeError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != SUMMARY_MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = read_u32(r)?;
+    if version != SUMMARY_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let trace_events = read_u64(r)?;
+    let trace_accesses = read_u64(r)?;
+    let mut counts = [ClassCounts::default(); 4];
+    for c in &mut counts {
+        c.bytes = read_u64(r)?;
+        c.accesses = read_u64(r)?;
+    }
+    let stats = SummaryStats {
+        thread_local: counts[0],
+        read_only: counts[1],
+        locked: counts[2],
+        contended: counts[3],
+    };
+    let count = read_u64(r)?;
+    let mut ranges = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        let start = Addr(read_u64(r)?);
+        let len = read_u64(r)?;
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let class = match tag[0] {
+            0 => LocationClass::ThreadLocal,
+            1 => LocationClass::ReadOnlyAfterInit,
+            2 => {
+                let n = read_u32(r)?;
+                let mut lockset = Vec::with_capacity(n.min(1 << 16) as usize);
+                for _ in 0..n {
+                    lockset.push(LockId(read_u32(r)?));
+                }
+                LocationClass::ConsistentlyLocked { lockset }
+            }
+            3 => LocationClass::Contended,
+            t => return Err(DecodeError::BadClass(t)),
+        };
+        ranges.push(ClassifiedRange { start, len, class });
+    }
+    Ok(AnalysisSummary {
+        trace_events,
+        trace_accesses,
+        ranges,
+        stats,
+    })
+}
+
+/// Serializes a summary to a byte vector.
+pub fn summary_to_bytes(summary: &AnalysisSummary) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + summary.ranges.len() * 17);
+    write_summary(summary, &mut buf).expect("writing to Vec cannot fail");
+    buf
+}
+
+/// Deserializes a summary from a byte slice.
+pub fn summary_from_bytes(bytes: &[u8]) -> Result<AnalysisSummary, DecodeError> {
+    read_summary(&mut io::Cursor::new(bytes))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,5 +553,115 @@ mod tests {
     fn empty_trace_roundtrip() {
         let t = Trace::new();
         assert_eq!(from_bytes(&to_bytes(&t)).unwrap(), t);
+    }
+
+    fn sample_summary() -> AnalysisSummary {
+        AnalysisSummary {
+            trace_events: 42,
+            trace_accesses: 30,
+            ranges: vec![
+                ClassifiedRange {
+                    start: Addr(0x100),
+                    len: 16,
+                    class: LocationClass::ThreadLocal,
+                },
+                ClassifiedRange {
+                    start: Addr(0x110),
+                    len: 8,
+                    class: LocationClass::ReadOnlyAfterInit,
+                },
+                ClassifiedRange {
+                    start: Addr(0x200),
+                    len: 4,
+                    class: LocationClass::ConsistentlyLocked {
+                        lockset: vec![LockId(1), LockId(7)],
+                    },
+                },
+                ClassifiedRange {
+                    start: Addr(0x300),
+                    len: 32,
+                    class: LocationClass::Contended,
+                },
+            ],
+            stats: SummaryStats {
+                thread_local: ClassCounts {
+                    bytes: 16,
+                    accesses: 10,
+                },
+                read_only: ClassCounts {
+                    bytes: 8,
+                    accesses: 5,
+                },
+                locked: ClassCounts {
+                    bytes: 4,
+                    accesses: 7,
+                },
+                contended: ClassCounts {
+                    bytes: 32,
+                    accesses: 8,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn summary_roundtrip_all_classes() {
+        let s = sample_summary();
+        let back = summary_from_bytes(&summary_to_bytes(&s)).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn summary_empty_roundtrip() {
+        let s = AnalysisSummary::default();
+        assert_eq!(summary_from_bytes(&summary_to_bytes(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn summary_bad_magic_rejected() {
+        let bytes = to_bytes(&sample());
+        // A DGRT trace is not a DGAS summary.
+        assert!(matches!(
+            summary_from_bytes(&bytes),
+            Err(DecodeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn summary_bad_version_rejected() {
+        let mut bytes = summary_to_bytes(&sample_summary());
+        bytes[4] = 99;
+        assert!(matches!(
+            summary_from_bytes(&bytes),
+            Err(DecodeError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn summary_bad_class_rejected() {
+        let s = AnalysisSummary {
+            ranges: vec![ClassifiedRange {
+                start: Addr(0),
+                len: 1,
+                class: LocationClass::ThreadLocal,
+            }],
+            ..Default::default()
+        };
+        let mut bytes = summary_to_bytes(&s);
+        let n = bytes.len();
+        bytes[n - 1] = 9; // class tag of the sole range
+        assert!(matches!(
+            summary_from_bytes(&bytes),
+            Err(DecodeError::BadClass(9))
+        ));
+    }
+
+    #[test]
+    fn summary_truncation_is_io_error() {
+        let bytes = summary_to_bytes(&sample_summary());
+        assert!(matches!(
+            summary_from_bytes(&bytes[..bytes.len() - 2]),
+            Err(DecodeError::Io(_))
+        ));
     }
 }

@@ -16,7 +16,9 @@
 //! * [`validate`] — structural well-formedness checks;
 //! * [`io`] — a versioned binary on-disk format;
 //! * [`stats`] — per-trace summary statistics (the "Total shared accesses"
-//!   style columns of Table 1).
+//!   style columns of Table 1);
+//! * [`summary`] — the [`AnalysisSummary`] artifact emitted by the
+//!   ahead-of-time analysis and consumed by the prune filter/runtime.
 
 //! ```
 //! use dgrace_trace::{validate, AccessSize, TraceBuilder};
@@ -40,11 +42,16 @@ mod builder;
 mod event;
 pub mod io;
 pub mod stats;
+pub mod summary;
 mod validate;
 
 pub use batch::EventBatch;
 pub use builder::TraceBuilder;
 pub use event::{AccessSize, Addr, Event, LockId};
+pub use summary::{
+    AnalysisSummary, ClassCounts, ClassifiedRange, LocationClass, PruneSet, SummaryStats,
+    SUMMARY_VERSION,
+};
 pub use validate::{validate, ValidationError};
 
 pub use dgrace_vc::Tid;

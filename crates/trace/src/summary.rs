@@ -1,0 +1,357 @@
+//! The [`AnalysisSummary`] artifact: per-location classifications produced
+//! by the ahead-of-time trace analysis (`dgrace-analysis`), consumed by
+//! the detectors' static prune filter and the runtime's warm-start mode.
+//!
+//! The summary lives in this crate — the bottom of the dependency graph —
+//! because every layer touches it: the analyzer emits it, `io` serializes
+//! it (`DGAS` format), `dgrace-detectors::StaticPruneFilter` skips
+//! accesses it proves race-free, and `dgrace-runtime` installs it into
+//! the sharded engine's push fast path.
+//!
+//! A classification applies to a *byte range* of the traced address
+//! space. The three prunable classes each carry a soundness argument
+//! (spelled out in DESIGN.md §10) of the same shape: **every conflicting
+//! access pair at a prunable byte is ordered by happens-before**, so no
+//! HB-based detector can report a race there, and skipping those accesses
+//! cannot change any HB detector's race set — provided granularity
+//! effects are compensated, which is [`PruneSet`]'s job.
+
+use crate::{Addr, LockId};
+
+/// What the analysis proved about one byte range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LocationClass {
+    /// All accesses are totally ordered by fork/join edges alone (this
+    /// includes plain single-thread ownership and ownership hand-offs
+    /// across fork or join).
+    ThreadLocal,
+    /// Every write happened while the writer was the only live thread;
+    /// all later traffic is reads.
+    ReadOnlyAfterInit,
+    /// Every access held all locks in `lockset` (strict intersection over
+    /// the whole trace, never relaxed by an Eraser-style state machine).
+    ConsistentlyLocked {
+        /// The common exclusively-held locks, sorted.
+        lockset: Vec<LockId>,
+    },
+    /// None of the proofs applied; the dynamic detector must check it.
+    Contended,
+}
+
+impl LocationClass {
+    /// Whether accesses of this class can be dropped before HB detection.
+    pub fn is_prunable(&self) -> bool {
+        !matches!(self, LocationClass::Contended)
+    }
+
+    /// Stable display label (also used by the CLI table).
+    pub fn label(&self) -> &'static str {
+        match self {
+            LocationClass::ThreadLocal => "thread-local",
+            LocationClass::ReadOnlyAfterInit => "read-only",
+            LocationClass::ConsistentlyLocked { .. } => "locked",
+            LocationClass::Contended => "contended",
+        }
+    }
+}
+
+/// One classified byte range `[start, start+len)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassifiedRange {
+    /// First byte of the range.
+    pub start: Addr,
+    /// Length in bytes (never zero).
+    pub len: u64,
+    /// The proof class covering every byte of the range.
+    pub class: LocationClass,
+}
+
+impl ClassifiedRange {
+    /// One past the last byte.
+    pub fn end(&self) -> u64 {
+        self.start.0 + self.len
+    }
+}
+
+/// Byte/access tallies for one classification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Distinct bytes classified this way.
+    pub bytes: u64,
+    /// Trace accesses that landed on such bytes.
+    pub accesses: u64,
+}
+
+/// Aggregate prune statistics — the auditable side of the summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SummaryStats {
+    /// Fork/join-ordered locations.
+    pub thread_local: ClassCounts,
+    /// Read-only-after-initialization locations.
+    pub read_only: ClassCounts,
+    /// Consistently lock-protected locations.
+    pub locked: ClassCounts,
+    /// Everything the passes could not prove race-free.
+    pub contended: ClassCounts,
+}
+
+impl SummaryStats {
+    /// Accesses at provably race-free locations.
+    pub fn prunable_accesses(&self) -> u64 {
+        self.thread_local.accesses + self.read_only.accesses + self.locked.accesses
+    }
+
+    /// All classified accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.prunable_accesses() + self.contended.accesses
+    }
+
+    /// Fraction of accesses at prunable locations (0 when no accesses).
+    pub fn prunable_fraction(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.prunable_accesses() as f64 / total as f64
+        }
+    }
+}
+
+/// Format version of the serialized summary (`DGAS` container).
+pub const SUMMARY_VERSION: u32 = 1;
+
+/// The versioned output of the ahead-of-time analysis over one trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AnalysisSummary {
+    /// Number of events in the analyzed trace (provenance check).
+    pub trace_events: u64,
+    /// Number of access events in the analyzed trace.
+    pub trace_accesses: u64,
+    /// Sorted, disjoint classified ranges. Bytes never accessed by the
+    /// trace appear in no range.
+    pub ranges: Vec<ClassifiedRange>,
+    /// Per-class tallies.
+    pub stats: SummaryStats,
+}
+
+impl AnalysisSummary {
+    /// The classification of `addr`, if the trace accessed it.
+    pub fn class_at(&self, addr: Addr) -> Option<&LocationClass> {
+        let i = self.ranges.partition_point(|r| r.start.0 <= addr.0);
+        let r = self.ranges.get(i.checked_sub(1)?)?;
+        (addr.0 < r.end()).then_some(&r.class)
+    }
+
+    /// Maximal merged `[start, end)` intervals of prunable bytes.
+    pub fn prunable_intervals(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for r in &self.ranges {
+            if !r.class.is_prunable() {
+                continue;
+            }
+            match out.last_mut() {
+                Some(last) if last.1 == r.start.0 => last.1 = r.end(),
+                _ => out.push((r.start.0, r.end())),
+            }
+        }
+        out
+    }
+
+    /// Builds the access-time prune predicate for a detector with
+    /// `granule` bytes of shadow granularity and `margin` bytes of
+    /// neighbor influence (see [`PruneSet`]).
+    pub fn prune_set(&self, granule: u64, margin: u64) -> PruneSet {
+        PruneSet::new(self, granule, margin)
+    }
+}
+
+/// The compiled prune predicate: decides per access whether the detector
+/// may skip it without its race set changing.
+///
+/// Two compensations make the per-access decision sound for a *specific*
+/// detector configuration, not just for exact byte-granularity HB:
+///
+/// * **Granule expansion.** A detector with granularity `g` folds an
+///   access at `a` onto the shadow cell for the whole granule
+///   `[align_down(a, g), +g)`. Skipping an access whose granule also
+///   covers a *contended* byte would change that cell's history (it can
+///   remove genuine coarse-granularity reports), so an access is pruned
+///   only if every byte of every granule it touches is prunable.
+/// * **Margin shrinking.** The dynamic-granularity detector additionally
+///   couples a location to neighbors within its sharing scan distance.
+///   Each maximal prunable interval is shrunk by `margin` bytes on both
+///   sides, so every skipped access is farther than the scan distance
+///   from any still-checked location and can never have been its sharing
+///   partner. (Sharing artifacts *between* pruned locations can still
+///   disappear — those reports are `tainted` by construction, and the
+///   prune-equivalence guarantee is stated over untainted reports; see
+///   DESIGN.md §10.4.)
+#[derive(Clone, Debug, Default)]
+pub struct PruneSet {
+    /// Sorted, disjoint, granule-aligned `[start, end)` intervals.
+    intervals: Vec<(u64, u64)>,
+    /// Shadow granularity the set was compiled for.
+    granule: u64,
+}
+
+impl PruneSet {
+    /// Compiles `summary` for a detector with `granule`-byte shadow cells
+    /// and `margin` bytes of neighbor influence.
+    pub fn new(summary: &AnalysisSummary, granule: u64, margin: u64) -> Self {
+        let granule = granule.max(1);
+        let mut intervals = Vec::new();
+        for (s, e) in summary.prunable_intervals() {
+            // Shrink by the neighbor margin, then inward to granule
+            // boundaries so only fully-prunable granules remain.
+            let s = (s.saturating_add(margin)).div_ceil(granule) * granule;
+            let e = (e.saturating_sub(margin) / granule) * granule;
+            if s < e {
+                intervals.push((s, e));
+            }
+        }
+        // Margin shrinking keeps order and disjointness; merge adjacency
+        // anyway for the containment query below.
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+        for (s, e) in intervals {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        PruneSet {
+            intervals: merged,
+            granule,
+        }
+    }
+
+    /// An empty set (prunes nothing) — the no-summary default.
+    pub fn empty() -> Self {
+        PruneSet::default()
+    }
+
+    /// Whether a detector of the compiled granularity may skip an access
+    /// of `size` bytes at `addr`.
+    pub fn prunes(&self, addr: Addr, size: u64) -> bool {
+        if self.intervals.is_empty() {
+            return false;
+        }
+        let g = self.granule.max(1);
+        // Every granule the access touches must be inside one interval.
+        let lo = (addr.0 / g) * g;
+        let hi = (addr.0 + size.max(1)).div_ceil(g) * g;
+        let i = self.intervals.partition_point(|&(s, _)| s <= lo);
+        match i.checked_sub(1).and_then(|i| self.intervals.get(i)) {
+            Some(&(_, end)) => hi <= end,
+            None => false,
+        }
+    }
+
+    /// Number of compiled intervals (diagnostics).
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the set prunes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(ranges: Vec<(u64, u64, LocationClass)>) -> AnalysisSummary {
+        AnalysisSummary {
+            ranges: ranges
+                .into_iter()
+                .map(|(start, len, class)| ClassifiedRange {
+                    start: Addr(start),
+                    len,
+                    class,
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn class_at_finds_covering_range() {
+        let s = summary(vec![
+            (0x100, 8, LocationClass::ThreadLocal),
+            (0x108, 8, LocationClass::Contended),
+        ]);
+        assert_eq!(s.class_at(Addr(0x100)), Some(&LocationClass::ThreadLocal));
+        assert_eq!(s.class_at(Addr(0x107)), Some(&LocationClass::ThreadLocal));
+        assert_eq!(s.class_at(Addr(0x108)), Some(&LocationClass::Contended));
+        assert_eq!(s.class_at(Addr(0x110)), None);
+        assert_eq!(s.class_at(Addr(0xff)), None);
+    }
+
+    #[test]
+    fn prunable_intervals_merge_adjacent_classes() {
+        let s = summary(vec![
+            (0x100, 8, LocationClass::ThreadLocal),
+            (0x108, 8, LocationClass::ReadOnlyAfterInit),
+            (0x110, 8, LocationClass::Contended),
+            (
+                0x200,
+                4,
+                LocationClass::ConsistentlyLocked { lockset: vec![] },
+            ),
+        ]);
+        assert_eq!(s.prunable_intervals(), vec![(0x100, 0x110), (0x200, 0x204)]);
+    }
+
+    #[test]
+    fn prune_set_respects_granularity() {
+        // Prunable bytes 0x102..0x10e: at granule 4 only [0x104, 0x10c)
+        // is fully covered.
+        let s = summary(vec![(0x102, 12, LocationClass::ThreadLocal)]);
+        let p = s.prune_set(4, 0);
+        assert!(p.prunes(Addr(0x104), 4));
+        assert!(p.prunes(Addr(0x108), 4));
+        assert!(!p.prunes(Addr(0x100), 4), "granule includes 0x100..0x102");
+        assert!(!p.prunes(Addr(0x10c), 1), "granule includes 0x10e..0x110");
+        // An access spanning out of the set is kept.
+        assert!(!p.prunes(Addr(0x10a), 8));
+        // Byte granularity prunes exactly the classified bytes.
+        let pb = s.prune_set(1, 0);
+        assert!(pb.prunes(Addr(0x102), 1));
+        assert!(pb.prunes(Addr(0x10d), 1));
+        assert!(!pb.prunes(Addr(0x10e), 1));
+    }
+
+    #[test]
+    fn prune_set_margin_shrinks_both_sides() {
+        let s = summary(vec![(0x1000, 0x100, LocationClass::ReadOnlyAfterInit)]);
+        let p = s.prune_set(1, 0x40);
+        assert!(!p.prunes(Addr(0x1000), 1));
+        assert!(!p.prunes(Addr(0x103f), 1));
+        assert!(p.prunes(Addr(0x1040), 1));
+        assert!(p.prunes(Addr(0x10bf), 1));
+        assert!(!p.prunes(Addr(0x10c0), 1));
+        // A margin larger than the interval empties it.
+        assert!(s.prune_set(1, 0x100).is_empty());
+    }
+
+    #[test]
+    fn empty_prune_set_prunes_nothing() {
+        let p = PruneSet::empty();
+        assert!(p.is_empty());
+        assert!(!p.prunes(Addr(0), 8));
+    }
+
+    #[test]
+    fn stats_fractions() {
+        let mut st = SummaryStats::default();
+        assert_eq!(st.prunable_fraction(), 0.0);
+        st.thread_local.accesses = 30;
+        st.read_only.accesses = 20;
+        st.locked.accesses = 10;
+        st.contended.accesses = 40;
+        assert_eq!(st.prunable_accesses(), 60);
+        assert_eq!(st.total_accesses(), 100);
+        assert!((st.prunable_fraction() - 0.6).abs() < 1e-12);
+    }
+}

@@ -93,6 +93,19 @@ pub enum ValidationError {
         /// Index of the departure.
         at: usize,
     },
+    /// A join of a thread that still holds a lock (or a rwlock read
+    /// hold). A real pthread cannot return from its start routine with a
+    /// mutex held and still be joinable in a well-formed schedule; a
+    /// detector replaying such a trace would see a lock that can never be
+    /// released.
+    ThreadJoinedHoldingLock {
+        /// The joined thread.
+        tid: Tid,
+        /// A lock it still holds.
+        lock: LockId,
+        /// Index of the join.
+        at: usize,
+    },
 }
 
 impl std::fmt::Display for ValidationError {
@@ -140,6 +153,12 @@ impl std::fmt::Display for ValidationError {
                     "event {at}: thread {tid} departs {bar:?} without arriving"
                 )
             }
+            ValidationError::ThreadJoinedHoldingLock { tid, lock, at } => {
+                write!(
+                    f,
+                    "event {at}: thread {tid} joined while still holding {lock:?}"
+                )
+            }
         }
     }
 }
@@ -177,6 +196,23 @@ pub fn validate(trace: &Trace) -> Result<(), ValidationError> {
             Event::Join { child, .. } => {
                 if !forked.contains(&child) {
                     return Err(ValidationError::JoinOfUnforked { tid: child, at });
+                }
+                if let Some((&lock, _)) = held.iter().find(|&(_, &t)| t == child) {
+                    return Err(ValidationError::ThreadJoinedHoldingLock {
+                        tid: child,
+                        lock,
+                        at,
+                    });
+                }
+                if let Some((&lock, _)) = read_held
+                    .iter()
+                    .find(|(_, holders)| holders.contains(&child))
+                {
+                    return Err(ValidationError::ThreadJoinedHoldingLock {
+                        tid: child,
+                        lock,
+                        at,
+                    });
                 }
                 joined.insert(child);
             }
@@ -338,5 +374,53 @@ mod tests {
             validate(&b.build()),
             Err(ValidationError::EmptyAccess { at: 0 })
         );
+    }
+
+    #[test]
+    fn join_while_holding_lock_rejected() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32).acquire(1u32, 5u32).join(0u32, 1u32);
+        assert_eq!(
+            validate(&b.build()),
+            Err(ValidationError::ThreadJoinedHoldingLock {
+                tid: Tid(1),
+                lock: LockId(5),
+                at: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn join_while_holding_read_lock_rejected() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32).acquire_read(1u32, 5u32).join(0u32, 1u32);
+        assert_eq!(
+            validate(&b.build()),
+            Err(ValidationError::ThreadJoinedHoldingLock {
+                tid: Tid(1),
+                lock: LockId(5),
+                at: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn join_after_release_passes() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .acquire(1u32, 5u32)
+            .release(1u32, 5u32)
+            .acquire_read(1u32, 6u32)
+            .release_read(1u32, 6u32)
+            .join(0u32, 1u32);
+        assert_eq!(validate(&b.build()), Ok(()));
+    }
+
+    #[test]
+    fn join_while_other_thread_holds_lock_passes() {
+        // Only the joined thread's holds matter, not unrelated holders.
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32).acquire(0u32, 5u32).join(0u32, 1u32);
+        assert_eq!(validate(&b.build()), Ok(()));
     }
 }

@@ -20,7 +20,9 @@
 //! * [`workloads`] — synthetic generators modeled on the paper's 11
 //!   benchmark programs;
 //! * [`runtime`] — an online instrumentation runtime for real Rust
-//!   threads.
+//!   threads;
+//! * [`analysis`] — the ahead-of-time trace analysis that proves
+//!   locations race-free so detectors can prune them.
 //!
 //! ## Quick start
 //!
@@ -39,6 +41,7 @@
 //! assert_eq!(report.races.len(), 1);
 //! ```
 
+pub use dgrace_analysis as analysis;
 pub use dgrace_baselines as baselines;
 pub use dgrace_core as core;
 pub use dgrace_detectors as detectors;
@@ -50,6 +53,7 @@ pub use dgrace_workloads as workloads;
 
 /// Commonly used items, importable with `use dgrace::prelude::*`.
 pub mod prelude {
+    pub use dgrace_analysis::analyze;
     pub use dgrace_baselines::{HybridDetector, LockSetDetector, SegmentDetector};
     pub use dgrace_core::{DynamicConfig, DynamicGranularity};
     pub use dgrace_detectors::{

@@ -8,9 +8,12 @@
 use std::sync::Arc;
 use std::thread;
 
+use dgrace::analysis::analyze;
 use dgrace::baselines::{HybridDetector, SegmentDetector};
 use dgrace::core::{DynamicConfig, DynamicGranularity};
-use dgrace::detectors::{DetectorExt, Djit, FastTrack, OracleDetector, Report};
+use dgrace::detectors::{
+    race_signature, DetectorExt, Djit, FastTrack, OracleDetector, Report, StaticPruneFilter,
+};
 use dgrace::runtime::{Runtime, RuntimeOptions};
 use dgrace::trace::{validate, Trace};
 use dgrace::workloads::{BlockBuilder, Scheduler};
@@ -248,6 +251,31 @@ proptest! {
         prop_assert!(s.same_epoch <= s.accesses);
         prop_assert!(s.vc_frees <= s.vc_allocs);
         prop_assert!(s.peak_total_bytes >= s.peak_vc_bytes);
+    }
+
+    /// Ahead-of-time pruning is invisible to an exact detector: on every
+    /// random schedule, FastTrack behind a `StaticPruneFilter` compiled
+    /// from the trace's own analysis reports exactly the races bare
+    /// FastTrack does — which the first property already ties to the
+    /// oracle — and the pruned/checked access counts always rebalance to
+    /// the bare total.
+    #[test]
+    fn pruned_fasttrack_agrees_with_bare_and_oracle(programs in arb_program(), seed in 0u64..1000) {
+        let trace = build(&programs, 64, seed);
+        let summary = analyze(&trace);
+        let prune = summary.prune_set(1, 0);
+        let bare = FastTrack::new().run(&trace);
+        let pruned = StaticPruneFilter::new(FastTrack::new(), prune).run(&trace);
+        prop_assert_eq!(
+            race_signature(&pruned),
+            race_signature(&bare),
+            "pruned vs bare fasttrack"
+        );
+        prop_assert_eq!(&pruned.race_addrs(), &OracleDetector::new().run(&trace).race_addrs());
+        prop_assert_eq!(pruned.stats.events, trace.len() as u64);
+        prop_assert_eq!(pruned.stats.accesses + pruned.stats.pruned, bare.stats.accesses);
+        // Every access the analysis called prunable was indeed dropped.
+        prop_assert_eq!(pruned.stats.pruned, summary.stats.prunable_accesses());
     }
 
     /// Detector determinism: running the same trace twice gives the same

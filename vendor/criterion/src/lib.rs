@@ -1,0 +1,260 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Benches written against the real API (`benchmark_group`,
+//! `bench_function`, `BenchmarkId`, `Throughput`, `criterion_group!`,
+//! `criterion_main!`) compile and run unchanged. Instead of criterion's
+//! statistical engine this stub takes a median of a handful of timed
+//! batches and prints one line per benchmark — enough to compare detector
+//! configurations, not enough for rigorous regression detection.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed batches per benchmark (median is reported).
+const BATCHES: usize = 5;
+
+/// How a benchmark's throughput is expressed.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing context handed to the bench closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this batch's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A group of related benchmarks sharing throughput/config.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used in reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into();
+        self
+    }
+
+    /// Accepted for API compatibility (the stub's batch count is fixed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.selected(&full) {
+            return self;
+        }
+        // Calibrate the per-batch iteration count so a batch takes a few
+        // milliseconds (single run in --test mode).
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mut per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters = if self.criterion.test_mode {
+            1
+        } else {
+            (Duration::from_millis(5).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000)
+                as u64
+        };
+        let mut samples = Vec::with_capacity(BATCHES);
+        let batches = if self.criterion.test_mode { 1 } else { BATCHES };
+        for _ in 0..batches {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed / iters as u32);
+        }
+        samples.sort();
+        per_iter = samples[samples.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / per_iter.as_secs_f64();
+                format!(" ({:.2} Melem/s)", per_sec / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / per_iter.as_secs_f64();
+                format!(" ({:.2} MiB/s)", per_sec / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!("bench {:<48} {:>12.3?}/iter{}", full, per_iter, rate);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // Cargo's bench harness contract: `--bench` selects bench mode,
+        // `--test` asks for a single-iteration smoke run; a bare positional
+        // argument is a name filter.
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args.iter().skip(1).find(|a| !a.starts_with("--")).cloned();
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            criterion: self,
+        };
+        g.bench_function(BenchmarkId::from_parameter("bench"), f);
+        self
+    }
+}
+
+/// Bundles bench functions into one runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(4)).sample_size(10);
+            g.bench_function(BenchmarkId::new("f", 1), |b| {
+                b.iter(|| ran += 1);
+            });
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut c = Criterion {
+            filter: Some("only-this".into()),
+            test_mode: true,
+        };
+        let mut ran = false;
+        c.benchmark_group("other").bench_function("f", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+    }
+}

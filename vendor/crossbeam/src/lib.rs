@@ -1,0 +1,112 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::queue::ArrayQueue` is provided — the one type the
+//! workspace uses. The real queue is lock-free; this stub is a mutexed
+//! ring buffer with identical semantics (bounded, MPMC, `push` fails when
+//! full). Throughput differs, observable behavior does not.
+
+/// Concurrent queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A bounded multi-producer multi-consumer queue.
+    pub struct ArrayQueue<T> {
+        cap: usize,
+        items: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `cap` elements.
+        ///
+        /// # Panics
+        /// Panics if `cap` is zero (as the real crate does).
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "capacity must be non-zero");
+            ArrayQueue {
+                cap,
+                items: Mutex::new(VecDeque::with_capacity(cap)),
+            }
+        }
+
+        /// Attempts to enqueue `value`, returning it back if the queue is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = self.items.lock().unwrap_or_else(|e| e.into_inner());
+            if q.len() == self.cap {
+                Err(value)
+            } else {
+                q.push_back(value);
+                Ok(())
+            }
+        }
+
+        /// Dequeues the oldest element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.items
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// Current number of queued elements.
+        pub fn len(&self) -> usize {
+            self.items.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Whether the queue holds no elements.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Whether the queue is at capacity.
+        pub fn is_full(&self) -> bool {
+            self.len() == self.cap
+        }
+
+        /// The fixed capacity.
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::ArrayQueue;
+
+    #[test]
+    fn bounded_fifo() {
+        let q = ArrayQueue::new(2);
+        assert_eq!(q.push(1), Ok(()));
+        assert_eq!(q.push(2), Ok(()));
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_drain_exactly() {
+        use std::sync::Arc;
+        let q = Arc::new(ArrayQueue::new(1024));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    while q.push(t * 1000 + i).is_err() {}
+                }
+            }));
+        }
+        let mut seen = 0;
+        while seen < 400 {
+            if q.pop().is_some() {
+                seen += 1;
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(q.is_empty());
+    }
+}
