@@ -1,0 +1,60 @@
+use dgrace_detectors::{Detector, DetectorExt, FastTrack, Granularity, StaticPruneFilter};
+use dgrace_trace::{validate::validate, AccessSize, TraceBuilder};
+
+#[test]
+fn word_prune_equivalence_counterexample() {
+    // T0 writes U16@0x100, T1 writes U16@0x102 — concurrent, disjoint bytes.
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32)
+        .write(0u32, 0x100u64, AccessSize::U16)
+        .write(1u32, 0x102u64, AccessSize::U16)
+        .join(0u32, 1u32);
+    let trace = b.build();
+    assert_eq!(validate(&trace), Ok(()));
+    let summary = dgrace_analysis::analyze(&trace);
+    eprintln!("ranges: {:?}", summary.ranges);
+    let prune = summary.prune_set(4, 0); // word detector compile per CLI
+    let bare = FastTrack::with_granularity(Granularity::Word).run(&trace);
+    let pruned =
+        StaticPruneFilter::new(FastTrack::with_granularity(Granularity::Word), prune).run(&trace);
+    eprintln!(
+        "bare races: {}, pruned races: {}, pruned count: {}",
+        bare.races.len(),
+        pruned.races.len(),
+        pruned.stats.pruned
+    );
+    assert_eq!(
+        bare.races.len(),
+        pruned.races.len(),
+        "word-granularity race set changed by pruning"
+    );
+}
+
+#[test]
+fn double_join_hides_live_thread() {
+    // fork T1, fork T2, join T1 twice (passes validate), then main writes
+    // X while T2 concurrently reads it — a genuine race.
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32)
+        .fork(0u32, 2u32)
+        .read(1u32, 0x500u64, AccessSize::U8)
+        .join(0u32, 1u32)
+        .join(0u32, 1u32) // duplicate join
+        .write(0u32, 0x100u64, AccessSize::U64)
+        .read(2u32, 0x100u64, AccessSize::U64)
+        .join(0u32, 2u32);
+    let trace = b.build();
+    assert_eq!(validate(&trace), Ok(()), "double join passes validation");
+    let summary = dgrace_analysis::analyze(&trace);
+    eprintln!("class at 0x100: {:?}", summary.class_at(dgrace_trace::Addr(0x100)));
+    let prune = summary.prune_set(1, 0);
+    let bare = FastTrack::new().run(&trace);
+    let pruned = StaticPruneFilter::new(FastTrack::new(), prune).run(&trace);
+    eprintln!(
+        "bare races: {}, pruned races: {} (pruned {} accesses)",
+        bare.races.len(),
+        pruned.races.len(),
+        pruned.stats.pruned
+    );
+    assert_eq!(bare.races.len(), pruned.races.len(), "pruning lost a race");
+}
