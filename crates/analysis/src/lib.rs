@@ -98,14 +98,43 @@ pub fn analyze(trace: &Trace) -> AnalysisSummary {
         })
         .collect();
 
+    // Thread-local verdicts do not compose across atoms: two adjacent
+    // atoms can each be internally fork/join-ordered while their access
+    // sets are mutually concurrent, and a word-granularity detector
+    // folding both onto one shadow cell would report a race that pruning
+    // the merged range (at granule > 1) would hide. So before merging,
+    // re-run pass 1 over each maximal run of adjacent ThreadLocal atoms
+    // as a single key: only *jointly* ordered runs may merge. The other
+    // classes compose by construction — a read-only range's writes are
+    // ordered against everything, and equal-lockset ranges share a lock
+    // that orders every conflicting pair.
+    let mut run_id: Vec<Option<usize>> = vec![None; atoms.len()];
+    let mut nruns = 0usize;
+    for i in 0..atoms.len() {
+        if matches!(classes[i], Some(LocationClass::ThreadLocal)) {
+            match (i > 0).then(|| run_id[i - 1]).flatten() {
+                Some(prev) => run_id[i] = Some(prev),
+                None => {
+                    run_id[i] = Some(nruns);
+                    nruns += 1;
+                }
+            }
+        }
+    }
+    let run_ordered = passes::fork_join_ordered_keyed(trace, &atoms, nruns, |i| run_id[i]);
+
     let mut stats = SummaryStats::default();
     let mut ranges: Vec<ClassifiedRange> = Vec::new();
     for (i, class) in classes.iter().enumerate() {
         let Some(class) = class else { continue };
         let (start, end) = atoms.interval(i);
         counts_for(&mut stats, class).bytes += end - start;
+        let may_merge = match run_id[i] {
+            Some(r) => run_ordered[r],
+            None => true,
+        };
         match ranges.last_mut() {
-            Some(r) if r.end() == start && r.class == *class => r.len += end - start,
+            Some(r) if may_merge && r.end() == start && r.class == *class => r.len += end - start,
             _ => ranges.push(ClassifiedRange {
                 start: dgrace_trace::Addr(start),
                 len: end - start,

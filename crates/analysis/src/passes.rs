@@ -24,6 +24,25 @@ use crate::atoms::Atoms;
 /// relation — by transitivity the accesses are then totally ordered, and
 /// no HB detector, which sees *at least* these edges, can report a race.
 pub(crate) fn fork_join_ordered(trace: &Trace, atoms: &Atoms) -> Vec<bool> {
+    fork_join_ordered_keyed(trace, atoms, atoms.len(), Some)
+}
+
+/// The generalized pass 1: verdicts are kept per *key* instead of per
+/// atom, with `key(atom)` mapping each atom to its cell (or `None` to
+/// leave the atom out). With the identity map this is exactly
+/// [`fork_join_ordered`]; with atoms grouped into merge candidates it
+/// decides *joint* orderedness — whether every access to any atom of the
+/// group is ordered with every other. Joint verdicts are what make
+/// merged ranges safe for coarse-granularity pruning: per-atom
+/// orderedness does not compose (two atoms can each be internally
+/// ordered while their accesses are mutually concurrent, which a word
+/// detector folding both onto one shadow cell reports as a race).
+pub(crate) fn fork_join_ordered_keyed(
+    trace: &Trace,
+    atoms: &Atoms,
+    keys: usize,
+    key: impl Fn(usize) -> Option<usize>,
+) -> Vec<bool> {
     let nt = trace.thread_count();
     let mut clocks: Vec<VectorClock> = (0..nt)
         .map(|t| {
@@ -32,8 +51,8 @@ pub(crate) fn fork_join_ordered(trace: &Trace, atoms: &Atoms) -> Vec<bool> {
             vc
         })
         .collect();
-    let mut last: Vec<Option<(Tid, ClockValue)>> = vec![None; atoms.len()];
-    let mut ordered = vec![true; atoms.len()];
+    let mut last: Vec<Option<(Tid, ClockValue)>> = vec![None; keys];
+    let mut ordered = vec![true; keys];
     for ev in trace {
         match *ev {
             Event::Fork { parent, child } => {
@@ -53,12 +72,13 @@ pub(crate) fn fork_join_ordered(trace: &Trace, atoms: &Atoms) -> Vec<bool> {
                     let vc = &clocks[t.index()];
                     let now = vc.get(t);
                     for i in atoms.span(addr, size.bytes()) {
-                        if let Some((lt, lc)) = last[i] {
+                        let Some(k) = key(i) else { continue };
+                        if let Some((lt, lc)) = last[k] {
                             if vc.get(lt) < lc {
-                                ordered[i] = false;
+                                ordered[k] = false;
                             }
                         }
-                        last[i] = Some((t, now));
+                        last[k] = Some((t, now));
                     }
                 }
             }
@@ -78,13 +98,33 @@ pub(crate) fn fork_join_ordered(trace: &Trace, atoms: &Atoms) -> Vec<bool> {
 /// terminated in it). Reads are unconstrained — read/read pairs never
 /// conflict. A thread forked but never joined keeps the live count high
 /// forever, which only makes the verdict more conservative.
+///
+/// Liveness is tracked per thread, not as a bare counter: a duplicate
+/// join of an already-dead thread must not decrement the count below the
+/// number of threads actually running, or a still-live thread's racing
+/// read would be hidden behind a bogus "single-threaded" window.
 pub(crate) fn single_threaded_writes(trace: &Trace, atoms: &Atoms) -> Vec<bool> {
-    let mut live: u64 = 1; // the main thread
+    let nt = trace.thread_count();
+    let mut alive = vec![false; nt];
+    if nt > 0 {
+        alive[0] = true; // the main thread
+    }
+    let mut live: u64 = 1;
     let mut ok = vec![true; atoms.len()];
     for ev in trace {
         match *ev {
-            Event::Fork { .. } => live += 1,
-            Event::Join { .. } => live = live.saturating_sub(1),
+            Event::Fork { child, .. } => {
+                if !alive[child.index()] {
+                    alive[child.index()] = true;
+                    live += 1;
+                }
+            }
+            Event::Join { child, .. } => {
+                if alive[child.index()] {
+                    alive[child.index()] = false;
+                    live -= 1;
+                }
+            }
             _ => {
                 if let Some((addr, size, is_write)) = ev.access() {
                     if is_write && live > 1 {

@@ -1,0 +1,77 @@
+//! Head-to-head micro-benchmarks of the two [`ShadowStore`]
+//! implementations: the paper's chained-hash table versus the two-level
+//! paged plane, over the access patterns the detectors actually produce
+//! (dense sequential fills, hot re-reads, strided sweeps, range frees).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dgrace_shadow::{PagedShadow, ShadowStore, ShadowTable};
+use dgrace_trace::Addr;
+
+const N: u64 = 4096;
+
+fn fill<S: ShadowStore<u32>>(s: &mut S, stride: u64) {
+    for i in 0..N {
+        s.insert(Addr(0x10_0000 + i * stride), i as u32);
+    }
+}
+
+fn bench_pattern<S: ShadowStore<u32> + Default>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    store: &str,
+) {
+    group.bench_function(BenchmarkId::new("fill-word", store), |b| {
+        b.iter(|| {
+            let mut s = S::default();
+            fill(&mut s, 4);
+            std::hint::black_box(s.len())
+        });
+    });
+
+    let mut warm = S::default();
+    fill(&mut warm, 4);
+    group.bench_function(BenchmarkId::new("get-hit", store), |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for i in 0..N {
+                sum += *warm.get(Addr(0x10_0000 + i * 4)).unwrap() as u64;
+            }
+            std::hint::black_box(sum)
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("neighbor-scan", store), |b| {
+        b.iter(|| {
+            let mut found = 0u64;
+            for i in 1..N {
+                if warm
+                    .nearest_predecessor(Addr(0x10_0000 + i * 4), 128)
+                    .is_some()
+                {
+                    found += 1;
+                }
+            }
+            std::hint::black_box(found)
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("fill-then-free-range", store), |b| {
+        b.iter(|| {
+            let mut s = S::default();
+            fill(&mut s, 4);
+            let mut freed = 0usize;
+            s.remove_range(Addr(0x10_0000), N * 4, |_, _| freed += 1);
+            std::hint::black_box(freed)
+        });
+    });
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow-store");
+    group.throughput(Throughput::Elements(N));
+    bench_pattern::<ShadowTable<u32>>(&mut group, "hash");
+    bench_pattern::<PagedShadow<u32>>(&mut group, "paged");
+    group.finish();
+}
+
+criterion_group!(benches, bench_stores);
+criterion_main!(benches);

@@ -1,0 +1,230 @@
+//! End-to-end replay-throughput baseline: events/sec for each tracked
+//! detector × shadow store × shard count, written to `BENCH_detect.json`
+//! at the repo root in a stable schema so successive runs (and CI
+//! artifacts) can be diffed.
+//!
+//! ```text
+//! cargo run --release -p dgrace-bench --bin bench_detect [-- --scale 0.3]
+//! ```
+//!
+//! Schema (`schema_version` 1): `{ schema_version, scale, seed, runs: [
+//! { workload, detector, store, shards, events, median_secs,
+//!   events_per_sec, races, vc_allocs, peak_vc_bytes,
+//!   peak_total_bytes } ] }`. Keys are emitted in that order; new keys
+//! may be appended but existing ones never renamed.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dgrace_core::DynamicGranularityOn;
+use dgrace_detectors::{DjitOn, FastTrackOn, Granularity, Report, ShardableDetector};
+use dgrace_runtime::replay_sharded;
+use dgrace_shadow::{HashSelect, PagedSelect, StoreSelect};
+use dgrace_trace::{AccessSize, Trace, TraceBuilder};
+use dgrace_workloads::{Workload, WorkloadKind};
+
+/// Workloads tracked by the baseline: the three the paper leans on for
+/// its sharing argument plus one byte-heavy outlier.
+const WORKLOADS: [WorkloadKind; 4] = [
+    WorkloadKind::Pbzip2,
+    WorkloadKind::Streamcluster,
+    WorkloadKind::Dedup,
+    WorkloadKind::X264,
+];
+
+/// A synthetic sharing-churn stress: 64 firm groups of 256 words each
+/// (two write passes separated by a lock release to force the firm
+/// sharing decision), then a racing thread dissolves every group. The
+/// dissolve path dominates clock allocation here, making `vc_allocs`
+/// track the copy-on-write arena's savings directly.
+fn sharing_churn_trace() -> Trace {
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32);
+    for pass in 0..2 {
+        if pass == 1 {
+            b.locked(0u32, 0u32, |_| {});
+        }
+        for g in 0..64u64 {
+            let base = 0x10_0000 + g * 0x1000;
+            for i in 0..256u64 {
+                b.write(0u32, base + i * 4, AccessSize::U32);
+            }
+        }
+    }
+    for g in 0..64u64 {
+        let base = 0x10_0000 + g * 0x1000;
+        b.write(1u32, base + 512, AccessSize::U32);
+    }
+    b.join(0u32, 1u32);
+    b.build()
+}
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const REPS: usize = 3;
+const SEED: u64 = 7;
+
+struct Run {
+    workload: String,
+    detector: String,
+    store: &'static str,
+    shards: usize,
+    events: u64,
+    median_secs: f64,
+    races: usize,
+    vc_allocs: u64,
+    peak_vc_bytes: usize,
+    peak_total_bytes: usize,
+}
+
+fn detector_suite<K: StoreSelect>() -> Vec<Box<dyn ShardableDetector>> {
+    vec![
+        Box::new(FastTrackOn::<K>::with_granularity(Granularity::Byte)),
+        Box::new(DjitOn::<K>::new()),
+        Box::new(DynamicGranularityOn::<K>::new()),
+    ]
+}
+
+/// Median-of-[`REPS`] timed sharded replay.
+fn timed(proto: &dyn ShardableDetector, trace: &Trace, shards: usize) -> (f64, Report) {
+    let mut times = Vec::with_capacity(REPS);
+    let mut report = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let rep = replay_sharded(proto, trace, shards);
+        times.push(start.elapsed().as_secs_f64());
+        report = Some(rep);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[REPS / 2], report.expect("ran at least once"))
+}
+
+fn bench_store<K: StoreSelect>(
+    store: &'static str,
+    workload: &str,
+    trace: &Trace,
+    runs: &mut Vec<Run>,
+) {
+    for proto in detector_suite::<K>() {
+        for shards in SHARD_COUNTS {
+            let (secs, rep) = timed(proto.as_ref(), trace, shards);
+            runs.push(Run {
+                workload: workload.to_string(),
+                detector: rep.detector.clone(),
+                store,
+                shards,
+                events: rep.stats.events,
+                median_secs: secs,
+                races: rep.races.len(),
+                vc_allocs: rep.stats.vc_allocs,
+                peak_vc_bytes: rep.stats.peak_vc_bytes,
+                peak_total_bytes: rep.stats.peak_total_bytes,
+            });
+        }
+    }
+}
+
+fn to_json(scale: f64, runs: &[Run]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let eps = r.events as f64 / r.median_secs.max(1e-9);
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"{}\", \"detector\": \"{}\", \"store\": \"{}\", \
+             \"shards\": {}, \"events\": {}, \"median_secs\": {:.6}, \
+             \"events_per_sec\": {:.0}, \"races\": {}, \"vc_allocs\": {}, \
+             \"peak_vc_bytes\": {}, \"peak_total_bytes\": {}}}",
+            r.workload,
+            r.detector,
+            r.store,
+            r.shards,
+            r.events,
+            r.median_secs,
+            eps,
+            r.races,
+            r.vc_allocs,
+            r.peak_vc_bytes,
+            r.peak_total_bytes,
+        );
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn parse_args() -> (f64, std::path::PathBuf) {
+    let default_out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_detect.json");
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = 0.3;
+    let mut out = default_out;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale needs a positive number");
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).expect("--out needs a path").into();
+                i += 2;
+            }
+            other => panic!("unknown argument {other} (use --scale X / --out PATH)"),
+        }
+    }
+    (scale, out)
+}
+
+fn main() {
+    let (scale, out_path) = parse_args();
+    let mut runs = Vec::new();
+    let mut traces: Vec<(String, Trace)> = WORKLOADS
+        .iter()
+        .map(|&kind| {
+            let (trace, _) = Workload::new(kind)
+                .with_scale(scale)
+                .with_seed(SEED)
+                .generate();
+            (kind.name().to_string(), trace)
+        })
+        .collect();
+    traces.push(("sharing-churn".to_string(), sharing_churn_trace()));
+    for (name, trace) in &traces {
+        eprintln!("{name}: {} events", trace.len());
+        bench_store::<HashSelect>("hash", name, trace, &mut runs);
+        bench_store::<PagedSelect>("paged", name, trace, &mut runs);
+    }
+    let json = to_json(scale, &runs);
+    std::fs::write(&out_path, &json).expect("write BENCH_detect.json");
+    // Human-readable digest on stdout: events/sec, hash vs paged, serial.
+    println!("replay throughput (Mev/s, shards=1):");
+    println!(
+        "{:<14} {:<16} {:>8} {:>8}",
+        "workload", "detector", "hash", "paged"
+    );
+    for (name, _) in &traces {
+        for base in ["fasttrack-byte", "djit-byte", "dynamic"] {
+            let find = |store: &str| {
+                runs.iter()
+                    .find(|r| {
+                        r.workload == *name
+                            && r.shards == 1
+                            && r.store == store
+                            && r.detector.starts_with(base)
+                    })
+                    .map(|r| r.events as f64 / r.median_secs.max(1e-9) / 1e6)
+            };
+            if let (Some(h), Some(p)) = (find("hash"), find("paged")) {
+                println!("{:<14} {:<16} {:>8.1} {:>8.1}", name, base, h, p);
+            }
+        }
+    }
+    println!("wrote {}", out_path.display());
+}

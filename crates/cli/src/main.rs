@@ -14,12 +14,13 @@ use std::process::ExitCode;
 
 use dgrace_analysis::analyze;
 use dgrace_baselines::{HybridDetector, LockSetDetector, SegmentDetector};
-use dgrace_core::{DynamicConfig, DynamicGranularity};
+use dgrace_core::{DynamicConfig, DynamicGranularityOn};
 use dgrace_detectors::{
-    Detector, DetectorExt, Djit, FastTrack, Granularity, OracleDetector, ShardableDetector,
+    Detector, DetectorExt, DjitOn, FastTrackOn, Granularity, OracleDetector, ShardableDetector,
     StaticPruneFilter,
 };
 use dgrace_runtime::replay_sharded_pruned;
+use dgrace_shadow::{HashSelect, PagedSelect, StoreSelect};
 use dgrace_trace::io::{read_summary, read_trace, write_summary, write_trace};
 use dgrace_trace::{stats::stats, validate, AnalysisSummary, LocationClass, PruneSet, Trace};
 use dgrace_workloads::{Workload, WorkloadKind};
@@ -72,10 +73,11 @@ fn print_help() {
          \x20 dgrace analyze <file> [-o <summary>]                     classify every location ahead of\n\
          \x20                                                          time; -o saves a prune summary\n\
          \x20 dgrace detect <detector> <file> [--max-races N] [--shards N] [--prune-with <summary>]\n\
-         \x20                                                          run a detector over a trace,\n\
+         \x20                                 [--shadow hash|paged]    run a detector over a trace,\n\
          \x20                                                          optionally across N address shards,\n\
-         \x20                                                          skipping provably race-free accesses\n\
-         \x20 dgrace compare <detA> <detB> <file>                      diff two detectors' findings\n\
+         \x20                                                          skipping provably race-free accesses;\n\
+         \x20                                                          --shadow picks the shadow store\n\
+         \x20 dgrace compare <detA> <detB> <file> [--shadow hash|paged]  diff two detectors' findings\n\
          \x20 dgrace stats <file>                                      trace statistics\n\
          \x20 dgrace list                                              available workloads & detectors\n\n\
          DETECTORS:\n\
@@ -117,24 +119,61 @@ fn cmd_list() {
     }
 }
 
-fn make_detector(name: &str) -> Result<Box<dyn Detector>, String> {
-    Ok(match name {
-        "byte" => Box::new(FastTrack::with_granularity(Granularity::Byte)),
-        "word" => Box::new(FastTrack::with_granularity(Granularity::Word)),
-        "dynamic" => Box::new(DynamicGranularity::new()),
-        "dynamic-no-init" => Box::new(DynamicGranularity::with_config(
+/// The vector-clock detector family at a chosen shadow store. `None`
+/// means the name is not in the family (oracle, lockset, …), which only
+/// exist on the default store.
+fn make_vc_detector_on<K: StoreSelect>(name: &str) -> Option<Box<dyn Detector>> {
+    Some(match name {
+        "byte" => Box::new(FastTrackOn::<K>::with_granularity(Granularity::Byte)),
+        "word" => Box::new(FastTrackOn::<K>::with_granularity(Granularity::Word)),
+        "dynamic" => Box::new(DynamicGranularityOn::<K>::new()),
+        "dynamic-no-init" => Box::new(DynamicGranularityOn::<K>::with_config(
             DynamicConfig::no_init_state(),
         )),
-        "dynamic-guided" => Box::new(DynamicGranularity::with_config(
+        "dynamic-guided" => Box::new(DynamicGranularityOn::<K>::with_config(
             DynamicConfig::write_guided(),
         )),
-        "djit" => Box::new(Djit::new()),
+        "djit" => Box::new(DjitOn::<K>::new()),
+        _ => return None,
+    })
+}
+
+fn make_detector(name: &str, shadow: Shadow) -> Result<Box<dyn Detector>, String> {
+    let vc = match shadow {
+        Shadow::Hash => make_vc_detector_on::<HashSelect>(name),
+        Shadow::Paged => make_vc_detector_on::<PagedSelect>(name),
+    };
+    if let Some(det) = vc {
+        return Ok(det);
+    }
+    if shadow == Shadow::Paged {
+        return Err(format!(
+            "detector `{name}` does not support --shadow paged (supported: \
+             byte, word, djit, dynamic, dynamic-no-init, dynamic-guided)"
+        ));
+    }
+    Ok(match name {
         "oracle" => Box::new(OracleDetector::new()),
         "segment" => Box::new(SegmentDetector::new()),
         "hybrid" => Box::new(HybridDetector::new()),
         "lockset" => Box::new(LockSetDetector::new()),
         other => return Err(format!("unknown detector `{other}` (see `dgrace list`)")),
     })
+}
+
+/// The shadow store behind `--shadow {hash,paged}`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Shadow {
+    Hash,
+    Paged,
+}
+
+fn parse_shadow(p: &Parsed) -> Result<Shadow, String> {
+    match p.opt("--shadow") {
+        None | Some("hash") => Ok(Shadow::Hash),
+        Some("paged") => Ok(Shadow::Paged),
+        Some(other) => Err(format!("--shadow must be `hash` or `paged`, got `{other}`")),
+    }
 }
 
 fn cmd_gen(rest: &[String]) -> Result<(), String> {
@@ -248,33 +287,45 @@ fn load_trace(path: &str) -> Result<Trace, String> {
 
 /// Prototype for sharded replay, for the detectors that support address
 /// partitioning (the vector-clock family).
-fn make_shardable(name: &str) -> Result<Box<dyn ShardableDetector>, String> {
-    Ok(match name {
-        "byte" => Box::new(FastTrack::with_granularity(Granularity::Byte)),
-        "word" => Box::new(FastTrack::with_granularity(Granularity::Word)),
-        "dynamic" => Box::new(DynamicGranularity::new()),
-        "dynamic-no-init" => Box::new(DynamicGranularity::with_config(
+fn make_shardable_on<K: StoreSelect>(name: &str) -> Option<Box<dyn ShardableDetector>> {
+    Some(match name {
+        "byte" => Box::new(FastTrackOn::<K>::with_granularity(Granularity::Byte)),
+        "word" => Box::new(FastTrackOn::<K>::with_granularity(Granularity::Word)),
+        "dynamic" => Box::new(DynamicGranularityOn::<K>::new()),
+        "dynamic-no-init" => Box::new(DynamicGranularityOn::<K>::with_config(
             DynamicConfig::no_init_state(),
         )),
-        "dynamic-guided" => Box::new(DynamicGranularity::with_config(
+        "dynamic-guided" => Box::new(DynamicGranularityOn::<K>::with_config(
             DynamicConfig::write_guided(),
         )),
-        "djit" => Box::new(Djit::new()),
-        other => {
-            return Err(format!(
-                "detector `{other}` does not support --shards (shardable: \
-                 byte, word, dynamic, dynamic-no-init, dynamic-guided, djit)"
-            ))
-        }
+        "djit" => Box::new(DjitOn::<K>::new()),
+        _ => return None,
+    })
+}
+
+fn make_shardable(name: &str, shadow: Shadow) -> Result<Box<dyn ShardableDetector>, String> {
+    let det = match shadow {
+        Shadow::Hash => make_shardable_on::<HashSelect>(name),
+        Shadow::Paged => make_shardable_on::<PagedSelect>(name),
+    };
+    det.ok_or_else(|| {
+        format!(
+            "detector `{name}` does not support --shards (shardable: \
+             byte, word, dynamic, dynamic-no-init, dynamic-guided, djit)"
+        )
     })
 }
 
 fn cmd_detect(rest: &[String]) -> Result<(), String> {
-    let p = Parsed::parse(rest, &["--max-races", "--shards", "--prune-with"])?;
+    let p = Parsed::parse(
+        rest,
+        &["--max-races", "--shards", "--prune-with", "--shadow"],
+    )?;
     let det_name = p.positional(0).ok_or("detect: missing detector name")?;
     let path = p.positional(1).ok_or("detect: missing trace file")?;
     let max_races: usize = p.opt_parse("--max-races")?.unwrap_or(25);
     let shards: usize = p.opt_parse("--shards")?.unwrap_or(1);
+    let shadow = parse_shadow(&p)?;
 
     let trace = load_trace(path)?;
     let prune = match p.opt("--prune-with") {
@@ -284,12 +335,12 @@ fn cmd_detect(rest: &[String]) -> Result<(), String> {
 
     let start = std::time::Instant::now();
     let report = if shards > 1 {
-        let proto = make_shardable(det_name)?;
+        let proto = make_shardable(det_name, shadow)?;
         replay_sharded_pruned(proto.as_ref(), &trace, shards, prune)
     } else if prune.is_empty() {
-        make_detector(det_name)?.run(&trace)
+        make_detector(det_name, shadow)?.run(&trace)
     } else {
-        StaticPruneFilter::new(make_detector(det_name)?, prune).run(&trace)
+        StaticPruneFilter::new(make_detector(det_name, shadow)?, prune).run(&trace)
     };
     let secs = start.elapsed().as_secs_f64();
     if shards > 1 {
@@ -300,14 +351,15 @@ fn cmd_detect(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_compare(rest: &[String]) -> Result<(), String> {
-    let p = Parsed::parse(rest, &[])?;
+    let p = Parsed::parse(rest, &["--shadow"])?;
     let a_name = p.positional(0).ok_or("compare: missing first detector")?;
     let b_name = p.positional(1).ok_or("compare: missing second detector")?;
     let path = p.positional(2).ok_or("compare: missing trace file")?;
+    let shadow = parse_shadow(&p)?;
     let trace = load_trace(path)?;
 
     let run = |name: &str| -> Result<_, String> {
-        let mut det = make_detector(name)?;
+        let mut det = make_detector(name, shadow)?;
         let start = std::time::Instant::now();
         let rep = det.run(&trace);
         Ok((rep, start.elapsed().as_secs_f64()))

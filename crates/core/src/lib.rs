@@ -51,6 +51,6 @@ mod plane;
 mod state;
 
 pub use config::DynamicConfig;
-pub use detector::DynamicGranularity;
-pub use plane::{GroupSnapshot, Plane};
+pub use detector::{DynamicGranularity, DynamicGranularityOn};
+pub use plane::{GroupSnapshot, Plane, PlaneOn};
 pub use state::VcState;

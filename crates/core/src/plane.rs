@@ -1,11 +1,11 @@
-//! A shadow plane: one [`ShadowTable`] of locations whose cells may be
+//! A shadow plane: one shadow store of locations whose cells may be
 //! shared.
 //!
 //! The detector keeps two planes — one for read locations, one for write
 //! locations — because "only the same access type (read or write) of
 //! vector clocks can be shared" (§III.A).
 //!
-//! A *location* is a populated slot in the shadow table; its payload is a
+//! A *location* is a populated slot in the shadow store; its payload is a
 //! [`SlabId`] pointing into the plane's cell slab plus the location's
 //! index in its group's member list. Each shared cell records its member
 //! addresses (`members`), because a race dissolves the whole group ("the
@@ -15,20 +15,65 @@
 //! (the common case) never allocate a member list. All group operations
 //! are O(1) except dissolution and compaction after a partial free,
 //! which are O(group size).
+//!
+//! # The interned copy-on-write clock arena
+//!
+//! Cells do not own their [`AccessClock`]s. Clocks live in a separate
+//! refcounted arena (`clocks`), and a cell holds only an arena id. Group
+//! *split* and *dissolve* — which used to clone the group clock once per
+//! privatized member — now cost a refcount bump each: the split-off cell
+//! shares the immutable clock value with its old group until either side
+//! next *writes* its clock, at which point [`PlaneOn::update_clock`]
+//! copies (copy-on-write) the value into a fresh arena entry. Members
+//! that are never touched again (the common fate of a dissolved group's
+//! bystanders) never pay for a copy at all.
+//!
+//! Invariants (checked by [`PlaneOn::check_invariants`]):
+//! * an arena entry's refcount equals the number of live cells holding
+//!   its id, and is ≥ 1 for live entries;
+//! * an entry with refcount > 1 is never mutated in place;
+//! * `vc_allocs`/`vc_frees` count arena entries (clock values), so a
+//!   split or dissolve allocates nothing;
+//! * modeled `vc_bytes` = 16 bytes per live cell (the paper's epoch-form
+//!   cell) + one out-of-line payload (`16 + 4·width`) per live *arena
+//!   entry* in full-VC form — shared payloads are charged once.
 
 use dgrace_shadow::accounting::vc_cell_bytes;
-use dgrace_shadow::{ShadowTable, Slab, SlabId};
+use dgrace_shadow::store::{ShadowStore, StoreSelect};
+use dgrace_shadow::{FastMap, HashSelect, Slab, SlabId};
 use dgrace_trace::Addr;
 use dgrace_vc::AccessClock;
 
 use crate::VcState;
 
+/// Modeled bytes of a cell header (the epoch-form cell of the paper's
+/// 32-bit layout); full-VC payloads are charged per arena entry.
+const CELL_BYTES: usize = vc_cell_bytes(0);
+
+/// Modeled out-of-line payload bytes of a clock value: zero for the
+/// compressed epoch form, `16 + 4·width` for a full vector clock.
+fn clock_payload_bytes(clock: &AccessClock) -> usize {
+    match clock {
+        AccessClock::Epoch(_) => 0,
+        AccessClock::Vc(vc) => vc_cell_bytes(vc.width().max(1)) - vc_cell_bytes(0),
+    }
+}
+
+/// A refcounted immutable clock value in the plane's interning arena.
+#[derive(Clone, Debug)]
+struct ClockEntry {
+    clock: AccessClock,
+    /// Number of live cells holding this entry's id.
+    rc: u32,
+}
+
 /// A shared vector-clock cell: the paper's `{vector clock, state, count}`
-/// triple plus the member list needed by `splitAndSetRace`.
+/// triple plus the member list needed by `splitAndSetRace`. The clock
+/// itself lives in the plane's interning arena.
 #[derive(Clone, Debug)]
 pub struct Cell {
-    /// The access clock (epoch or full vector clock).
-    pub clock: AccessClock,
+    /// Arena id of the access clock (epoch or full vector clock).
+    clock: SlabId,
     /// Sharing state (Fig. 2).
     pub state: VcState,
     /// Number of locations sharing this cell (`L.count` in Fig. 3).
@@ -42,15 +87,6 @@ pub struct Cell {
     pub redecisions: u8,
     /// Member addresses when shared; empty for singletons.
     members: Vec<Addr>,
-}
-
-impl Cell {
-    fn bytes(&self) -> usize {
-        vc_cell_bytes(match &self.clock {
-            AccessClock::Epoch(_) => 0,
-            AccessClock::Vc(vc) => vc.width().max(1),
-        })
-    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -71,18 +107,24 @@ pub struct GroupSnapshot {
     pub members: Vec<Addr>,
 }
 
-/// One shadow plane (read or write locations).
+/// One shadow plane (read or write locations), generic over the shadow
+/// store selected by `K`.
 #[derive(Debug, Default)]
-pub struct Plane {
-    table: ShadowTable<Loc>,
+pub struct PlaneOn<K: StoreSelect> {
+    table: K::Store<Loc>,
     cells: Slab<Cell>,
+    clocks: Slab<ClockEntry>,
     vc_bytes: usize,
     vc_allocs: u64,
     vc_frees: u64,
     max_group: u32,
 }
 
-impl Plane {
+/// The default plane, backed by the chained-hash [`ShadowTable`]
+/// (`dgrace_shadow::ShadowTable`).
+pub type Plane = PlaneOn<HashSelect>;
+
+impl<K: StoreSelect> PlaneOn<K> {
     /// Creates an empty plane.
     pub fn new() -> Self {
         Self::default()
@@ -98,13 +140,35 @@ impl Plane {
         self.cells.get(id)
     }
 
-    /// Mutates a cell's clock, keeping byte accounting consistent.
+    /// Borrows the clock of cell `id` from the interning arena.
+    pub fn clock_of(&self, id: SlabId) -> &AccessClock {
+        &self.clocks.get(self.cells.get(id).clock).clock
+    }
+
+    /// How many cells currently share cell `id`'s clock value
+    /// (diagnostics/testing).
+    pub fn clock_refs(&self, id: SlabId) -> u32 {
+        self.clocks.get(self.cells.get(id).clock).rc
+    }
+
+    /// Mutates a cell's clock, keeping byte accounting consistent. If the
+    /// cell shares its clock value with other cells (after a split or
+    /// dissolve), the value is copied on write into a fresh arena entry.
     pub fn update_clock(&mut self, id: SlabId, f: impl FnOnce(&mut AccessClock)) {
-        let cell = self.cells.get_mut(id);
-        let before = cell.bytes();
-        f(&mut cell.clock);
-        let after = cell.bytes();
-        self.vc_bytes = self.vc_bytes + after - before;
+        let cid = self.cells.get(id).clock;
+        let entry = self.clocks.get_mut(cid);
+        if entry.rc == 1 {
+            let before = clock_payload_bytes(&entry.clock);
+            f(&mut entry.clock);
+            let after = clock_payload_bytes(&entry.clock);
+            self.vc_bytes = self.vc_bytes + after - before;
+        } else {
+            entry.rc -= 1;
+            let mut clock = entry.clock.clone();
+            f(&mut clock);
+            let new_cid = self.alloc_clock(clock);
+            self.cells.get_mut(id).clock = new_cid;
+        }
     }
 
     /// Sets a cell's state.
@@ -117,24 +181,53 @@ impl Plane {
         self.cells.get_mut(id).redecisions += 1;
     }
 
+    /// Interns a new clock value with refcount 1.
+    fn alloc_clock(&mut self, clock: AccessClock) -> SlabId {
+        self.vc_bytes += clock_payload_bytes(&clock);
+        self.vc_allocs += 1;
+        self.clocks.alloc(ClockEntry { clock, rc: 1 })
+    }
+
+    /// Drops one reference to arena entry `cid`, freeing it at zero.
+    fn release_clock(&mut self, cid: SlabId) {
+        let entry = self.clocks.get_mut(cid);
+        entry.rc -= 1;
+        if entry.rc == 0 {
+            let freed = self.clocks.free(cid);
+            self.vc_bytes -= clock_payload_bytes(&freed.clock);
+            self.vc_frees += 1;
+        }
+    }
+
+    /// Allocates a cell holding a fresh clock value.
     fn alloc_cell(&mut self, clock: AccessClock, state: VcState) -> SlabId {
-        let cell = Cell {
-            clock,
+        let cid = self.alloc_clock(clock);
+        self.alloc_cell_with(cid, state)
+    }
+
+    /// Allocates a cell sharing the existing arena entry `cid` — the
+    /// refcount-bump path used by split and dissolve.
+    fn alloc_cell_sharing(&mut self, cid: SlabId, state: VcState) -> SlabId {
+        self.clocks.get_mut(cid).rc += 1;
+        self.alloc_cell_with(cid, state)
+    }
+
+    fn alloc_cell_with(&mut self, cid: SlabId, state: VcState) -> SlabId {
+        self.vc_bytes += CELL_BYTES;
+        self.cells.alloc(Cell {
+            clock: cid,
             state,
             count: 1,
             tainted: false,
             redecisions: 0,
             members: Vec::new(),
-        };
-        self.vc_bytes += cell.bytes();
-        self.vc_allocs += 1;
-        self.cells.alloc(cell)
+        })
     }
 
     fn free_cell(&mut self, id: SlabId) {
         let freed = self.cells.free(id);
-        self.vc_bytes -= freed.bytes();
-        self.vc_frees += 1;
+        self.vc_bytes -= CELL_BYTES;
+        self.release_clock(freed.clock);
     }
 
     /// Creates a brand-new private location.
@@ -204,19 +297,21 @@ impl Plane {
         }
     }
 
-    /// Splits `addr` out of its sharing group: it receives a private copy
-    /// of the group clock (the paper's `split(L, addr, size)`). No-op for
-    /// already-private locations. Returns the location's cell id after
-    /// the split and whether a split actually happened.
+    /// Splits `addr` out of its sharing group: it receives a private
+    /// *reference* to the group clock (the paper's `split(L, addr,
+    /// size)`) — a refcount bump, not a copy; divergence is deferred to
+    /// the next clock write. No-op for already-private locations.
+    /// Returns the location's cell id after the split and whether a
+    /// split actually happened.
     pub fn split(&mut self, addr: Addr) -> (SlabId, bool) {
         let loc = *self.table.get(addr).expect("location must exist");
         let group = self.cells.get(loc.cell);
         if group.count == 1 {
             return (loc.cell, false);
         }
-        let (clock, state, tainted) = (group.clock.clone(), group.state, group.tainted);
+        let (cid, state, tainted) = (group.clock, group.state, group.tainted);
         self.detach(addr, loc.cell, loc.idx);
-        let new_id = self.alloc_cell(clock, state);
+        let new_id = self.alloc_cell_sharing(cid, state);
         self.cells.get_mut(new_id).tainted = tainted;
         let l = self.table.get_mut(addr).expect("loc");
         l.cell = new_id;
@@ -233,15 +328,17 @@ impl Plane {
         if cell.members.is_empty() {
             vec![addr]
         } else {
-            let mut m = cell.members.clone();
-            m.sort();
+            let mut m: Vec<Addr> = Vec::with_capacity(cell.members.len());
+            m.extend_from_slice(&cell.members);
+            m.sort_unstable();
             m
         }
     }
 
     /// Dissolves `addr`'s group entirely: every member gets a private
-    /// copy of the group clock in the given `state` (the paper's
-    /// `splitAndSetRace`). Returns the member list (sorted).
+    /// cell *sharing* the group clock in the given `state` (the paper's
+    /// `splitAndSetRace`) — refcount bumps, no copies. Returns the
+    /// member list (sorted).
     pub fn dissolve_group(&mut self, addr: Addr, state: VcState) -> Vec<Addr> {
         let loc = *self.table.get(addr).expect("location must exist");
         let cell = self.cells.get_mut(loc.cell);
@@ -250,17 +347,19 @@ impl Plane {
             return vec![addr];
         }
         let members = std::mem::take(&mut cell.members);
-        let clock = cell.clock.clone();
-        self.free_cell(loc.cell);
+        let cid = cell.clock;
         for &m in &members {
-            let id = self.alloc_cell(clock.clone(), state);
+            let id = self.alloc_cell_sharing(cid, state);
             self.cells.get_mut(id).tainted = true;
             let l = self.table.get_mut(m).expect("member exists");
             l.cell = id;
             l.idx = 0;
         }
+        // Freed after the members took their references, so the entry
+        // stays live throughout.
+        self.free_cell(loc.cell);
         let mut sorted = members;
-        sorted.sort();
+        sorted.sort_unstable();
         sorted
     }
 
@@ -269,7 +368,7 @@ impl Plane {
         let id = self.lookup(addr)?;
         let cell = self.cell(id);
         Some(GroupSnapshot {
-            clock: cell.clock.clone(),
+            clock: self.clock_of(id).clone(),
             state: cell.state,
             members: self.group_members(addr),
         })
@@ -301,32 +400,35 @@ impl Plane {
     pub fn remove_range(&mut self, base: Addr, len: u64) {
         let end = base.0 + len;
         let cells = &mut self.cells;
-        let vc_bytes = &mut self.vc_bytes;
-        let vc_frees = &mut self.vc_frees;
+        let mut emptied: Vec<SlabId> = Vec::new();
         let mut dirty: Vec<SlabId> = Vec::new();
         self.table.remove_range(base, len, |_, loc: Loc| {
             let cell = cells.get_mut(loc.cell);
             cell.count -= 1;
             if cell.count == 0 {
-                let freed = cells.free(loc.cell);
-                *vc_bytes -= freed.bytes();
-                *vc_frees += 1;
+                emptied.push(loc.cell);
             } else if !dirty.contains(&loc.cell) {
                 dirty.push(loc.cell);
             }
         });
-        // Compact surviving boundary-spanning groups.
+        for id in emptied {
+            self.free_cell(id);
+        }
+        // Compact surviving boundary-spanning groups: take the member
+        // list out, patch the relocated indices, and put it back —
+        // without cloning it.
         for id in dirty {
             if !self.cells.contains(id) {
                 continue;
             }
             let cell = self.cells.get_mut(id);
-            cell.members.retain(|a| a.0 < base.0 || a.0 >= end);
-            debug_assert_eq!(cell.members.len(), cell.count as usize);
-            let survivors = cell.members.clone();
-            for (i, a) in survivors.into_iter().enumerate() {
-                self.table.get_mut(a).expect("survivor exists").idx = i as u32;
+            let mut members = std::mem::take(&mut cell.members);
+            members.retain(|a| a.0 < base.0 || a.0 >= end);
+            debug_assert_eq!(members.len(), cell.count as usize);
+            for (i, a) in members.iter().enumerate() {
+                self.table.get_mut(*a).expect("survivor exists").idx = i as u32;
             }
+            self.cells.get_mut(id).members = members;
         }
     }
 
@@ -350,27 +452,34 @@ impl Plane {
         self.table.len()
     }
 
-    /// Number of live cells (vector clocks).
+    /// Number of live cells (sharing groups).
     pub fn cell_count(&self) -> usize {
         self.cells.len()
     }
 
-    /// Modeled bytes of live cells.
+    /// Number of live interned clock values — distinct vector-clock
+    /// objects, the population Table 3 counts.
+    pub fn clock_count(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Modeled bytes of live cells and clock payloads.
     pub fn vc_bytes(&self) -> usize {
         self.vc_bytes
     }
 
-    /// Modeled bytes of the hash/indexing structure.
+    /// Modeled bytes of the indexing structure.
     pub fn hash_bytes(&self) -> usize {
-        self.table.hash_bytes()
+        self.table.index_bytes()
     }
 
-    /// Cells allocated over the run.
+    /// Clock values allocated over the run (arena entries; refcount
+    /// bumps from split/dissolve don't count).
     pub fn vc_allocs(&self) -> u64 {
         self.vc_allocs
     }
 
-    /// Cells freed over the run.
+    /// Clock values freed over the run.
     pub fn vc_frees(&self) -> u64 {
         self.vc_frees
     }
@@ -384,9 +493,10 @@ impl Plane {
     /// a description on the first violation. O(locations) — used by
     /// property tests and debug assertions, never on the hot path.
     pub fn check_invariants(&self) {
-        let mut per_cell: std::collections::HashMap<SlabId, usize> =
-            std::collections::HashMap::new();
-        for (addr, loc) in self.table.iter() {
+        let mut per_cell: FastMap<SlabId, usize> = FastMap::default();
+        let mut loc_count = 0usize;
+        self.table.for_each(|addr, loc| {
+            loc_count += 1;
             assert!(
                 self.cells.contains(loc.cell),
                 "location {addr:?} points at a dead cell"
@@ -402,13 +512,15 @@ impl Plane {
                     "member index of {addr:?} is stale"
                 );
             }
-        }
+        });
+        assert_eq!(loc_count, self.table.len(), "location count mismatch");
         assert_eq!(
             per_cell.values().sum::<usize>(),
             self.table.len(),
             "location count mismatch"
         );
         let mut bytes = 0usize;
+        let mut per_clock: FastMap<SlabId, u32> = FastMap::default();
         for (id, cell) in self.cells.iter() {
             let refs = per_cell.get(&id).copied().unwrap_or(0);
             assert_eq!(
@@ -424,7 +536,22 @@ impl Plane {
                     "cell {id:?} member list out of sync"
                 );
             }
-            bytes += cell.bytes();
+            assert!(
+                self.clocks.contains(cell.clock),
+                "cell {id:?} points at a dead clock entry"
+            );
+            *per_clock.entry(cell.clock).or_default() += 1;
+            bytes += CELL_BYTES;
+        }
+        for (cid, entry) in self.clocks.iter() {
+            let refs = per_clock.get(&cid).copied().unwrap_or(0);
+            assert_eq!(
+                entry.rc, refs,
+                "clock entry {cid:?} rc {} != {} referencing cells",
+                entry.rc, refs
+            );
+            assert!(refs > 0, "clock entry {cid:?} is unreachable");
+            bytes += clock_payload_bytes(&entry.clock);
         }
         assert_eq!(bytes, self.vc_bytes, "vc byte accounting drifted");
         assert_eq!(self.cells.len(), self.cell_count());
@@ -448,6 +575,7 @@ mod tests {
         assert_eq!(p.cell(id).count, 1);
         assert_eq!(p.loc_count(), 1);
         assert_eq!(p.cell_count(), 1);
+        assert_eq!(p.clock_count(), 1);
         assert!(p.vc_bytes() > 0);
     }
 
@@ -489,6 +617,38 @@ mod tests {
     }
 
     #[test]
+    fn split_is_a_refcount_bump_not_a_copy() {
+        let mut p = Plane::new();
+        p.insert_private(Addr(0x100), epoch(1, 0), VcState::FirstEpochShared);
+        p.insert_shared(Addr(0x104), Addr(0x100), p.lookup(Addr(0x100)).unwrap());
+        let allocs_before = p.vc_allocs();
+        let (new_id, split) = p.split(Addr(0x104));
+        assert!(split);
+        assert_eq!(p.vc_allocs(), allocs_before, "split must not allocate");
+        assert_eq!(p.clock_count(), 1, "both cells share one clock value");
+        assert_eq!(p.clock_refs(new_id), 2);
+        assert_eq!(p.cell_count(), 2);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn update_clock_copies_on_write_when_shared() {
+        let mut p = Plane::new();
+        let gid = p.insert_private(Addr(0x100), epoch(1, 0), VcState::FirstEpochShared);
+        p.insert_shared(Addr(0x104), Addr(0x100), gid);
+        let (split_id, _) = p.split(Addr(0x104));
+        assert_eq!(p.clock_refs(split_id), 2);
+        // Writing the split-off cell's clock must not disturb the group.
+        p.update_clock(split_id, |c| *c = epoch(9, 1));
+        assert_eq!(p.clock_of(split_id), &epoch(9, 1));
+        assert_eq!(p.clock_of(gid), &epoch(1, 0), "group clock untouched");
+        assert_eq!(p.clock_refs(split_id), 1);
+        assert_eq!(p.clock_refs(gid), 1);
+        assert_eq!(p.clock_count(), 2);
+        p.check_invariants();
+    }
+
+    #[test]
     fn rejoin_moves_private_into_group() {
         let mut p = Plane::new();
         p.insert_private(Addr(0x100), epoch(3, 0), VcState::Private);
@@ -510,15 +670,20 @@ mod tests {
             p.insert_shared(Addr(0x100 + 4 * i), nb, p.lookup(nb).unwrap());
         }
         assert_eq!(p.cell_count(), 1);
+        let allocs_before = p.vc_allocs();
         let members = p.dissolve_group(Addr(0x108), VcState::Race);
         assert_eq!(members.len(), 5);
         assert_eq!(p.cell_count(), 5);
+        assert_eq!(p.clock_count(), 1, "members still share one clock value");
+        assert_eq!(p.vc_allocs(), allocs_before, "dissolve must not allocate");
         for &m in &members {
             let id = p.lookup(m).unwrap();
             assert_eq!(p.cell(id).state, VcState::Race);
             assert_eq!(p.cell(id).count, 1);
             assert_eq!(p.group_members(m), vec![m]);
+            assert_eq!(p.clock_refs(id), 5);
         }
+        p.check_invariants();
     }
 
     #[test]
@@ -562,6 +727,7 @@ mod tests {
         p.remove(Addr(0x100));
         p.remove(Addr(0x108));
         assert_eq!(p.cell_count(), 0);
+        assert_eq!(p.clock_count(), 0);
         assert_eq!(p.vc_bytes(), 0);
     }
 
@@ -599,6 +765,7 @@ mod tests {
         assert!(split);
         assert_eq!(p.cell(nid).count, 1);
         assert_eq!(p.group_members(Addr(0xfc)), vec![Addr(0xfc)]);
+        p.check_invariants();
     }
 
     #[test]
@@ -643,5 +810,23 @@ mod tests {
         let (_, s2) = p.split(Addr(0x10c));
         assert!(s2);
         assert_eq!(p.group_members(Addr(0x100)), vec![Addr(0x100), Addr(0x108)]);
+    }
+
+    #[test]
+    fn paged_plane_behaves_identically() {
+        use dgrace_shadow::PagedSelect;
+        let mut p: PlaneOn<PagedSelect> = PlaneOn::new();
+        p.insert_private(Addr(0x100), epoch(1, 0), VcState::FirstEpochShared);
+        p.insert_shared(Addr(0x104), Addr(0x100), p.lookup(Addr(0x100)).unwrap());
+        p.insert_shared(Addr(0x108), Addr(0x104), p.lookup(Addr(0x104)).unwrap());
+        assert_eq!(p.loc_count(), 3);
+        assert_eq!(p.cell_count(), 1);
+        let (_, split) = p.split(Addr(0x104));
+        assert!(split);
+        assert_eq!(p.group_members(Addr(0x100)), vec![Addr(0x100), Addr(0x108)]);
+        p.remove_range(Addr(0x100), 0x10);
+        assert_eq!(p.loc_count(), 0);
+        assert_eq!(p.vc_bytes(), 0);
+        p.check_invariants();
     }
 }

@@ -1,7 +1,7 @@
 //! The DJIT+ detector (§II.B): full per-location read/write vector clocks.
 
 use dgrace_shadow::accounting::vc_cell_bytes;
-use dgrace_shadow::{MemClass, MemoryModel, ShadowTable};
+use dgrace_shadow::{HashSelect, MemClass, MemoryModel, ShadowStore, StoreSelect};
 use dgrace_trace::{Addr, Event};
 use dgrace_vc::{Epoch, Tid, VectorClock};
 
@@ -34,11 +34,12 @@ impl Cell {
 /// DJIT+ (Pozniansky & Schuster): every location keeps a full read vector
 /// clock and a full write vector clock; only the first read and first
 /// write per epoch are checked; the first race per location is reported.
+/// Generic over the shadow store selected by `K`.
 #[derive(Debug, Default)]
-pub struct Djit {
+pub struct DjitOn<K: StoreSelect> {
     granularity: Granularity,
     hb: HbState,
-    table: ShadowTable<Box<Cell>>,
+    table: K::Store<Box<Cell>>,
     model: MemoryModel,
     vc_bytes: usize,
     races: Vec<RaceReport>,
@@ -52,7 +53,10 @@ pub struct Djit {
     scratch: VectorClock,
 }
 
-impl Djit {
+/// DJIT+ on the chained-hash store (the default).
+pub type Djit = DjitOn<HashSelect>;
+
+impl<K: StoreSelect> DjitOn<K> {
     /// Creates a byte-granularity DJIT+ detector.
     pub fn new() -> Self {
         Self::with_granularity(Granularity::Byte)
@@ -60,7 +64,7 @@ impl Djit {
 
     /// Creates a DJIT+ detector at the given granularity.
     pub fn with_granularity(granularity: Granularity) -> Self {
-        Djit {
+        DjitOn {
             granularity,
             ..Default::default()
         }
@@ -136,22 +140,22 @@ impl Djit {
     }
 
     fn update_model(&mut self) {
-        self.model.set(MemClass::Hash, self.table.hash_bytes());
+        self.model.set(MemClass::Hash, self.table.index_bytes());
         self.model.set(MemClass::VectorClock, self.vc_bytes);
         self.model.set(MemClass::Bitmap, self.hb.bitmap_bytes());
         self.model.set_vc_count(self.table.len() * 2);
     }
 }
 
-impl ShardableDetector for Djit {
+impl<K: StoreSelect> ShardableDetector for DjitOn<K> {
     fn new_shard(&self) -> Box<dyn Detector + Send> {
-        Box::new(Djit::with_granularity(self.granularity))
+        Box::new(DjitOn::<K>::with_granularity(self.granularity))
     }
 }
 
-impl Detector for Djit {
+impl<K: StoreSelect> Detector for DjitOn<K> {
     fn name(&self) -> String {
-        format!("djit-{}", self.granularity.label())
+        format!("djit-{}{}", self.granularity.label(), K::NAME_SUFFIX)
     }
 
     fn on_event(&mut self, ev: &Event) {
@@ -195,7 +199,7 @@ impl Detector for Djit {
         rep.stats.peak_vc_bytes = self.model.peak(MemClass::VectorClock);
         rep.stats.peak_bitmap_bytes = self.hb.peak_bitmap_bytes();
         rep.stats.peak_total_bytes = self.model.peak_total();
-        *self = Djit::with_granularity(self.granularity);
+        *self = Self::with_granularity(self.granularity);
         rep
     }
 }

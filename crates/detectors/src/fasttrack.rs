@@ -1,7 +1,7 @@
 //! The FastTrack detector (§II.C) at a fixed granularity.
 
 use dgrace_shadow::accounting::vc_cell_bytes;
-use dgrace_shadow::{MemClass, MemoryModel, ShadowTable};
+use dgrace_shadow::{HashSelect, MemClass, MemoryModel, ShadowStore, StoreSelect};
 use dgrace_trace::{Addr, Event};
 use dgrace_vc::{Epoch, ReadClock, Tid};
 
@@ -48,12 +48,13 @@ impl Cell {
 }
 
 /// FastTrack (Flanagan & Freund, PLDI 2009) with a fixed detection
-/// granularity — the paper's byte- and word-granularity baselines.
+/// granularity — the paper's byte- and word-granularity baselines —
+/// generic over the shadow store selected by `K`.
 #[derive(Debug, Default)]
-pub struct FastTrack {
+pub struct FastTrackOn<K: StoreSelect> {
     granularity: Granularity,
     hb: HbState,
-    table: ShadowTable<Box<Cell>>,
+    table: K::Store<Box<Cell>>,
     model: MemoryModel,
     vc_bytes: usize,
     races: Vec<RaceReport>,
@@ -67,7 +68,10 @@ pub struct FastTrack {
     scratch: dgrace_vc::VectorClock,
 }
 
-impl FastTrack {
+/// FastTrack on the chained-hash store (the default).
+pub type FastTrack = FastTrackOn<HashSelect>;
+
+impl<K: StoreSelect> FastTrackOn<K> {
     /// Byte-granularity FastTrack — the reference detector of Table 1.
     pub fn new() -> Self {
         Self::with_granularity(Granularity::Byte)
@@ -75,7 +79,7 @@ impl FastTrack {
 
     /// FastTrack at an arbitrary fixed granularity.
     pub fn with_granularity(granularity: Granularity) -> Self {
-        FastTrack {
+        FastTrackOn {
             granularity,
             ..Default::default()
         }
@@ -157,22 +161,22 @@ impl FastTrack {
     }
 
     fn update_model(&mut self) {
-        self.model.set(MemClass::Hash, self.table.hash_bytes());
+        self.model.set(MemClass::Hash, self.table.index_bytes());
         self.model.set(MemClass::VectorClock, self.vc_bytes);
         self.model.set(MemClass::Bitmap, self.hb.bitmap_bytes());
         self.model.set_vc_count(self.table.len() * 2);
     }
 }
 
-impl ShardableDetector for FastTrack {
+impl<K: StoreSelect> ShardableDetector for FastTrackOn<K> {
     fn new_shard(&self) -> Box<dyn Detector + Send> {
-        Box::new(FastTrack::with_granularity(self.granularity))
+        Box::new(FastTrackOn::<K>::with_granularity(self.granularity))
     }
 }
 
-impl Detector for FastTrack {
+impl<K: StoreSelect> Detector for FastTrackOn<K> {
     fn name(&self) -> String {
-        format!("fasttrack-{}", self.granularity.label())
+        format!("fasttrack-{}{}", self.granularity.label(), K::NAME_SUFFIX)
     }
 
     fn on_event(&mut self, ev: &Event) {
@@ -216,7 +220,7 @@ impl Detector for FastTrack {
         rep.stats.peak_vc_bytes = self.model.peak(MemClass::VectorClock);
         rep.stats.peak_bitmap_bytes = self.hb.peak_bitmap_bytes();
         rep.stats.peak_total_bytes = self.model.peak_total();
-        *self = FastTrack::with_granularity(self.granularity);
+        *self = Self::with_granularity(self.granularity);
         rep
     }
 }

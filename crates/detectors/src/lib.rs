@@ -50,8 +50,8 @@ mod shard;
 mod tee;
 
 pub use detector::{Detector, DetectorExt};
-pub use djit::Djit;
-pub use fasttrack::FastTrack;
+pub use djit::{Djit, DjitOn};
+pub use fasttrack::{FastTrack, FastTrackOn};
 pub use filter::{AddressFilter, FilteredDetector, StaticPruneFilter};
 pub use granularity::Granularity;
 pub use hb::HbState;

@@ -167,6 +167,47 @@ impl Router {
         let pos = self.ranges.partition_point(|r| r.0 < base);
         self.ranges.insert(pos, (base, base + len.max(1), shard));
     }
+
+    /// Collects into `out` every shard owning any byte of
+    /// `[base, base+len)`: registered ranges overlapping it plus the
+    /// region hash of each uncovered 4 KiB region. A `Free` event must
+    /// reach all of them — routing it by base address alone would leave
+    /// stale shadow state in the other shards, which resurfaces as
+    /// phantom races when the address range is reused.
+    fn routes_for_range(&self, base: u64, len: u64, out: &mut Vec<usize>) {
+        out.clear();
+        if self.shards <= 1 {
+            out.push(0);
+            return;
+        }
+        let end = base.saturating_add(len.max(1));
+        let mut cursor = base;
+        let start = self.ranges.partition_point(|r| r.1 <= base);
+        for &(rb, re, shard) in &self.ranges[start..] {
+            if rb >= end || out.len() == self.shards {
+                break;
+            }
+            // Hash-routed gap before this registered range.
+            while cursor < rb.min(end) && out.len() < self.shards {
+                let s = ((cursor >> REGION_BITS) as usize) % self.shards;
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+                cursor = ((cursor >> REGION_BITS) + 1) << REGION_BITS;
+            }
+            if !out.contains(&shard) {
+                out.push(shard);
+            }
+            cursor = cursor.max(re);
+        }
+        while cursor < end && out.len() < self.shards {
+            let s = ((cursor >> REGION_BITS) as usize) % self.shards;
+            if !out.contains(&s) {
+                out.push(s);
+            }
+            cursor = ((cursor >> REGION_BITS) + 1) << REGION_BITS;
+        }
+    }
 }
 
 /// The sharded, batched detection engine. See the module docs for the
@@ -343,8 +384,18 @@ impl Engine {
             let mut parts: Vec<Vec<Event>> = vec![Vec::new(); self.shards.len()];
             {
                 let router = self.router.read();
+                let mut free_targets: Vec<usize> = Vec::new();
                 for ev in batch {
-                    parts[router.route(route_addr(&ev))].push(ev);
+                    if let Event::Free { addr, size, .. } = ev {
+                        // Delivered to every owning shard; a shard
+                        // holding no cells in the range clears nothing.
+                        router.routes_for_range(addr.0, size, &mut free_targets);
+                        for &s in &free_targets {
+                            parts[s].push(ev);
+                        }
+                    } else {
+                        parts[router.route(route_addr(&ev))].push(ev);
+                    }
                 }
             }
             for (i, part) in parts.into_iter().enumerate() {
@@ -503,6 +554,35 @@ mod tests {
         assert_ne!(a, b, "round-robin assigns distinct shards");
         // Unregistered addresses fall back to region hashing.
         let _ = r.route(0x9999_0000);
+    }
+
+    #[test]
+    fn free_spanning_region_boundary_reaches_every_owning_shard() {
+        // Unregistered range straddling the 4 KiB region boundary at
+        // 0x1000: region 0 hashes to shard 0, region 1 to shard 1.
+        let r = Router::new(2);
+        let mut out = Vec::new();
+        r.routes_for_range(0xFE0, 0x40, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1], "free covers both hash regions");
+        // Entirely inside one region: single target.
+        r.routes_for_range(0x100, 0x40, &mut out);
+        assert_eq!(out, vec![0]);
+
+        // Registered ranges interleaved with hash-routed gaps.
+        let mut r = Router::new(4);
+        r.register(0x1100, 0x100); // shard 0
+        r.register(0x5000, 0x100); // shard 1
+        let mut out = Vec::new();
+        // Covers the gap before 0x1100 (region 1 → shard 1), the
+        // registered object (shard 0), and the gap after it (region 1
+        // again, already present).
+        r.routes_for_range(0x1000, 0x300, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1]);
+        // A free of exactly the registered object hits only its shard.
+        r.routes_for_range(0x5000, 0x100, &mut out);
+        assert_eq!(out, vec![1]);
     }
 
     #[test]

@@ -16,14 +16,22 @@
 //! | bitmap chunk                    | 16 + `CHUNK_BYTES`             |
 
 /// Modeled byte size of a hash chain entry with `slots` pointers.
-pub fn hash_entry_bytes(slots: usize) -> usize {
+pub const fn hash_entry_bytes(slots: usize) -> usize {
     16 + 4 * slots
+}
+
+/// Modeled byte size of one paged-store directory node: a 16-byte header
+/// plus a pointer array with one entry per chunk of the directory's span
+/// (the slot arrays hanging off it are charged separately, with the same
+/// `16 + 4·slots` model as hash chain entries).
+pub const fn paged_dir_bytes(chunks: usize) -> usize {
+    16 + 4 * chunks
 }
 
 /// Modeled byte size of a vector-clock cell whose payload (full vector
 /// clock) spans `width` threads; `width == 0` means the compressed epoch
 /// form with no out-of-line payload.
-pub fn vc_cell_bytes(width: usize) -> usize {
+pub const fn vc_cell_bytes(width: usize) -> usize {
     if width == 0 {
         16
     } else {
@@ -32,7 +40,7 @@ pub fn vc_cell_bytes(width: usize) -> usize {
 }
 
 /// Modeled byte size of one per-thread bitmap chunk.
-pub fn bitmap_chunk_bytes(chunk_payload: usize) -> usize {
+pub const fn bitmap_chunk_bytes(chunk_payload: usize) -> usize {
     16 + chunk_payload
 }
 

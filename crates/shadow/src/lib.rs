@@ -41,11 +41,15 @@
 pub mod accounting;
 mod bitmap;
 mod hash;
+mod paged;
 mod slab;
+pub mod store;
 mod table;
 
 pub use accounting::{MemClass, MemoryModel};
 pub use bitmap::EpochBitmap;
 pub use hash::{FastMap, FibBuildHasher, FibHasher};
+pub use paged::PagedShadow;
 pub use slab::{Slab, SlabId};
+pub use store::{HashSelect, PagedSelect, ShadowStore, StoreSelect};
 pub use table::ShadowTable;

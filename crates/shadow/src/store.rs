@@ -1,0 +1,180 @@
+//! The [`ShadowStore`] abstraction: what a detector needs from its shadow
+//! memory, independent of how locations are indexed.
+//!
+//! Two implementations exist:
+//!
+//! * [`ShadowTable`](crate::ShadowTable) — the paper's chained hash table
+//!   (Fig. 4), compact for sparse address use.
+//! * [`PagedShadow`](crate::PagedShadow) — a TSan-style two-level
+//!   direct-mapped table (page directory → fixed slot arrays), trading a
+//!   little index memory for allocation-free, cache-friendly lookups on
+//!   dense address ranges.
+//!
+//! Both keep the word→byte chunk-mode expansion, so an unaligned lookup in
+//! a word-mode chunk misses identically in either store and race reports
+//! are byte-identical across them (proven by `tests/store_equivalence.rs`).
+//!
+//! Detectors are generic over the store via [`StoreSelect`], a zero-sized
+//! selector with a generic-associated store type. This keeps the concrete
+//! cell types (which are private to each detector) out of public bounds:
+//! `FastTrackOn<PagedSelect>` names a detector without naming its cells.
+
+use std::fmt::Debug;
+
+use dgrace_trace::Addr;
+
+use crate::paged::PagedShadow;
+use crate::table::ShadowTable;
+
+/// Minimal shadow-memory interface shared by every store.
+///
+/// A **location** is an access base address after granularity masking.
+/// Stores start chunks in *word mode* (only 4-aligned locations exist;
+/// unaligned lookups miss) and expand a chunk to *byte mode* on the first
+/// unaligned insert, preserving existing cells at `slot * 4`.
+pub trait ShadowStore<T>: Default + Debug {
+    /// Human-readable store name (for reports and benchmarks).
+    const LABEL: &'static str;
+
+    /// Looks up the cell for `addr`.
+    fn get(&self, addr: Addr) -> Option<&T>;
+
+    /// Looks up the cell for `addr` mutably.
+    fn get_mut(&mut self, addr: Addr) -> Option<&mut T>;
+
+    /// Inserts a cell for `addr`, creating or expanding the chunk as
+    /// needed. Returns the previous cell, if any.
+    fn insert(&mut self, addr: Addr, value: T) -> Option<T>;
+
+    /// Removes the cell at `addr`, releasing chunk storage when it becomes
+    /// empty. Unaligned addresses in word-mode chunks remove nothing.
+    fn remove(&mut self, addr: Addr) -> Option<T>;
+
+    /// Removes every cell with address in `[base, base+len)`, invoking `f`
+    /// on each removed `(addr, cell)` in ascending address order per chunk.
+    fn remove_range(&mut self, base: Addr, len: u64, f: impl FnMut(Addr, T));
+
+    /// The nearest populated location strictly below `addr`, scanning at
+    /// most `max_dist` bytes back.
+    fn nearest_predecessor(&self, addr: Addr, max_dist: u64) -> Option<(Addr, &T)>;
+
+    /// The nearest populated location strictly above `addr`, scanning at
+    /// most `max_dist` bytes forward.
+    fn nearest_successor(&self, addr: Addr, max_dist: u64) -> Option<(Addr, &T)>;
+
+    /// Number of populated cells.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if no cells are populated.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Modeled bytes of the indexing structure (the Table 2 `Hash` column;
+    /// for the paged store, directory headers + slot arrays).
+    fn index_bytes(&self) -> usize;
+
+    /// Applies `f` to every populated cell, in unspecified order.
+    fn for_each(&self, f: impl FnMut(Addr, &T));
+
+    /// Applies `f` to every populated cell mutably, in unspecified order.
+    fn for_each_mut(&mut self, f: impl FnMut(Addr, &mut T));
+}
+
+impl<T: Debug> ShadowStore<T> for ShadowTable<T> {
+    const LABEL: &'static str = "hash";
+
+    #[inline]
+    fn get(&self, addr: Addr) -> Option<&T> {
+        ShadowTable::get(self, addr)
+    }
+
+    #[inline]
+    fn get_mut(&mut self, addr: Addr) -> Option<&mut T> {
+        ShadowTable::get_mut(self, addr)
+    }
+
+    #[inline]
+    fn insert(&mut self, addr: Addr, value: T) -> Option<T> {
+        ShadowTable::insert(self, addr, value)
+    }
+
+    #[inline]
+    fn remove(&mut self, addr: Addr) -> Option<T> {
+        ShadowTable::remove(self, addr)
+    }
+
+    #[inline]
+    fn remove_range(&mut self, base: Addr, len: u64, f: impl FnMut(Addr, T)) {
+        ShadowTable::remove_range(self, base, len, f)
+    }
+
+    #[inline]
+    fn nearest_predecessor(&self, addr: Addr, max_dist: u64) -> Option<(Addr, &T)> {
+        ShadowTable::nearest_predecessor(self, addr, max_dist)
+    }
+
+    #[inline]
+    fn nearest_successor(&self, addr: Addr, max_dist: u64) -> Option<(Addr, &T)> {
+        ShadowTable::nearest_successor(self, addr, max_dist)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        ShadowTable::len(self)
+    }
+
+    #[inline]
+    fn index_bytes(&self) -> usize {
+        ShadowTable::hash_bytes(self)
+    }
+
+    fn for_each(&self, mut f: impl FnMut(Addr, &T)) {
+        for (addr, cell) in ShadowTable::iter(self) {
+            f(addr, cell);
+        }
+    }
+
+    fn for_each_mut(&mut self, f: impl FnMut(Addr, &mut T)) {
+        ShadowTable::for_each_mut(self, f)
+    }
+}
+
+/// Zero-sized selector of a shadow-store implementation.
+///
+/// Detector types take a `StoreSelect` parameter instead of a store type
+/// directly, so their (private) cell types never appear in public bounds:
+/// `DjitOn<PagedSelect>` is spelled without naming `Djit`'s cell.
+pub trait StoreSelect:
+    Copy + Clone + Debug + Default + Send + Sync + Eq + std::hash::Hash + 'static
+{
+    /// The store this selector picks, instantiable at any cell type.
+    type Store<T: Debug + Send>: ShadowStore<T> + Debug + Send;
+
+    /// Human-readable store name.
+    const LABEL: &'static str;
+
+    /// Suffix appended to detector names for non-default stores, so
+    /// reports distinguish `fasttrack-byte` from `fasttrack-byte+paged`.
+    const NAME_SUFFIX: &'static str;
+}
+
+/// Selects the chained-hash [`ShadowTable`] (the default store).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct HashSelect;
+
+impl StoreSelect for HashSelect {
+    type Store<T: Debug + Send> = ShadowTable<T>;
+    const LABEL: &'static str = "hash";
+    const NAME_SUFFIX: &'static str = "";
+}
+
+/// Selects the two-level direct-mapped [`PagedShadow`] store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PagedSelect;
+
+impl StoreSelect for PagedSelect {
+    type Store<T: Debug + Send> = PagedShadow<T>;
+    const LABEL: &'static str = "paged";
+    const NAME_SUFFIX: &'static str = "+paged";
+}

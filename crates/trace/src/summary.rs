@@ -177,6 +177,12 @@ impl AnalysisSummary {
 ///   covers a *contended* byte would change that cell's history (it can
 ///   remove genuine coarse-granularity reports), so an access is pruned
 ///   only if every byte of every granule it touches is prunable.
+///   Moreover each granule must lie inside a *single* classified range:
+///   per-byte proofs do not compose across ranges (two neighboring bytes
+///   can each be race-free under different ordering witnesses while the
+///   word cell covering both still sees concurrent accesses), so at
+///   `granule > 1` the set is compiled per range, never from the
+///   cross-class merged intervals.
 /// * **Margin shrinking.** The dynamic-granularity detector additionally
 ///   couples a location to neighbors within its sharing scan distance.
 ///   Each maximal prunable interval is shrunk by `margin` bytes on both
@@ -199,8 +205,25 @@ impl PruneSet {
     /// and `margin` bytes of neighbor influence.
     pub fn new(summary: &AnalysisSummary, granule: u64, margin: u64) -> Self {
         let granule = granule.max(1);
+        // At byte granularity the per-byte proofs apply verbatim, so the
+        // cross-class merged intervals are sound (and shrink by `margin`
+        // only at their outer edges). At coarser granularity every
+        // granule must sit inside a single classified range, so compile
+        // each prunable range separately — adjacency merging below then
+        // only ever joins intervals at granule-aligned range boundaries,
+        // which keeps the per-granule single-range property.
+        let source: Vec<(u64, u64)> = if granule == 1 {
+            summary.prunable_intervals()
+        } else {
+            summary
+                .ranges
+                .iter()
+                .filter(|r| r.class.is_prunable())
+                .map(|r| (r.start.0, r.end()))
+                .collect()
+        };
         let mut intervals = Vec::new();
-        for (s, e) in summary.prunable_intervals() {
+        for (s, e) in source {
             // Shrink by the neighbor margin, then inward to granule
             // boundaries so only fully-prunable granules remain.
             let s = (s.saturating_add(margin)).div_ceil(granule) * granule;

@@ -4,55 +4,187 @@ use std::fmt;
 
 use crate::{ClockValue, Epoch, Tid};
 
+/// Number of threads a clock can touch before it spills to the heap.
+///
+/// Per the paper's §V observation (and SmartTrack's measurements), the
+/// overwhelming majority of per-location clocks involve one or two
+/// threads — the owner plus at most one reader — so two inline pairs
+/// cover the common case without any heap allocation.
+const INLINE_THREADS: usize = 2;
+
+/// Internal representation of a [`VectorClock`].
+#[derive(Clone)]
+enum Repr {
+    /// Sparse inline storage: up to [`INLINE_THREADS`] `(tid, clock)`
+    /// pairs sorted by thread id, all clocks non-zero.
+    Inline {
+        len: u8,
+        pairs: [(u32, ClockValue); INLINE_THREADS],
+    },
+    /// Dense per-thread storage indexed by thread id; entries beyond the
+    /// length are implicitly zero.
+    Dense(Vec<ClockValue>),
+}
+
 /// A vector of logical clocks indexed by thread id.
 ///
-/// The vector is *sparse at the tail*: entries beyond `self.0.len()` are
+/// The vector is *sparse at the tail*: entries beyond the stored width are
 /// implicitly zero, so two clocks of different lengths compare as if the
 /// shorter one were zero-padded. This keeps clocks for programs that spawn
 /// threads late small, and matches the paper's definition of equality
 /// ("two vector clocks are the same when they are the same size and their
 /// contents are of equal value" — we normalize by ignoring trailing zeros,
 /// which is the same equivalence).
-#[derive(Clone, Default, PartialOrd, Ord)]
-pub struct VectorClock(Vec<ClockValue>);
+///
+/// Clocks touching at most [`INLINE_THREADS`] threads are stored inline as
+/// sorted `(tid, clock)` pairs and never allocate; wider clocks spill to a
+/// dense heap vector. All observable behaviour (equality, hashing,
+/// ordering, iteration, witnesses) is representation-independent.
+pub struct VectorClock(Repr);
+
+impl Default for VectorClock {
+    #[inline]
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for VectorClock {
+    #[inline]
+    fn clone(&self) -> Self {
+        VectorClock(self.0.clone())
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        match (&mut self.0, &source.0) {
+            (Repr::Dense(dst), Repr::Dense(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
+    }
+}
 
 impl VectorClock {
     /// Creates an empty (all-zero) vector clock.
     #[inline]
     pub fn new() -> Self {
-        VectorClock(Vec::new())
+        VectorClock(Repr::Inline {
+            len: 0,
+            pairs: [(0, 0); INLINE_THREADS],
+        })
     }
 
     /// Creates a clock with capacity for `n` threads without touching values.
+    ///
+    /// A capacity within the inline budget stays inline (and allocation
+    /// free); a larger one eagerly reserves dense storage.
     #[inline]
     pub fn with_capacity(n: usize) -> Self {
-        VectorClock(Vec::with_capacity(n))
+        if n <= INLINE_THREADS {
+            Self::new()
+        } else {
+            VectorClock(Repr::Dense(Vec::with_capacity(n)))
+        }
     }
 
     /// Creates a clock from explicit per-thread values.
     pub fn from_slice(values: &[ClockValue]) -> Self {
-        let mut vc = VectorClock(values.to_vec());
-        vc.trim();
-        vc
+        Self::from_vec(values.to_vec())
+    }
+
+    fn from_vec(mut values: Vec<ClockValue>) -> Self {
+        while values.last() == Some(&0) {
+            values.pop();
+        }
+        let nonzero = values.iter().filter(|&&v| v != 0).count();
+        if nonzero <= INLINE_THREADS {
+            let mut pairs = [(0u32, 0 as ClockValue); INLINE_THREADS];
+            let mut len = 0u8;
+            for (i, &v) in values.iter().enumerate() {
+                if v != 0 {
+                    pairs[len as usize] = (i as u32, v);
+                    len += 1;
+                }
+            }
+            VectorClock(Repr::Inline { len, pairs })
+        } else {
+            VectorClock(Repr::Dense(values))
+        }
+    }
+
+    /// Returns `true` if this clock is held in the inline (allocation-free)
+    /// representation. Exposed for tests and allocation statistics.
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
     }
 
     /// The logical clock of thread `t` (zero if never set).
     #[inline]
     pub fn get(&self, t: Tid) -> ClockValue {
-        self.0.get(t.index()).copied().unwrap_or(0)
+        match &self.0 {
+            Repr::Inline { len, pairs } => {
+                for &(pt, v) in &pairs[..*len as usize] {
+                    if pt == t.0 {
+                        return v;
+                    }
+                }
+                0
+            }
+            Repr::Dense(vals) => vals.get(t.index()).copied().unwrap_or(0),
+        }
     }
 
     /// Sets the logical clock of thread `t`.
-    #[inline]
     pub fn set(&mut self, t: Tid, value: ClockValue) {
-        let i = t.index();
-        if i >= self.0.len() {
-            if value == 0 {
-                return;
+        match &mut self.0 {
+            Repr::Inline { len, pairs } => {
+                let tid = t.0;
+                let n = *len as usize;
+                if let Some(pos) = pairs[..n].iter().position(|&(pt, _)| pt == tid) {
+                    if value == 0 {
+                        pairs.copy_within(pos + 1..n, pos);
+                        *len -= 1;
+                    } else {
+                        pairs[pos].1 = value;
+                    }
+                    return;
+                }
+                if value == 0 {
+                    return;
+                }
+                if n < INLINE_THREADS {
+                    let pos = pairs[..n].iter().position(|&(pt, _)| pt > tid).unwrap_or(n);
+                    pairs.copy_within(pos..n, pos + 1);
+                    pairs[pos] = (tid, value);
+                    *len += 1;
+                    return;
+                }
+                // Third distinct thread: spill to dense storage.
+                let width = pairs[..n]
+                    .iter()
+                    .map(|&(pt, _)| pt)
+                    .chain(std::iter::once(tid))
+                    .max()
+                    .unwrap() as usize
+                    + 1;
+                let mut dense = vec![0; width];
+                for &(pt, v) in &pairs[..n] {
+                    dense[pt as usize] = v;
+                }
+                dense[tid as usize] = value;
+                self.0 = Repr::Dense(dense);
             }
-            self.0.resize(i + 1, 0);
+            Repr::Dense(vals) => {
+                let i = t.index();
+                if i >= vals.len() {
+                    if value == 0 {
+                        return;
+                    }
+                    vals.resize(i + 1, 0);
+                }
+                vals[i] = value;
+            }
         }
-        self.0[i] = value;
     }
 
     /// Increments the clock of thread `t` by one and returns the new value.
@@ -68,13 +200,48 @@ impl VectorClock {
     /// This is the update performed by lock acquire (thread clock joins the
     /// lock clock) and lock release (lock clock joins the thread clock).
     pub fn join(&mut self, other: &VectorClock) {
-        if other.0.len() > self.0.len() {
-            self.0.resize(other.0.len(), 0);
-        }
-        for (s, &o) in self.0.iter_mut().zip(other.0.iter()) {
-            if o > *s {
-                *s = o;
+        match &other.0 {
+            Repr::Inline { len, pairs } => {
+                for &(pt, v) in &pairs[..*len as usize] {
+                    let t = Tid(pt);
+                    if v > self.get(t) {
+                        self.set(t, v);
+                    }
+                }
             }
+            Repr::Dense(o) => {
+                let s = self.make_dense(o.len());
+                if o.len() > s.len() {
+                    s.resize(o.len(), 0);
+                }
+                for (sv, &ov) in s.iter_mut().zip(o.iter()) {
+                    if ov > *sv {
+                        *sv = ov;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spills to (or returns the existing) dense storage, reserving room
+    /// for at least `min_cap` threads.
+    fn make_dense(&mut self, min_cap: usize) -> &mut Vec<ClockValue> {
+        if let Repr::Inline { len, pairs } = &self.0 {
+            let n = *len as usize;
+            let width = pairs[..n]
+                .last()
+                .map(|&(pt, _)| pt as usize + 1)
+                .unwrap_or(0);
+            let mut dense = Vec::with_capacity(min_cap.max(width));
+            dense.resize(width, 0);
+            for &(pt, v) in &pairs[..n] {
+                dense[pt as usize] = v;
+            }
+            self.0 = Repr::Dense(dense);
+        }
+        match &mut self.0 {
+            Repr::Dense(vals) => vals,
+            Repr::Inline { .. } => unreachable!("just spilled"),
         }
     }
 
@@ -83,10 +250,15 @@ impl VectorClock {
     /// `a ⊑ b` means every operation summarized by `a` happens-before (or
     /// equals) the point summarized by `b`.
     pub fn leq(&self, other: &VectorClock) -> bool {
-        self.0
-            .iter()
-            .enumerate()
-            .all(|(i, &v)| v <= other.0.get(i).copied().unwrap_or(0))
+        match &self.0 {
+            Repr::Inline { len, pairs } => pairs[..*len as usize]
+                .iter()
+                .all(|&(pt, v)| v <= other.get(Tid(pt))),
+            Repr::Dense(s) => s
+                .iter()
+                .enumerate()
+                .all(|(i, &v)| v <= other.get(Tid::from(i))),
+        }
     }
 
     /// Returns `true` if the two clocks are concurrent (neither ⊑ the other).
@@ -97,39 +269,68 @@ impl VectorClock {
 
     /// Number of threads with a non-zero entry.
     pub fn active_threads(&self) -> usize {
-        self.0.iter().filter(|&&v| v != 0).count()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Dense(vals) => vals.iter().filter(|&&v| v != 0).count(),
+        }
     }
 
-    /// Length of the underlying storage (highest touched tid + 1).
+    /// Logical width of the clock (highest thread id with a non-zero entry
+    /// plus one for the inline representation; dense storage length — which
+    /// may carry explicitly-zeroed tail entries — for the heap one).
     #[inline]
     pub fn width(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, pairs } => pairs[..*len as usize]
+                .last()
+                .map(|&(pt, _)| pt as usize + 1)
+                .unwrap_or(0),
+            Repr::Dense(vals) => vals.len(),
+        }
     }
 
     /// Modeled heap size in bytes of this clock's payload, used by the
     /// memory-accounting model (4 bytes per slot).
+    ///
+    /// The model charges the dense width even when the Rust representation
+    /// is inline, so the Table 2 columns stay comparable with the paper's
+    /// 32-bit C layout; the inline savings are reported separately via
+    /// allocation counts ([`Self::is_inline`]).
     #[inline]
     pub fn payload_bytes(&self) -> usize {
-        self.0.len() * std::mem::size_of::<ClockValue>()
+        self.width() * std::mem::size_of::<ClockValue>()
     }
 
-    /// Iterates `(Tid, clock)` pairs with non-zero clocks.
+    /// Iterates `(Tid, clock)` pairs with non-zero clocks, in thread order.
     pub fn iter(&self) -> impl Iterator<Item = (Tid, ClockValue)> + '_ {
-        self.0
-            .iter()
-            .enumerate()
-            .filter(|(_, &v)| v != 0)
-            .map(|(i, &v)| (Tid::from(i), v))
+        let (pairs, dense): (&[(u32, ClockValue)], &[ClockValue]) = match &self.0 {
+            Repr::Inline { len, pairs } => (&pairs[..*len as usize], &[]),
+            Repr::Dense(vals) => (&[], vals.as_slice()),
+        };
+        pairs.iter().map(|&(pt, v)| (Tid(pt), v)).chain(
+            dense
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0)
+                .map(|(i, &v)| (Tid::from(i), v)),
+        )
     }
 
     /// Finds a thread whose entry in `self` exceeds its entry in `other`,
     /// i.e. a witness that `self ⋢ other`. Returns `None` if `self ⊑ other`.
+    /// The witness is the lowest such thread id.
     pub fn first_exceeding(&self, other: &VectorClock) -> Option<(Tid, ClockValue)> {
-        self.0
-            .iter()
-            .enumerate()
-            .find(|(i, &v)| v > other.0.get(*i).copied().unwrap_or(0))
-            .map(|(i, &v)| (Tid::from(i), v))
+        match &self.0 {
+            Repr::Inline { len, pairs } => pairs[..*len as usize]
+                .iter()
+                .find(|&&(pt, v)| v > other.get(Tid(pt)))
+                .map(|&(pt, v)| (Tid(pt), v)),
+            Repr::Dense(s) => s
+                .iter()
+                .enumerate()
+                .find(|(i, &v)| v > other.get(Tid::from(*i)))
+                .map(|(i, &v)| (Tid::from(i), v)),
+        }
     }
 
     /// Records an epoch into this clock: `self[e.tid] := max(self[e.tid], e.clock)`.
@@ -139,22 +340,13 @@ impl VectorClock {
             self.set(e.tid, e.clock);
         }
     }
-
-    fn trim(&mut self) {
-        while self.0.last() == Some(&0) {
-            self.0.pop();
-        }
-    }
 }
 
 impl PartialEq for VectorClock {
     fn eq(&self, other: &Self) -> bool {
-        let (short, long) = if self.0.len() <= other.0.len() {
-            (&self.0, &other.0)
-        } else {
-            (&other.0, &self.0)
-        };
-        short == &long[..short.len()] && long[short.len()..].iter().all(|&v| v == 0)
+        // Two clocks are elementwise-equal exactly when their non-zero
+        // (tid, clock) sequences match, independent of representation.
+        self.iter().eq(other.iter())
     }
 }
 
@@ -162,23 +354,65 @@ impl Eq for VectorClock {}
 
 impl std::hash::Hash for VectorClock {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        // Hash must agree with the trailing-zero-insensitive equality.
-        let mut len = self.0.len();
-        while len > 0 && self.0[len - 1] == 0 {
-            len -= 1;
+        // Hash must agree with the representation-independent equality, so
+        // hash the normalized non-zero (tid, clock) sequence.
+        for (t, v) in self.iter() {
+            t.0.hash(state);
+            v.hash(state);
         }
-        self.0[..len].hash(state);
+    }
+}
+
+impl PartialOrd for VectorClock {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VectorClock {
+    /// Lexicographic order over the zero-padded dense expansion, consistent
+    /// with the trailing-zero-insensitive equality.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        let mut a = self.iter();
+        let mut b = other.iter();
+        let (mut na, mut nb) = (a.next(), b.next());
+        loop {
+            match (na, nb) {
+                (None, None) => return Ordering::Equal,
+                // The side with a non-zero entry at the earlier index is
+                // greater (the other side is zero there).
+                (Some(_), None) => return Ordering::Greater,
+                (None, Some(_)) => return Ordering::Less,
+                (Some((ta, va)), Some((tb, vb))) => {
+                    if ta.0 < tb.0 {
+                        return Ordering::Greater;
+                    }
+                    if tb.0 < ta.0 {
+                        return Ordering::Less;
+                    }
+                    match va.cmp(&vb) {
+                        Ordering::Equal => {
+                            na = a.next();
+                            nb = b.next();
+                        }
+                        ord => return ord,
+                    }
+                }
+            }
+        }
     }
 }
 
 impl fmt::Debug for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "<")?;
-        for (i, v) in self.0.iter().enumerate() {
+        for i in 0..self.width() {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{v}")?;
+            write!(f, "{}", self.get(Tid::from(i)))?;
         }
         write!(f, ">")
     }
@@ -186,9 +420,7 @@ impl fmt::Debug for VectorClock {
 
 impl FromIterator<ClockValue> for VectorClock {
     fn from_iter<I: IntoIterator<Item = ClockValue>>(iter: I) -> Self {
-        let mut vc = VectorClock(iter.into_iter().collect());
-        vc.trim();
-        vc
+        Self::from_vec(iter.into_iter().collect())
     }
 }
 
@@ -280,5 +512,82 @@ mod tests {
     fn payload_bytes_tracks_width() {
         let a = vc(&[1, 2, 3]);
         assert_eq!(a.payload_bytes(), 12);
+    }
+
+    #[test]
+    fn two_thread_clocks_stay_inline() {
+        let mut c = VectorClock::new();
+        assert!(c.is_inline());
+        c.tick(Tid(0));
+        c.set(Tid(7), 4);
+        assert!(c.is_inline(), "two threads fit inline");
+        assert_eq!(c.get(Tid(0)), 1);
+        assert_eq!(c.get(Tid(7)), 4);
+        assert_eq!(c.width(), 8);
+        c.set(Tid(3), 2);
+        assert!(!c.is_inline(), "third thread spills to dense");
+        assert_eq!(c.get(Tid(0)), 1);
+        assert_eq!(c.get(Tid(3)), 2);
+        assert_eq!(c.get(Tid(7)), 4);
+        assert_eq!(c.width(), 8);
+    }
+
+    #[test]
+    fn inline_and_dense_compare_equal() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut inline = VectorClock::new();
+        inline.set(Tid(1), 3);
+        inline.set(Tid(3), 7);
+        assert!(inline.is_inline());
+        let dense = vc(&[0, 3, 0, 7]);
+        assert!(!dense.is_inline() || dense.active_threads() <= 2);
+        assert_eq!(inline, dense);
+        let h = |v: &VectorClock| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&inline), h(&dense));
+        assert_eq!(inline.cmp(&dense), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn inline_set_to_zero_removes_pair() {
+        let mut c = VectorClock::new();
+        c.set(Tid(2), 5);
+        c.set(Tid(4), 1);
+        c.set(Tid(2), 0);
+        assert!(c.is_inline());
+        assert_eq!(c.get(Tid(2)), 0);
+        assert_eq!(c.get(Tid(4)), 1);
+        assert_eq!(c.active_threads(), 1);
+        c.set(Tid(4), 0);
+        assert_eq!(c.active_threads(), 0);
+        assert_eq!(c.width(), 0);
+    }
+
+    #[test]
+    fn join_inline_into_dense_and_back() {
+        let mut wide = vc(&[1, 2, 3]);
+        let mut narrow = VectorClock::new();
+        narrow.set(Tid(1), 9);
+        wide.join(&narrow);
+        assert_eq!(wide, vc(&[1, 9, 3]));
+        narrow.join(&wide);
+        assert!(!narrow.is_inline(), "joining a dense clock spills");
+        assert_eq!(narrow, vc(&[1, 9, 3]));
+    }
+
+    #[test]
+    fn ord_is_consistent_across_representations() {
+        use std::cmp::Ordering;
+        // Non-zero at an earlier index wins.
+        assert_eq!(vc(&[0, 1]).cmp(&vc(&[1])), Ordering::Less);
+        assert_eq!(vc(&[2]).cmp(&vc(&[1, 9])), Ordering::Greater);
+        assert_eq!(vc(&[1, 2]).cmp(&vc(&[1, 2, 0])), Ordering::Equal);
+        let mut spilled = vc(&[1, 2, 3]);
+        spilled.set(Tid(2), 0);
+        assert_eq!(spilled.cmp(&vc(&[1, 2])), Ordering::Equal);
     }
 }

@@ -1,0 +1,65 @@
+//! Regression tests for two prune-analysis soundness holes, each caught
+//! by a concrete counterexample trace:
+//!
+//! 1. Per-byte thread-locality proofs do not compose to word granules —
+//!    two adjacent atoms can each be internally fork/join-ordered while
+//!    their accesses are mutually concurrent, so pruning a merged range
+//!    at granule 4 hid the word detector's granularity-artifact race.
+//!    Fixed by merging ThreadLocal atoms only when *jointly* ordered and
+//!    compiling coarse-granularity prune sets per classified range.
+//! 2. A duplicate join (structurally valid) drove the live-thread counter
+//!    below the number of running threads, misclassifying a racing write
+//!    as a single-threaded initialization. Fixed by tracking per-thread
+//!    liveness instead of a bare counter.
+
+use dgrace_detectors::{DetectorExt, FastTrack, Granularity, StaticPruneFilter};
+use dgrace_trace::{validate, AccessSize, TraceBuilder};
+
+#[test]
+fn word_prune_keeps_granularity_artifact_race() {
+    // T0 writes U16@0x100, T1 writes U16@0x102 — concurrent, disjoint
+    // bytes, but the same word cell: the bare word detector reports a
+    // (granularity-artifact) race that pruning must not remove.
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32)
+        .write(0u32, 0x100u64, AccessSize::U16)
+        .write(1u32, 0x102u64, AccessSize::U16)
+        .join(0u32, 1u32);
+    let trace = b.build();
+    assert_eq!(validate(&trace), Ok(()));
+    let summary = dgrace_analysis::analyze(&trace);
+    let prune = summary.prune_set(4, 0); // word-detector compile, as the CLI does
+    let bare = FastTrack::with_granularity(Granularity::Word).run(&trace);
+    let pruned =
+        StaticPruneFilter::new(FastTrack::with_granularity(Granularity::Word), prune).run(&trace);
+    assert_eq!(
+        bare.races.len(),
+        pruned.races.len(),
+        "word-granularity race set changed by pruning"
+    );
+}
+
+#[test]
+fn double_join_does_not_hide_live_thread() {
+    // fork T1, fork T2, join T1 twice (passes validate), then main writes
+    // X while T2 concurrently reads it — a genuine race that must survive
+    // pruning even though the bogus second join once made the write look
+    // single-threaded.
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32)
+        .fork(0u32, 2u32)
+        .read(1u32, 0x500u64, AccessSize::U8)
+        .join(0u32, 1u32)
+        .join(0u32, 1u32) // duplicate join
+        .write(0u32, 0x100u64, AccessSize::U64)
+        .read(2u32, 0x100u64, AccessSize::U64)
+        .join(0u32, 2u32);
+    let trace = b.build();
+    assert_eq!(validate(&trace), Ok(()), "double join passes validation");
+    let summary = dgrace_analysis::analyze(&trace);
+    let prune = summary.prune_set(1, 0);
+    let bare = FastTrack::new().run(&trace);
+    let pruned = StaticPruneFilter::new(FastTrack::new(), prune).run(&trace);
+    assert!(!bare.races.is_empty(), "the counterexample must race");
+    assert_eq!(bare.races.len(), pruned.races.len(), "pruning lost a race");
+}
