@@ -1,24 +1,41 @@
 //! Tiny dependency-free argument parsing.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-/// A parsed argument list: positionals plus `--flag value` options from a
-/// fixed allow-list.
+/// A parsed argument list: positionals, `--flag value` options from a
+/// fixed allow-list, and value-less boolean flags from a second one.
 pub struct Parsed<'a> {
     positionals: Vec<&'a str>,
     options: HashMap<&'a str, &'a str>,
+    flags: HashSet<&'a str>,
 }
 
 impl<'a> Parsed<'a> {
     /// Parses `argv`, accepting only the options in `allowed` (each takes
     /// exactly one value).
     pub fn parse(argv: &'a [String], allowed: &[&str]) -> Result<Self, String> {
+        Self::parse_with_flags(argv, allowed, &[])
+    }
+
+    /// Like [`Parsed::parse`], additionally accepting the value-less
+    /// boolean flags in `allowed_flags`.
+    pub fn parse_with_flags(
+        argv: &'a [String],
+        allowed: &[&str],
+        allowed_flags: &[&str],
+    ) -> Result<Self, String> {
         let mut positionals = Vec::new();
         let mut options = HashMap::new();
+        let mut flags = HashSet::new();
         let mut i = 0;
         while i < argv.len() {
             let a = argv[i].as_str();
             if a.starts_with('-') && a.len() > 1 {
+                if allowed_flags.contains(&a) {
+                    flags.insert(a);
+                    i += 1;
+                    continue;
+                }
                 if !allowed.contains(&a) {
                     return Err(format!("unknown option `{a}`"));
                 }
@@ -35,6 +52,7 @@ impl<'a> Parsed<'a> {
         Ok(Parsed {
             positionals,
             options,
+            flags,
         })
     }
 
@@ -46,6 +64,11 @@ impl<'a> Parsed<'a> {
     /// The raw value of an option.
     pub fn opt(&self, name: &str) -> Option<&str> {
         self.options.get(name).copied()
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.contains(name)
     }
 
     /// Parses an option value.
@@ -95,5 +118,21 @@ mod tests {
         let a = argv(&["--scale", "abc"]);
         let p = Parsed::parse(&a, &["--scale"]).unwrap();
         assert!(p.opt_parse::<f64>("--scale").is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = argv(&["trace.dgrt", "--resync", "--shards", "2"]);
+        let p = Parsed::parse_with_flags(&a, &["--shards"], &["--resync"]).unwrap();
+        assert!(p.flag("--resync"));
+        assert!(!p.flag("--verbose"));
+        assert_eq!(p.positional(0), Some("trace.dgrt"));
+        assert_eq!(p.opt_parse::<usize>("--shards").unwrap(), Some(2));
+    }
+
+    #[test]
+    fn flag_not_in_allow_list_rejected() {
+        let a = argv(&["--resync"]);
+        assert!(Parsed::parse_with_flags(&a, &[], &[]).is_err());
     }
 }

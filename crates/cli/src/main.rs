@@ -4,9 +4,15 @@
 //! dgrace gen <workload> [--scale S] [--seed N] -o trace.dgrt
 //! dgrace analyze <trace.dgrt> [-o summary.dgas]
 //! dgrace detect <detector> <trace.dgrt> [--max-races N] [--shards N] [--prune-with summary.dgas]
+//!                                       [--shadow-budget BYTES] [--resync]
 //! dgrace stats <trace.dgrt>
 //! dgrace list
 //! ```
+//!
+//! Exit codes are stable so scripts can triage failures (see the README
+//! troubleshooting table): 0 success (possibly with a flagged degraded
+//! report), 2 usage, 3 file i/o, 4 trace decode, 5 trace validation,
+//! 6 all detector shards failed, 7 partial report (some shards failed).
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -16,13 +22,16 @@ use dgrace_analysis::analyze;
 use dgrace_baselines::{HybridDetector, LockSetDetector, SegmentDetector};
 use dgrace_core::{DynamicConfig, DynamicGranularityOn};
 use dgrace_detectors::{
-    Detector, DetectorExt, DjitOn, FastTrackOn, Granularity, OracleDetector, ShardableDetector,
-    StaticPruneFilter,
+    Detector, DetectorExt, DjitOn, FastTrackOn, Granularity, OracleDetector, Report,
+    ShardableDetector, StaticPruneFilter,
 };
 use dgrace_runtime::replay_sharded_pruned;
 use dgrace_shadow::{HashSelect, PagedSelect, StoreSelect};
-use dgrace_trace::io::{read_summary, read_trace, write_summary, write_trace};
-use dgrace_trace::{stats::stats, validate, AnalysisSummary, LocationClass, PruneSet, Trace};
+use dgrace_trace::io::{read_summary, read_trace_with, write_summary, write_trace};
+use dgrace_trace::{
+    stats::stats, validate, AnalysisSummary, DecodeLimits, LocationClass, PruneSet, ReadOptions,
+    Trace, TraceError,
+};
 use dgrace_workloads::{Workload, WorkloadKind};
 
 mod args;
@@ -30,19 +39,77 @@ mod render;
 
 use args::Parsed;
 
-fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    match run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("dgrace: {e}");
-            eprintln!("run `dgrace help` for usage");
-            ExitCode::FAILURE
+/// A CLI failure carrying its exit code. Every failure prints as a single
+/// actionable line; decode failures name the file, the byte offset, and a
+/// recovery hint.
+enum Failure {
+    /// Bad arguments (exit 2).
+    Usage(String),
+    /// File could not be opened/created/written (exit 3).
+    Io(String),
+    /// Trace or summary bytes failed to decode (exit 4).
+    Decode(String),
+    /// Decoded trace failed semantic validation (exit 5).
+    Invalid(String),
+    /// Every detector shard was lost; no report exists (exit 6).
+    Engine(String),
+}
+
+impl Failure {
+    fn exit_code(&self) -> u8 {
+        match self {
+            Failure::Usage(_) => 2,
+            Failure::Io(_) => 3,
+            Failure::Decode(_) => 4,
+            Failure::Invalid(_) => 5,
+            Failure::Engine(_) => 6,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            Failure::Usage(m)
+            | Failure::Io(m)
+            | Failure::Decode(m)
+            | Failure::Invalid(m)
+            | Failure::Engine(m) => m,
         }
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+/// Argument-parsing helpers return plain strings; they are all usage
+/// errors.
+impl From<String> for Failure {
+    fn from(m: String) -> Self {
+        Failure::Usage(m)
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(m: &str) -> Self {
+        Failure::Usage(m.to_string())
+    }
+}
+
+/// Exit code for a degraded-but-usable report: some shards failed, the
+/// printed races cover only the survivors.
+const EXIT_PARTIAL: u8 = 7;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("dgrace: {}", e.message());
+            if matches!(e, Failure::Usage(_)) {
+                eprintln!("run `dgrace help` for usage");
+            }
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<ExitCode, Failure> {
     let Some(cmd) = argv.first() else {
         return Err("missing subcommand".into());
     };
@@ -50,7 +117,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "gen" => cmd_gen(rest),
         "analyze" => cmd_analyze(rest),
-        "detect" => cmd_detect(rest),
+        "detect" => return cmd_detect(rest),
         "compare" => cmd_compare(rest),
         "stats" => cmd_stats(rest),
         "list" => {
@@ -61,8 +128,9 @@ fn run(argv: &[String]) -> Result<(), String> {
             print_help();
             Ok(())
         }
-        other => Err(format!("unknown subcommand `{other}`")),
+        other => Err(Failure::Usage(format!("unknown subcommand `{other}`"))),
     }
+    .map(|()| ExitCode::SUCCESS)
 }
 
 fn print_help() {
@@ -74,9 +142,12 @@ fn print_help() {
          \x20                                                          time; -o saves a prune summary\n\
          \x20 dgrace detect <detector> <file> [--max-races N] [--shards N] [--prune-with <summary>]\n\
          \x20                                 [--shadow hash|paged]    run a detector over a trace,\n\
-         \x20                                                          optionally across N address shards,\n\
-         \x20                                                          skipping provably race-free accesses;\n\
-         \x20                                                          --shadow picks the shadow store\n\
+         \x20                                 [--shadow-budget BYTES]  optionally across N address shards,\n\
+         \x20                                 [--resync]               skipping provably race-free accesses;\n\
+         \x20                                                          --shadow picks the shadow store,\n\
+         \x20                                                          --shadow-budget caps shadow memory\n\
+         \x20                                                          (cold state is evicted past the cap),\n\
+         \x20                                                          --resync skips damaged trace frames\n\
          \x20 dgrace compare <detA> <detB> <file> [--shadow hash|paged]  diff two detectors' findings\n\
          \x20 dgrace stats <file>                                      trace statistics\n\
          \x20 dgrace list                                              available workloads & detectors\n\n\
@@ -138,7 +209,7 @@ fn make_vc_detector_on<K: StoreSelect>(name: &str) -> Option<Box<dyn Detector>> 
     })
 }
 
-fn make_detector(name: &str, shadow: Shadow) -> Result<Box<dyn Detector>, String> {
+fn make_detector(name: &str, shadow: Shadow) -> Result<Box<dyn Detector>, Failure> {
     let vc = match shadow {
         Shadow::Hash => make_vc_detector_on::<HashSelect>(name),
         Shadow::Paged => make_vc_detector_on::<PagedSelect>(name),
@@ -147,17 +218,21 @@ fn make_detector(name: &str, shadow: Shadow) -> Result<Box<dyn Detector>, String
         return Ok(det);
     }
     if shadow == Shadow::Paged {
-        return Err(format!(
+        return Err(Failure::Usage(format!(
             "detector `{name}` does not support --shadow paged (supported: \
              byte, word, djit, dynamic, dynamic-no-init, dynamic-guided)"
-        ));
+        )));
     }
     Ok(match name {
         "oracle" => Box::new(OracleDetector::new()),
         "segment" => Box::new(SegmentDetector::new()),
         "hybrid" => Box::new(HybridDetector::new()),
         "lockset" => Box::new(LockSetDetector::new()),
-        other => return Err(format!("unknown detector `{other}` (see `dgrace list`)")),
+        other => {
+            return Err(Failure::Usage(format!(
+                "unknown detector `{other}` (see `dgrace list`)"
+            )))
+        }
     })
 }
 
@@ -176,7 +251,7 @@ fn parse_shadow(p: &Parsed) -> Result<Shadow, String> {
     }
 }
 
-fn cmd_gen(rest: &[String]) -> Result<(), String> {
+fn cmd_gen(rest: &[String]) -> Result<(), Failure> {
     let p = Parsed::parse(rest, &["--scale", "--seed", "-o"])?;
     let name = p.positional(0).ok_or("gen: missing workload name")?;
     let kind = WorkloadKind::from_name(name)
@@ -190,8 +265,9 @@ fn cmd_gen(rest: &[String]) -> Result<(), String> {
         wl = wl.with_seed(seed);
     }
     let (trace, truth) = wl.generate();
-    let mut w = BufWriter::new(File::create(out).map_err(|e| format!("create {out}: {e}"))?);
-    write_trace(&trace, &mut w).map_err(|e| format!("write {out}: {e}"))?;
+    let mut w =
+        BufWriter::new(File::create(out).map_err(|e| Failure::Io(format!("create {out}: {e}")))?);
+    write_trace(&trace, &mut w).map_err(|e| Failure::Io(format!("write {out}: {e}")))?;
     println!(
         "wrote {} events to {out} ({} planted racy locations)",
         trace.len(),
@@ -200,10 +276,10 @@ fn cmd_gen(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(rest: &[String]) -> Result<(), String> {
+fn cmd_analyze(rest: &[String]) -> Result<(), Failure> {
     let p = Parsed::parse(rest, &["-o"])?;
     let path = p.positional(0).ok_or("analyze: missing trace file")?;
-    let trace = load_trace(path)?;
+    let trace = load_trace(path, false)?;
     let start = std::time::Instant::now();
     let summary = analyze(&trace);
     let secs = start.elapsed().as_secs_f64();
@@ -233,8 +309,10 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         s.prunable_fraction() * 100.0
     );
     if let Some(out) = p.opt("-o") {
-        let mut w = BufWriter::new(File::create(out).map_err(|e| format!("create {out}: {e}"))?);
-        write_summary(&summary, &mut w).map_err(|e| format!("write {out}: {e}"))?;
+        let mut w = BufWriter::new(
+            File::create(out).map_err(|e| Failure::Io(format!("create {out}: {e}")))?,
+        );
+        write_summary(&summary, &mut w).map_err(|e| Failure::Io(format!("write {out}: {e}")))?;
         println!("summary       : written to {out}");
     }
     Ok(())
@@ -243,17 +321,17 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
 /// Loads a `.dgas` prune summary and checks it was produced from the
 /// trace being detected (pruning with a summary from a *different*
 /// trace would be unsound).
-fn load_summary(path: &str, trace: &Trace) -> Result<AnalysisSummary, String> {
-    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+fn load_summary(path: &str, trace: &Trace) -> Result<AnalysisSummary, Failure> {
+    let f = File::open(path).map_err(|e| Failure::Io(format!("open {path}: {e}")))?;
     let summary =
-        read_summary(&mut BufReader::new(f)).map_err(|e| format!("decode {path}: {e}"))?;
+        read_summary(&mut BufReader::new(f)).map_err(|e| decode_failure(path, &e, false))?;
     if summary.trace_events != trace.len() as u64 {
-        return Err(format!(
+        return Err(Failure::Invalid(format!(
             "summary {path} was built from a {}-event trace, but this trace has {} events \
              (re-run `dgrace analyze`)",
             summary.trace_events,
             trace.len()
-        ));
+        )));
     }
     Ok(summary)
 }
@@ -278,10 +356,48 @@ fn compile_prune(det_name: &str, summary: &AnalysisSummary) -> Result<PruneSet, 
     Ok(summary.prune_set(granule, margin))
 }
 
-fn load_trace(path: &str) -> Result<Trace, String> {
-    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let trace = read_trace(&mut BufReader::new(f)).map_err(|e| format!("decode {path}: {e}"))?;
-    validate(&trace).map_err(|e| format!("invalid trace: {e}"))?;
+/// One-line decode failure: file, what went wrong (with the byte offset,
+/// already part of the error's display), and a recovery hint.
+fn decode_failure(path: &str, e: &TraceError, resync_available: bool) -> Failure {
+    let hint =
+        if resync_available && (e.is_corruption() || matches!(e, TraceError::Truncated { .. })) {
+            " (hint: --resync skips damaged frames and keeps the decodable rest)"
+        } else {
+            ""
+        };
+    Failure::Decode(format!("decode {path}: {e}{hint}"))
+}
+
+/// Opens, decodes, and validates a `.dgrt` trace. With `resync` the
+/// decoder skips damaged byte regions instead of failing, and any loss is
+/// reported on stderr; the recovered subset can only *miss* races, never
+/// invent them.
+fn load_trace(path: &str, resync: bool) -> Result<Trace, Failure> {
+    let f = File::open(path).map_err(|e| Failure::Io(format!("open {path}: {e}")))?;
+    let opts = ReadOptions {
+        limits: DecodeLimits::default(),
+        resync,
+    };
+    let (trace, dstats) = read_trace_with(&mut BufReader::new(f), opts)
+        .map_err(|e| decode_failure(path, &e, !resync))?;
+    if dstats.lossy() {
+        eprintln!(
+            "dgrace: warning: {path}: resync dropped {} event(s) / {} corrupt byte(s); \
+             races can only be missed, not invented",
+            dstats.dropped_events, dstats.dropped_bytes
+        );
+    }
+    if let Err(e) = validate(&trace) {
+        if resync {
+            // A lossy recovery may break well-formedness (e.g. a join
+            // whose fork was dropped); the detectors tolerate that.
+            eprintln!(
+                "dgrace: warning: {path}: recovered trace fails validation ({e}); continuing"
+            );
+        } else {
+            return Err(Failure::Invalid(format!("{path}: invalid trace: {e}")));
+        }
+    }
     Ok(trace)
 }
 
@@ -303,31 +419,61 @@ fn make_shardable_on<K: StoreSelect>(name: &str) -> Option<Box<dyn ShardableDete
     })
 }
 
-fn make_shardable(name: &str, shadow: Shadow) -> Result<Box<dyn ShardableDetector>, String> {
+fn make_shardable(name: &str, shadow: Shadow) -> Result<Box<dyn ShardableDetector>, Failure> {
     let det = match shadow {
         Shadow::Hash => make_shardable_on::<HashSelect>(name),
         Shadow::Paged => make_shardable_on::<PagedSelect>(name),
     };
     det.ok_or_else(|| {
-        format!(
+        Failure::Usage(format!(
             "detector `{name}` does not support --shards (shardable: \
              byte, word, dynamic, dynamic-no-init, dynamic-guided, djit)"
-        )
+        ))
     })
 }
 
-fn cmd_detect(rest: &[String]) -> Result<(), String> {
-    let p = Parsed::parse(
+/// Maps a finished report onto the process exit code: success for clean
+/// and budget-degraded runs (the report itself is flagged), `EXIT_PARTIAL`
+/// when some shards were quarantined, and an engine failure when *no*
+/// shard survived to report anything.
+fn detect_exit(report: &Report, shards: usize) -> Result<ExitCode, Failure> {
+    if report.failures.is_empty() {
+        return Ok(ExitCode::SUCCESS);
+    }
+    if report.failures.len() >= shards {
+        let f = &report.failures[0];
+        return Err(Failure::Engine(format!(
+            "all {shards} detector shard(s) failed (first: shard {} at event {}: {}); \
+             no race report is available",
+            f.shard, f.event_seq, f.payload
+        )));
+    }
+    Ok(ExitCode::from(EXIT_PARTIAL))
+}
+
+fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
+    let p = Parsed::parse_with_flags(
         rest,
-        &["--max-races", "--shards", "--prune-with", "--shadow"],
+        &[
+            "--max-races",
+            "--shards",
+            "--prune-with",
+            "--shadow",
+            "--shadow-budget",
+        ],
+        &["--resync"],
     )?;
     let det_name = p.positional(0).ok_or("detect: missing detector name")?;
     let path = p.positional(1).ok_or("detect: missing trace file")?;
     let max_races: usize = p.opt_parse("--max-races")?.unwrap_or(25);
     let shards: usize = p.opt_parse("--shards")?.unwrap_or(1);
+    let budget: Option<u64> = p.opt_parse("--shadow-budget")?;
+    if budget == Some(0) {
+        return Err("--shadow-budget must be positive (omit it for no cap)".into());
+    }
     let shadow = parse_shadow(&p)?;
 
-    let trace = load_trace(path)?;
+    let trace = load_trace(path, p.flag("--resync"))?;
     let prune = match p.opt("--prune-with") {
         Some(sp) => compile_prune(det_name, &load_summary(sp, &trace)?)?,
         None => PruneSet::empty(),
@@ -335,30 +481,37 @@ fn cmd_detect(rest: &[String]) -> Result<(), String> {
 
     let start = std::time::Instant::now();
     let report = if shards > 1 {
-        let proto = make_shardable(det_name, shadow)?;
+        let mut proto = make_shardable(det_name, shadow)?;
+        // The budget is a whole-run cap: each shard holds a slice of the
+        // address space, so it gets a slice of the budget.
+        proto.set_shadow_budget(budget.map(|b| (b / shards as u64).max(1)));
         replay_sharded_pruned(proto.as_ref(), &trace, shards, prune)
-    } else if prune.is_empty() {
-        make_detector(det_name, shadow)?.run(&trace)
     } else {
-        StaticPruneFilter::new(make_detector(det_name, shadow)?, prune).run(&trace)
+        let mut det = make_detector(det_name, shadow)?;
+        det.set_shadow_budget(budget);
+        if prune.is_empty() {
+            det.run(&trace)
+        } else {
+            StaticPruneFilter::new(det, prune).run(&trace)
+        }
     };
     let secs = start.elapsed().as_secs_f64();
     if shards > 1 {
         println!("sharded replay: {shards} detector shards (merged report)");
     }
     render::report(&report, &trace, secs, max_races);
-    Ok(())
+    detect_exit(&report, shards.max(1))
 }
 
-fn cmd_compare(rest: &[String]) -> Result<(), String> {
+fn cmd_compare(rest: &[String]) -> Result<(), Failure> {
     let p = Parsed::parse(rest, &["--shadow"])?;
     let a_name = p.positional(0).ok_or("compare: missing first detector")?;
     let b_name = p.positional(1).ok_or("compare: missing second detector")?;
     let path = p.positional(2).ok_or("compare: missing trace file")?;
     let shadow = parse_shadow(&p)?;
-    let trace = load_trace(path)?;
+    let trace = load_trace(path, false)?;
 
-    let run = |name: &str| -> Result<_, String> {
+    let run = |name: &str| -> Result<_, Failure> {
         let mut det = make_detector(name, shadow)?;
         let start = std::time::Instant::now();
         let rep = det.run(&trace);
@@ -414,10 +567,10 @@ fn cmd_compare(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(rest: &[String]) -> Result<(), String> {
+fn cmd_stats(rest: &[String]) -> Result<(), Failure> {
     let p = Parsed::parse(rest, &[])?;
     let path = p.positional(0).ok_or("stats: missing trace file")?;
-    let trace = load_trace(path)?;
+    let trace = load_trace(path, false)?;
     render::trace_stats(&stats(&trace), trace.len());
     Ok(())
 }

@@ -45,6 +45,27 @@ pub fn report(rep: &Report, trace: &Trace, secs: f64, max_races: usize) {
             sh.shares, sh.splits, sh.avg_share_count, sh.max_group
         );
     }
+    if !rep.failures.is_empty() || s.dropped > 0 {
+        println!(
+            "DEGRADED      : {} shard(s) quarantined, {} event(s) not analyzed",
+            rep.failures.len(),
+            s.dropped
+        );
+        for fail in &rep.failures {
+            println!(
+                "  shard {} failed at event {}: {}",
+                fail.shard, fail.event_seq, fail.payload
+            );
+        }
+        println!("  races below cover only the surviving shards' address slices");
+    }
+    if rep.budget_degraded {
+        println!(
+            "BUDGET        : shadow budget breached; {} cold shadow cell(s) evicted \
+             (races whose prior access was evicted may be missed)",
+            s.evicted
+        );
+    }
     println!("races         : {}", rep.races.len());
     for race in rep.races.iter().take(max_races) {
         println!(

@@ -31,6 +31,7 @@ pub struct DynamicGranularityOn<K: StoreSelect> {
     same_epoch: u64,
     shares: u64,
     splits: u64,
+    evicted: u64,
     peak_locs: usize,
     cells_at_peak: usize,
     event_index: u64,
@@ -67,6 +68,7 @@ impl<K: StoreSelect> DynamicGranularityOn<K> {
             same_epoch: 0,
             shares: 0,
             splits: 0,
+            evicted: 0,
             peak_locs: 0,
             cells_at_peak: 0,
             event_index: 0,
@@ -535,12 +537,61 @@ impl<K: StoreSelect> DynamicGranularityOn<K> {
             self.peak_locs = locs;
             self.cells_at_peak = cells;
         }
+        if self.model.over_budget() {
+            self.enforce_budget();
+        }
+    }
+
+    /// Evicts cold shadow regions from both planes until the modeled total
+    /// drops below the budget (with an eighth of hysteresis). A region is
+    /// evicted from the read *and* write plane together so their coverage
+    /// stays symmetric. Eviction can only *miss* races: a re-inserted
+    /// location restarts in the Init state with a fresh epoch, so no stale
+    /// clock can fabricate a report.
+    #[cold]
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.model.budget() else {
+            return;
+        };
+        let target = budget - budget / 8;
+        while self.model.current_total() > target {
+            let victim = if self.write.vc_bytes() >= self.read.vc_bytes() {
+                self.write
+                    .victim_region()
+                    .or_else(|| self.read.victim_region())
+            } else {
+                self.read
+                    .victim_region()
+                    .or_else(|| self.write.victim_region())
+            };
+            let Some((base, len)) = victim else { break };
+            let before = self.read.loc_count() + self.write.loc_count();
+            self.read.remove_range(base, len);
+            self.write.remove_range(base, len);
+            let after = self.read.loc_count() + self.write.loc_count();
+            if after == before {
+                break;
+            }
+            self.evicted += (before - after) as u64;
+            self.model.set(
+                MemClass::Hash,
+                self.read.hash_bytes().max(self.write.hash_bytes()),
+            );
+            self.model.set(
+                MemClass::VectorClock,
+                self.read.vc_bytes() + self.write.vc_bytes(),
+            );
+            self.model
+                .set_vc_count(self.read.clock_count() + self.write.clock_count());
+        }
     }
 }
 
 impl<K: StoreSelect> ShardableDetector for DynamicGranularityOn<K> {
     fn new_shard(&self) -> Box<dyn Detector + Send> {
-        Box::new(DynamicGranularityOn::<K>::with_config(self.config))
+        let mut shard = DynamicGranularityOn::<K>::with_config(self.config);
+        shard.model.set_budget(self.model.budget());
+        Box::new(shard)
     }
 }
 
@@ -601,8 +652,16 @@ impl<K: StoreSelect> Detector for DynamicGranularityOn<K> {
             avg_share_count: avg_share,
             max_group: self.read.max_group().max(self.write.max_group()),
         });
+        rep.stats.evicted = self.evicted;
+        rep.budget_degraded = self.model.breached();
+        let budget = self.model.budget();
         *self = Self::with_config(self.config);
+        self.model.set_budget(budget);
         rep
+    }
+
+    fn set_shadow_budget(&mut self, bytes: Option<u64>) {
+        self.model.set_budget(bytes.map(|b| b as usize));
     }
 }
 
@@ -893,6 +952,39 @@ mod tests {
             rep.stats.same_epoch
         );
         assert!(rep.races.is_empty());
+    }
+
+    #[test]
+    fn shadow_budget_evicts_and_flags_degraded() {
+        // Touch many distinct regions under a tight budget; the warm race
+        // at the highest address survives eviction of the cold low-address
+        // regions and the report is flagged degraded.
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32);
+        for i in 0..256u64 {
+            b.write(0u32, 0x1000 + i * 128, AccessSize::U32);
+        }
+        b.write(0u32, 0x100000u64, AccessSize::U32)
+            .write(1u32, 0x100000u64, AccessSize::U32);
+        let mut det = DynamicGranularity::new();
+        det.set_shadow_budget(Some(16 * 1024));
+        let rep = det.run(&b.build());
+        assert!(rep.budget_degraded);
+        assert!(rep.stats.evicted > 0);
+        assert!(rep.is_degraded());
+        assert_eq!(rep.races.len(), 1, "race on the warm location survives");
+        assert_eq!(rep.races[0].addr, Addr(0x100000));
+        // Eviction keeps structural invariants intact.
+        let mut det2 = DynamicGranularity::new();
+        det2.set_shadow_budget(Some(16 * 1024));
+        let mut b2 = TraceBuilder::new();
+        for i in 0..256u64 {
+            b2.write(0u32, 0x1000 + i * 128, AccessSize::U32);
+        }
+        for ev in b2.build().iter() {
+            det2.on_event(ev);
+        }
+        det2.check_invariants();
     }
 
     #[test]

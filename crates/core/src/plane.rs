@@ -432,6 +432,14 @@ impl<K: StoreSelect> PlaneOn<K> {
         }
     }
 
+    /// Victim byte span for memory-budget eviction: one resident backing
+    /// chunk of the index, chosen deterministically (see
+    /// [`ShadowStore::victim_region`]). The caller evicts with
+    /// [`Self::remove_range`].
+    pub fn victim_region(&self) -> Option<(Addr, u64)> {
+        self.table.victim_region()
+    }
+
     /// Removes a single location.
     pub fn remove(&mut self, addr: Addr) {
         let Some(&loc) = self.table.get(addr) else {

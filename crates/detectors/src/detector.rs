@@ -25,6 +25,15 @@ pub trait Detector: std::any::Any {
     /// Finishes the run and extracts the report. The detector is reset to
     /// a fresh state afterwards.
     fn finish(&mut self) -> Report;
+
+    /// Caps the detector's modeled shadow-memory footprint at `bytes`
+    /// (`None` removes the cap). Detectors that support graceful
+    /// degradation evict cold shadow state once the cap is exceeded and
+    /// flag their report as [`Report::budget_degraded`]; the default
+    /// implementation ignores the cap.
+    fn set_shadow_budget(&mut self, bytes: Option<u64>) {
+        let _ = bytes;
+    }
 }
 
 impl Detector for Box<dyn Detector> {
@@ -37,6 +46,9 @@ impl Detector for Box<dyn Detector> {
     fn finish(&mut self) -> Report {
         (**self).finish()
     }
+    fn set_shadow_budget(&mut self, bytes: Option<u64>) {
+        (**self).set_shadow_budget(bytes)
+    }
 }
 
 impl Detector for Box<dyn Detector + Send> {
@@ -48,6 +60,9 @@ impl Detector for Box<dyn Detector + Send> {
     }
     fn finish(&mut self) -> Report {
         (**self).finish()
+    }
+    fn set_shadow_budget(&mut self, bytes: Option<u64>) {
+        (**self).set_shadow_budget(bytes)
     }
 }
 

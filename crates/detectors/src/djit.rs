@@ -48,6 +48,7 @@ pub struct DjitOn<K: StoreSelect> {
     same_epoch: u64,
     vc_allocs: u64,
     vc_frees: u64,
+    evicted: u64,
     event_index: u64,
     /// Reusable clock buffer: avoids a heap allocation per access.
     scratch: VectorClock,
@@ -144,12 +145,49 @@ impl<K: StoreSelect> DjitOn<K> {
         self.model.set(MemClass::VectorClock, self.vc_bytes);
         self.model.set(MemClass::Bitmap, self.hb.bitmap_bytes());
         self.model.set_vc_count(self.table.len() * 2);
+        if self.model.over_budget() {
+            self.enforce_budget();
+        }
+    }
+
+    /// Evicts cold shadow regions until the modeled total drops below the
+    /// budget (with an eighth of hysteresis so eviction is not re-entered
+    /// on every access). Eviction can only *miss* races — a re-inserted
+    /// cell starts empty, so no stale epoch can fabricate a report.
+    #[cold]
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.model.budget() else {
+            return;
+        };
+        let target = budget - budget / 8;
+        while self.model.current_total() > target {
+            let Some((base, len)) = self.table.victim_region() else {
+                break;
+            };
+            let mut freed_bytes = 0usize;
+            let mut cells = 0u64;
+            self.table.remove_range(base, len, |_, cell| {
+                freed_bytes += cell.bytes();
+                cells += 1;
+            });
+            if cells == 0 {
+                break;
+            }
+            self.vc_bytes -= freed_bytes;
+            self.vc_frees += 2 * cells;
+            self.evicted += cells;
+            self.model.set(MemClass::Hash, self.table.index_bytes());
+            self.model.set(MemClass::VectorClock, self.vc_bytes);
+            self.model.set_vc_count(self.table.len() * 2);
+        }
     }
 }
 
 impl<K: StoreSelect> ShardableDetector for DjitOn<K> {
     fn new_shard(&self) -> Box<dyn Detector + Send> {
-        Box::new(DjitOn::<K>::with_granularity(self.granularity))
+        let mut shard = DjitOn::<K>::with_granularity(self.granularity);
+        shard.model.set_budget(self.model.budget());
+        Box::new(shard)
     }
 }
 
@@ -199,8 +237,16 @@ impl<K: StoreSelect> Detector for DjitOn<K> {
         rep.stats.peak_vc_bytes = self.model.peak(MemClass::VectorClock);
         rep.stats.peak_bitmap_bytes = self.hb.peak_bitmap_bytes();
         rep.stats.peak_total_bytes = self.model.peak_total();
+        rep.stats.evicted = self.evicted;
+        rep.budget_degraded = self.model.breached();
+        let budget = self.model.budget();
         *self = Self::with_granularity(self.granularity);
+        self.model.set_budget(budget);
         rep
+    }
+
+    fn set_shadow_budget(&mut self, bytes: Option<u64>) {
+        self.model.set_budget(bytes.map(|b| b as usize));
     }
 }
 
@@ -211,6 +257,24 @@ mod tests {
     use dgrace_trace::{AccessSize, TraceBuilder};
 
     const X: u64 = 0x1000;
+
+    #[test]
+    fn shadow_budget_evicts_and_flags_degraded() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32);
+        for i in 0..256u64 {
+            b.write(0u32, 0x1000 + i * 128, AccessSize::U32);
+        }
+        b.write(0u32, 0x100000u64, AccessSize::U32)
+            .write(1u32, 0x100000u64, AccessSize::U32);
+        let mut d = Djit::new();
+        d.set_shadow_budget(Some(16 * 1024));
+        let rep = d.run(&b.build());
+        assert!(rep.budget_degraded);
+        assert!(rep.stats.evicted > 0);
+        assert_eq!(rep.races.len(), 1, "race on the warm location survives");
+        assert_eq!(rep.races[0].addr, Addr(0x100000));
+    }
 
     /// Figure 1 of the paper: thread 1 writes x under lock s, thread 0
     /// then writes x without synchronizing with that release — the write

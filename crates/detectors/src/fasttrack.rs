@@ -63,6 +63,7 @@ pub struct FastTrackOn<K: StoreSelect> {
     same_epoch: u64,
     vc_allocs: u64,
     vc_frees: u64,
+    evicted: u64,
     event_index: u64,
     /// Reusable clock buffer: avoids a heap allocation per access.
     scratch: dgrace_vc::VectorClock,
@@ -165,12 +166,51 @@ impl<K: StoreSelect> FastTrackOn<K> {
         self.model.set(MemClass::VectorClock, self.vc_bytes);
         self.model.set(MemClass::Bitmap, self.hb.bitmap_bytes());
         self.model.set_vc_count(self.table.len() * 2);
+        if self.model.over_budget() {
+            self.enforce_budget();
+        }
+    }
+
+    /// Evicts cold shadow chunks until comfortably under budget. Kept off
+    /// the hot path: reached only after [`MemoryModel::over_budget`]
+    /// latches, which is a single compare while under budget.
+    #[cold]
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.model.budget() else {
+            return;
+        };
+        // Hysteresis: free an extra eighth so steady-state growth does not
+        // re-trigger eviction on every access.
+        let target = budget - budget / 8;
+        while self.model.current_total() > target {
+            let Some((base, len)) = self.table.victim_region() else {
+                // Nothing evictable (bitmaps are not): degrade no further.
+                break;
+            };
+            let mut freed_bytes = 0usize;
+            let mut cells = 0u64;
+            self.table.remove_range(base, len, |_, cell| {
+                freed_bytes += cell.bytes();
+                cells += 1;
+            });
+            if cells == 0 {
+                break;
+            }
+            self.vc_bytes -= freed_bytes;
+            self.vc_frees += 2 * cells;
+            self.evicted += cells;
+            self.model.set(MemClass::Hash, self.table.index_bytes());
+            self.model.set(MemClass::VectorClock, self.vc_bytes);
+            self.model.set_vc_count(self.table.len() * 2);
+        }
     }
 }
 
 impl<K: StoreSelect> ShardableDetector for FastTrackOn<K> {
     fn new_shard(&self) -> Box<dyn Detector + Send> {
-        Box::new(FastTrackOn::<K>::with_granularity(self.granularity))
+        let mut shard = FastTrackOn::<K>::with_granularity(self.granularity);
+        shard.model.set_budget(self.model.budget());
+        Box::new(shard)
     }
 }
 
@@ -220,8 +260,16 @@ impl<K: StoreSelect> Detector for FastTrackOn<K> {
         rep.stats.peak_vc_bytes = self.model.peak(MemClass::VectorClock);
         rep.stats.peak_bitmap_bytes = self.hb.peak_bitmap_bytes();
         rep.stats.peak_total_bytes = self.model.peak_total();
+        rep.stats.evicted = self.evicted;
+        rep.budget_degraded = self.model.breached();
+        let budget = self.model.budget();
         *self = Self::with_granularity(self.granularity);
+        self.model.set_budget(budget);
         rep
+    }
+
+    fn set_shadow_budget(&mut self, bytes: Option<u64>) {
+        self.model.set_budget(bytes.map(|b| b as usize));
     }
 }
 
@@ -394,6 +442,40 @@ mod tests {
         // Inflated read clock costs more than two epoch cells.
         assert!(rep.stats.peak_vc_bytes > 2 * vc_cell_bytes(0));
         assert!(rep.races.is_empty());
+    }
+
+    #[test]
+    fn shadow_budget_evicts_and_flags_degraded() {
+        // Touch many distinct chunks under a tight budget: the detector
+        // must evict cold (lowest-addressed) chunks, flag the report, and
+        // still catch a race on the warmest location.
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32);
+        for i in 0..256u64 {
+            b.write(0u32, 0x1000 + i * 128, AccessSize::U32);
+        }
+        b.write(0u32, 0x100000u64, AccessSize::U32)
+            .write(1u32, 0x100000u64, AccessSize::U32);
+        let mut d = FastTrack::new();
+        d.set_shadow_budget(Some(16 * 1024));
+        let rep = d.run(&b.build());
+        assert!(rep.budget_degraded);
+        assert!(rep.stats.evicted > 0);
+        assert!(rep.is_degraded());
+        assert_eq!(rep.races.len(), 1, "race on the warm location survives");
+        assert_eq!(rep.races[0].addr, Addr(0x100000));
+        // The budget (and only the budget) survives the finish reset.
+        let clean = d.run(&racy_pair());
+        assert_eq!(clean.races.len(), 1);
+        assert!(!clean.budget_degraded, "tiny trace fits the budget");
+    }
+
+    #[test]
+    fn without_budget_no_degradation() {
+        let rep = FastTrack::new().run(&racy_pair());
+        assert!(!rep.budget_degraded);
+        assert_eq!(rep.stats.evicted, 0);
+        assert!(!rep.is_degraded());
     }
 
     #[test]

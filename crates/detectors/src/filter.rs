@@ -155,6 +155,10 @@ impl<D: Detector> Detector for FilteredDetector<D> {
         sort_races(&mut rep.races);
         rep
     }
+
+    fn set_shadow_budget(&mut self, bytes: Option<u64>) {
+        self.inner.set_shadow_budget(bytes);
+    }
 }
 
 /// Drops accesses a static analysis proved race-free before they reach
@@ -213,6 +217,10 @@ impl<D: Detector> Detector for StaticPruneFilter<D> {
         self.pruned = 0;
         sort_races(&mut rep.races);
         rep
+    }
+
+    fn set_shadow_budget(&mut self, bytes: Option<u64>) {
+        self.inner.set_shadow_budget(bytes);
     }
 }
 

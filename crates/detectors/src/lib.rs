@@ -58,6 +58,8 @@ pub use hb::HbState;
 pub use nop::NopDetector;
 pub use oracle::OracleDetector;
 pub use recorder::Recorder;
-pub use report::{AccessKind, DetectorStats, RaceKind, RaceReport, Report, SharingStats};
+pub use report::{
+    AccessKind, DetectorStats, RaceKind, RaceReport, Report, ShardFailure, SharingStats,
+};
 pub use shard::{merge_shard_reports, race_signature, sort_races, ShardableDetector};
 pub use tee::Tee;

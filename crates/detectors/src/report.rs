@@ -109,6 +109,12 @@ pub struct DetectorStats {
     pub peak_bitmap_bytes: usize,
     /// Peak of the instantaneous total (Table 2 "Overhead total").
     pub peak_total_bytes: usize,
+    /// Events that were *not* analyzed because their shard had been
+    /// quarantined after a panic (see [`ShardFailure`]).
+    pub dropped: u64,
+    /// Shadow cells discarded by memory-budget eviction (see
+    /// [`Report::budget_degraded`]).
+    pub evicted: u64,
     /// Dynamic-granularity sharing statistics, if applicable.
     pub sharing: Option<SharingStats>,
 }
@@ -138,6 +144,32 @@ pub struct SharingStats {
     pub max_group: u32,
 }
 
+/// Diagnostic record for a detector shard that panicked and was
+/// quarantined by the runtime.
+///
+/// The run continues without the shard: its accesses are counted in
+/// [`DetectorStats::dropped`] and the final [`Report`] carries the healthy
+/// shards' exact race set plus one of these per casualty.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Index of the shard that panicked.
+    pub shard: usize,
+    /// Global event sequence number at which the panic fired.
+    pub event_seq: u64,
+    /// The panic payload, when it was a string (the common case).
+    pub payload: String,
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} quarantined at event {}: {}",
+            self.shard, self.event_seq, self.payload
+        )
+    }
+}
+
 /// The outcome of a detector run.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -147,6 +179,13 @@ pub struct Report {
     pub races: Vec<RaceReport>,
     /// Run statistics.
     pub stats: DetectorStats,
+    /// Shards that panicked and were quarantined mid-run. Non-empty means
+    /// the race set covers only the surviving shards' address slices.
+    pub failures: Vec<ShardFailure>,
+    /// True when the shadow-memory budget forced cold-state eviction:
+    /// races whose prior access was evicted may be missed, but every race
+    /// reported is still real.
+    pub budget_degraded: bool,
 }
 
 impl Report {
@@ -161,6 +200,12 @@ impl Report {
     /// Number of reported races.
     pub fn race_count(&self) -> usize {
         self.races.len()
+    }
+
+    /// True when the run survived a fault and the race set is therefore a
+    /// (still-sound) subset of what a clean run would report.
+    pub fn is_degraded(&self) -> bool {
+        !self.failures.is_empty() || self.budget_degraded || self.stats.dropped > 0
     }
 }
 
@@ -198,10 +243,29 @@ mod tests {
         let rep = Report {
             detector: "x".into(),
             races: vec![race(5), race(1), race(5)],
-            stats: DetectorStats::default(),
+            ..Default::default()
         };
         assert_eq!(rep.race_addrs(), vec![Addr(1), Addr(5)]);
         assert_eq!(rep.race_count(), 3);
+    }
+
+    #[test]
+    fn degraded_flags() {
+        let mut rep = Report::default();
+        assert!(!rep.is_degraded());
+        rep.budget_degraded = true;
+        assert!(rep.is_degraded());
+        rep.budget_degraded = false;
+        rep.failures.push(ShardFailure {
+            shard: 2,
+            event_seq: 41,
+            payload: "boom".into(),
+        });
+        assert!(rep.is_degraded());
+        assert_eq!(
+            rep.failures[0].to_string(),
+            "shard 2 quarantined at event 41: boom"
+        );
     }
 
     #[test]

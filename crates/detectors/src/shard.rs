@@ -95,12 +95,17 @@ pub fn merge_shard_reports(reports: Vec<Report>) -> Report {
         s.peak_vc_bytes += o.peak_vc_bytes;
         s.peak_bitmap_bytes += o.peak_bitmap_bytes;
         s.peak_total_bytes += o.peak_total_bytes;
+        s.dropped += o.dropped;
+        s.evicted += o.evicted;
         s.sharing = match (s.sharing.take(), o.sharing) {
             (None, None) => None,
             (Some(a), None) | (None, Some(a)) => Some(a),
             (Some(a), Some(b)) => Some(merge_sharing(a, b)),
         };
+        merged.failures.extend(rep.failures);
+        merged.budget_degraded |= rep.budget_degraded;
     }
+    merged.failures.sort_by_key(|f| (f.shard, f.event_seq));
     sort_races(&mut merged.races);
     merged
 }
@@ -161,6 +166,7 @@ mod tests {
                 peak_vc_count: 3,
                 ..Default::default()
             },
+            ..Default::default()
         }
     }
 
@@ -182,6 +188,27 @@ mod tests {
         let merged = merge_shard_reports(Vec::new());
         assert!(merged.races.is_empty());
         assert_eq!(merged.stats.events, 0);
+    }
+
+    #[test]
+    fn merge_carries_degradation_state() {
+        use crate::ShardFailure;
+        let a = report(vec![race(0x200, RaceKind::WriteWrite)], 10);
+        let mut b = report(Vec::new(), 5);
+        b.failures.push(ShardFailure {
+            shard: 1,
+            event_seq: 3,
+            payload: "injected".into(),
+        });
+        b.budget_degraded = true;
+        b.stats.dropped = 4;
+        b.stats.evicted = 2;
+        let merged = merge_shard_reports(vec![a, b]);
+        assert_eq!(merged.failures.len(), 1);
+        assert!(merged.budget_degraded);
+        assert!(merged.is_degraded());
+        assert_eq!(merged.stats.dropped, 4);
+        assert_eq!(merged.stats.evicted, 2);
     }
 
     #[test]

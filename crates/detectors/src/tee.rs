@@ -62,6 +62,11 @@ impl<A: Detector, B: Detector> Detector for Tee<A, B> {
         rep.detector = self.name();
         rep
     }
+
+    fn set_shadow_budget(&mut self, bytes: Option<u64>) {
+        self.a.set_shadow_budget(bytes);
+        self.b.set_shadow_budget(bytes);
+    }
 }
 
 #[cfg(test)]

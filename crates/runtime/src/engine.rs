@@ -54,13 +54,56 @@
 //! index. No path acquires them in the reverse direction, so the engine
 //! cannot deadlock against itself.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::queue::ArrayQueue;
-use dgrace_detectors::{merge_shard_reports, Detector, Recorder, Report, Tee};
+use dgrace_detectors::{merge_shard_reports, Detector, Recorder, Report, ShardFailure, Tee};
 use dgrace_trace::{Event, PruneSet, Tid, Trace};
 use parking_lot::{Mutex, MutexGuard, RwLock};
+
+/// A recoverable engine-level failure, surfaced by the `try_*` variants
+/// of the [`crate::Runtime`] extraction methods.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// Every detector shard panicked and was quarantined; no detector
+    /// state survived to produce a report.
+    AllShardsFailed(Vec<ShardFailure>),
+    /// The engine was not built with journal recording (or a single-shard
+    /// `Recorder`), so no trace can be reconstructed.
+    NotRecording,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::AllShardsFailed(fails) => {
+                write!(f, "all {} detector shards failed", fails.len())?;
+                if let Some(first) = fails.first() {
+                    write!(f, " (first: {first})")?;
+                }
+                Ok(())
+            }
+            EngineError::NotRecording => {
+                write!(f, "engine is not recording (enable RuntimeOptions::record)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Renders a panic payload for a [`ShardFailure`] report.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Tuning knobs for the online runtime.
 #[derive(Clone, Copy, Debug)]
@@ -105,10 +148,37 @@ impl ThreadBuf {
 }
 
 struct ShardState {
-    det: Box<dyn Detector + Send>,
+    /// `None` once the shard is quarantined: its detector panicked, was
+    /// dropped, and the shard only counts dropped events from then on.
+    det: Option<Box<dyn Detector + Send>>,
     /// `(stamp, event)` pairs, appended in stamp order; only populated
-    /// when recording.
+    /// when recording. Quarantined shards keep journaling, so the
+    /// recorded serialization stays exact.
     journal: Vec<(u64, Event)>,
+    /// The panic that quarantined this shard, if any.
+    failure: Option<ShardFailure>,
+    /// Access events routed here but never processed (panicked mid-batch
+    /// or arrived after quarantine). Sync broadcasts are not counted:
+    /// healthy shards still process them.
+    dropped: u64,
+}
+
+impl ShardState {
+    /// Quarantines the shard after a panic: records the failure and drops
+    /// the (possibly corrupt) detector. The drop itself is contained too —
+    /// a detector that panics again in `Drop` must not take the engine
+    /// down with it.
+    #[cold]
+    fn quarantine(&mut self, shard: usize, event_seq: u64, payload: Box<dyn std::any::Any + Send>) {
+        let msg = panic_message(payload.as_ref());
+        let det = self.det.take();
+        let _ = catch_unwind(AssertUnwindSafe(move || drop(det)));
+        self.failure = Some(ShardFailure {
+            shard,
+            event_seq,
+            payload: msg,
+        });
+    }
 }
 
 /// Region size of the fallback router for addresses outside every
@@ -247,8 +317,10 @@ impl Engine {
             .into_iter()
             .map(|det| {
                 Mutex::new(ShardState {
-                    det,
+                    det: Some(det),
                     journal: Vec::new(),
+                    failure: None,
+                    dropped: 0,
                 })
             })
             .collect::<Vec<_>>();
@@ -372,9 +444,7 @@ impl Engine {
         if self.shards.len() == 1 {
             let mut shard = self.shards[0].lock();
             let stamp = self.seq.fetch_add(1, Ordering::Relaxed);
-            for ev in &batch {
-                shard.det.on_event(ev);
-            }
+            Self::feed(&mut shard, 0, stamp, &batch);
             if self.record {
                 shard
                     .journal
@@ -404,15 +474,37 @@ impl Engine {
                 }
                 let mut shard = self.shards[i].lock();
                 let stamp = self.seq.fetch_add(1, Ordering::Relaxed);
-                for ev in &part {
-                    shard.det.on_event(ev);
-                }
+                Self::feed(&mut shard, i, stamp, &part);
                 if self.record {
                     shard.journal.extend(part.into_iter().map(|ev| (stamp, ev)));
                 }
             }
         }
         self.emitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Feeds one stamped part to a shard, containing panics. The
+    /// `catch_unwind` is per *batch*, not per event, so the clean-path
+    /// cost is one landing pad per dispatch, off the per-event hot path.
+    /// A panicking detector is quarantined (state dropped, failure
+    /// recorded) and the unprocessed remainder of the part — including
+    /// the event that panicked — is counted as dropped.
+    fn feed(st: &mut ShardState, shard: usize, stamp: u64, part: &[Event]) {
+        let Some(det) = st.det.as_mut() else {
+            st.dropped += part.len() as u64;
+            return;
+        };
+        let mut processed = 0usize;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for ev in part {
+                det.on_event(ev);
+                processed += 1;
+            }
+        }));
+        if let Err(payload) = result {
+            st.dropped += (part.len() - processed) as u64;
+            st.quarantine(shard, stamp, payload);
+        }
     }
 
     /// Emits a sync event as `tid`: flushes `tid`'s buffer (rule 1 of the
@@ -428,8 +520,14 @@ impl Engine {
         let mut guards: Vec<MutexGuard<'_, ShardState>> =
             self.shards.iter().map(|s| s.lock()).collect();
         let stamp = self.seq.fetch_add(1, Ordering::Relaxed);
-        for g in guards.iter_mut() {
-            g.det.on_event(&ev);
+        for (i, g) in guards.iter_mut().enumerate() {
+            // Quarantined shards are skipped without counting a drop:
+            // the healthy shards still process the sync event, so the
+            // logical event is not lost from the run.
+            let Some(det) = g.det.as_mut() else { continue };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| det.on_event(&ev))) {
+                g.quarantine(i, stamp, payload);
+            }
         }
         if self.record {
             guards[0].journal.push((stamp, ev));
@@ -452,26 +550,60 @@ impl Engine {
         self.dispatch(vec![ev]);
     }
 
-    /// Flushes all buffers, finishes every shard, and merges the reports.
-    /// `stats.events` of the merged report is the exact emitted count.
+    /// Flushes all buffers, finishes every shard, and merges the healthy
+    /// shards' reports. `stats.events` of the merged report is the exact
+    /// emitted count.
+    ///
+    /// Quarantined shards contribute a [`ShardFailure`] (and their
+    /// dropped-event counts) instead of a report; the merged report is
+    /// then *degraded* — its race set is exact for the healthy shards'
+    /// addresses. A shard whose `finish` itself panics is quarantined the
+    /// same way. With zero healthy shards the report carries only the
+    /// failures and counters; it never hangs or poisons a lock.
     pub(crate) fn finish(&self) -> Report {
         self.flush_all();
-        let reports: Vec<Report> = self.shards.iter().map(|s| s.lock().det.finish()).collect();
         let emitted = self.emitted.swap(0, Ordering::Relaxed);
         let pruned = self.pruned.swap(0, Ordering::Relaxed);
-        let mut rep = if reports.len() == 1 {
-            reports.into_iter().next().expect("one shard")
-        } else {
-            let mut merged = merge_shard_reports(reports);
-            // Broadcasts reach every shard; the sum over-counts them.
-            merged.stats.events = emitted;
-            merged
+        let mut reports: Vec<Report> = Vec::new();
+        let mut failures: Vec<ShardFailure> = Vec::new();
+        let mut dropped = 0u64;
+        for (i, s) in self.shards.iter().enumerate() {
+            let mut st = s.lock();
+            dropped += std::mem::take(&mut st.dropped);
+            if let Some(f) = st.failure.take() {
+                failures.push(f);
+                continue;
+            }
+            let Some(det) = st.det.as_mut() else { continue };
+            match catch_unwind(AssertUnwindSafe(|| det.finish())) {
+                Ok(rep) => reports.push(rep),
+                Err(payload) => {
+                    let stamp = self.seq.load(Ordering::Relaxed);
+                    st.quarantine(i, stamp, payload);
+                    failures.extend(st.failure.take());
+                }
+            }
+        }
+        let healthy = reports.len();
+        let mut rep = match healthy {
+            0 => Report::default(),
+            1 if self.shards.len() == 1 => reports.pop().unwrap_or_default(),
+            _ => merge_shard_reports(reports),
         };
+        if healthy != 1 || self.shards.len() != 1 {
+            // Broadcasts reach every shard (the sum over-counts them) and
+            // quarantined shards report nothing (the sum under-counts):
+            // the atomic counter is the exact logical event count.
+            rep.stats.events = emitted;
+        }
         // Same contract as the offline `StaticPruneFilter`: `events`
         // counts everything that arrived (including pruned accesses),
         // `accesses` only what was checked.
         rep.stats.events += pruned;
         rep.stats.pruned += pruned;
+        rep.stats.dropped += dropped;
+        rep.failures.extend(failures);
+        rep.failures.sort_by_key(|f| (f.shard, f.event_seq));
         rep
     }
 
@@ -496,14 +628,15 @@ impl Engine {
             return None;
         }
         let mut shard = self.shards[0].lock();
-        let any: &mut dyn std::any::Any = &mut *shard.det;
+        let det = shard.det.as_mut()?;
+        let any: &mut dyn std::any::Any = &mut **det;
         if let Some(rec) = any.downcast_mut::<Recorder>() {
             return Some(rec.take_trace());
         }
         // Common compositions: Recorder teed with a live detector.
         macro_rules! try_tee {
             ($($live:ty),*) => {$(
-                if let Some(tee) = (&mut *shard.det as &mut dyn std::any::Any)
+                if let Some(tee) = (&mut **det as &mut dyn std::any::Any)
                     .downcast_mut::<Tee<Recorder, $live>>()
                 {
                     return Some(tee.first_mut().take_trace());
@@ -610,6 +743,100 @@ mod tests {
         assert_eq!(trace.len(), 10);
         let rep = eng.finish();
         assert_eq!(rep.stats.events, 10);
+    }
+
+    #[test]
+    fn panicking_shard_is_quarantined_not_fatal() {
+        crate::silence_injected_panics();
+        // Shard 1 dies at its first event; shard 0 keeps detecting.
+        let proto = crate::PanicOnEvent::new(dgrace_detectors::FastTrack::new(), 1, 1);
+        use dgrace_detectors::ShardableDetector;
+        let detectors = (0..2).map(|_| proto.new_shard()).collect();
+        let eng = Engine::new(
+            detectors,
+            RuntimeOptions {
+                shards: 2,
+                buffer_capacity: 4,
+                record: true,
+            },
+        );
+        // Region hash routing: 0x0000 → shard 0, 0x1000 → shard 1.
+        let w = |tid: u32, addr: u64| Event::Write {
+            tid: Tid(tid),
+            addr: Addr(addr),
+            size: AccessSize::U64,
+        };
+        eng.dispatch(vec![w(0, 0x100)]); // shard 0
+        eng.dispatch(vec![w(0, 0x1100), w(0, 0x1108)]); // shard 1: dies at first
+        eng.dispatch(vec![w(0, 0x1110)]); // shard 1: dropped post-quarantine
+        eng.dispatch(vec![w(1, 0x100)]); // shard 0: races with the first write
+                                         // The journal still covers every event, quarantined shard included.
+        let trace = eng.take_recorded().expect("recording engine");
+        assert_eq!(trace.len(), 5);
+        let rep = eng.finish();
+        assert!(rep.is_degraded());
+        assert_eq!(rep.failures.len(), 1);
+        assert_eq!(rep.failures[0].shard, 1);
+        assert!(rep.failures[0].payload.contains("fault-injection"));
+        assert_eq!(rep.stats.dropped, 3, "panicking event + 1 tail + 1 late");
+        assert_eq!(rep.stats.events, 5, "logical event count stays exact");
+        assert_eq!(rep.races.len(), 1, "healthy shard's race survives");
+        assert_eq!(rep.races[0].addr, Addr(0x100));
+    }
+
+    #[test]
+    fn all_shards_failing_still_terminates() {
+        crate::silence_injected_panics();
+        let proto = crate::PanicOnEvent::new(dgrace_detectors::FastTrack::new(), 0, 1);
+        use dgrace_detectors::ShardableDetector;
+        let eng = Engine::new(
+            vec![proto.new_shard()],
+            RuntimeOptions {
+                shards: 1,
+                buffer_capacity: 4,
+                record: false,
+            },
+        );
+        eng.dispatch(vec![Event::Write {
+            tid: Tid(0),
+            addr: Addr(0x100),
+            size: AccessSize::U64,
+        }]);
+        let rep = eng.finish();
+        assert_eq!(rep.failures.len(), 1);
+        assert!(rep.races.is_empty());
+        assert_eq!(rep.stats.events, 1);
+        assert_eq!(rep.stats.dropped, 1);
+    }
+
+    #[test]
+    fn broadcast_panic_quarantines_without_drop_count() {
+        crate::silence_injected_panics();
+        let proto = crate::PanicOnEvent::new(dgrace_detectors::FastTrack::new(), 1, 1);
+        use dgrace_detectors::ShardableDetector;
+        let detectors = (0..2).map(|_| proto.new_shard()).collect();
+        let eng = Engine::new(
+            detectors,
+            RuntimeOptions {
+                shards: 2,
+                buffer_capacity: 4,
+                record: false,
+            },
+        );
+        eng.emit_sync(
+            Tid(0),
+            Event::Acquire {
+                tid: Tid(0),
+                lock: dgrace_trace::LockId(0),
+            },
+        );
+        let rep = eng.finish();
+        assert_eq!(rep.failures.len(), 1);
+        assert_eq!(
+            rep.stats.dropped, 0,
+            "healthy shards processed the broadcast; nothing was lost"
+        );
+        assert_eq!(rep.stats.events, 1);
     }
 
     #[test]

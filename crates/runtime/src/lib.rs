@@ -42,13 +42,15 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod faults;
 mod mem;
 mod replay;
 mod runtime;
 mod sync;
 mod sync_ext;
 
-pub use engine::RuntimeOptions;
+pub use engine::{EngineError, RuntimeOptions};
+pub use faults::{corrupt_byte, silence_injected_panics, PanicOnEvent, INJECTED_PANIC_MARKER};
 pub use mem::{TrackedArray, TrackedCell};
 pub use replay::{replay_sharded, replay_sharded_pruned};
 pub use runtime::{JoinTicket, Runtime, ThreadHandle};

@@ -166,6 +166,20 @@ impl Runtime {
         self.inner.engine.finish()
     }
 
+    /// Stops detection like [`Runtime::finish`], but returns an error
+    /// when *every* shard was quarantined by a detector panic — the one
+    /// case where the report carries no race information at all. A
+    /// partially degraded report (some shards healthy) is returned as
+    /// `Ok`; inspect [`Report::is_degraded`](dgrace_detectors::Report)
+    /// and `report.failures` for the damage.
+    pub fn try_finish(&self) -> Result<Report, crate::EngineError> {
+        let rep = self.inner.engine.finish();
+        if !rep.failures.is_empty() && rep.failures.len() == self.shard_count() {
+            return Err(crate::EngineError::AllShardsFailed(rep.failures));
+        }
+        Ok(rep)
+    }
+
     /// Takes the trace captured so far.
     ///
     /// Works in two modes: a journaling runtime (built with
@@ -177,6 +191,16 @@ impl Runtime {
     /// flushed first.
     pub fn take_recorded(&self) -> Option<dgrace_trace::Trace> {
         self.inner.engine.take_recorded()
+    }
+
+    /// Like [`Runtime::take_recorded`], but explains a `None`: the
+    /// engine was not journaling (and its single shard was not a
+    /// `Recorder`), or the recording shard was quarantined.
+    pub fn try_take_recorded(&self) -> Result<dgrace_trace::Trace, crate::EngineError> {
+        self.inner
+            .engine
+            .take_recorded()
+            .ok_or(crate::EngineError::NotRecording)
     }
 }
 

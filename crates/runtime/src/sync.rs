@@ -45,7 +45,7 @@ impl<T> TrackedMutex<T> {
         TrackedMutexGuard {
             mutex: self,
             tid: h.tid,
-            guard: Some(guard),
+            guard,
         }
     }
 }
@@ -55,19 +55,19 @@ impl<T> TrackedMutex<T> {
 pub struct TrackedMutexGuard<'a, T> {
     mutex: &'a TrackedMutex<T>,
     tid: Tid,
-    guard: Option<MutexGuard<'a, T>>,
+    guard: MutexGuard<'a, T>,
 }
 
 impl<T> Deref for TrackedMutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.guard.as_ref().expect("guard live")
+        &self.guard
     }
 }
 
 impl<T> DerefMut for TrackedMutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.guard.as_mut().expect("guard live")
+        &mut self.guard
     }
 }
 
@@ -90,7 +90,7 @@ impl<T> TrackedMutexGuard<'_, T> {
                 lock: self.mutex.id,
             },
         );
-        cv.wait(self.guard.as_mut().expect("guard live"));
+        cv.wait(&mut self.guard);
         emit_wait(self.tid);
         self.mutex.inner.emit_sync(
             self.tid,
@@ -104,8 +104,9 @@ impl<T> TrackedMutexGuard<'_, T> {
 
 impl<T> Drop for TrackedMutexGuard<'_, T> {
     fn drop(&mut self) {
-        // Emit while still physically holding the lock: the release event
-        // is ordered before any subsequent acquire event.
+        // Emit while still physically holding the lock (the `guard` field
+        // drops after this body): the release event is ordered before any
+        // subsequent acquire event.
         self.mutex.inner.emit_sync(
             self.tid,
             Event::Release {
@@ -113,7 +114,6 @@ impl<T> Drop for TrackedMutexGuard<'_, T> {
                 lock: self.mutex.id,
             },
         );
-        drop(self.guard.take());
     }
 }
 

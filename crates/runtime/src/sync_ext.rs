@@ -44,7 +44,7 @@ impl<T> TrackedRwLock<T> {
         TrackedReadGuard {
             lock: self,
             tid: h.tid(),
-            guard: Some(guard),
+            guard,
         }
     }
 
@@ -61,7 +61,7 @@ impl<T> TrackedRwLock<T> {
         TrackedWriteGuard {
             lock: self,
             tid: h.tid(),
-            guard: Some(guard),
+            guard,
         }
     }
 }
@@ -70,18 +70,20 @@ impl<T> TrackedRwLock<T> {
 pub struct TrackedReadGuard<'a, T> {
     lock: &'a TrackedRwLock<T>,
     tid: dgrace_trace::Tid,
-    guard: Option<RwLockReadGuard<'a, T>>,
+    guard: RwLockReadGuard<'a, T>,
 }
 
 impl<T> std::ops::Deref for TrackedReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.guard.as_ref().expect("guard live")
+        &self.guard
     }
 }
 
 impl<T> Drop for TrackedReadGuard<'_, T> {
     fn drop(&mut self) {
+        // Emitted while the `guard` field is still held; it drops after
+        // this body, so the release event precedes any later acquire.
         self.lock.inner.emit_sync(
             self.tid,
             Event::ReleaseRead {
@@ -89,7 +91,6 @@ impl<T> Drop for TrackedReadGuard<'_, T> {
                 lock: self.lock.id,
             },
         );
-        drop(self.guard.take());
     }
 }
 
@@ -97,24 +98,26 @@ impl<T> Drop for TrackedReadGuard<'_, T> {
 pub struct TrackedWriteGuard<'a, T> {
     lock: &'a TrackedRwLock<T>,
     tid: dgrace_trace::Tid,
-    guard: Option<RwLockWriteGuard<'a, T>>,
+    guard: RwLockWriteGuard<'a, T>,
 }
 
 impl<T> std::ops::Deref for TrackedWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.guard.as_ref().expect("guard live")
+        &self.guard
     }
 }
 
 impl<T> std::ops::DerefMut for TrackedWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.guard.as_mut().expect("guard live")
+        &mut self.guard
     }
 }
 
 impl<T> Drop for TrackedWriteGuard<'_, T> {
     fn drop(&mut self) {
+        // Emitted while the `guard` field is still held; it drops after
+        // this body, so the release event precedes any later acquire.
         self.lock.inner.emit_sync(
             self.tid,
             Event::Release {
@@ -122,7 +125,6 @@ impl<T> Drop for TrackedWriteGuard<'_, T> {
                 lock: self.lock.id,
             },
         );
-        drop(self.guard.take());
     }
 }
 

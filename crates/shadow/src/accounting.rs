@@ -81,6 +81,10 @@ pub struct MemoryModel {
     peak_total: usize,
     vc_count: usize,
     peak_vc_count: usize,
+    /// Optional cap on the modeled total; `None` means unbounded.
+    budget: Option<usize>,
+    /// Sticky: set the first time the budget was exceeded.
+    breached: bool,
 }
 
 impl MemoryModel {
@@ -154,6 +158,36 @@ impl MemoryModel {
     pub fn peak_vc_count(&self) -> usize {
         self.peak_vc_count
     }
+
+    /// Caps the modeled total at `bytes` (`None` removes the cap). The
+    /// cap does not change accounting; detectors poll [`Self::over_budget`]
+    /// off their hot path and react by evicting state.
+    pub fn set_budget(&mut self, bytes: Option<usize>) {
+        self.budget = bytes;
+    }
+
+    /// The configured cap, if any.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// True when the current modeled total exceeds the budget. Also
+    /// latches the sticky [`Self::breached`] flag.
+    #[inline]
+    pub fn over_budget(&mut self) -> bool {
+        match self.budget {
+            Some(b) if self.current_total() > b => {
+                self.breached = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True if the budget was ever exceeded during the run (sticky).
+    pub fn breached(&self) -> bool {
+        self.breached
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +237,24 @@ mod tests {
         m.set_vc_count(4);
         assert_eq!(m.vc_count(), 4);
         assert_eq!(m.peak_vc_count(), 10);
+    }
+
+    #[test]
+    fn budget_breach_is_sticky() {
+        let mut m = MemoryModel::new();
+        assert!(!m.over_budget(), "no budget, never over");
+        m.set_budget(Some(100));
+        m.set(MemClass::Hash, 80);
+        assert!(!m.over_budget());
+        m.set(MemClass::VectorClock, 40);
+        assert!(m.over_budget());
+        assert!(m.breached());
+        // Shrinking back under budget clears the condition but not the
+        // sticky flag.
+        m.set(MemClass::VectorClock, 0);
+        assert!(!m.over_budget());
+        assert!(m.breached());
+        assert_eq!(m.budget(), Some(100));
     }
 
     #[test]

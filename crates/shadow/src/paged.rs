@@ -425,6 +425,20 @@ impl<T> PagedShadow<T> {
         self.bytes
     }
 
+    /// Picks a victim region for memory-budget eviction: the span of the
+    /// lowest-keyed resident directory that is *not* the hot-cached one
+    /// (the one most recently touched), falling back to the hot directory
+    /// when it is the only resident. Deterministic for a given store
+    /// state.
+    pub fn victim_region(&self) -> Option<(Addr, u64)> {
+        let hot_key = self.hot.get().map(|(k, _)| k);
+        let key = match self.map.keys().filter(|&&k| Some(k) != hot_key).min() {
+            Some(&k) => k,
+            None => *self.map.keys().min()?,
+        };
+        Some((Addr(key << DIR_SHIFT), 1u64 << DIR_SHIFT))
+    }
+
     /// Applies `f` to every populated cell, in unspecified order.
     pub fn for_each(&self, mut f: impl FnMut(Addr, &T)) {
         for dir in self.dirs.iter().flatten() {
@@ -510,6 +524,11 @@ impl<T: std::fmt::Debug> crate::store::ShadowStore<T> for PagedShadow<T> {
         PagedShadow::index_bytes(self)
     }
 
+    #[inline]
+    fn victim_region(&self) -> Option<(Addr, u64)> {
+        PagedShadow::victim_region(self)
+    }
+
     fn for_each(&self, f: impl FnMut(Addr, &T)) {
         PagedShadow::for_each(self, f)
     }
@@ -533,6 +552,20 @@ mod tests {
         assert_eq!(t.remove(Addr(0x100)), Some(9));
         assert!(t.is_empty());
         assert_eq!(t.index_bytes(), 0);
+    }
+
+    #[test]
+    fn victim_region_avoids_hot_directory() {
+        let mut t: PagedShadow<u32> = PagedShadow::new();
+        assert_eq!(t.victim_region(), None);
+        t.insert(Addr(0x1000), 1);
+        t.insert(Addr(0x5000), 2);
+        // The last touch cached directory 0x5000; the victim is the other.
+        assert_eq!(t.victim_region(), Some((Addr(0x1000), 0x1000)));
+        // With only the hot directory resident, it is the fallback victim.
+        let (base, len) = t.victim_region().unwrap();
+        t.remove_range(base, len, |_, _| {});
+        assert_eq!(t.victim_region(), Some((Addr(0x5000), 0x1000)));
     }
 
     #[test]

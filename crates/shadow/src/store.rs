@@ -74,6 +74,14 @@ pub trait ShadowStore<T>: Default + Debug {
     /// for the paged store, directory headers + slot arrays).
     fn index_bytes(&self) -> usize;
 
+    /// Picks a victim region for memory-budget eviction: the byte span of
+    /// one resident backing chunk, avoiding the most recently touched
+    /// region where the store tracks one. Returns `None` when empty. The
+    /// choice is deterministic for a given store state, so budget-degraded
+    /// runs are reproducible; the caller evicts with
+    /// [`ShadowStore::remove_range`].
+    fn victim_region(&self) -> Option<(Addr, u64)>;
+
     /// Applies `f` to every populated cell, in unspecified order.
     fn for_each(&self, f: impl FnMut(Addr, &T));
 
@@ -127,6 +135,11 @@ impl<T: Debug> ShadowStore<T> for ShadowTable<T> {
     #[inline]
     fn index_bytes(&self) -> usize {
         ShadowTable::hash_bytes(self)
+    }
+
+    #[inline]
+    fn victim_region(&self) -> Option<(Addr, u64)> {
+        ShadowTable::victim_region(self)
     }
 
     fn for_each(&self, mut f: impl FnMut(Addr, &T)) {

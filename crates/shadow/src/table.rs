@@ -305,6 +305,15 @@ impl<T> ShadowTable<T> {
         self.live == 0
     }
 
+    /// Picks a victim chunk for memory-budget eviction: the span of the
+    /// lowest-keyed resident chunk. The hash table keeps no recency
+    /// information, so "lowest address" stands in for "cold"; the choice
+    /// is deterministic for a given table state.
+    pub fn victim_region(&self) -> Option<(Addr, u64)> {
+        let key = self.map.keys().min()?;
+        Some((Addr(key << self.shift), self.m as u64))
+    }
+
     /// Modeled bytes of the hash structure (entry headers + slot arrays).
     pub fn hash_bytes(&self) -> usize {
         self.bytes
@@ -353,6 +362,23 @@ mod tests {
         assert_eq!(t.remove(Addr(0x100)), Some(9));
         assert!(t.is_empty());
         assert_eq!(t.hash_bytes(), 0);
+    }
+
+    #[test]
+    fn victim_region_is_lowest_chunk() {
+        let mut t: ShadowTable<u32> = ShadowTable::new(128);
+        assert_eq!(t.victim_region(), None);
+        t.insert(Addr(0x1000), 1);
+        t.insert(Addr(0x200), 2);
+        assert_eq!(t.victim_region(), Some((Addr(0x200), 128)));
+        t.remove(Addr(0x200));
+        assert_eq!(t.victim_region(), Some((Addr(0x1000), 128)));
+        // Evicting the victim empties the table.
+        let (base, len) = t.victim_region().unwrap();
+        let mut removed = 0;
+        t.remove_range(base, len, |_, _| removed += 1);
+        assert_eq!(removed, 1);
+        assert_eq!(t.victim_region(), None);
     }
 
     #[test]

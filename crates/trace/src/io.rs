@@ -41,6 +41,21 @@
 //! ranges         : count records — start u64, len u64, class u8,
 //!                  then for class 2 (locked): lock_count u32, lock u32 …
 //! ```
+//!
+//! # Hardened decoding
+//!
+//! Decoding is written for hostile inputs: every error is a typed
+//! [`TraceError`] distinguishing truncation from corruption, version
+//! mismatch, and resource-limit violations, and every allocation is
+//! proportional to bytes actually consumed — a forged header claiming
+//! 2⁶⁰ events cannot reserve memory up front. [`DecodeLimits`] bounds
+//! thread ids (which size dense vector clocks downstream), object
+//! range widths, event counts, and summary lockset lengths.
+//!
+//! [`EventReader`] additionally supports an opt-in *resync* mode
+//! ([`ReadOptions::resync`]) that skips over corrupt byte regions one
+//! byte at a time until the stream decodes again, counting what was
+//! dropped instead of failing the whole run.
 
 use std::io;
 
@@ -55,41 +70,207 @@ const MAGIC: &[u8; 4] = b"DGRT";
 const VERSION: u32 = 1;
 const SUMMARY_MAGIC: &[u8; 4] = b"DGAS";
 
-/// Errors while decoding a trace stream.
+/// Largest possible encoded event record (tag 6/7: `1 + 4 + 8 + 8`).
+const MAX_EVENT_BYTES: usize = 21;
+
+/// Errors while decoding a trace or summary stream.
+///
+/// The variants separate the four failure families that callers handle
+/// differently: I/O faults, *truncation* (the stream ended mid-record),
+/// *corruption* (bytes that cannot encode a record), *version/format
+/// mismatch*, and *limit violations* (well-formed but unreasonable values
+/// that would exhaust memory downstream). Offsets are absolute byte
+/// positions from the start of the stream.
 #[derive(Debug)]
-pub enum DecodeError {
+pub enum TraceError {
     /// Underlying I/O error.
     Io(io::Error),
-    /// Stream does not start with the `DGRT` magic.
+    /// Stream does not start with the `DGRT`/`DGAS` magic.
     BadMagic([u8; 4]),
     /// Unsupported format version.
     BadVersion(u32),
-    /// Unknown event tag.
-    BadTag(u8),
-    /// Invalid access size byte.
-    BadSize(u8),
-    /// Unknown location-class tag in a `DGAS` summary.
-    BadClass(u8),
+    /// Unknown event tag at `offset`.
+    BadTag {
+        /// Absolute byte offset of the tag.
+        offset: u64,
+        /// The tag byte found.
+        tag: u8,
+    },
+    /// Invalid access-size byte at `offset`.
+    BadSize {
+        /// Absolute byte offset of the size byte.
+        offset: u64,
+        /// The size byte found.
+        size: u8,
+    },
+    /// Unknown location-class tag in a `DGAS` summary at `offset`.
+    BadClass {
+        /// Absolute byte offset of the class byte.
+        offset: u64,
+        /// The class byte found.
+        class: u8,
+    },
+    /// The stream ended mid-record: `expected` more bytes were needed at
+    /// `offset` to finish decoding.
+    Truncated {
+        /// Absolute byte offset where data ran out.
+        offset: u64,
+        /// Bytes still required to complete the current record.
+        expected: usize,
+    },
+    /// A decoded value exceeds a [`DecodeLimits`] bound.
+    LimitExceeded {
+        /// Absolute byte offset of the offending field.
+        offset: u64,
+        /// Which limit was violated (e.g. `"thread id"`).
+        what: &'static str,
+        /// The value found in the stream.
+        value: u64,
+        /// The configured bound.
+        limit: u64,
+    },
 }
 
-impl std::fmt::Display for DecodeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+/// Backwards-compatible alias: the decode error was renamed when it grew
+/// truncation/limit variants.
+pub type DecodeError = TraceError;
+
+impl TraceError {
+    /// True for errors that describe *corrupt bytes inside the event
+    /// stream* — the kind a resync pass can skip over. Truncation, I/O
+    /// faults, and header-level failures are not resyncable.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            TraceError::BadTag { .. }
+                | TraceError::BadSize { .. }
+                | TraceError::BadClass { .. }
+                | TraceError::LimitExceeded { .. }
+        )
+    }
+
+    /// The absolute byte offset the error points at, when known.
+    pub fn offset(&self) -> Option<u64> {
         match self {
-            DecodeError::Io(e) => write!(f, "i/o error: {e}"),
-            DecodeError::BadMagic(m) => write!(f, "bad magic {m:?}"),
-            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
-            DecodeError::BadTag(t) => write!(f, "unknown event tag {t}"),
-            DecodeError::BadSize(s) => write!(f, "invalid access size {s}"),
-            DecodeError::BadClass(c) => write!(f, "unknown location class {c}"),
+            TraceError::BadTag { offset, .. }
+            | TraceError::BadSize { offset, .. }
+            | TraceError::BadClass { offset, .. }
+            | TraceError::Truncated { offset, .. }
+            | TraceError::LimitExceeded { offset, .. } => Some(*offset),
+            _ => None,
         }
     }
 }
 
-impl std::error::Error for DecodeError {}
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::BadMagic(m) => write!(f, "bad magic {m:?}: not a dgrace artifact"),
+            TraceError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            TraceError::BadTag { offset, tag } => {
+                write!(
+                    f,
+                    "corrupt stream at byte {offset}: unknown event tag {tag}"
+                )
+            }
+            TraceError::BadSize { offset, size } => {
+                write!(
+                    f,
+                    "corrupt stream at byte {offset}: invalid access size {size}"
+                )
+            }
+            TraceError::BadClass { offset, class } => write!(
+                f,
+                "corrupt stream at byte {offset}: unknown location class {class}"
+            ),
+            TraceError::Truncated { offset, expected } => write!(
+                f,
+                "truncated stream at byte {offset}: {expected} more byte(s) expected"
+            ),
+            TraceError::LimitExceeded {
+                offset,
+                what,
+                value,
+                limit,
+            } => write!(
+                f,
+                "limit exceeded at byte {offset}: {what} {value} > {limit}"
+            ),
+        }
+    }
+}
 
-impl From<io::Error> for DecodeError {
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
     fn from(e: io::Error) -> Self {
-        DecodeError::Io(e)
+        TraceError::Io(e)
+    }
+}
+
+/// Sanity bounds applied while decoding untrusted bytes.
+///
+/// These protect the *decoder's consumers*: a thread id sizes dense
+/// vector clocks, an object range width sizes shadow-memory walks, and
+/// event/lockset counts guard against allocation bombs. Values inside a
+/// limit are accepted as-is; values beyond it produce
+/// [`TraceError::LimitExceeded`].
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeLimits {
+    /// Maximum declared event count in a trace header.
+    pub max_events: u64,
+    /// Maximum thread id appearing in any event.
+    pub max_tid: u32,
+    /// Maximum `Alloc`/`Free` size and summary range width, in bytes.
+    pub max_obj_size: u64,
+    /// Maximum number of classified ranges in a summary.
+    pub max_ranges: u64,
+    /// Maximum lockset length for a single summary range.
+    pub max_lockset: u32,
+}
+
+impl Default for DecodeLimits {
+    fn default() -> Self {
+        DecodeLimits {
+            max_events: 1 << 36,
+            max_tid: 1 << 20,
+            max_obj_size: 1 << 32,
+            max_ranges: 1 << 24,
+            max_lockset: 4096,
+        }
+    }
+}
+
+/// Options controlling [`EventReader`] / [`read_trace_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReadOptions {
+    /// Decode-time sanity bounds.
+    pub limits: DecodeLimits,
+    /// When true, corrupt byte regions are skipped (one byte at a time,
+    /// re-synchronizing on the next decodable record) instead of failing,
+    /// and a truncated tail ends the stream cleanly. Dropped bytes and
+    /// events are reported via [`DecodeStats`].
+    pub resync: bool,
+}
+
+/// What decoding actually consumed, for degraded-mode reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Events the header declared.
+    pub declared: u64,
+    /// Events successfully decoded.
+    pub decoded: u64,
+    /// Declared events that could not be recovered (resync mode).
+    pub dropped_events: u64,
+    /// Raw bytes skipped while re-synchronizing (resync mode).
+    pub dropped_bytes: u64,
+}
+
+impl DecodeStats {
+    /// True when anything was lost.
+    pub fn lossy(&self) -> bool {
+        self.dropped_events > 0 || self.dropped_bytes > 0
     }
 }
 
@@ -184,73 +365,125 @@ fn write_event<W: io::Write>(ev: &Event, w: &mut W) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a trace from `r`.
-pub fn read_trace<R: io::Read>(r: &mut R) -> Result<Trace, DecodeError> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(DecodeError::BadMagic(magic));
-    }
-    let version = read_u32(r)?;
-    if version != VERSION {
-        return Err(DecodeError::BadVersion(version));
-    }
-    let count = read_u64(r)?;
-    let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
-    for _ in 0..count {
-        events.push(read_event(r)?);
-    }
-    Ok(Trace { events })
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
 }
 
-fn read_event<R: io::Read>(r: &mut R) -> Result<Event, DecodeError> {
-    let mut tag = [0u8; 1];
-    r.read_exact(&mut tag)?;
-    let ev = match tag[0] {
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Outcome of attempting to decode one event from a byte window.
+enum SliceDecode {
+    /// Decoded an event spanning `usize` bytes.
+    Done(Event, usize),
+    /// The window is too short; the record needs this many bytes total.
+    NeedMore(usize),
+    /// The bytes cannot encode an event.
+    Fail(TraceError),
+}
+
+/// Decodes one event from the front of `buf`. `offset` is the absolute
+/// stream position of `buf[0]`, used only for error reporting. Never
+/// panics and never allocates.
+fn decode_event(buf: &[u8], offset: u64, limits: &DecodeLimits) -> SliceDecode {
+    if buf.is_empty() {
+        return SliceDecode::NeedMore(1);
+    }
+    let tag = buf[0];
+    let need = match tag {
+        0 | 1 => 14,
+        2..=5 | 8..=13 => 9,
+        6 | 7 => MAX_EVENT_BYTES,
+        t => return SliceDecode::Fail(TraceError::BadTag { offset, tag: t }),
+    };
+    if buf.len() < need {
+        return SliceDecode::NeedMore(need);
+    }
+    let tid_raw = le_u32(&buf[1..5]);
+    if tid_raw > limits.max_tid {
+        return SliceDecode::Fail(TraceError::LimitExceeded {
+            offset: offset + 1,
+            what: "thread id",
+            value: tid_raw as u64,
+            limit: limits.max_tid as u64,
+        });
+    }
+    let tid = Tid(tid_raw);
+    let ev = match tag {
         0 | 1 => {
-            let tid = Tid(read_u32(r)?);
-            let addr = Addr(read_u64(r)?);
-            let mut sz = [0u8; 1];
-            r.read_exact(&mut sz)?;
-            let size = AccessSize::from_bytes(sz[0] as u64).ok_or(DecodeError::BadSize(sz[0]))?;
-            if tag[0] == 0 {
+            let addr = Addr(le_u64(&buf[5..13]));
+            let sz = buf[13];
+            let Some(size) = AccessSize::from_bytes(sz as u64) else {
+                return SliceDecode::Fail(TraceError::BadSize {
+                    offset: offset + 13,
+                    size: sz,
+                });
+            };
+            if tag == 0 {
                 Event::Read { tid, addr, size }
             } else {
                 Event::Write { tid, addr, size }
             }
         }
         2 | 3 => {
-            let tid = Tid(read_u32(r)?);
-            let lock = LockId(read_u32(r)?);
-            if tag[0] == 2 {
+            let lock = LockId(le_u32(&buf[5..9]));
+            if tag == 2 {
                 Event::Acquire { tid, lock }
             } else {
                 Event::Release { tid, lock }
             }
         }
         4 | 5 => {
-            let parent = Tid(read_u32(r)?);
-            let child = Tid(read_u32(r)?);
-            if tag[0] == 4 {
-                Event::Fork { parent, child }
+            let child_raw = le_u32(&buf[5..9]);
+            if child_raw > limits.max_tid {
+                return SliceDecode::Fail(TraceError::LimitExceeded {
+                    offset: offset + 5,
+                    what: "thread id",
+                    value: child_raw as u64,
+                    limit: limits.max_tid as u64,
+                });
+            }
+            if tag == 4 {
+                Event::Fork {
+                    parent: tid,
+                    child: Tid(child_raw),
+                }
             } else {
-                Event::Join { parent, child }
+                Event::Join {
+                    parent: tid,
+                    child: Tid(child_raw),
+                }
             }
         }
         6 | 7 => {
-            let tid = Tid(read_u32(r)?);
-            let addr = Addr(read_u64(r)?);
-            let size = read_u64(r)?;
-            if tag[0] == 6 {
+            let addr = Addr(le_u64(&buf[5..13]));
+            let size = le_u64(&buf[13..21]);
+            if size > limits.max_obj_size {
+                return SliceDecode::Fail(TraceError::LimitExceeded {
+                    offset: offset + 13,
+                    what: "object size",
+                    value: size,
+                    limit: limits.max_obj_size,
+                });
+            }
+            if addr.0.checked_add(size).is_none() {
+                return SliceDecode::Fail(TraceError::LimitExceeded {
+                    offset: offset + 13,
+                    what: "object end (addr + size wraps)",
+                    value: size,
+                    limit: u64::MAX - addr.0,
+                });
+            }
+            if tag == 6 {
                 Event::Alloc { tid, addr, size }
             } else {
                 Event::Free { tid, addr, size }
             }
         }
-        8..=13 => {
-            let tid = Tid(read_u32(r)?);
-            let obj = LockId(read_u32(r)?);
-            match tag[0] {
+        _ => {
+            let obj = LockId(le_u32(&buf[5..9]));
+            match tag {
                 8 => Event::AcquireRead { tid, lock: obj },
                 9 => Event::ReleaseRead { tid, lock: obj },
                 10 => Event::CvSignal { tid, cv: obj },
@@ -259,32 +492,40 @@ fn read_event<R: io::Read>(r: &mut R) -> Result<Event, DecodeError> {
                 _ => Event::BarrierDepart { tid, bar: obj },
             }
         }
-        t => return Err(DecodeError::BadTag(t)),
     };
-    Ok(ev)
+    SliceDecode::Done(ev, need)
 }
 
-fn read_u32<R: io::Read>(r: &mut R) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
+/// Reads a trace from `r` with default options.
+pub fn read_trace<R: io::Read>(r: &mut R) -> Result<Trace, TraceError> {
+    read_trace_with(r, ReadOptions::default()).map(|(t, _)| t)
 }
 
-fn read_u64<R: io::Read>(r: &mut R) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-
-/// Serializes a trace to a byte vector.
-pub fn to_bytes(trace: &Trace) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(16 + trace.len() * 14);
-    write_trace(trace, &mut buf).expect("writing to Vec cannot fail");
-    buf
+/// Reads a trace from `r` under explicit [`ReadOptions`], reporting what
+/// was decoded and what was dropped.
+pub fn read_trace_with<R: io::Read>(
+    r: &mut R,
+    opts: ReadOptions,
+) -> Result<(Trace, DecodeStats), TraceError> {
+    let mut reader = EventReader::with_options(r, opts)?;
+    // Capacity is bounded regardless of the (untrusted) declared count:
+    // growth past this is paid for by bytes actually present.
+    let mut events = Vec::with_capacity(reader.remaining().min(1 << 16) as usize);
+    for ev in reader.by_ref() {
+        events.push(ev?);
+    }
+    let stats = reader.stats();
+    Ok((Trace { events }, stats))
 }
 
 /// A streaming event reader: decodes one event at a time, so traces far
 /// larger than memory can be fed straight into a detector.
+///
+/// The reader maintains a small internal window (one maximum-size record)
+/// and decodes from it, which lets it distinguish a cleanly exhausted
+/// stream from a mid-record truncation ([`TraceError::Truncated`]) and,
+/// in [resync mode](ReadOptions::resync), slide byte-by-byte over corrupt
+/// regions.
 ///
 /// ```
 /// use dgrace_trace::io::{to_bytes, EventReader};
@@ -302,50 +543,220 @@ pub fn to_bytes(trace: &Trace) -> Vec<u8> {
 /// ```
 pub struct EventReader<R> {
     src: R,
-    remaining: u64,
+    /// Sliding window over the stream; `buf[pos..]` is undecoded.
+    buf: Vec<u8>,
+    pos: usize,
+    /// Absolute stream offset of `buf[pos]`.
+    offset: u64,
+    declared: u64,
+    decoded: u64,
+    dropped_bytes: u64,
+    eof: bool,
+    /// Set after yielding an error; the iterator is fused afterwards.
+    failed: bool,
+    limits: DecodeLimits,
+    resync: bool,
 }
 
 impl<R: io::Read> EventReader<R> {
-    /// Opens a stream, consuming and checking the header.
-    pub fn new(mut src: R) -> Result<Self, DecodeError> {
-        let mut magic = [0u8; 4];
-        src.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(DecodeError::BadMagic(magic));
-        }
-        let version = read_u32(&mut src)?;
-        if version != VERSION {
-            return Err(DecodeError::BadVersion(version));
-        }
-        let remaining = read_u64(&mut src)?;
-        Ok(EventReader { src, remaining })
+    /// Opens a stream with default options, consuming and checking the
+    /// header.
+    pub fn new(src: R) -> Result<Self, TraceError> {
+        Self::with_options(src, ReadOptions::default())
     }
 
-    /// Events not yet read.
+    /// Opens a stream, consuming and checking the header.
+    pub fn with_options(src: R, opts: ReadOptions) -> Result<Self, TraceError> {
+        let mut reader = EventReader {
+            src,
+            buf: Vec::with_capacity(4 * MAX_EVENT_BYTES),
+            pos: 0,
+            offset: 0,
+            declared: 0,
+            decoded: 0,
+            dropped_bytes: 0,
+            eof: false,
+            failed: false,
+            limits: opts.limits,
+            resync: opts.resync,
+        };
+        let mut header = [0u8; 4];
+        reader.fill_exact(&mut header)?;
+        if &header != MAGIC {
+            return Err(TraceError::BadMagic(header));
+        }
+        reader.fill_exact(&mut header)?;
+        let version = le_u32(&header);
+        if version != VERSION {
+            return Err(TraceError::BadVersion(version));
+        }
+        let mut count = [0u8; 8];
+        reader.fill_exact(&mut count)?;
+        let declared = le_u64(&count);
+        if declared > opts.limits.max_events {
+            return Err(TraceError::LimitExceeded {
+                offset: 8,
+                what: "event count",
+                value: declared,
+                limit: opts.limits.max_events,
+            });
+        }
+        reader.declared = declared;
+        Ok(reader)
+    }
+
+    /// Events not yet read (per the declared header count).
     pub fn remaining(&self) -> u64 {
-        self.remaining
+        self.declared - self.decoded.min(self.declared)
+    }
+
+    /// What has been consumed and dropped so far. Loss counters are final
+    /// once the iterator returns `None`.
+    pub fn stats(&self) -> DecodeStats {
+        DecodeStats {
+            declared: self.declared,
+            decoded: self.decoded,
+            dropped_events: self.declared.saturating_sub(self.decoded),
+            dropped_bytes: self.dropped_bytes,
+        }
+    }
+
+    /// Reads exactly `out.len()` bytes from the current position,
+    /// reporting truncation with the absolute offset.
+    fn fill_exact(&mut self, out: &mut [u8]) -> Result<(), TraceError> {
+        let mut n = 0;
+        while n < out.len() {
+            if self.pos < self.buf.len() {
+                let take = (self.buf.len() - self.pos).min(out.len() - n);
+                out[n..n + take].copy_from_slice(&self.buf[self.pos..self.pos + take]);
+                self.pos += take;
+                n += take;
+                continue;
+            }
+            if self.eof {
+                self.offset += n as u64;
+                return Err(TraceError::Truncated {
+                    offset: self.offset,
+                    expected: out.len() - n,
+                });
+            }
+            self.refill()?;
+        }
+        self.offset += n as u64;
+        Ok(())
+    }
+
+    /// Tops the window up to at least one maximum-size record (or EOF).
+    fn refill(&mut self) -> Result<(), TraceError> {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        let mut tmp = [0u8; 256];
+        while !self.eof && self.buf.len() < MAX_EVENT_BYTES {
+            match self.src.read(&mut tmp) {
+                Ok(0) => self.eof = true,
+                Ok(k) => self.buf.extend_from_slice(&tmp[..k]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(TraceError::Io(e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes currently available without further reads.
+    fn available(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Drops one byte from the front of the window (resync slide).
+    fn skip_byte(&mut self) {
+        self.pos += 1;
+        self.offset += 1;
+        self.dropped_bytes += 1;
     }
 }
 
 impl<R: io::Read> Iterator for EventReader<R> {
-    type Item = Result<Event, DecodeError>;
+    type Item = Result<Event, TraceError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.remaining == 0 {
+        if self.failed || self.decoded >= self.declared {
             return None;
         }
-        self.remaining -= 1;
-        Some(read_event(&mut self.src))
+        loop {
+            if self.available() < MAX_EVENT_BYTES && !self.eof {
+                if let Err(e) = self.refill() {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+            if self.available() == 0 {
+                // Stream ended with events still owed.
+                if self.resync {
+                    return None;
+                }
+                self.failed = true;
+                return Some(Err(TraceError::Truncated {
+                    offset: self.offset,
+                    expected: 1,
+                }));
+            }
+            match decode_event(&self.buf[self.pos..], self.offset, &self.limits) {
+                SliceDecode::Done(ev, n) => {
+                    self.pos += n;
+                    self.offset += n as u64;
+                    self.decoded += 1;
+                    return Some(Ok(ev));
+                }
+                SliceDecode::NeedMore(need) => {
+                    debug_assert!(self.eof, "refill leaves a full record unless at EOF");
+                    if self.resync {
+                        // A truncated tail: count its bytes as dropped.
+                        while self.available() > 0 {
+                            self.skip_byte();
+                        }
+                        return None;
+                    }
+                    let avail = self.available();
+                    self.failed = true;
+                    return Some(Err(TraceError::Truncated {
+                        offset: self.offset + avail as u64,
+                        expected: need - avail,
+                    }));
+                }
+                SliceDecode::Fail(e) => {
+                    if self.resync && e.is_corruption() {
+                        self.skip_byte();
+                        continue;
+                    }
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.remaining as usize;
-        (n, Some(n))
+        if self.failed {
+            return (0, Some(0));
+        }
+        let n = self.remaining() as usize;
+        // In resync mode events may be dropped, so `n` is only an upper
+        // bound.
+        (if self.resync { 0 } else { n }, Some(n))
     }
 }
 
+/// Serializes a trace to a byte vector.
+pub fn to_bytes(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + trace.len() * 14);
+    write_trace(trace, &mut buf).expect("writing to Vec cannot fail");
+    buf
+}
+
 /// Deserializes a trace from a byte slice.
-pub fn from_bytes(bytes: &[u8]) -> Result<Trace, DecodeError> {
+pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
     read_trace(&mut io::Cursor::new(bytes))
 }
 
@@ -384,23 +795,79 @@ pub fn write_summary<W: io::Write>(summary: &AnalysisSummary, w: &mut W) -> io::
     Ok(())
 }
 
-/// Reads a `DGAS` analysis summary from `r`.
-pub fn read_summary<R: io::Read>(r: &mut R) -> Result<AnalysisSummary, DecodeError> {
+/// A cursor over an `io::Read` that tracks absolute offsets and reports
+/// truncation precisely. Used by the summary decoder (the trace decoder
+/// has its own sliding window for resync support).
+struct Cursor<'a, R> {
+    src: &'a mut R,
+    offset: u64,
+}
+
+impl<R: io::Read> Cursor<'_, R> {
+    fn fill(&mut self, out: &mut [u8]) -> Result<(), TraceError> {
+        let mut n = 0;
+        while n < out.len() {
+            match self.src.read(&mut out[n..]) {
+                Ok(0) => {
+                    return Err(TraceError::Truncated {
+                        offset: self.offset + n as u64,
+                        expected: out.len() - n,
+                    })
+                }
+                Ok(k) => n += k,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(TraceError::Io(e)),
+            }
+        }
+        self.offset += n as u64;
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        let mut b = [0u8; 1];
+        self.fill(&mut b)?;
+        Ok(b[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        let mut b = [0u8; 4];
+        self.fill(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        let mut b = [0u8; 8];
+        self.fill(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+/// Reads a `DGAS` analysis summary from `r` with default limits.
+pub fn read_summary<R: io::Read>(r: &mut R) -> Result<AnalysisSummary, TraceError> {
+    read_summary_with(r, DecodeLimits::default())
+}
+
+/// Reads a `DGAS` analysis summary from `r` under explicit limits.
+pub fn read_summary_with<R: io::Read>(
+    r: &mut R,
+    limits: DecodeLimits,
+) -> Result<AnalysisSummary, TraceError> {
+    let mut c = Cursor { src: r, offset: 0 };
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    c.fill(&mut magic)?;
     if &magic != SUMMARY_MAGIC {
-        return Err(DecodeError::BadMagic(magic));
+        return Err(TraceError::BadMagic(magic));
     }
-    let version = read_u32(r)?;
+    let version = c.u32()?;
     if version != SUMMARY_VERSION {
-        return Err(DecodeError::BadVersion(version));
+        return Err(TraceError::BadVersion(version));
     }
-    let trace_events = read_u64(r)?;
-    let trace_accesses = read_u64(r)?;
+    let trace_events = c.u64()?;
+    let trace_accesses = c.u64()?;
     let mut counts = [ClassCounts::default(); 4];
-    for c in &mut counts {
-        c.bytes = read_u64(r)?;
-        c.accesses = read_u64(r)?;
+    for cc in &mut counts {
+        cc.bytes = c.u64()?;
+        cc.accesses = c.u64()?;
     }
     let stats = SummaryStats {
         thread_local: counts[0],
@@ -408,26 +875,67 @@ pub fn read_summary<R: io::Read>(r: &mut R) -> Result<AnalysisSummary, DecodeErr
         locked: counts[2],
         contended: counts[3],
     };
-    let count = read_u64(r)?;
-    let mut ranges = Vec::with_capacity(count.min(1 << 24) as usize);
+    let count_off = c.offset;
+    let count = c.u64()?;
+    if count > limits.max_ranges {
+        return Err(TraceError::LimitExceeded {
+            offset: count_off,
+            what: "range count",
+            value: count,
+            limit: limits.max_ranges,
+        });
+    }
+    // Bounded preallocation: growth past this is paid for by bytes read.
+    let mut ranges = Vec::with_capacity(count.min(1 << 12) as usize);
     for _ in 0..count {
-        let start = Addr(read_u64(r)?);
-        let len = read_u64(r)?;
-        let mut tag = [0u8; 1];
-        r.read_exact(&mut tag)?;
-        let class = match tag[0] {
+        let start = Addr(c.u64()?);
+        let len_off = c.offset;
+        let len = c.u64()?;
+        if len > limits.max_obj_size {
+            return Err(TraceError::LimitExceeded {
+                offset: len_off,
+                what: "range width",
+                value: len,
+                limit: limits.max_obj_size,
+            });
+        }
+        if start.0.checked_add(len).is_none() {
+            return Err(TraceError::LimitExceeded {
+                offset: len_off,
+                what: "range end (start + len wraps)",
+                value: len,
+                limit: u64::MAX - start.0,
+            });
+        }
+        let tag_off = c.offset;
+        let tag = c.u8()?;
+        let class = match tag {
             0 => LocationClass::ThreadLocal,
             1 => LocationClass::ReadOnlyAfterInit,
             2 => {
-                let n = read_u32(r)?;
-                let mut lockset = Vec::with_capacity(n.min(1 << 16) as usize);
+                let n_off = c.offset;
+                let n = c.u32()?;
+                if n > limits.max_lockset {
+                    return Err(TraceError::LimitExceeded {
+                        offset: n_off,
+                        what: "lockset length",
+                        value: n as u64,
+                        limit: limits.max_lockset as u64,
+                    });
+                }
+                let mut lockset = Vec::with_capacity(n.min(64) as usize);
                 for _ in 0..n {
-                    lockset.push(LockId(read_u32(r)?));
+                    lockset.push(LockId(c.u32()?));
                 }
                 LocationClass::ConsistentlyLocked { lockset }
             }
             3 => LocationClass::Contended,
-            t => return Err(DecodeError::BadClass(t)),
+            t => {
+                return Err(TraceError::BadClass {
+                    offset: tag_off,
+                    class: t,
+                })
+            }
         };
         ranges.push(ClassifiedRange { start, len, class });
     }
@@ -447,7 +955,7 @@ pub fn summary_to_bytes(summary: &AnalysisSummary) -> Vec<u8> {
 }
 
 /// Deserializes a summary from a byte slice.
-pub fn summary_from_bytes(bytes: &[u8]) -> Result<AnalysisSummary, DecodeError> {
+pub fn summary_from_bytes(bytes: &[u8]) -> Result<AnalysisSummary, TraceError> {
     read_summary(&mut io::Cursor::new(bytes))
 }
 
@@ -481,7 +989,7 @@ mod tests {
     fn bad_magic_rejected() {
         let mut bytes = to_bytes(&sample());
         bytes[0] = b'X';
-        assert!(matches!(from_bytes(&bytes), Err(DecodeError::BadMagic(_))));
+        assert!(matches!(from_bytes(&bytes), Err(TraceError::BadMagic(_))));
     }
 
     #[test]
@@ -490,16 +998,28 @@ mod tests {
         bytes[4] = 99;
         assert!(matches!(
             from_bytes(&bytes),
-            Err(DecodeError::BadVersion(99))
+            Err(TraceError::BadVersion(99))
         ));
     }
 
     #[test]
-    fn truncated_stream_is_io_error() {
+    fn truncated_stream_reports_offset() {
         let bytes = to_bytes(&sample());
+        let cut = bytes.len() - 3;
+        match from_bytes(&bytes[..cut]) {
+            Err(TraceError::Truncated { offset, expected }) => {
+                assert_eq!(offset as usize, cut);
+                assert_eq!(expected, 3);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_reported() {
         assert!(matches!(
-            from_bytes(&bytes[..bytes.len() - 3]),
-            Err(DecodeError::Io(_))
+            from_bytes(b"DGRT\x01\x00"),
+            Err(TraceError::Truncated { .. })
         ));
     }
 
@@ -510,7 +1030,13 @@ mod tests {
         // Claim one event, then supply a bogus tag.
         bytes[8..16].copy_from_slice(&1u64.to_le_bytes());
         bytes.push(42);
-        assert!(matches!(from_bytes(&bytes), Err(DecodeError::BadTag(42))));
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(TraceError::BadTag {
+                offset: 16,
+                tag: 42
+            })
+        ));
     }
 
     #[test]
@@ -520,7 +1046,67 @@ mod tests {
         let mut bytes = to_bytes(&b.build());
         let n = bytes.len();
         bytes[n - 1] = 3; // 3 is not a valid access size
-        assert!(matches!(from_bytes(&bytes), Err(DecodeError::BadSize(3))));
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(TraceError::BadSize { size: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_tid_rejected() {
+        let mut b = TraceBuilder::new();
+        b.read(0u32, 0u64, AccessSize::U8);
+        let mut bytes = to_bytes(&b.build());
+        // Patch the tid field of the sole event to u32::MAX.
+        bytes[17..21].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(TraceError::LimitExceeded {
+                what: "thread id",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_alloc_rejected() {
+        let mut b = TraceBuilder::new();
+        b.alloc(0u32, 0x1000u64, 64);
+        let mut bytes = to_bytes(&b.build());
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(TraceError::LimitExceeded {
+                what: "object size",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn declared_count_is_bounded() {
+        let mut bytes = to_bytes(&Trace::new());
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(TraceError::LimitExceeded {
+                what: "event count",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn forged_count_does_not_preallocate() {
+        // Declares 2^35 events but supplies none: must fail fast on the
+        // truncation without reserving event storage up front.
+        let mut bytes = to_bytes(&Trace::new());
+        bytes[8..16].copy_from_slice(&(1u64 << 35).to_le_bytes());
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(TraceError::Truncated { offset: 16, .. })
+        ));
     }
 
     #[test]
@@ -536,17 +1122,80 @@ mod tests {
     #[test]
     fn event_reader_reports_truncation() {
         let bytes = to_bytes(&sample());
-        let mut reader = EventReader::new(io::Cursor::new(&bytes[..bytes.len() - 2])).unwrap();
+        let cut = bytes.len() - 2;
+        let mut reader = EventReader::new(io::Cursor::new(&bytes[..cut])).unwrap();
         let last = reader.by_ref().last().unwrap();
-        assert!(matches!(last, Err(DecodeError::Io(_))));
+        match last {
+            Err(TraceError::Truncated { offset, expected }) => {
+                assert_eq!(
+                    offset as usize, cut,
+                    "offset points at the byte that ran out"
+                );
+                assert_eq!(expected, 2, "the final Join record is short two bytes");
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // The iterator is fused after the error.
+        assert!(reader.next().is_none());
     }
 
     #[test]
     fn event_reader_rejects_bad_header() {
         assert!(matches!(
             EventReader::new(io::Cursor::new(b"XXXX".to_vec())),
-            Err(DecodeError::BadMagic(_))
+            Err(TraceError::BadMagic(_))
         ));
+    }
+
+    #[test]
+    fn resync_skips_corrupt_bytes() {
+        let t = sample();
+        let mut bytes = to_bytes(&t);
+        // Corrupt the tag of the third event (fork 9B + alloc 21B in).
+        let corrupt_at = 16 + 9 + 21;
+        bytes[corrupt_at] = 0xEE;
+        let opts = ReadOptions {
+            resync: true,
+            ..Default::default()
+        };
+        let (back, stats) = read_trace_with(&mut io::Cursor::new(&bytes), opts).unwrap();
+        assert!(back.len() < t.len(), "at least the corrupt event was lost");
+        assert!(stats.lossy());
+        assert!(stats.dropped_bytes >= 1);
+        assert_eq!(stats.decoded, back.len() as u64);
+        // Everything decoded is an event from the original trace, in order.
+        let mut orig = t.events.iter();
+        for ev in back.iter() {
+            assert!(
+                orig.any(|o| o == ev),
+                "resynced event {ev:?} not in original"
+            );
+        }
+    }
+
+    #[test]
+    fn resync_tolerates_truncated_tail() {
+        let t = sample();
+        let bytes = to_bytes(&t);
+        let opts = ReadOptions {
+            resync: true,
+            ..Default::default()
+        };
+        let cut = bytes.len() - 2;
+        let (back, stats) = read_trace_with(&mut io::Cursor::new(&bytes[..cut]), opts).unwrap();
+        assert_eq!(back.len(), t.len() - 1);
+        assert_eq!(stats.dropped_events, 1);
+        assert_eq!(stats.dropped_bytes, 7, "partial Join record counted");
+    }
+
+    #[test]
+    fn strict_mode_reports_stats_without_loss() {
+        let bytes = to_bytes(&sample());
+        let (back, stats) =
+            read_trace_with(&mut io::Cursor::new(&bytes), ReadOptions::default()).unwrap();
+        assert_eq!(back, sample());
+        assert!(!stats.lossy());
+        assert_eq!(stats.declared, stats.decoded);
     }
 
     #[test]
@@ -623,7 +1272,7 @@ mod tests {
         // A DGRT trace is not a DGAS summary.
         assert!(matches!(
             summary_from_bytes(&bytes),
-            Err(DecodeError::BadMagic(_))
+            Err(TraceError::BadMagic(_))
         ));
     }
 
@@ -633,7 +1282,7 @@ mod tests {
         bytes[4] = 99;
         assert!(matches!(
             summary_from_bytes(&bytes),
-            Err(DecodeError::BadVersion(99))
+            Err(TraceError::BadVersion(99))
         ));
     }
 
@@ -652,16 +1301,55 @@ mod tests {
         bytes[n - 1] = 9; // class tag of the sole range
         assert!(matches!(
             summary_from_bytes(&bytes),
-            Err(DecodeError::BadClass(9))
+            Err(TraceError::BadClass { class: 9, .. })
         ));
     }
 
     #[test]
-    fn summary_truncation_is_io_error() {
+    fn summary_truncation_reports_offset() {
         let bytes = summary_to_bytes(&sample_summary());
+        let cut = bytes.len() - 2;
+        match summary_from_bytes(&bytes[..cut]) {
+            Err(TraceError::Truncated { offset, .. }) => assert!(offset as usize <= cut),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn summary_lockset_bomb_rejected() {
+        let s = AnalysisSummary {
+            ranges: vec![ClassifiedRange {
+                start: Addr(0),
+                len: 4,
+                class: LocationClass::ConsistentlyLocked { lockset: vec![] },
+            }],
+            ..Default::default()
+        };
+        let mut bytes = summary_to_bytes(&s);
+        // Patch the lockset count (last 4 bytes) to u32::MAX.
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
-            summary_from_bytes(&bytes[..bytes.len() - 2]),
-            Err(DecodeError::Io(_))
+            summary_from_bytes(&bytes),
+            Err(TraceError::LimitExceeded {
+                what: "lockset length",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn summary_range_count_bounded() {
+        let mut bytes = summary_to_bytes(&AnalysisSummary::default());
+        // Patch the range count (last 8 bytes of the empty summary).
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            summary_from_bytes(&bytes),
+            Err(TraceError::LimitExceeded {
+                what: "range count",
+                ..
+            })
         ));
     }
 }

@@ -48,6 +48,7 @@ mod validate;
 pub use batch::EventBatch;
 pub use builder::TraceBuilder;
 pub use event::{AccessSize, Addr, Event, LockId};
+pub use io::{DecodeLimits, DecodeStats, ReadOptions, TraceError};
 pub use summary::{
     AnalysisSummary, ClassCounts, ClassifiedRange, LocationClass, PruneSet, SummaryStats,
     SUMMARY_VERSION,

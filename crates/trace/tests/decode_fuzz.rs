@@ -1,0 +1,222 @@
+//! Decoder fuzzing: the hardened trace/summary decoders must survive
+//! arbitrary bytes, single-byte mutations of valid encodings, and
+//! truncations — never panicking and never allocating past what the
+//! input length can justify ([`DecodeLimits`] exists precisely so a
+//! 16-byte file declaring 2^60 events cannot reserve memory for them).
+//!
+//! Each property runs 10 000 deterministic cases (seeded from the test
+//! name, so failures reproduce exactly).
+//!
+//! Over-allocation is checked through a length proxy: the smallest event
+//! record is 9 bytes (events start at byte 16), so a decoder that holds
+//! more events than `(input - 16) / 9` must have trusted a declared
+//! count over the actual bytes. The same reasoning bounds summary
+//! ranges, whose records are at least 17 bytes.
+
+use proptest::prelude::*;
+
+use dgrace_trace::io::{from_bytes, read_trace_with, summary_from_bytes, to_bytes, EventReader};
+use dgrace_trace::{AccessSize, DecodeLimits, ReadOptions, Trace, TraceBuilder, TraceError};
+
+/// Upper bound on events any honest decode of `n` input bytes can yield.
+fn max_events(n: usize) -> usize {
+    n.saturating_sub(16) / 9
+}
+
+/// Builds a structurally valid trace from generated op tuples.
+fn trace_from_ops(ops: &[(u8, u32, u64, u8, u64)]) -> Trace {
+    let mut b = TraceBuilder::new();
+    for &(kind, tid, addr, sz, len) in ops {
+        let tid = tid % 64;
+        let size = match sz % 4 {
+            0 => AccessSize::U8,
+            1 => AccessSize::U16,
+            2 => AccessSize::U32,
+            _ => AccessSize::U64,
+        };
+        match kind % 8 {
+            0 => {
+                b.read(tid, addr, size);
+            }
+            1 => {
+                b.write(tid, addr, size);
+            }
+            2 => {
+                b.acquire(tid, (addr % 16) as u32);
+            }
+            3 => {
+                b.release(tid, (addr % 16) as u32);
+            }
+            4 => {
+                b.fork(tid, tid.wrapping_add(1) % 64);
+            }
+            5 => {
+                b.join(tid, tid.wrapping_add(1) % 64);
+            }
+            6 => {
+                b.alloc(tid, addr, 1 + len % 4096);
+            }
+            _ => {
+                b.free(tid, addr, 1 + len % 4096);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Strict decode of arbitrary bytes: an `Err` or a bounded `Ok`, never a
+/// panic, never more events than the byte count can encode.
+fn check_strict(bytes: &[u8]) {
+    if let Ok(trace) = from_bytes(bytes) {
+        assert!(
+            trace.len() <= max_events(bytes.len()),
+            "decoded {} events from {} bytes",
+            trace.len(),
+            bytes.len()
+        );
+    }
+}
+
+/// Resync decode of the same bytes: also panic-free, also bounded, and
+/// its stats stay coherent with what was returned.
+fn check_resync(bytes: &[u8]) {
+    let opts = ReadOptions {
+        limits: DecodeLimits::default(),
+        resync: true,
+    };
+    if let Ok((trace, stats)) = read_trace_with(&mut &bytes[..], opts) {
+        assert!(trace.len() <= max_events(bytes.len()));
+        assert_eq!(stats.decoded, trace.len() as u64);
+        assert!(stats.dropped_bytes <= bytes.len() as u64);
+    }
+}
+
+/// Streaming decode: the iterator must terminate (bounded by the input
+/// length) and stop permanently after its first error.
+fn check_streaming(bytes: &[u8]) {
+    let Ok(reader) = EventReader::new(&bytes[..]) else {
+        return;
+    };
+    let mut decoded = 0usize;
+    let mut steps = 0usize;
+    for item in reader {
+        steps += 1;
+        assert!(
+            steps <= bytes.len() + 1,
+            "EventReader did not terminate within the input length"
+        );
+        match item {
+            Ok(_) => decoded += 1,
+            Err(_) => break, // the iterator fuses after an error
+        }
+    }
+    assert!(decoded <= max_events(bytes.len()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10_000))]
+
+    /// Pure garbage bytes, sometimes wearing a valid-looking header.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        body in proptest::collection::vec(any::<u8>(), 0..192),
+        with_header in any::<bool>(),
+    ) {
+        let bytes = if with_header {
+            let mut b = b"DGRT\x01\x00\x00\x00".to_vec();
+            b.extend_from_slice(&body);
+            b
+        } else {
+            body
+        };
+        check_strict(&bytes);
+        check_resync(&bytes);
+        check_streaming(&bytes);
+        // The summary decoder sees the same bytes; it must be as robust.
+        let _ = summary_from_bytes(&bytes);
+    }
+
+    /// A valid encoding with one byte flipped: strict decode either
+    /// succeeds (the flip hit a payload field) or fails typed; resync
+    /// decode recovers a subset no larger than the original.
+    #[test]
+    fn single_byte_mutations_never_panic(
+        ops in proptest::collection::vec(
+            (any::<u8>(), any::<u32>(), 0u64..0x4000, any::<u8>(), any::<u64>()),
+            1..24,
+        ),
+        offset in any::<usize>(),
+        value in any::<u8>(),
+    ) {
+        let trace = trace_from_ops(&ops);
+        let mut bytes = to_bytes(&trace);
+        let n = bytes.len();
+        bytes[offset % n] ^= value | 1; // guarantee the byte changes
+        match from_bytes(&bytes) {
+            Ok(decoded) => prop_assert!(decoded.len() <= max_events(n)),
+            Err(e) => {
+                if let Some(off) = e.offset() {
+                    prop_assert!(off <= n as u64, "error offset {off} beyond input {n}");
+                }
+            }
+        }
+        let opts = ReadOptions { limits: DecodeLimits::default(), resync: true };
+        if let Ok((recovered, stats)) = read_trace_with(&mut &bytes[..], opts) {
+            prop_assert!(recovered.len() <= trace.len());
+            prop_assert_eq!(stats.decoded, recovered.len() as u64);
+        }
+        check_streaming(&bytes);
+    }
+
+    /// A valid encoding cut off at an arbitrary point: strict decode of a
+    /// proper prefix reports `Truncated` (or a header error for cuts
+    /// inside the header); resync decode ends the stream cleanly.
+    #[test]
+    fn truncations_never_panic(
+        ops in proptest::collection::vec(
+            (any::<u8>(), any::<u32>(), 0u64..0x4000, any::<u8>(), any::<u64>()),
+            1..24,
+        ),
+        cut in any::<usize>(),
+    ) {
+        let trace = trace_from_ops(&ops);
+        let bytes = to_bytes(&trace);
+        let cut = cut % bytes.len(); // always a proper prefix
+        let prefix = &bytes[..cut];
+        match from_bytes(prefix) {
+            Ok(_) => prop_assert!(false, "a proper prefix cannot satisfy the declared count"),
+            Err(TraceError::Truncated { offset, .. }) => {
+                prop_assert!(offset <= cut as u64);
+            }
+            Err(TraceError::BadMagic(_)) | Err(TraceError::Io(_)) => {
+                prop_assert!(cut < 16, "header errors only for cuts inside the header");
+            }
+            Err(_) => {}
+        }
+        check_resync(prefix);
+        check_streaming(prefix);
+    }
+
+    /// Tight decode limits are enforced, not just advisory: a trace whose
+    /// thread ids exceed the configured bound fails typed under those
+    /// limits while decoding fine under the defaults.
+    #[test]
+    fn limits_are_enforced(tid in 9u32..1024, addr in 0u64..0x4000) {
+        let mut b = TraceBuilder::new();
+        b.write(tid, addr, AccessSize::U8);
+        let bytes = to_bytes(&b.build());
+        prop_assert!(from_bytes(&bytes).is_ok());
+        let tight = ReadOptions {
+            limits: DecodeLimits { max_tid: 8, ..DecodeLimits::default() },
+            resync: false,
+        };
+        match read_trace_with(&mut &bytes[..], tight) {
+            Err(TraceError::LimitExceeded { what, value, limit, .. }) => {
+                prop_assert_eq!(what, "thread id");
+                prop_assert_eq!(value, tid as u64);
+                prop_assert_eq!(limit, 8);
+            }
+            other => prop_assert!(false, "expected LimitExceeded, got {:?}", other.map(|(t, _)| t.len())),
+        }
+    }
+}
