@@ -4,7 +4,8 @@
 //! dgrace gen <workload> [--scale S] [--seed N] -o trace.dgrt
 //! dgrace analyze <trace.dgrt> [-o summary.dgas]
 //! dgrace detect <detector> <trace.dgrt> [--max-races N] [--shards N] [--prune-with summary.dgas]
-//!                                       [--shadow-budget BYTES] [--resync]
+//!                                       [--shadow-budget BYTES] [--resync] [--json] [--self-heal]
+//!                                       [--checkpoint-dir D] [--checkpoint-every N|Ns] [--resume D]
 //! dgrace stats <trace.dgrt>
 //! dgrace list
 //! ```
@@ -16,6 +17,7 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dgrace_analysis::analyze;
@@ -25,16 +27,20 @@ use dgrace_detectors::{
     Detector, DetectorExt, DjitOn, FastTrackOn, Granularity, OracleDetector, Report,
     ShardableDetector, StaticPruneFilter,
 };
-use dgrace_runtime::replay_sharded_pruned;
+use dgrace_runtime::{
+    replay_checkpointed, replay_sharded_pruned, CheckpointInterval, CheckpointManifest,
+    CheckpointOptions, ReplayError, SupervisorPolicy, CHECKPOINT_FILE,
+};
 use dgrace_shadow::{HashSelect, PagedSelect, StoreSelect};
 use dgrace_trace::io::{read_summary, read_trace_with, write_summary, write_trace};
 use dgrace_trace::{
-    stats::stats, validate, AnalysisSummary, DecodeLimits, LocationClass, PruneSet, ReadOptions,
-    Trace, TraceError,
+    stats::stats, validate, AnalysisSummary, DecodeLimits, DecodeStats, LocationClass, PruneSet,
+    ReadOptions, Trace, TraceError,
 };
 use dgrace_workloads::{Workload, WorkloadKind};
 
 mod args;
+mod json;
 mod render;
 
 use args::Parsed;
@@ -143,11 +149,18 @@ fn print_help() {
          \x20 dgrace detect <detector> <file> [--max-races N] [--shards N] [--prune-with <summary>]\n\
          \x20                                 [--shadow hash|paged]    run a detector over a trace,\n\
          \x20                                 [--shadow-budget BYTES]  optionally across N address shards,\n\
-         \x20                                 [--resync]               skipping provably race-free accesses;\n\
-         \x20                                                          --shadow picks the shadow store,\n\
-         \x20                                                          --shadow-budget caps shadow memory\n\
-         \x20                                                          (cold state is evicted past the cap),\n\
-         \x20                                                          --resync skips damaged trace frames\n\
+         \x20                                 [--resync] [--json]      skipping provably race-free accesses;\n\
+         \x20                                 [--self-heal]            --shadow picks the shadow store,\n\
+         \x20                                 [--checkpoint-dir D]     --shadow-budget caps shadow memory\n\
+         \x20                                 [--checkpoint-every N|Ns] (cold state is evicted past the cap),\n\
+         \x20                                 [--resume D]             --resync skips damaged trace frames,\n\
+         \x20                                                          --json prints a deterministic report,\n\
+         \x20                                                          --self-heal respawns panicked shards\n\
+         \x20                                                          from their last checkpoint,\n\
+         \x20                                                          --checkpoint-dir writes durable\n\
+         \x20                                                          checkpoints every N events (or Ns\n\
+         \x20                                                          seconds), --resume continues an\n\
+         \x20                                                          interrupted run from one\n\
          \x20 dgrace compare <detA> <detB> <file> [--shadow hash|paged]  diff two detectors' findings\n\
          \x20 dgrace stats <file>                                      trace statistics\n\
          \x20 dgrace list                                              available workloads & detectors\n\n\
@@ -279,7 +292,7 @@ fn cmd_gen(rest: &[String]) -> Result<(), Failure> {
 fn cmd_analyze(rest: &[String]) -> Result<(), Failure> {
     let p = Parsed::parse(rest, &["-o"])?;
     let path = p.positional(0).ok_or("analyze: missing trace file")?;
-    let trace = load_trace(path, false)?;
+    let (trace, _) = load_trace(path, false)?;
     let start = std::time::Instant::now();
     let summary = analyze(&trace);
     let secs = start.elapsed().as_secs_f64();
@@ -370,9 +383,10 @@ fn decode_failure(path: &str, e: &TraceError, resync_available: bool) -> Failure
 
 /// Opens, decodes, and validates a `.dgrt` trace. With `resync` the
 /// decoder skips damaged byte regions instead of failing, and any loss is
-/// reported on stderr; the recovered subset can only *miss* races, never
+/// reported on stderr (and in `--json` output via the returned
+/// [`DecodeStats`]); the recovered subset can only *miss* races, never
 /// invent them.
-fn load_trace(path: &str, resync: bool) -> Result<Trace, Failure> {
+fn load_trace(path: &str, resync: bool) -> Result<(Trace, DecodeStats), Failure> {
     let f = File::open(path).map_err(|e| Failure::Io(format!("open {path}: {e}")))?;
     let opts = ReadOptions {
         limits: DecodeLimits::default(),
@@ -398,12 +412,13 @@ fn load_trace(path: &str, resync: bool) -> Result<Trace, Failure> {
             return Err(Failure::Invalid(format!("{path}: invalid trace: {e}")));
         }
     }
-    Ok(trace)
+    Ok((trace, dstats))
 }
 
 /// Prototype for sharded replay, for the detectors that support address
-/// partitioning (the vector-clock family).
-fn make_shardable_on<K: StoreSelect>(name: &str) -> Option<Box<dyn ShardableDetector>> {
+/// partitioning (the vector-clock family). `Send` because the supervised
+/// engine keeps the prototype alive to respawn replacement shards.
+fn make_shardable_on<K: StoreSelect>(name: &str) -> Option<Box<dyn ShardableDetector + Send>> {
     Some(match name {
         "byte" => Box::new(FastTrackOn::<K>::with_granularity(Granularity::Byte)),
         "word" => Box::new(FastTrackOn::<K>::with_granularity(Granularity::Word)),
@@ -419,7 +434,10 @@ fn make_shardable_on<K: StoreSelect>(name: &str) -> Option<Box<dyn ShardableDete
     })
 }
 
-fn make_shardable(name: &str, shadow: Shadow) -> Result<Box<dyn ShardableDetector>, Failure> {
+fn make_shardable(
+    name: &str,
+    shadow: Shadow,
+) -> Result<Box<dyn ShardableDetector + Send>, Failure> {
     let det = match shadow {
         Shadow::Hash => make_shardable_on::<HashSelect>(name),
         Shadow::Paged => make_shardable_on::<PagedSelect>(name),
@@ -451,6 +469,38 @@ fn detect_exit(report: &Report, shards: usize) -> Result<ExitCode, Failure> {
     Ok(ExitCode::from(EXIT_PARTIAL))
 }
 
+/// Parses `--checkpoint-every`: a bare number is an event count, an
+/// `s`-suffixed one is a wall-clock period in seconds.
+fn parse_interval(v: &str) -> Result<CheckpointInterval, Failure> {
+    let iv = match v.strip_suffix('s') {
+        Some(secs) => CheckpointInterval::Secs(secs.parse().map_err(|_| {
+            format!("--checkpoint-every: cannot parse `{v}` (use e.g. `65536` or `5s`)")
+        })?),
+        None => CheckpointInterval::Events(v.parse().map_err(|_| {
+            format!("--checkpoint-every: cannot parse `{v}` (use e.g. `65536` or `5s`)")
+        })?),
+    };
+    if matches!(
+        iv,
+        CheckpointInterval::Events(0) | CheckpointInterval::Secs(0)
+    ) {
+        return Err("--checkpoint-every must be positive".into());
+    }
+    Ok(iv)
+}
+
+/// Maps a checkpointed-replay failure onto the stable exit-code classes:
+/// i/o trouble writing/reading checkpoints is exit 3, a torn or truncated
+/// manifest is exit 4 (decode), and resuming against the wrong detector,
+/// shard count, or trace is exit 5 (validation).
+fn replay_failure(e: ReplayError) -> Failure {
+    match e {
+        ReplayError::Io(m) => Failure::Io(m),
+        ReplayError::Corrupt(m) => Failure::Decode(m),
+        ReplayError::Mismatch(m) => Failure::Invalid(m),
+    }
+}
+
 fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
     let p = Parsed::parse_with_flags(
         rest,
@@ -460,8 +510,11 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
             "--prune-with",
             "--shadow",
             "--shadow-budget",
+            "--checkpoint-dir",
+            "--checkpoint-every",
+            "--resume",
         ],
-        &["--resync"],
+        &["--resync", "--json", "--self-heal"],
     )?;
     let det_name = p.positional(0).ok_or("detect: missing detector name")?;
     let path = p.positional(1).ok_or("detect: missing trace file")?;
@@ -472,15 +525,65 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         return Err("--shadow-budget must be positive (omit it for no cap)".into());
     }
     let shadow = parse_shadow(&p)?;
+    let json_out = p.flag("--json");
+    let self_heal = p.flag("--self-heal");
+    let ckpt_dir = p.opt("--checkpoint-dir").map(PathBuf::from);
+    let resume_dir = p.opt("--resume").map(PathBuf::from);
+    let every = p
+        .opt("--checkpoint-every")
+        .map(parse_interval)
+        .transpose()?;
+    if every.is_some() && ckpt_dir.is_none() && resume_dir.is_none() {
+        return Err("--checkpoint-every needs --checkpoint-dir (or --resume) to write to".into());
+    }
 
-    let trace = load_trace(path, p.flag("--resync"))?;
+    let (trace, dstats) = load_trace(path, p.flag("--resync"))?;
     let prune = match p.opt("--prune-with") {
         Some(sp) => compile_prune(det_name, &load_summary(sp, &trace)?)?,
         None => PruneSet::empty(),
     };
 
     let start = std::time::Instant::now();
-    let report = if shards > 1 {
+    let report = if ckpt_dir.is_some() || resume_dir.is_some() || self_heal {
+        // The checkpointing engine path: sharded replay (1 shard is fine)
+        // with periodic durable snapshots, crash resume, and optionally a
+        // self-healing supervisor.
+        let mut proto = make_shardable(det_name, shadow)?;
+        proto.set_shadow_budget(budget.map(|b| (b / shards.max(1) as u64).max(1)));
+        let resume = match &resume_dir {
+            Some(d) => {
+                let file = d.join(CHECKPOINT_FILE);
+                let loaded = CheckpointManifest::load(&file).map_err(|e| {
+                    Failure::Decode(format!("load checkpoint {}: {e}", file.display()))
+                })?;
+                if loaded.is_none() {
+                    eprintln!(
+                        "dgrace: note: no checkpoint at {}; starting from the beginning",
+                        file.display()
+                    );
+                }
+                loaded
+            }
+            None => None,
+        };
+        // `--resume D` without `--checkpoint-dir` keeps checkpointing
+        // into D, so an interrupted resume is itself resumable.
+        let ckpt = ckpt_dir.or(resume_dir).map(|dir| CheckpointOptions {
+            dir,
+            every: every.unwrap_or(CheckpointInterval::Events(65536)),
+        });
+        let policy = self_heal.then(SupervisorPolicy::default);
+        replay_checkpointed(
+            proto,
+            &trace,
+            shards.max(1),
+            prune,
+            policy,
+            ckpt.as_ref(),
+            resume.as_ref(),
+        )
+        .map_err(replay_failure)?
+    } else if shards > 1 {
         let mut proto = make_shardable(det_name, shadow)?;
         // The budget is a whole-run cap: each shard holds a slice of the
         // address space, so it gets a slice of the budget.
@@ -496,10 +599,16 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         }
     };
     let secs = start.elapsed().as_secs_f64();
-    if shards > 1 {
-        println!("sharded replay: {shards} detector shards (merged report)");
+    if json_out {
+        // Deterministic machine-readable output: no timing, so resumed
+        // and uninterrupted runs over the same trace diff byte-equal.
+        println!("{}", json::report(&report, &dstats));
+    } else {
+        if shards > 1 {
+            println!("sharded replay: {shards} detector shards (merged report)");
+        }
+        render::report(&report, &trace, secs, max_races);
     }
-    render::report(&report, &trace, secs, max_races);
     detect_exit(&report, shards.max(1))
 }
 
@@ -509,7 +618,7 @@ fn cmd_compare(rest: &[String]) -> Result<(), Failure> {
     let b_name = p.positional(1).ok_or("compare: missing second detector")?;
     let path = p.positional(2).ok_or("compare: missing trace file")?;
     let shadow = parse_shadow(&p)?;
-    let trace = load_trace(path, false)?;
+    let (trace, _) = load_trace(path, false)?;
 
     let run = |name: &str| -> Result<_, Failure> {
         let mut det = make_detector(name, shadow)?;
@@ -570,7 +679,7 @@ fn cmd_compare(rest: &[String]) -> Result<(), Failure> {
 fn cmd_stats(rest: &[String]) -> Result<(), Failure> {
     let p = Parsed::parse(rest, &[])?;
     let path = p.positional(0).ok_or("stats: missing trace file")?;
-    let trace = load_trace(path, false)?;
+    let (trace, _) = load_trace(path, false)?;
     render::trace_stats(&stats(&trace), trace.len());
     Ok(())
 }

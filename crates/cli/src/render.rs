@@ -52,9 +52,12 @@ pub fn report(rep: &Report, trace: &Trace, secs: f64, max_races: usize) {
             s.dropped
         );
         for fail in &rep.failures {
+            println!("  {fail}");
+        }
+        if s.events_lost > 0 {
             println!(
-                "  shard {} failed at event {}: {}",
-                fail.shard, fail.event_seq, fail.payload
+                "  {} event(s) total were routed to dead shards over the whole run",
+                s.events_lost
             );
         }
         println!("  races below cover only the surviving shards' address slices");

@@ -4,7 +4,8 @@ use dgrace_detectors::{
     AccessKind, Detector, HbState, RaceKind, RaceReport, Report, ShardableDetector, SharingStats,
 };
 use dgrace_shadow::{HashSelect, MemClass, MemoryModel, SlabId, StoreSelect};
-use dgrace_trace::{Addr, Event};
+use dgrace_trace::snapshot::{STATE_MAGIC, STATE_VERSION};
+use dgrace_trace::{Addr, Event, SnapshotLimits, SnapshotReader, SnapshotWriter, TraceError};
 use dgrace_vc::{AccessClock, Epoch, Tid, VectorClock};
 
 use crate::plane::PlaneOn;
@@ -662,6 +663,105 @@ impl<K: StoreSelect> Detector for DynamicGranularityOn<K> {
 
     fn set_shadow_budget(&mut self, bytes: Option<u64>) {
         self.model.set_budget(bytes.map(|b| b as usize));
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        let mut w = SnapshotWriter::new(STATE_MAGIC, STATE_VERSION);
+        w.str(&self.name());
+        // Full config fields, not just the label: restore must reject a
+        // snapshot from any differently-configured detector.
+        w.bool(self.config.init_state);
+        w.bool(self.config.share_at_init);
+        w.u64(self.config.first_epoch_scan);
+        w.bool(self.config.enable_sharing);
+        w.bool(self.config.guide_reads_by_writes);
+        w.u8(self.config.max_redecisions);
+        w.bool(self.config.report_group_races);
+        self.hb.encode(&mut w);
+        self.read.encode(&mut w);
+        self.write.encode(&mut w);
+        self.model.encode(&mut w);
+        w.count(self.races.len());
+        for race in &self.races {
+            race.encode(&mut w);
+        }
+        for c in [
+            self.events,
+            self.accesses,
+            self.same_epoch,
+            self.shares,
+            self.splits,
+            self.evicted,
+            self.peak_locs as u64,
+            self.cells_at_peak as u64,
+            self.event_index,
+        ] {
+            w.u64(c);
+        }
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let name = self.name();
+        let fail = |e: TraceError| format!("{name}: corrupt snapshot: {e}");
+        let mut r =
+            SnapshotReader::new(bytes, STATE_MAGIC, STATE_VERSION, SnapshotLimits::default())
+                .map_err(fail)?;
+        let snap_name = r.str().map_err(fail)?;
+        if snap_name != name {
+            return Err(format!(
+                "snapshot is for detector {snap_name:?}, not {name:?}"
+            ));
+        }
+        let config = DynamicConfig {
+            init_state: r.bool().map_err(fail)?,
+            share_at_init: r.bool().map_err(fail)?,
+            first_epoch_scan: r.u64().map_err(fail)?,
+            enable_sharing: r.bool().map_err(fail)?,
+            guide_reads_by_writes: r.bool().map_err(fail)?,
+            max_redecisions: r.u8().map_err(fail)?,
+            report_group_races: r.bool().map_err(fail)?,
+        };
+        if config != self.config {
+            return Err(format!(
+                "{name}: snapshot configuration {config:?} differs from this detector's {:?}",
+                self.config
+            ));
+        }
+        let hb = HbState::decode(&mut r).map_err(fail)?;
+        let read = PlaneOn::decode(&mut r).map_err(fail)?;
+        let write = PlaneOn::decode(&mut r).map_err(fail)?;
+        let mut model = MemoryModel::decode(&mut r).map_err(fail)?;
+        let n = r.count("race reports").map_err(fail)?;
+        let mut races = Vec::new();
+        for _ in 0..n {
+            races.push(RaceReport::decode(&mut r).map_err(fail)?);
+        }
+        let mut counters = [0u64; 9];
+        for c in counters.iter_mut() {
+            *c = r.u64().map_err(fail)?;
+        }
+        r.expect_end().map_err(fail)?;
+        model.set_budget(self.model.budget());
+        *self = DynamicGranularityOn {
+            config,
+            hb,
+            read,
+            write,
+            model,
+            races,
+            events: counters[0],
+            accesses: counters[1],
+            same_epoch: counters[2],
+            shares: counters[3],
+            splits: counters[4],
+            evicted: counters[5],
+            peak_locs: counters[6] as usize,
+            cells_at_peak: counters[7] as usize,
+            event_index: counters[8],
+            scratch: VectorClock::new(),
+        };
+        Ok(())
     }
 }
 

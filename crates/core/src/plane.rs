@@ -38,10 +38,11 @@
 //!   cell) + one out-of-line payload (`16 + 4·width`) per live *arena
 //!   entry* in full-VC form — shared payloads are charged once.
 
+use dgrace_detectors::snap::{decode_access_clock, encode_access_clock};
 use dgrace_shadow::accounting::vc_cell_bytes;
 use dgrace_shadow::store::{ShadowStore, StoreSelect};
 use dgrace_shadow::{FastMap, HashSelect, Slab, SlabId};
-use dgrace_trace::Addr;
+use dgrace_trace::{Addr, SnapshotReader, SnapshotWriter, TraceError};
 use dgrace_vc::AccessClock;
 
 use crate::VcState;
@@ -564,6 +565,140 @@ impl<K: StoreSelect> PlaneOn<K> {
         assert_eq!(bytes, self.vc_bytes, "vc byte accounting drifted");
         assert_eq!(self.cells.len(), self.cell_count());
     }
+
+    /// Serializes the plane. Cells and clock-arena entries are renumbered
+    /// densely in slab-iteration order, so equal planes encode to equal
+    /// bytes regardless of slab free-list history, and the copy-on-write
+    /// sharing structure (which cells reference which arena entries, and
+    /// each entry's refcount) is preserved exactly.
+    pub fn encode(&self, w: &mut SnapshotWriter) {
+        let mut clock_dense: FastMap<SlabId, u32> = FastMap::default();
+        w.count(self.clocks.len());
+        for (cid, entry) in self.clocks.iter() {
+            let idx = clock_dense.len() as u32;
+            clock_dense.insert(cid, idx);
+            encode_access_clock(w, &entry.clock);
+            w.u32(entry.rc);
+        }
+        let mut cell_dense: FastMap<SlabId, u32> = FastMap::default();
+        w.count(self.cells.len());
+        for (id, cell) in self.cells.iter() {
+            let idx = cell_dense.len() as u32;
+            cell_dense.insert(id, idx);
+            w.u32(clock_dense[&cell.clock]);
+            w.u8(state_tag(cell.state));
+            w.u32(cell.count);
+            w.bool(cell.tainted);
+            w.u8(cell.redecisions);
+            w.count(cell.members.len());
+            for m in &cell.members {
+                w.u64(m.0);
+            }
+        }
+        let mut locs: Vec<(Addr, Loc)> = Vec::with_capacity(self.table.len());
+        self.table.for_each(|addr, loc| locs.push((addr, *loc)));
+        locs.sort_unstable_by_key(|&(addr, _)| addr);
+        w.count(locs.len());
+        for (addr, loc) in locs {
+            w.u64(addr.0);
+            w.u32(cell_dense[&loc.cell]);
+            w.u32(loc.idx);
+        }
+        let chunks = self.table.byte_mode_chunks();
+        w.count(chunks.len());
+        for chunk in chunks {
+            w.u64(chunk.0);
+        }
+        w.u64(self.vc_bytes as u64);
+        w.u64(self.vc_allocs);
+        w.u64(self.vc_frees);
+        w.u32(self.max_group);
+    }
+
+    /// Rebuilds a plane from [`PlaneOn::encode`]d bytes. Fresh slabs
+    /// allocate sequential ids, so the dense indices in the stream map
+    /// directly onto the ids handed back by `alloc`.
+    pub fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, TraceError> {
+        let mut plane = Self::default();
+        let n = r.count("clock-arena entries")?;
+        let mut clock_ids = Vec::new();
+        for _ in 0..n {
+            let clock = decode_access_clock(r)?;
+            let rc = r.u32()?;
+            clock_ids.push(plane.clocks.alloc(ClockEntry { clock, rc }));
+        }
+        let n = r.count("plane cells")?;
+        let mut cell_ids = Vec::new();
+        for _ in 0..n {
+            let at = r.offset();
+            let ci = r.u32()? as usize;
+            let clock = *clock_ids.get(ci).ok_or(TraceError::Malformed {
+                offset: at,
+                what: "clock reference out of range",
+            })?;
+            let at = r.offset();
+            let state = state_from_tag(r.u8()?, at)?;
+            let count = r.u32()?;
+            let tainted = r.bool()?;
+            let redecisions = r.u8()?;
+            let m = r.count("group members")?;
+            let mut members = Vec::new();
+            for _ in 0..m {
+                members.push(Addr(r.u64()?));
+            }
+            cell_ids.push(plane.cells.alloc(Cell {
+                clock,
+                state,
+                count,
+                tainted,
+                redecisions,
+                members,
+            }));
+        }
+        let n = r.count("plane locations")?;
+        for _ in 0..n {
+            let addr = Addr(r.u64()?);
+            let at = r.offset();
+            let ci = r.u32()? as usize;
+            let cell = *cell_ids.get(ci).ok_or(TraceError::Malformed {
+                offset: at,
+                what: "cell reference out of range",
+            })?;
+            let idx = r.u32()?;
+            plane.table.insert(addr, Loc { cell, idx });
+        }
+        let chunks = r.count("byte-mode chunks")?;
+        for _ in 0..chunks {
+            plane.table.force_byte_mode(Addr(r.u64()?));
+        }
+        plane.vc_bytes = r.u64()? as usize;
+        plane.vc_allocs = r.u64()?;
+        plane.vc_frees = r.u64()?;
+        plane.max_group = r.u32()?;
+        Ok(plane)
+    }
+}
+
+/// Wire tag of a [`VcState`].
+fn state_tag(state: VcState) -> u8 {
+    match state {
+        VcState::FirstEpochPrivate => 0,
+        VcState::FirstEpochShared => 1,
+        VcState::Shared => 2,
+        VcState::Private => 3,
+        VcState::Race => 4,
+    }
+}
+
+fn state_from_tag(tag: u8, offset: u64) -> Result<VcState, TraceError> {
+    Ok(match tag {
+        0 => VcState::FirstEpochPrivate,
+        1 => VcState::FirstEpochShared,
+        2 => VcState::Shared,
+        3 => VcState::Private,
+        4 => VcState::Race,
+        tag => return Err(TraceError::BadTag { offset, tag }),
+    })
 }
 
 #[cfg(test)]
@@ -818,6 +953,54 @@ mod tests {
         let (_, s2) = p.split(Addr(0x10c));
         assert!(s2);
         assert_eq!(p.group_members(Addr(0x100)), vec![Addr(0x100), Addr(0x108)]);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_cow_sharing() {
+        let mut p = Plane::new();
+        p.insert_private(Addr(0x100), epoch(1, 0), VcState::FirstEpochShared);
+        p.insert_shared(Addr(0x104), Addr(0x100), p.lookup(Addr(0x100)).unwrap());
+        p.insert_shared(Addr(0x108), Addr(0x104), p.lookup(Addr(0x104)).unwrap());
+        // A split leaves two cells sharing one arena entry (CoW state).
+        let (split_id, _) = p.split(Addr(0x104));
+        assert_eq!(p.clock_refs(split_id), 2);
+        p.insert_private(Addr(0x300), epoch(7, 1), VcState::Private);
+
+        let mut w = SnapshotWriter::new(*b"TEST", 1);
+        p.encode(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes, *b"TEST", 1, Default::default()).unwrap();
+        let q = Plane::decode(&mut r).unwrap();
+        r.expect_end().unwrap();
+
+        q.check_invariants();
+        assert_eq!(q.loc_count(), p.loc_count());
+        assert_eq!(q.cell_count(), p.cell_count());
+        assert_eq!(q.clock_count(), p.clock_count());
+        assert_eq!(q.vc_bytes(), p.vc_bytes());
+        assert_eq!(q.vc_allocs(), p.vc_allocs());
+        assert_eq!(q.max_group(), p.max_group());
+        let qid = q.lookup(Addr(0x104)).unwrap();
+        assert_eq!(q.clock_refs(qid), 2, "CoW sharing survives the round trip");
+        assert_eq!(q.group_members(Addr(0x100)), vec![Addr(0x100), Addr(0x108)]);
+        // Canonical: re-encoding the restored plane is byte-identical.
+        let mut w2 = SnapshotWriter::new(*b"TEST", 1);
+        q.encode(&mut w2);
+        assert_eq!(w2.finish(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_dangling_references() {
+        let mut w = SnapshotWriter::new(*b"TEST", 1);
+        w.count(0); // no clocks
+        w.count(1); // one cell...
+        w.u32(5); // ...referencing clock 5
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes, *b"TEST", 1, Default::default()).unwrap();
+        assert!(matches!(
+            Plane::decode(&mut r),
+            Err(TraceError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -34,6 +34,24 @@ pub trait Detector: std::any::Any {
     fn set_shadow_budget(&mut self, bytes: Option<u64>) {
         let _ = bytes;
     }
+
+    /// Serializes the detector's complete analysis state into a versioned
+    /// `DGSS` snapshot, or `None` if the detector does not support
+    /// checkpointing (the default). A supported snapshot restores through
+    /// [`Detector::restore`] into a detector of the same configuration,
+    /// after which both instances behave identically on any event suffix.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Replaces this detector's state with a [`Detector::snapshot`] taken
+    /// from a detector of the same configuration. The default rejects;
+    /// implementations validate the embedded detector name and version and
+    /// return a diagnostic on any mismatch or corruption.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let _ = bytes;
+        Err(format!("{}: snapshot/restore not supported", self.name()))
+    }
 }
 
 impl Detector for Box<dyn Detector> {
@@ -49,6 +67,12 @@ impl Detector for Box<dyn Detector> {
     fn set_shadow_budget(&mut self, bytes: Option<u64>) {
         (**self).set_shadow_budget(bytes)
     }
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        (**self).snapshot()
+    }
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        (**self).restore(bytes)
+    }
 }
 
 impl Detector for Box<dyn Detector + Send> {
@@ -63,6 +87,12 @@ impl Detector for Box<dyn Detector + Send> {
     }
     fn set_shadow_budget(&mut self, bytes: Option<u64>) {
         (**self).set_shadow_budget(bytes)
+    }
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        (**self).snapshot()
+    }
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        (**self).restore(bytes)
     }
 }
 

@@ -2,9 +2,13 @@
 
 use dgrace_shadow::accounting::vc_cell_bytes;
 use dgrace_shadow::{HashSelect, MemClass, MemoryModel, ShadowStore, StoreSelect};
-use dgrace_trace::{Addr, Event};
+use dgrace_trace::snapshot::{STATE_MAGIC, STATE_VERSION};
+use dgrace_trace::{Addr, Event, SnapshotLimits, SnapshotReader, SnapshotWriter, TraceError};
 use dgrace_vc::{Epoch, ReadClock, Tid};
 
+use crate::snap::{
+    decode_epoch, decode_read_clock, decode_store, encode_epoch, encode_read_clock, encode_store,
+};
 use crate::{
     AccessKind, Detector, Granularity, HbState, RaceKind, RaceReport, Report, ShardableDetector,
 };
@@ -206,6 +210,24 @@ impl<K: StoreSelect> FastTrackOn<K> {
     }
 }
 
+impl Cell {
+    fn encode(&self, w: &mut SnapshotWriter) {
+        encode_epoch(w, self.write);
+        encode_read_clock(w, &self.read);
+        w.bool(self.read_raced);
+        w.bool(self.write_raced);
+    }
+
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Box<Self>, TraceError> {
+        Ok(Box::new(Cell {
+            write: decode_epoch(r)?,
+            read: decode_read_clock(r)?,
+            read_raced: r.bool()?,
+            write_raced: r.bool()?,
+        }))
+    }
+}
+
 impl<K: StoreSelect> ShardableDetector for FastTrackOn<K> {
     fn new_shard(&self) -> Box<dyn Detector + Send> {
         let mut shard = FastTrackOn::<K>::with_granularity(self.granularity);
@@ -270,6 +292,77 @@ impl<K: StoreSelect> Detector for FastTrackOn<K> {
 
     fn set_shadow_budget(&mut self, bytes: Option<u64>) {
         self.model.set_budget(bytes.map(|b| b as usize));
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        let mut w = SnapshotWriter::new(STATE_MAGIC, STATE_VERSION);
+        w.str(&self.name());
+        self.hb.encode(&mut w);
+        encode_store(&mut w, &self.table, |w, cell| Cell::encode(cell, w));
+        self.model.encode(&mut w);
+        w.count(self.races.len());
+        for race in &self.races {
+            race.encode(&mut w);
+        }
+        w.u64(self.vc_bytes as u64);
+        for c in [
+            self.events,
+            self.accesses,
+            self.same_epoch,
+            self.vc_allocs,
+            self.vc_frees,
+            self.evicted,
+            self.event_index,
+        ] {
+            w.u64(c);
+        }
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let name = self.name();
+        let fail = |e: TraceError| format!("{name}: corrupt snapshot: {e}");
+        let mut r =
+            SnapshotReader::new(bytes, STATE_MAGIC, STATE_VERSION, SnapshotLimits::default())
+                .map_err(fail)?;
+        let snap_name = r.str().map_err(fail)?;
+        if snap_name != name {
+            return Err(format!(
+                "snapshot is for detector {snap_name:?}, not {name:?}"
+            ));
+        }
+        let hb = HbState::decode(&mut r).map_err(fail)?;
+        let table = decode_store(&mut r, Cell::decode).map_err(fail)?;
+        let mut model = MemoryModel::decode(&mut r).map_err(fail)?;
+        let n = r.count("race reports").map_err(fail)?;
+        let mut races = Vec::new();
+        for _ in 0..n {
+            races.push(RaceReport::decode(&mut r).map_err(fail)?);
+        }
+        let vc_bytes = r.u64().map_err(fail)? as usize;
+        let mut counters = [0u64; 7];
+        for c in counters.iter_mut() {
+            *c = r.u64().map_err(fail)?;
+        }
+        r.expect_end().map_err(fail)?;
+        model.set_budget(self.model.budget());
+        *self = FastTrackOn {
+            granularity: self.granularity,
+            hb,
+            table,
+            model,
+            vc_bytes,
+            races,
+            events: counters[0],
+            accesses: counters[1],
+            same_epoch: counters[2],
+            vc_allocs: counters[3],
+            vc_frees: counters[4],
+            evicted: counters[5],
+            event_index: counters[6],
+            scratch: Default::default(),
+        };
+        Ok(())
     }
 }
 

@@ -4,8 +4,10 @@
 use std::collections::HashMap;
 
 use dgrace_shadow::EpochBitmap;
-use dgrace_trace::{Addr, Event, LockId};
+use dgrace_trace::{Addr, Event, LockId, SnapshotReader, SnapshotWriter, TraceError};
 use dgrace_vc::{Epoch, Tid, VectorClock};
+
+use crate::snap::{decode_vc, encode_vc};
 
 #[derive(Clone, Debug)]
 struct ThreadState {
@@ -245,6 +247,85 @@ impl HbState {
     pub fn thread_count(&self) -> usize {
         self.threads.iter().filter(|t| t.is_some()).count()
     }
+
+    /// Serializes the complete synchronization state. Lock/cv/barrier
+    /// tables are written sorted by id so equal states encode to equal
+    /// bytes regardless of hash-map iteration order.
+    pub fn encode(&self, w: &mut SnapshotWriter) {
+        w.count(self.threads.len());
+        for slot in &self.threads {
+            match slot {
+                Some(ts) => {
+                    w.bool(true);
+                    encode_vc(w, &ts.vc);
+                    ts.bitmap.encode(w);
+                }
+                None => w.bool(false),
+            }
+        }
+        let mut locks: Vec<_> = self.locks.iter().collect();
+        locks.sort_unstable_by_key(|(id, _)| id.0);
+        w.count(locks.len());
+        for (id, lc) in locks {
+            w.u32(id.0);
+            encode_vc(w, &lc.all);
+            encode_vc(w, &lc.writer);
+        }
+        for map in [&self.cvs, &self.bars] {
+            let mut entries: Vec<_> = map.iter().collect();
+            entries.sort_unstable_by_key(|(id, _)| id.0);
+            w.count(entries.len());
+            for (id, vc) in entries {
+                w.u32(id.0);
+                encode_vc(w, vc);
+            }
+        }
+        w.u64(self.bitmap_bytes as u64);
+        w.u64(self.peak_bitmap_bytes as u64);
+    }
+
+    /// Rebuilds a state from [`HbState::encode`]d bytes.
+    pub fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, TraceError> {
+        let n = r.count("thread slots")?;
+        let mut threads = Vec::new();
+        for _ in 0..n {
+            threads.push(if r.bool()? {
+                Some(ThreadState {
+                    vc: decode_vc(r)?,
+                    bitmap: EpochBitmap::decode(r)?,
+                })
+            } else {
+                None
+            });
+        }
+        let n = r.count("lock clocks")?;
+        let mut locks = HashMap::new();
+        for _ in 0..n {
+            let id = LockId(r.u32()?);
+            let all = decode_vc(r)?;
+            let writer = decode_vc(r)?;
+            locks.insert(id, LockClocks { all, writer });
+        }
+        let mut cvs = HashMap::new();
+        let mut bars = HashMap::new();
+        for map in [&mut cvs, &mut bars] {
+            let n = r.count("sync clocks")?;
+            for _ in 0..n {
+                let id = LockId(r.u32()?);
+                map.insert(id, decode_vc(r)?);
+            }
+        }
+        let bitmap_bytes = r.u64()? as usize;
+        let peak_bitmap_bytes = r.u64()? as usize;
+        Ok(HbState {
+            threads,
+            locks,
+            cvs,
+            bars,
+            bitmap_bytes,
+            peak_bitmap_bytes,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -447,6 +528,57 @@ mod tests {
             bar: LockId(7),
         });
         assert!(hb.first_write_in_epoch(Tid(0), a), "new epoch after arrive");
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_behavior() {
+        let mut hb = HbState::new();
+        hb.on_sync(&Event::Fork {
+            parent: Tid(0),
+            child: Tid(1),
+        });
+        hb.on_sync(&Event::Release {
+            tid: Tid(1),
+            lock: LockId(3),
+        });
+        hb.on_sync(&Event::CvSignal {
+            tid: Tid(0),
+            cv: LockId(9),
+        });
+        hb.on_sync(&Event::BarrierArrive {
+            tid: Tid(1),
+            bar: LockId(7),
+        });
+        hb.first_read_in_epoch(Tid(0), Addr(0x40));
+
+        let mut w = dgrace_trace::SnapshotWriter::new(*b"TEST", 1);
+        hb.encode(&mut w);
+        let bytes = w.finish();
+        let mut r =
+            dgrace_trace::SnapshotReader::new(&bytes, *b"TEST", 1, Default::default()).unwrap();
+        let mut back = HbState::decode(&mut r).unwrap();
+        r.expect_end().unwrap();
+
+        assert_eq!(back.thread_count(), hb.thread_count());
+        assert_eq!(back.bitmap_bytes(), hb.bitmap_bytes());
+        assert_eq!(back.peak_bitmap_bytes(), hb.peak_bitmap_bytes());
+        // Both copies behave identically on a shared event suffix.
+        for st in [&mut hb, &mut back] {
+            st.on_sync(&Event::Acquire {
+                tid: Tid(2),
+                lock: LockId(3),
+            });
+            st.on_sync(&Event::BarrierDepart {
+                tid: Tid(2),
+                bar: LockId(7),
+            });
+        }
+        assert_eq!(back.clock(Tid(2)), hb.clock(Tid(2)));
+        assert_eq!(
+            back.first_read_in_epoch(Tid(0), Addr(0x40)),
+            hb.first_read_in_epoch(Tid(0), Addr(0x40)),
+            "same-epoch bitmap survived the round trip"
+        );
     }
 
     #[test]

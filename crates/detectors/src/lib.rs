@@ -47,6 +47,7 @@ mod oracle;
 mod recorder;
 mod report;
 mod shard;
+pub mod snap;
 mod tee;
 
 pub use detector::{Detector, DetectorExt};

@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use dgrace_trace::Addr;
-use dgrace_vc::Epoch;
+use dgrace_trace::{Addr, SnapshotReader, SnapshotWriter, TraceError};
+use dgrace_vc::{Epoch, Tid};
 
 /// Whether an access is a read or a write.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -81,6 +81,58 @@ pub struct RaceReport {
     pub tainted: bool,
 }
 
+impl RaceReport {
+    /// Serializes the race into a snapshot stream (races found before a
+    /// checkpoint must survive a restore).
+    pub fn encode(&self, w: &mut SnapshotWriter) {
+        w.u64(self.addr.0);
+        w.u8(match self.kind {
+            RaceKind::WriteWrite => 0,
+            RaceKind::ReadWrite => 1,
+            RaceKind::WriteRead => 2,
+        });
+        for e in [self.current, self.previous] {
+            w.u32(e.clock);
+            w.u32(e.tid.0);
+        }
+        match self.event_index {
+            Some(i) => {
+                w.bool(true);
+                w.u64(i);
+            }
+            None => w.bool(false),
+        }
+        w.u32(self.share_count);
+        w.bool(self.tainted);
+    }
+
+    /// Rebuilds a race from [`RaceReport::encode`]d bytes.
+    pub fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, TraceError> {
+        let addr = Addr(r.u64()?);
+        let at = r.offset();
+        let kind = match r.u8()? {
+            0 => RaceKind::WriteWrite,
+            1 => RaceKind::ReadWrite,
+            2 => RaceKind::WriteRead,
+            tag => return Err(TraceError::BadTag { offset: at, tag }),
+        };
+        let current = Epoch::new(r.u32()?, Tid(r.u32()?));
+        let previous = Epoch::new(r.u32()?, Tid(r.u32()?));
+        let event_index = if r.bool()? { Some(r.u64()?) } else { None };
+        let share_count = r.u32()?;
+        let tainted = r.bool()?;
+        Ok(RaceReport {
+            addr,
+            kind,
+            current,
+            previous,
+            event_index,
+            share_count,
+            tainted,
+        })
+    }
+}
+
 /// Statistics a detector gathers over a run — the raw material for
 /// Tables 1–4.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -112,6 +164,13 @@ pub struct DetectorStats {
     /// Events that were *not* analyzed because their shard had been
     /// quarantined after a panic (see [`ShardFailure`]).
     pub dropped: u64,
+    /// Total events routed to permanently quarantined shards over the
+    /// whole run — the exact per-shard coverage forfeited by each failure,
+    /// recovered from the shard journals. Unlike `dropped` (events that
+    /// arrived *after* the panic), this counts everything the dead shard
+    /// would have analyzed, so merged reports no longer silently
+    /// under-state what a quarantine cost.
+    pub events_lost: u64,
     /// Shadow cells discarded by memory-budget eviction (see
     /// [`Report::budget_degraded`]).
     pub evicted: u64,
@@ -156,8 +215,32 @@ pub struct ShardFailure {
     pub shard: usize,
     /// Global event sequence number at which the panic fired.
     pub event_seq: u64,
-    /// The panic payload, when it was a string (the common case).
+    /// The panic payload rendered as text (the message for string
+    /// payloads, a formatted value for common primitive payloads, a
+    /// placeholder otherwise).
     pub payload: String,
+    /// What the panic payload actually was: `"str"` for `&str`/`String`
+    /// (the common case), a primitive type name like `"u64"` when the
+    /// payload downcast to one, or `"opaque"` when it could not be
+    /// rendered at all.
+    pub payload_type: String,
+    /// The event the shard was processing when it panicked, rendered as
+    /// kind + address (e.g. `"write 0x1100 (4 bytes) by t2"`), when known.
+    pub last_event: Option<String>,
+}
+
+impl ShardFailure {
+    /// Builds a failure record for a plain string panic payload with no
+    /// captured event context — the common case in tests and decoding.
+    pub fn new(shard: usize, event_seq: u64, payload: impl Into<String>) -> Self {
+        ShardFailure {
+            shard,
+            event_seq,
+            payload: payload.into(),
+            payload_type: "str".into(),
+            last_event: None,
+        }
+    }
 }
 
 impl fmt::Display for ShardFailure {
@@ -166,12 +249,19 @@ impl fmt::Display for ShardFailure {
             f,
             "shard {} quarantined at event {}: {}",
             self.shard, self.event_seq, self.payload
-        )
+        )?;
+        if self.payload_type != "str" {
+            write!(f, " [payload type: {}]", self.payload_type)?;
+        }
+        if let Some(ev) = &self.last_event {
+            write!(f, " [last event: {ev}]")?;
+        }
+        Ok(())
     }
 }
 
 /// The outcome of a detector run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Report {
     /// Detector name (e.g. `fasttrack-byte`, `dynamic`).
     pub detector: String,
@@ -256,16 +346,47 @@ mod tests {
         rep.budget_degraded = true;
         assert!(rep.is_degraded());
         rep.budget_degraded = false;
-        rep.failures.push(ShardFailure {
-            shard: 2,
-            event_seq: 41,
-            payload: "boom".into(),
-        });
+        rep.failures.push(ShardFailure::new(2, 41, "boom"));
         assert!(rep.is_degraded());
         assert_eq!(
             rep.failures[0].to_string(),
             "shard 2 quarantined at event 41: boom"
         );
+    }
+
+    #[test]
+    fn failure_display_includes_payload_type_and_last_event() {
+        let fail = ShardFailure {
+            shard: 1,
+            event_seq: 7,
+            payload: "42".into(),
+            payload_type: "u64".into(),
+            last_event: Some("write 0x1100 (4 bytes) by t2".into()),
+        };
+        assert_eq!(
+            fail.to_string(),
+            "shard 1 quarantined at event 7: 42 [payload type: u64] \
+             [last event: write 0x1100 (4 bytes) by t2]"
+        );
+    }
+
+    #[test]
+    fn race_report_round_trips() {
+        let race = RaceReport {
+            addr: Addr(0x1234),
+            kind: RaceKind::WriteRead,
+            current: Epoch::new(9, Tid(2)),
+            previous: Epoch::new(3, Tid(1)),
+            event_index: Some(77),
+            share_count: 4,
+            tainted: true,
+        };
+        let mut w = SnapshotWriter::new(*b"TEST", 1);
+        race.encode(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes, *b"TEST", 1, Default::default()).unwrap();
+        assert_eq!(RaceReport::decode(&mut r).unwrap(), race);
+        r.expect_end().unwrap();
     }
 
     #[test]

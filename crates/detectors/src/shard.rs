@@ -96,6 +96,7 @@ pub fn merge_shard_reports(reports: Vec<Report>) -> Report {
         s.peak_bitmap_bytes += o.peak_bitmap_bytes;
         s.peak_total_bytes += o.peak_total_bytes;
         s.dropped += o.dropped;
+        s.events_lost += o.events_lost;
         s.evicted += o.evicted;
         s.sharing = match (s.sharing.take(), o.sharing) {
             (None, None) => None,
@@ -195,19 +196,17 @@ mod tests {
         use crate::ShardFailure;
         let a = report(vec![race(0x200, RaceKind::WriteWrite)], 10);
         let mut b = report(Vec::new(), 5);
-        b.failures.push(ShardFailure {
-            shard: 1,
-            event_seq: 3,
-            payload: "injected".into(),
-        });
+        b.failures.push(ShardFailure::new(1, 3, "injected"));
         b.budget_degraded = true;
         b.stats.dropped = 4;
+        b.stats.events_lost = 5;
         b.stats.evicted = 2;
         let merged = merge_shard_reports(vec![a, b]);
         assert_eq!(merged.failures.len(), 1);
         assert!(merged.budget_degraded);
         assert!(merged.is_degraded());
         assert_eq!(merged.stats.dropped, 4);
+        assert_eq!(merged.stats.events_lost, 5);
         assert_eq!(merged.stats.evicted, 2);
     }
 

@@ -1,0 +1,210 @@
+//! Shared snapshot codec helpers for detector state.
+//!
+//! The checkpointing machinery serializes vector clocks, epochs, and the
+//! adaptive FastTrack clocks in several detectors; these helpers keep the
+//! wire format identical everywhere. All formats are canonical: two
+//! semantically equal values always encode to the same bytes (vector
+//! clocks enumerate only their nonzero entries, in thread order), which is
+//! what makes the byte-identical differential tests meaningful.
+
+use dgrace_shadow::ShadowStore;
+use dgrace_trace::{Addr, SnapshotReader, SnapshotWriter, TraceError};
+use dgrace_vc::{AccessClock, Epoch, ReadClock, Tid, VectorClock};
+
+/// Serializes a vector clock as its nonzero `(tid, clock)` entries in
+/// thread order.
+pub fn encode_vc(w: &mut SnapshotWriter, vc: &VectorClock) {
+    w.count(vc.active_threads());
+    for (t, c) in vc.iter() {
+        w.u32(t.0);
+        w.u32(c);
+    }
+}
+
+/// Rebuilds a vector clock from [`encode_vc`]'s format.
+pub fn decode_vc(r: &mut SnapshotReader<'_>) -> Result<VectorClock, TraceError> {
+    let n = r.count("vector clock entries")?;
+    let mut vc = VectorClock::new();
+    for _ in 0..n {
+        let t = Tid(r.u32()?);
+        let c = r.u32()?;
+        vc.set(t, c);
+    }
+    Ok(vc)
+}
+
+/// Serializes an epoch as `clock` then `tid`.
+pub fn encode_epoch(w: &mut SnapshotWriter, e: Epoch) {
+    w.u32(e.clock);
+    w.u32(e.tid.0);
+}
+
+/// Rebuilds an epoch from [`encode_epoch`]'s format.
+pub fn decode_epoch(r: &mut SnapshotReader<'_>) -> Result<Epoch, TraceError> {
+    let clock = r.u32()?;
+    let tid = Tid(r.u32()?);
+    Ok(Epoch::new(clock, tid))
+}
+
+/// Serializes an adaptive read clock: tag 0 = epoch form, 1 = inflated.
+pub fn encode_read_clock(w: &mut SnapshotWriter, rc: &ReadClock) {
+    match rc {
+        ReadClock::Epoch(e) => {
+            w.u8(0);
+            encode_epoch(w, *e);
+        }
+        ReadClock::Vc(vc) => {
+            w.u8(1);
+            encode_vc(w, vc);
+        }
+    }
+}
+
+/// Rebuilds a read clock from [`encode_read_clock`]'s format.
+pub fn decode_read_clock(r: &mut SnapshotReader<'_>) -> Result<ReadClock, TraceError> {
+    let at = r.offset();
+    match r.u8()? {
+        0 => Ok(ReadClock::Epoch(decode_epoch(r)?)),
+        1 => Ok(ReadClock::Vc(decode_vc(r)?)),
+        tag => Err(TraceError::BadTag { offset: at, tag }),
+    }
+}
+
+/// Serializes an access clock: tag 0 = epoch form, 1 = full vector clock.
+pub fn encode_access_clock(w: &mut SnapshotWriter, ac: &AccessClock) {
+    match ac {
+        AccessClock::Epoch(e) => {
+            w.u8(0);
+            encode_epoch(w, *e);
+        }
+        AccessClock::Vc(vc) => {
+            w.u8(1);
+            encode_vc(w, vc);
+        }
+    }
+}
+
+/// Rebuilds an access clock from [`encode_access_clock`]'s format.
+pub fn decode_access_clock(r: &mut SnapshotReader<'_>) -> Result<AccessClock, TraceError> {
+    let at = r.offset();
+    match r.u8()? {
+        0 => Ok(AccessClock::Epoch(decode_epoch(r)?)),
+        1 => Ok(AccessClock::Vc(decode_vc(r)?)),
+        tag => Err(TraceError::BadTag { offset: at, tag }),
+    }
+}
+
+/// Serializes a shadow store: populated cells sorted by address, then the
+/// byte-mode chunk list. `enc` writes one cell.
+pub fn encode_store<T, S: ShadowStore<T>>(
+    w: &mut SnapshotWriter,
+    store: &S,
+    mut enc: impl FnMut(&mut SnapshotWriter, &T),
+) {
+    let mut addrs: Vec<Addr> = Vec::with_capacity(store.len());
+    store.for_each(|addr, _| addrs.push(addr));
+    addrs.sort_unstable();
+    w.count(addrs.len());
+    for addr in addrs {
+        w.u64(addr.0);
+        enc(w, store.get(addr).expect("cell enumerated by for_each"));
+    }
+    let chunks = store.byte_mode_chunks();
+    w.count(chunks.len());
+    for chunk in chunks {
+        w.u64(chunk.0);
+    }
+}
+
+/// Rebuilds a shadow store from [`encode_store`]'s format. Cells are
+/// reinserted in ascending address order and the recorded byte-mode
+/// chunks are replayed through [`ShadowStore::force_byte_mode`], so the
+/// restored store's index structure (and modeled footprint) matches the
+/// original exactly.
+pub fn decode_store<T, S: ShadowStore<T>>(
+    r: &mut SnapshotReader<'_>,
+    mut dec: impl FnMut(&mut SnapshotReader<'_>) -> Result<T, TraceError>,
+) -> Result<S, TraceError> {
+    let n = r.count("shadow cells")?;
+    let mut store = S::default();
+    for _ in 0..n {
+        let addr = Addr(r.u64()?);
+        let cell = dec(r)?;
+        store.insert(addr, cell);
+    }
+    let chunks = r.count("byte-mode chunks")?;
+    for _ in 0..chunks {
+        store.force_byte_mode(Addr(r.u64()?));
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: [u8; 4] = *b"TSNP";
+
+    fn round_trip<T, E, D>(value: &T, enc: E, dec: D) -> T
+    where
+        E: Fn(&mut SnapshotWriter, &T),
+        D: Fn(&mut SnapshotReader<'_>) -> Result<T, TraceError>,
+    {
+        let mut w = SnapshotWriter::new(MAGIC, 1);
+        enc(&mut w, value);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes, MAGIC, 1, Default::default()).unwrap();
+        let out = dec(&mut r).unwrap();
+        r.expect_end().unwrap();
+        out
+    }
+
+    #[test]
+    fn vc_round_trips_both_reprs() {
+        let mut small = VectorClock::new();
+        small.set(Tid(1), 7);
+        let mut wide = VectorClock::new();
+        for t in 0..9u32 {
+            wide.set(Tid(t), t + 1);
+        }
+        for vc in [VectorClock::new(), small, wide] {
+            let back = round_trip(&vc, encode_vc, decode_vc);
+            assert_eq!(back, vc);
+            assert_eq!(back.is_inline(), vc.is_inline());
+        }
+    }
+
+    #[test]
+    fn adaptive_clocks_round_trip() {
+        let e = Epoch::new(42, Tid(3));
+        assert_eq!(round_trip(&e, |w, v| encode_epoch(w, *v), decode_epoch), e);
+
+        let mut vc = VectorClock::new();
+        vc.set(Tid(0), 2);
+        vc.set(Tid(5), 9);
+        for rc in [ReadClock::Epoch(e), ReadClock::Vc(vc.clone())] {
+            assert_eq!(
+                round_trip(&rc, |w, v| encode_read_clock(w, v), decode_read_clock),
+                rc
+            );
+        }
+        for ac in [AccessClock::Epoch(e), AccessClock::Vc(vc)] {
+            assert_eq!(
+                round_trip(&ac, |w, v| encode_access_clock(w, v), decode_access_clock),
+                ac
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let mut w = SnapshotWriter::new(MAGIC, 1);
+        w.u8(9);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes, MAGIC, 1, Default::default()).unwrap();
+        assert!(matches!(
+            decode_read_clock(&mut r),
+            Err(TraceError::BadTag { tag: 9, .. })
+        ));
+    }
+}

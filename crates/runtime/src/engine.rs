@@ -20,6 +20,15 @@
 //!   fork/join, rwlock, condvar, barrier) are stamped with a global
 //!   sequence number while *all* shard locks are held and fed to every
 //!   shard, so each shard's happens-before state is exact and identical.
+//! * **Supervised self-healing.** When built with a detector factory and
+//!   a [`SupervisorPolicy`], a shard whose detector panics is not
+//!   permanently quarantined: the supervisor spawns a replacement, rolls
+//!   it forward from the shard's last checkpoint (or from scratch) by
+//!   replaying the shard's journal delta merged with the sync journal,
+//!   and re-feeds the batch that panicked. Only after `max_respawns`
+//!   respawns inside a `window`-stamp window — or when the replay itself
+//!   fails — does the shard fall back to permanent quarantine with a
+//!   structured [`ShardFailure`].
 //!
 //! ## Why this is equivalent to the serialized detector
 //!
@@ -36,6 +45,12 @@
 //! differential tests in `tests/sharded_equivalence.rs` check this
 //! end-to-end.
 //!
+//! The same argument is why a respawned shard is *exact*, not
+//! approximate: the shard's journal holds its accesses in stamp order and
+//! the sync journal holds every broadcast in stamp order, so the
+//! stamp-merge of the two suffixes (after the checkpoint position) is
+//! precisely the event sequence the dead detector had consumed.
+//!
 //! ## Flush ordering rules (the part that is easy to get wrong)
 //!
 //! 1. A thread's buffer is flushed **before** any of its sync events is
@@ -51,8 +66,12 @@
 //!    events.
 //!
 //! Lock order is always: buffer flush lock → shard locks in ascending
-//! index. No path acquires them in the reverse direction, so the engine
-//! cannot deadlock against itself.
+//! index → sync-journal lock. No path acquires them in the reverse
+//! direction, so the engine cannot deadlock against itself. In
+//! particular, `broadcast` appends to the sync journal *before* releasing
+//! the shard locks, so any thread holding a shard lock observes a sync
+//! journal consistent with what that shard has been fed — the invariant
+//! the supervisor's delta replay depends on.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -94,14 +113,63 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// Renders a panic payload for a [`ShardFailure`] report.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Renders a panic payload for a [`ShardFailure`] report, returning the
+/// message and the payload's type name. Besides the common string
+/// payloads, the primitive types `panic_any` is typically fed in tests
+/// and assertion macros are rendered too, instead of collapsing to an
+/// opaque placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> (String, &'static str) {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+        return ((*s).to_string(), "str");
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return (s.clone(), "str");
+    }
+    macro_rules! try_prim {
+        ($($t:ty),*) => {$(
+            if let Some(v) = payload.downcast_ref::<$t>() {
+                return (v.to_string(), stringify!($t));
+            }
+        )*};
+    }
+    try_prim!(i32, u32, i64, u64, usize, bool, char);
+    ("non-string panic payload".to_string(), "opaque")
+}
+
+/// Renders an event as kind + operands for failure diagnostics, e.g.
+/// `"write 0x1100 (4 bytes) by t2"`.
+fn describe_event(ev: &Event) -> String {
+    match *ev {
+        Event::Read { tid, addr, size } => {
+            format!("read {addr} ({} bytes) by t{}", size.bytes(), tid.0)
+        }
+        Event::Write { tid, addr, size } => {
+            format!("write {addr} ({} bytes) by t{}", size.bytes(), tid.0)
+        }
+        Event::Acquire { tid, lock } => format!("acquire lock {} by t{}", lock.0, tid.0),
+        Event::Release { tid, lock } => format!("release lock {} by t{}", lock.0, tid.0),
+        Event::Fork { parent, child } => format!("fork t{} by t{}", child.0, parent.0),
+        Event::Join { parent, child } => format!("join t{} by t{}", child.0, parent.0),
+        Event::Alloc { tid, addr, size } => {
+            format!("alloc {addr} ({size} bytes) by t{}", tid.0)
+        }
+        Event::Free { tid, addr, size } => {
+            format!("free {addr} ({size} bytes) by t{}", tid.0)
+        }
+        Event::AcquireRead { tid, lock } => {
+            format!("rd-acquire lock {} by t{}", lock.0, tid.0)
+        }
+        Event::ReleaseRead { tid, lock } => {
+            format!("rd-release lock {} by t{}", lock.0, tid.0)
+        }
+        Event::CvSignal { tid, cv } => format!("cv-signal cv {} by t{}", cv.0, tid.0),
+        Event::CvWait { tid, cv } => format!("cv-wait cv {} by t{}", cv.0, tid.0),
+        Event::BarrierArrive { tid, bar } => {
+            format!("barrier-arrive bar {} by t{}", bar.0, tid.0)
+        }
+        Event::BarrierDepart { tid, bar } => {
+            format!("barrier-depart bar {} by t{}", bar.0, tid.0)
+        }
     }
 }
 
@@ -116,7 +184,9 @@ pub struct RuntimeOptions {
     pub buffer_capacity: usize,
     /// When `true`, the engine journals every event with its sequence
     /// stamp; `take_recorded` then reconstructs the observed
-    /// serialization as a [`Trace`].
+    /// serialization as a [`Trace`]. Building the engine with a
+    /// supervisor forces this on — the journal is what delta replay
+    /// rolls a respawned shard forward from.
     pub record: bool,
 }
 
@@ -128,6 +198,48 @@ impl Default for RuntimeOptions {
             record: false,
         }
     }
+}
+
+/// Respawn budget of the self-healing supervisor: a shard is respawned
+/// after a detector panic at most `max_respawns` times per sliding
+/// `window` of sequence stamps; the next panic inside the window falls
+/// back to permanent quarantine. A correlated fault (an input that
+/// deterministically kills the detector, which delta replay would
+/// re-trigger forever) therefore degrades exactly like the unsupervised
+/// engine, just `max_respawns` panics later.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorPolicy {
+    /// Maximum respawns tolerated inside one window before the shard is
+    /// permanently quarantined.
+    pub max_respawns: usize,
+    /// Width of the sliding respawn window, in sequence stamps.
+    pub window: u64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_respawns: 3,
+            window: 100_000,
+        }
+    }
+}
+
+/// Builds a replacement detector for the given shard index.
+pub(crate) type DetectorFactory = Arc<dyn Fn(usize) -> Box<dyn Detector + Send> + Send + Sync>;
+
+struct Supervisor {
+    factory: DetectorFactory,
+    policy: SupervisorPolicy,
+}
+
+/// A shard-local copy of the detector's last snapshot plus the journal
+/// positions it corresponds to: delta replay restores the snapshot and
+/// replays `journal[journal_pos..]` merged with `sync[sync_pos..]`.
+struct ShardCheckpoint {
+    bytes: Vec<u8>,
+    journal_pos: usize,
+    sync_pos: usize,
 }
 
 /// One thread's private event buffer: a lock-free bounded queue plus a
@@ -161,24 +273,58 @@ struct ShardState {
     /// or arrived after quarantine). Sync broadcasts are not counted:
     /// healthy shards still process them.
     dropped: u64,
+    /// The detector's last snapshot, refreshed by [`Engine::capture`];
+    /// delta replay rolls a respawned detector forward from here.
+    checkpoint: Option<ShardCheckpoint>,
+    /// Stamps of recent supervisor respawns, pruned to the policy window.
+    respawns: Vec<u64>,
+    /// Every access event routed to this shard since the last
+    /// finish/restore, processed or not. If the shard dies permanently
+    /// this is exactly what its analysis would have covered, so it is
+    /// reported as `events_lost`.
+    routed: u64,
+    /// `events_lost` inherited from a restored checkpoint (events a
+    /// previous incarnation of this shard had already lost).
+    lost_base: u64,
 }
 
 impl ShardState {
-    /// Quarantines the shard after a panic: records the failure and drops
-    /// the (possibly corrupt) detector. The drop itself is contained too —
-    /// a detector that panics again in `Drop` must not take the engine
-    /// down with it.
+    /// Quarantines the shard after a panic: records the failure (payload
+    /// text, payload type, and the event being processed when known) and
+    /// drops the (possibly corrupt) detector. The drop itself is
+    /// contained too — a detector that panics again in `Drop` must not
+    /// take the engine down with it.
     #[cold]
-    fn quarantine(&mut self, shard: usize, event_seq: u64, payload: Box<dyn std::any::Any + Send>) {
-        let msg = panic_message(payload.as_ref());
+    fn quarantine(
+        &mut self,
+        shard: usize,
+        event_seq: u64,
+        payload: Box<dyn std::any::Any + Send>,
+        last_event: Option<&Event>,
+    ) {
+        let (msg, payload_type) = panic_message(payload.as_ref());
         let det = self.det.take();
         let _ = catch_unwind(AssertUnwindSafe(move || drop(det)));
         self.failure = Some(ShardFailure {
             shard,
             event_seq,
             payload: msg,
+            payload_type: payload_type.to_string(),
+            last_event: last_event.map(describe_event),
         });
     }
+}
+
+/// Where a detector panic happened: the shard, the stamped part being
+/// fed, and how far into it the detector got. `count_drops` is false for
+/// sync broadcasts — healthy shards still process those, so the logical
+/// event is not lost from the run.
+struct PanicSite<'a> {
+    shard: usize,
+    stamp: u64,
+    part: &'a [Event],
+    processed: usize,
+    count_drops: bool,
 }
 
 /// Region size of the fallback router for addresses outside every
@@ -280,6 +426,29 @@ impl Router {
     }
 }
 
+/// A point-in-time capture of the whole engine: detector snapshots plus
+/// the routing and counter state needed to continue the run elsewhere.
+/// Produced by [`Engine::capture`], consumed by [`Engine::restore`]; the
+/// checkpoint codec persists it as the `DGCP` container.
+pub(crate) struct EngineState {
+    pub(crate) seq: u64,
+    pub(crate) emitted: u64,
+    pub(crate) pruned: u64,
+    pub(crate) router_next_shard: usize,
+    pub(crate) router_ranges: Vec<(u64, u64, usize)>,
+    pub(crate) shards: Vec<ShardCapture>,
+}
+
+/// One shard's slice of an [`EngineState`]: its detector snapshot (or
+/// its failure, for a permanently quarantined shard) plus the drop/loss
+/// counters accumulated so far.
+pub(crate) struct ShardCapture {
+    pub(crate) snapshot: Option<Vec<u8>>,
+    pub(crate) failure: Option<ShardFailure>,
+    pub(crate) dropped: u64,
+    pub(crate) lost: u64,
+}
+
 /// The sharded, batched detection engine. See the module docs for the
 /// design and its ordering rules.
 pub(crate) struct Engine {
@@ -300,17 +469,47 @@ pub(crate) struct Engine {
     prune: PruneSet,
     /// Accesses dropped by the prune predicate.
     pruned: AtomicU64,
+    /// `(stamp, event)` for every broadcast sync event, in stamp order;
+    /// only populated when recording. Kept engine-global (not per shard)
+    /// so a respawned shard can merge it with its own journal without
+    /// duplicating every broadcast N times.
+    sync_journal: Mutex<Vec<(u64, Event)>>,
+    /// Present when the engine self-heals panicked shards.
+    supervisor: Option<Supervisor>,
 }
 
 impl Engine {
     pub(crate) fn new(detectors: Vec<Box<dyn Detector + Send>>, opts: RuntimeOptions) -> Self {
-        Self::with_prune(detectors, opts, PruneSet::empty())
+        Self::build(detectors, opts, PruneSet::empty(), None)
     }
 
     pub(crate) fn with_prune(
         detectors: Vec<Box<dyn Detector + Send>>,
         opts: RuntimeOptions,
         prune: PruneSet,
+    ) -> Self {
+        Self::build(detectors, opts, prune, None)
+    }
+
+    /// Builds a self-healing engine: on a shard panic the supervisor
+    /// spawns `factory(shard)`, rolls it forward from the last checkpoint
+    /// plus the journal delta, and re-feeds the offending batch, within
+    /// the respawn budget of `policy`.
+    pub(crate) fn with_supervisor(
+        detectors: Vec<Box<dyn Detector + Send>>,
+        opts: RuntimeOptions,
+        prune: PruneSet,
+        factory: DetectorFactory,
+        policy: SupervisorPolicy,
+    ) -> Self {
+        Self::build(detectors, opts, prune, Some(Supervisor { factory, policy }))
+    }
+
+    fn build(
+        detectors: Vec<Box<dyn Detector + Send>>,
+        opts: RuntimeOptions,
+        prune: PruneSet,
+        supervisor: Option<Supervisor>,
     ) -> Self {
         assert!(!detectors.is_empty(), "engine needs at least one shard");
         let shards = detectors
@@ -321,6 +520,10 @@ impl Engine {
                     journal: Vec::new(),
                     failure: None,
                     dropped: 0,
+                    checkpoint: None,
+                    respawns: Vec::new(),
+                    routed: 0,
+                    lost_base: 0,
                 })
             })
             .collect::<Vec<_>>();
@@ -329,12 +532,16 @@ impl Engine {
             shards,
             seq: AtomicU64::new(0),
             emitted: AtomicU64::new(0),
-            record: opts.record,
+            // Supervision requires the journal: it is the delta replay
+            // source for respawned shards.
+            record: opts.record || supervisor.is_some(),
             capacity: opts.buffer_capacity,
             router: RwLock::new(Router::new(n)),
             bufs: RwLock::new(Vec::new()),
             prune,
             pruned: AtomicU64::new(0),
+            sync_journal: Mutex::new(Vec::new()),
+            supervisor,
         }
     }
 
@@ -444,7 +651,7 @@ impl Engine {
         if self.shards.len() == 1 {
             let mut shard = self.shards[0].lock();
             let stamp = self.seq.fetch_add(1, Ordering::Relaxed);
-            Self::feed(&mut shard, 0, stamp, &batch);
+            self.feed(&mut shard, 0, stamp, &batch);
             if self.record {
                 shard
                     .journal
@@ -474,7 +681,7 @@ impl Engine {
                 }
                 let mut shard = self.shards[i].lock();
                 let stamp = self.seq.fetch_add(1, Ordering::Relaxed);
-                Self::feed(&mut shard, i, stamp, &part);
+                self.feed(&mut shard, i, stamp, &part);
                 if self.record {
                     shard.journal.extend(part.into_iter().map(|ev| (stamp, ev)));
                 }
@@ -486,10 +693,17 @@ impl Engine {
     /// Feeds one stamped part to a shard, containing panics. The
     /// `catch_unwind` is per *batch*, not per event, so the clean-path
     /// cost is one landing pad per dispatch, off the per-event hot path.
-    /// A panicking detector is quarantined (state dropped, failure
-    /// recorded) and the unprocessed remainder of the part — including
-    /// the event that panicked — is counted as dropped.
-    fn feed(st: &mut ShardState, shard: usize, stamp: u64, part: &[Event]) {
+    /// A panicking detector is handed to [`Engine::recover`], which
+    /// either self-heals the shard (supervised engines) or quarantines
+    /// it and counts the unprocessed remainder of the part — including
+    /// the event that panicked — as dropped.
+    ///
+    /// Note the journal append in `dispatch` happens *after* this
+    /// returns, so during recovery the journal holds exactly the events
+    /// fed before this part — the delta replay source — and `part`
+    /// itself is re-fed explicitly.
+    fn feed(&self, st: &mut ShardState, shard: usize, stamp: u64, part: &[Event]) {
+        st.routed += part.len() as u64;
         let Some(det) = st.det.as_mut() else {
             st.dropped += part.len() as u64;
             return;
@@ -502,8 +716,118 @@ impl Engine {
             }
         }));
         if let Err(payload) = result {
-            st.dropped += (part.len() - processed) as u64;
-            st.quarantine(shard, stamp, payload);
+            self.recover(
+                st,
+                PanicSite {
+                    shard,
+                    stamp,
+                    part,
+                    processed,
+                    count_drops: true,
+                },
+                payload,
+            );
+        }
+    }
+
+    /// Handles a detector panic: without a supervisor (or once the
+    /// respawn budget is spent) the shard is permanently quarantined;
+    /// otherwise a replacement detector is spawned, restored from the
+    /// last checkpoint, rolled forward through the journal delta (shard
+    /// journal stamp-merged with the sync journal), and re-fed the
+    /// panicking part. A replacement that panics again burns another
+    /// respawn from the same budget; a replay that fails structurally
+    /// (restore error) quarantines immediately — the checkpoint is the
+    /// only rollback point, so there is nothing further back to try.
+    #[cold]
+    fn recover(
+        &self,
+        st: &mut ShardState,
+        site: PanicSite<'_>,
+        mut payload: Box<dyn std::any::Any + Send>,
+    ) {
+        let mut processed = site.processed;
+        loop {
+            let offending = site.part.get(processed);
+            let Some(sup) = self.supervisor.as_ref() else {
+                if site.count_drops {
+                    st.dropped += (site.part.len() - processed) as u64;
+                }
+                st.quarantine(site.shard, site.stamp, payload, offending);
+                return;
+            };
+            st.respawns.retain(|&s| s + sup.policy.window > site.stamp);
+            if st.respawns.len() >= sup.policy.max_respawns {
+                if site.count_drops {
+                    st.dropped += (site.part.len() - processed) as u64;
+                }
+                st.quarantine(site.shard, site.stamp, payload, offending);
+                return;
+            }
+            st.respawns.push(site.stamp);
+            let mut det = (sup.factory)(site.shard);
+            let journal = &st.journal;
+            let ckpt = st.checkpoint.as_ref();
+            let mut done = 0usize;
+            let replay = catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
+                let (jpos, spos) = match ckpt {
+                    Some(c) => {
+                        det.restore(&c.bytes)?;
+                        (c.journal_pos.min(journal.len()), c.sync_pos)
+                    }
+                    None => (0, 0),
+                };
+                {
+                    // Lock order: shard lock (held by the caller) →
+                    // sync-journal lock, same as `broadcast`.
+                    let sync = self.sync_journal.lock();
+                    let mut j = journal[jpos..].iter().peekable();
+                    let mut s = sync[spos.min(sync.len())..].iter().peekable();
+                    loop {
+                        let take_sync = match (j.peek(), s.peek()) {
+                            (None, None) => break,
+                            (Some(_), None) => false,
+                            (None, Some(_)) => true,
+                            (Some(&&(js, _)), Some(&&(ss, _))) => ss < js,
+                        };
+                        let (_, ev) = if take_sync {
+                            s.next().expect("peeked")
+                        } else {
+                            j.next().expect("peeked")
+                        };
+                        det.on_event(ev);
+                    }
+                }
+                for ev in site.part {
+                    det.on_event(ev);
+                    done += 1;
+                }
+                Ok(())
+            }));
+            match replay {
+                Ok(Ok(())) => {
+                    // Healed: the replacement holds exactly the state the
+                    // dead detector would have had after this part.
+                    st.det = Some(det);
+                    return;
+                }
+                Ok(Err(e)) => {
+                    if site.count_drops {
+                        st.dropped += site.part.len() as u64;
+                    }
+                    st.quarantine(
+                        site.shard,
+                        site.stamp,
+                        Box::new(format!("respawn failed: {e}")),
+                        offending,
+                    );
+                    return;
+                }
+                Err(p) => {
+                    payload = p;
+                    processed = done;
+                }
+            }
         }
     }
 
@@ -516,6 +840,8 @@ impl Engine {
 
     /// Stamps a sync event once (holding every shard lock) and feeds it
     /// to all shards, keeping their happens-before states identical.
+    /// When recording, the event is appended to the sync journal before
+    /// the shard locks are released (see the module docs' lock order).
     fn broadcast(&self, ev: Event) {
         let mut guards: Vec<MutexGuard<'_, ShardState>> =
             self.shards.iter().map(|s| s.lock()).collect();
@@ -526,11 +852,21 @@ impl Engine {
             // logical event is not lost from the run.
             let Some(det) = g.det.as_mut() else { continue };
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| det.on_event(&ev))) {
-                g.quarantine(i, stamp, payload);
+                self.recover(
+                    &mut *g,
+                    PanicSite {
+                        shard: i,
+                        stamp,
+                        part: std::slice::from_ref(&ev),
+                        processed: 0,
+                        count_drops: false,
+                    },
+                    payload,
+                );
             }
         }
         if self.record {
-            guards[0].journal.push((stamp, ev));
+            self.sync_journal.lock().push((stamp, ev));
         }
         self.emitted.fetch_add(1, Ordering::Relaxed);
     }
@@ -550,12 +886,114 @@ impl Engine {
         self.dispatch(vec![ev]);
     }
 
+    /// Captures the engine's complete state: per-shard detector
+    /// snapshots (refreshing each shard's in-memory checkpoint so later
+    /// delta replays start here), the router, and the counters.
+    ///
+    /// The caller must be quiescent — no thread concurrently emitting
+    /// events — which holds for offline replay (single-threaded) and for
+    /// `finish`-time captures. Shards that do not support snapshots
+    /// capture `None` and can only be resumed as failures.
+    pub(crate) fn capture(&self) -> EngineState {
+        self.flush_all();
+        let mut guards: Vec<MutexGuard<'_, ShardState>> =
+            self.shards.iter().map(|s| s.lock()).collect();
+        let sync_pos = self.sync_journal.lock().len();
+        let mut shards = Vec::with_capacity(guards.len());
+        for st in guards.iter_mut() {
+            let snapshot = st.det.as_ref().and_then(|d| d.snapshot());
+            if let Some(bytes) = &snapshot {
+                st.checkpoint = Some(ShardCheckpoint {
+                    bytes: bytes.clone(),
+                    journal_pos: st.journal.len(),
+                    sync_pos,
+                });
+            }
+            let lost = st.lost_base + if st.failure.is_some() { st.routed } else { 0 };
+            shards.push(ShardCapture {
+                snapshot,
+                failure: st.failure.clone(),
+                dropped: st.dropped,
+                lost,
+            });
+        }
+        let router = self.router.read();
+        EngineState {
+            seq: self.seq.load(Ordering::Relaxed),
+            emitted: self.emitted.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+            router_next_shard: router.next_shard,
+            router_ranges: router.ranges.clone(),
+            shards,
+        }
+    }
+
+    /// Restores a [`capture`](Engine::capture)d state into this engine,
+    /// which must be freshly built with the same shard count and detector
+    /// configuration. Quarantined shards stay quarantined (their failure
+    /// and loss counters carry over); healthy shards restore their
+    /// detector snapshots and become the new delta-replay baseline.
+    pub(crate) fn restore(&self, state: &EngineState) -> Result<(), String> {
+        if state.shards.len() != self.shards.len() {
+            return Err(format!(
+                "checkpoint has {} shards, engine has {}",
+                state.shards.len(),
+                self.shards.len()
+            ));
+        }
+        self.seq.store(state.seq, Ordering::Relaxed);
+        self.emitted.store(state.emitted, Ordering::Relaxed);
+        self.pruned.store(state.pruned, Ordering::Relaxed);
+        {
+            let mut router = self.router.write();
+            router.next_shard = state.router_next_shard;
+            router.ranges = state.router_ranges.clone();
+        }
+        for (i, (s, cap)) in self.shards.iter().zip(&state.shards).enumerate() {
+            let mut st = s.lock();
+            match (&cap.snapshot, &cap.failure) {
+                (Some(bytes), _) => {
+                    let det = st
+                        .det
+                        .as_mut()
+                        .ok_or_else(|| format!("shard {i}: engine has no detector"))?;
+                    det.restore(bytes).map_err(|e| format!("shard {i}: {e}"))?;
+                    // The restored snapshot is the shard's rollback
+                    // point; the fresh engine's journals are empty, so
+                    // the delta starts at position zero.
+                    st.checkpoint = Some(ShardCheckpoint {
+                        bytes: bytes.clone(),
+                        journal_pos: 0,
+                        sync_pos: 0,
+                    });
+                }
+                (None, Some(_)) => {
+                    let det = st.det.take();
+                    let _ = catch_unwind(AssertUnwindSafe(move || drop(det)));
+                }
+                (None, None) => {
+                    return Err(format!("shard {i}: checkpoint carries no snapshot"));
+                }
+            }
+            st.failure = cap.failure.clone();
+            st.dropped = cap.dropped;
+            st.lost_base = cap.lost;
+            st.routed = 0;
+            st.journal.clear();
+            st.respawns.clear();
+        }
+        Ok(())
+    }
+
     /// Flushes all buffers, finishes every shard, and merges the healthy
     /// shards' reports. `stats.events` of the merged report is the exact
     /// emitted count.
     ///
-    /// Quarantined shards contribute a [`ShardFailure`] (and their
-    /// dropped-event counts) instead of a report; the merged report is
+    /// Quarantined shards contribute a [`ShardFailure`], their
+    /// dropped-event counts, and `events_lost` — the full count of
+    /// accesses routed to them over the run (everything their analysis
+    /// would have covered), including events a pre-resume incarnation
+    /// had already received — instead of a report; the merged report is
     /// then *degraded* — its race set is exact for the healthy shards'
     /// addresses. A shard whose `finish` itself panics is quarantined the
     /// same way. With zero healthy shards the report carries only the
@@ -567,11 +1005,17 @@ impl Engine {
         let mut reports: Vec<Report> = Vec::new();
         let mut failures: Vec<ShardFailure> = Vec::new();
         let mut dropped = 0u64;
+        let mut lost = 0u64;
         for (i, s) in self.shards.iter().enumerate() {
             let mut st = s.lock();
             dropped += std::mem::take(&mut st.dropped);
+            let routed = std::mem::take(&mut st.routed);
+            let lost_base = std::mem::take(&mut st.lost_base);
+            st.checkpoint = None;
+            st.respawns.clear();
             if let Some(f) = st.failure.take() {
                 failures.push(f);
+                lost += lost_base + routed;
                 continue;
             }
             let Some(det) = st.det.as_mut() else { continue };
@@ -579,8 +1023,9 @@ impl Engine {
                 Ok(rep) => reports.push(rep),
                 Err(payload) => {
                     let stamp = self.seq.load(Ordering::Relaxed);
-                    st.quarantine(i, stamp, payload);
+                    st.quarantine(i, stamp, payload, None);
                     failures.extend(st.failure.take());
+                    lost += lost_base + routed;
                 }
             }
         }
@@ -602,6 +1047,7 @@ impl Engine {
         rep.stats.events += pruned;
         rep.stats.pruned += pruned;
         rep.stats.dropped += dropped;
+        rep.stats.events_lost += lost;
         rep.failures.extend(failures);
         rep.failures.sort_by_key(|f| (f.shard, f.event_seq));
         rep
@@ -610,10 +1056,14 @@ impl Engine {
     /// Reconstructs the recorded serialization (journal mode), or falls
     /// back to the single-shard `Recorder`/`Tee` downcast used by the
     /// pre-sharding API.
+    ///
+    /// Draining the journals is terminal for supervision: a shard panic
+    /// after this call can no longer delta-replay the drained prefix, so
+    /// only call it once the run is over.
     pub(crate) fn take_recorded(&self) -> Option<Trace> {
         self.flush_all();
         if self.record {
-            let mut entries: Vec<(u64, Event)> = Vec::new();
+            let mut entries: Vec<(u64, Event)> = std::mem::take(&mut *self.sync_journal.lock());
             for shard in &self.shards {
                 entries.append(&mut shard.lock().journal);
             }
@@ -667,13 +1117,21 @@ fn route_addr(ev: &Event) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dgrace_detectors::NopDetector;
-    use dgrace_trace::{AccessSize, Addr};
+    use dgrace_detectors::{NopDetector, ShardableDetector};
+    use dgrace_trace::{AccessSize, Addr, LockId};
 
     fn nop_shards(n: usize) -> Vec<Box<dyn Detector + Send>> {
         (0..n)
             .map(|_| Box::new(NopDetector::default()) as Box<dyn Detector + Send>)
             .collect()
+    }
+
+    fn w(tid: u32, addr: u64) -> Event {
+        Event::Write {
+            tid: Tid(tid),
+            addr: Addr(addr),
+            size: AccessSize::U64,
+        }
     }
 
     #[test]
@@ -730,14 +1188,7 @@ mod tests {
         );
         let buf = eng.buffer_for(Tid(0));
         for i in 0..10u64 {
-            eng.push(
-                &buf,
-                Event::Write {
-                    tid: Tid(0),
-                    addr: Addr(0x1000 + i * 8),
-                    size: AccessSize::U64,
-                },
-            );
+            eng.push(&buf, w(0, 0x1000 + i * 8));
         }
         let trace = eng.take_recorded().expect("recording engine");
         assert_eq!(trace.len(), 10);
@@ -750,7 +1201,6 @@ mod tests {
         crate::silence_injected_panics();
         // Shard 1 dies at its first event; shard 0 keeps detecting.
         let proto = crate::PanicOnEvent::new(dgrace_detectors::FastTrack::new(), 1, 1);
-        use dgrace_detectors::ShardableDetector;
         let detectors = (0..2).map(|_| proto.new_shard()).collect();
         let eng = Engine::new(
             detectors,
@@ -761,11 +1211,6 @@ mod tests {
             },
         );
         // Region hash routing: 0x0000 → shard 0, 0x1000 → shard 1.
-        let w = |tid: u32, addr: u64| Event::Write {
-            tid: Tid(tid),
-            addr: Addr(addr),
-            size: AccessSize::U64,
-        };
         eng.dispatch(vec![w(0, 0x100)]); // shard 0
         eng.dispatch(vec![w(0, 0x1100), w(0, 0x1108)]); // shard 1: dies at first
         eng.dispatch(vec![w(0, 0x1110)]); // shard 1: dropped post-quarantine
@@ -788,7 +1233,6 @@ mod tests {
     fn all_shards_failing_still_terminates() {
         crate::silence_injected_panics();
         let proto = crate::PanicOnEvent::new(dgrace_detectors::FastTrack::new(), 0, 1);
-        use dgrace_detectors::ShardableDetector;
         let eng = Engine::new(
             vec![proto.new_shard()],
             RuntimeOptions {
@@ -797,11 +1241,7 @@ mod tests {
                 record: false,
             },
         );
-        eng.dispatch(vec![Event::Write {
-            tid: Tid(0),
-            addr: Addr(0x100),
-            size: AccessSize::U64,
-        }]);
+        eng.dispatch(vec![w(0, 0x100)]);
         let rep = eng.finish();
         assert_eq!(rep.failures.len(), 1);
         assert!(rep.races.is_empty());
@@ -813,7 +1253,6 @@ mod tests {
     fn broadcast_panic_quarantines_without_drop_count() {
         crate::silence_injected_panics();
         let proto = crate::PanicOnEvent::new(dgrace_detectors::FastTrack::new(), 1, 1);
-        use dgrace_detectors::ShardableDetector;
         let detectors = (0..2).map(|_| proto.new_shard()).collect();
         let eng = Engine::new(
             detectors,
@@ -827,7 +1266,7 @@ mod tests {
             Tid(0),
             Event::Acquire {
                 tid: Tid(0),
-                lock: dgrace_trace::LockId(0),
+                lock: LockId(0),
             },
         );
         let rep = eng.finish();
@@ -853,10 +1292,164 @@ mod tests {
             Tid(0),
             Event::Acquire {
                 tid: Tid(0),
-                lock: dgrace_trace::LockId(0),
+                lock: LockId(0),
             },
         );
         let rep = eng.finish();
         assert_eq!(rep.stats.events, 1, "a broadcast is one logical event");
+    }
+
+    #[test]
+    fn supervisor_respawns_and_preserves_races() {
+        crate::silence_injected_panics();
+        // Shard 1 dies at its second event. The supervisor respawns it
+        // (the replacement takes shard index 2 from the shared counter,
+        // so it never re-panics — a transient fault), replays the
+        // journal, and re-feeds the killing batch: no event is lost and
+        // the race on the faulted shard is still detected.
+        let proto = crate::PanicOnEvent::new(dgrace_detectors::FastTrack::new(), 1, 2);
+        let detectors = (0..2).map(|_| proto.new_shard()).collect();
+        let proto = Mutex::new(proto);
+        let factory: DetectorFactory = Arc::new(move |_| proto.lock().new_shard());
+        let eng = Engine::with_supervisor(
+            detectors,
+            RuntimeOptions {
+                shards: 2,
+                buffer_capacity: 4,
+                record: false,
+            },
+            PruneSet::empty(),
+            factory,
+            SupervisorPolicy::default(),
+        );
+        eng.dispatch(vec![w(0, 0x1100)]); // shard 1, survives
+        eng.dispatch(vec![w(1, 0x1100)]); // shard 1, panics → heals → races
+        eng.dispatch(vec![w(0, 0x100)]); // shard 0
+        let rep = eng.finish();
+        assert!(!rep.is_degraded(), "healed shard is not a failure");
+        assert!(rep.failures.is_empty());
+        assert_eq!(rep.stats.dropped, 0, "delta replay recovered every event");
+        assert_eq!(rep.stats.events_lost, 0);
+        assert_eq!(rep.stats.events, 3);
+        assert_eq!(rep.races.len(), 1, "race on the healed shard survives");
+        assert_eq!(rep.races[0].addr, Addr(0x1100));
+    }
+
+    #[test]
+    fn supervisor_gives_up_after_strike_budget() {
+        crate::silence_injected_panics();
+        // A detector that dies on *every* event: delta replay re-triggers
+        // the fault, so the supervisor must hit its respawn budget and
+        // fall back to permanent quarantine instead of looping forever.
+        struct AlwaysPanic;
+        impl Detector for AlwaysPanic {
+            fn name(&self) -> String {
+                "always-panic".into()
+            }
+            fn on_event(&mut self, _ev: &Event) {
+                panic!("fault-injection: unconditional");
+            }
+            fn finish(&mut self) -> Report {
+                Report::default()
+            }
+        }
+        let factory: DetectorFactory = Arc::new(|_| Box::new(AlwaysPanic));
+        let eng = Engine::with_supervisor(
+            vec![Box::new(AlwaysPanic)],
+            RuntimeOptions {
+                shards: 1,
+                buffer_capacity: 4,
+                record: false,
+            },
+            PruneSet::empty(),
+            factory,
+            SupervisorPolicy {
+                max_respawns: 2,
+                window: 1000,
+            },
+        );
+        eng.dispatch(vec![w(0, 0x100)]);
+        let rep = eng.finish();
+        assert_eq!(rep.failures.len(), 1, "budget exhausted → quarantine");
+        assert_eq!(rep.stats.dropped, 1);
+        assert_eq!(rep.stats.events_lost, 1);
+        let last = rep.failures[0].last_event.as_deref().unwrap_or("");
+        assert!(
+            last.contains("write 0x100"),
+            "offending event captured: {last}"
+        );
+    }
+
+    #[test]
+    fn events_lost_counts_everything_routed_to_a_dead_shard() {
+        crate::silence_injected_panics();
+        let proto = crate::PanicOnEvent::new(dgrace_detectors::FastTrack::new(), 1, 1);
+        let detectors = (0..2).map(|_| proto.new_shard()).collect();
+        let eng = Engine::new(
+            detectors,
+            RuntimeOptions {
+                shards: 2,
+                buffer_capacity: 4,
+                record: false,
+            },
+        );
+        eng.dispatch(vec![w(2, 0x1100)]); // shard 1: dies here
+        eng.dispatch(vec![w(0, 0x1108)]); // shard 1: post-quarantine
+        eng.dispatch(vec![w(1, 0x100)]); // shard 0: healthy
+        let rep = eng.finish();
+        assert_eq!(rep.stats.dropped, 2);
+        assert_eq!(
+            rep.stats.events_lost, 2,
+            "both events routed to the dead shard are lost"
+        );
+        assert_eq!(rep.failures.len(), 1);
+        assert_eq!(rep.failures[0].payload_type, "str");
+        let last = rep.failures[0].last_event.as_deref().unwrap_or("");
+        assert!(
+            last.contains("write 0x1100"),
+            "failure names the killing event: {last}"
+        );
+    }
+
+    #[test]
+    fn capture_restore_round_trips_mid_run() {
+        let shards = |proto: &dgrace_detectors::FastTrack| -> Vec<Box<dyn Detector + Send>> {
+            (0..2).map(|_| proto.new_shard()).collect()
+        };
+        let opts = RuntimeOptions {
+            shards: 2,
+            buffer_capacity: 4,
+            record: false,
+        };
+        let proto = dgrace_detectors::FastTrack::new();
+        let acq = Event::Acquire {
+            tid: Tid(0),
+            lock: LockId(0),
+        };
+        let rel = Event::Release {
+            tid: Tid(0),
+            lock: LockId(0),
+        };
+
+        // Uninterrupted baseline.
+        let clean = Engine::new(shards(&proto), opts);
+        clean.broadcast(acq);
+        clean.dispatch(vec![w(0, 0x100), w(0, 0x1100)]);
+        clean.broadcast(rel);
+        clean.dispatch(vec![w(1, 0x100), w(1, 0x1100)]);
+        let want = clean.finish();
+        assert_eq!(want.races.len(), 2, "baseline sanity");
+
+        // Same run split by a capture/restore across two engines.
+        let first = Engine::new(shards(&proto), opts);
+        first.broadcast(acq);
+        first.dispatch(vec![w(0, 0x100), w(0, 0x1100)]);
+        let state = first.capture();
+        let second = Engine::new(shards(&proto), opts);
+        second.restore(&state).expect("restore");
+        second.broadcast(rel);
+        second.dispatch(vec![w(1, 0x100), w(1, 0x1100)]);
+        let got = second.finish();
+        assert_eq!(got, want, "capture/restore run equals the clean run");
     }
 }

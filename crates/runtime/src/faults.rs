@@ -89,6 +89,18 @@ impl<D: Detector> Detector for PanicOnEvent<D> {
     fn set_shadow_budget(&mut self, bytes: Option<u64>) {
         self.inner.set_shadow_budget(bytes);
     }
+
+    // Checkpointing passes through to the wrapped detector: the fault
+    // specification is not part of the analysis state, so a snapshot
+    // taken through the wrapper restores into any detector of the same
+    // inner configuration (wrapped or not).
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        self.inner.snapshot()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.inner.restore(bytes)
+    }
 }
 
 impl<D: ShardableDetector> ShardableDetector for PanicOnEvent<D> {

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod engine;
 mod faults;
 mod mem;
@@ -49,10 +50,14 @@ mod runtime;
 mod sync;
 mod sync_ext;
 
-pub use engine::{EngineError, RuntimeOptions};
+pub use checkpoint::{CheckpointManifest, CHECKPOINT_FILE};
+pub use engine::{EngineError, RuntimeOptions, SupervisorPolicy};
 pub use faults::{corrupt_byte, silence_injected_panics, PanicOnEvent, INJECTED_PANIC_MARKER};
 pub use mem::{TrackedArray, TrackedCell};
-pub use replay::{replay_sharded, replay_sharded_pruned};
+pub use replay::{
+    replay_checkpointed, replay_sharded, replay_sharded_pruned, replay_supervised,
+    CheckpointInterval, CheckpointOptions, ReplayError,
+};
 pub use runtime::{JoinTicket, Runtime, ThreadHandle};
 pub use sync::{TrackedMutex, TrackedMutexGuard};
 pub use sync_ext::{

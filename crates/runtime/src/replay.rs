@@ -15,10 +15,15 @@
 //! does, because every tracked object is registered wholly with one
 //! shard.
 
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use dgrace_detectors::{Report, ShardableDetector};
 use dgrace_trace::{Event, PruneSet, Trace};
 
-use crate::engine::{Engine, RuntimeOptions};
+use crate::checkpoint::{CheckpointManifest, CHECKPOINT_FILE};
+use crate::engine::{DetectorFactory, Engine, RuntimeOptions, SupervisorPolicy};
 
 /// Replays `trace` through `shards` instances of the prototype detector
 /// and returns the merged report. `shards == 1` reproduces a plain
@@ -69,6 +74,191 @@ pub fn replay_sharded_pruned<D: ShardableDetector + ?Sized>(
         engine.dispatch(pending);
     }
     engine.finish()
+}
+
+/// How often a checkpointed replay persists a manifest.
+#[derive(Clone, Copy, Debug)]
+pub enum CheckpointInterval {
+    /// Checkpoint after every `n` processed trace events.
+    Events(u64),
+    /// Checkpoint when `secs` seconds have elapsed since the last one.
+    Secs(u64),
+}
+
+/// Where and how often a checkpointed replay persists its state.
+#[derive(Clone, Debug)]
+pub struct CheckpointOptions {
+    /// Directory holding the manifest (created if absent); the file
+    /// inside it is [`CHECKPOINT_FILE`].
+    pub dir: PathBuf,
+    /// Checkpoint cadence.
+    pub every: CheckpointInterval,
+}
+
+/// A failure of checkpointed replay, split by what the caller should do
+/// about it: retry I/O, discard the checkpoint, or fix the invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// Filesystem trouble reading or writing checkpoint state.
+    Io(String),
+    /// The checkpoint decoded but cannot be restored (corrupt or
+    /// incomplete snapshot data).
+    Corrupt(String),
+    /// The checkpoint disagrees with the requested run (different
+    /// detector, shard count, or trace).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            ReplayError::Corrupt(e) => write!(f, "checkpoint corrupt: {e}"),
+            ReplayError::Mismatch(e) => write!(f, "checkpoint mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// [`replay_sharded`] with a self-healing supervisor: a shard whose
+/// detector panics is respawned from the prototype, rolled forward
+/// through the engine's journals, and re-fed the offending batch, within
+/// `policy`'s respawn budget. With a fault-free detector this is
+/// behaviorally identical to [`replay_sharded_pruned`] (the journals are
+/// recorded but never consulted).
+pub fn replay_supervised(
+    prototype: Box<dyn ShardableDetector + Send>,
+    trace: &Trace,
+    shards: usize,
+    prune: PruneSet,
+    policy: SupervisorPolicy,
+) -> Report {
+    replay_checkpointed(prototype, trace, shards, prune, Some(policy), None, None)
+        .expect("supervised replay performs no checkpoint I/O")
+}
+
+/// The crash-resumable replay behind `dgrace detect --checkpoint-dir` /
+/// `--resume`: optionally supervised ([`SupervisorPolicy`]), optionally
+/// persisting a [`CheckpointManifest`] every `ckpt.every` events or
+/// seconds, optionally starting from a previously loaded manifest.
+///
+/// Because detector snapshots are canonical and delta replay is exact, a
+/// run interrupted at any point and resumed from its last checkpoint
+/// produces a byte-identical race set to an uninterrupted run over the
+/// same trace.
+pub fn replay_checkpointed(
+    prototype: Box<dyn ShardableDetector + Send>,
+    trace: &Trace,
+    shards: usize,
+    prune: PruneSet,
+    policy: Option<SupervisorPolicy>,
+    ckpt: Option<&CheckpointOptions>,
+    resume: Option<&CheckpointManifest>,
+) -> Result<Report, ReplayError> {
+    let shards = shards.max(1);
+    let opts = RuntimeOptions {
+        shards,
+        buffer_capacity: 1,
+        record: false,
+    };
+    let det_name = prototype.name();
+    let detectors = (0..shards).map(|_| prototype.new_shard()).collect();
+    let engine = match policy {
+        Some(p) => {
+            // The prototype itself need not be `Sync` (the paged shadow
+            // store carries a `Cell` hot-entry cache); a mutex makes the
+            // factory shareable across the engine's threads.
+            let proto = parking_lot::Mutex::new(prototype);
+            let factory: DetectorFactory = Arc::new(move |_| proto.lock().new_shard());
+            Engine::with_supervisor(detectors, opts, prune, factory, p)
+        }
+        None => Engine::with_prune(detectors, opts, prune),
+    };
+    let trace_len = trace.len() as u64;
+
+    let mut start = 0usize;
+    if let Some(m) = resume {
+        if m.detector != det_name {
+            return Err(ReplayError::Mismatch(format!(
+                "checkpoint was taken with detector '{}', this run uses '{det_name}'",
+                m.detector
+            )));
+        }
+        if m.shard_count() != shards {
+            return Err(ReplayError::Mismatch(format!(
+                "checkpoint has {} shards, this run uses {shards}",
+                m.shard_count()
+            )));
+        }
+        if m.trace_len != trace_len {
+            return Err(ReplayError::Mismatch(format!(
+                "checkpoint covers a trace of {} events, this trace has {trace_len}",
+                m.trace_len
+            )));
+        }
+        if m.trace_offset > trace_len {
+            return Err(ReplayError::Corrupt(format!(
+                "trace offset {} past the end of the trace ({trace_len})",
+                m.trace_offset
+            )));
+        }
+        engine.restore(&m.state).map_err(ReplayError::Corrupt)?;
+        start = m.trace_offset as usize;
+    }
+    if let Some(c) = ckpt {
+        std::fs::create_dir_all(&c.dir)
+            .map_err(|e| ReplayError::Io(format!("{}: {e}", c.dir.display())))?;
+    }
+
+    let mut pending: Vec<Event> = Vec::new();
+    let mut since = 0u64;
+    let mut last = Instant::now();
+    for (idx, ev) in trace.iter().enumerate().skip(start) {
+        if ev.is_sync() {
+            if !pending.is_empty() {
+                engine.dispatch(std::mem::take(&mut pending));
+            }
+            engine.emit_sync(ev.tid(), *ev);
+        } else {
+            if let Event::Alloc { addr, size, .. } = *ev {
+                engine.register_range(addr.0, size);
+            }
+            pending.push(*ev);
+        }
+        since += 1;
+        if let Some(c) = ckpt {
+            let due = match c.every {
+                CheckpointInterval::Events(n) => since >= n.max(1),
+                CheckpointInterval::Secs(s) => last.elapsed() >= Duration::from_secs(s),
+            };
+            if due {
+                // Flush before capturing so the snapshot covers every
+                // event up to and including `idx`; resuming then starts
+                // cleanly at `idx + 1`. (Splitting a batch at a
+                // checkpoint boundary does not change any shard's feed
+                // order, so the final report is unaffected.)
+                if !pending.is_empty() {
+                    engine.dispatch(std::mem::take(&mut pending));
+                }
+                let manifest = CheckpointManifest {
+                    detector: det_name.clone(),
+                    trace_len,
+                    trace_offset: (idx + 1) as u64,
+                    state: engine.capture(),
+                };
+                manifest
+                    .save(&c.dir.join(CHECKPOINT_FILE))
+                    .map_err(|e| ReplayError::Io(format!("saving checkpoint: {e}")))?;
+                since = 0;
+                last = Instant::now();
+            }
+        }
+    }
+    if !pending.is_empty() {
+        engine.dispatch(pending);
+    }
+    Ok(engine.finish())
 }
 
 #[cfg(test)]

@@ -126,6 +126,35 @@ impl Runtime {
         }
     }
 
+    /// Creates a sharded runtime with a **self-healing supervisor**: a
+    /// shard whose detector panics is respawned from the prototype,
+    /// rolled forward through the engine's event journals (so no event
+    /// is lost), and only permanently quarantined once `policy`'s
+    /// respawn budget is exhausted. Supervision implies journaling, so
+    /// this runtime records even when `opts.record` is false.
+    pub fn supervised<D: ShardableDetector + Send + 'static>(
+        prototype: D,
+        opts: RuntimeOptions,
+        policy: crate::SupervisorPolicy,
+    ) -> Self {
+        let shards = opts.shards.max(1);
+        let opts = RuntimeOptions { shards, ..opts };
+        let detectors = (0..shards).map(|_| prototype.new_shard()).collect();
+        // The prototype need not be `Sync`; a mutex makes the respawn
+        // factory shareable across the engine's threads.
+        let proto = parking_lot::Mutex::new(prototype);
+        let factory: crate::engine::DetectorFactory = Arc::new(move |_| proto.lock().new_shard());
+        Runtime {
+            inner: Arc::new(Inner::new(Engine::with_supervisor(
+                detectors,
+                opts,
+                PruneSet::empty(),
+                factory,
+                policy,
+            ))),
+        }
+    }
+
     /// Number of detector shards.
     pub fn shard_count(&self) -> usize {
         self.inner.engine.shard_count()

@@ -188,6 +188,34 @@ impl MemoryModel {
     pub fn breached(&self) -> bool {
         self.breached
     }
+
+    /// Serializes the gauge state. The budget itself is *not* encoded —
+    /// it is run configuration, reapplied by the caller after decode.
+    pub fn encode(&self, w: &mut dgrace_trace::SnapshotWriter) {
+        for v in self.current.iter().chain(self.peak.iter()) {
+            w.u64(*v as u64);
+        }
+        w.u64(self.peak_total as u64);
+        w.u64(self.vc_count as u64);
+        w.u64(self.peak_vc_count as u64);
+        w.bool(self.breached);
+    }
+
+    /// Rebuilds a gauge from [`MemoryModel::encode`]d bytes, with no
+    /// budget set (the caller reapplies its configured budget).
+    pub fn decode(
+        r: &mut dgrace_trace::SnapshotReader<'_>,
+    ) -> Result<Self, dgrace_trace::TraceError> {
+        let mut m = MemoryModel::new();
+        for v in m.current.iter_mut().chain(m.peak.iter_mut()) {
+            *v = r.u64()? as usize;
+        }
+        m.peak_total = r.u64()? as usize;
+        m.vc_count = r.u64()? as usize;
+        m.peak_vc_count = r.u64()? as usize;
+        m.breached = r.bool()?;
+        Ok(m)
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! thread a private bitmap: the first access sets a bit, and the bitmap is
 //! reset at every lock release (the start of the thread's next epoch).
 
-use dgrace_trace::Addr;
+use dgrace_trace::{Addr, SnapshotReader, SnapshotWriter, TraceError};
 
 use crate::hash::FastMap;
 
@@ -89,6 +89,36 @@ impl EpochBitmap {
     /// Number of chunk allocations currently live.
     pub fn chunk_count(&self) -> usize {
         self.chunks.len()
+    }
+
+    /// Serializes the bitmap: chunks sorted by key (so two bitmaps with
+    /// the same contents encode to the same bytes), then the peak.
+    pub fn encode(&self, w: &mut SnapshotWriter) {
+        let mut keys: Vec<u64> = self.chunks.keys().copied().collect();
+        keys.sort_unstable();
+        w.count(keys.len());
+        for key in keys {
+            w.u64(key);
+            w.raw(&self.chunks[&key][..]);
+        }
+        w.u64(self.peak_chunks as u64);
+    }
+
+    /// Rebuilds a bitmap from [`EpochBitmap::encode`]d bytes.
+    pub fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, TraceError> {
+        let n = r.count("bitmap chunks")?;
+        let mut chunks = FastMap::default();
+        for _ in 0..n {
+            let key = r.u64()?;
+            let mut payload = Box::new([0u8; CHUNK_PAYLOAD]);
+            r.raw(&mut payload[..])?;
+            chunks.insert(key, payload);
+        }
+        let peak_chunks = r.u64()? as usize;
+        Ok(EpochBitmap {
+            chunks,
+            peak_chunks,
+        })
     }
 }
 

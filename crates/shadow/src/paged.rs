@@ -439,6 +439,48 @@ impl<T> PagedShadow<T> {
         Some((Addr(key << DIR_SHIFT), 1u64 << DIR_SHIFT))
     }
 
+    /// Base addresses of chunks currently in byte mode, ascending.
+    /// Snapshot restore replays these through
+    /// [`PagedShadow::force_byte_mode`] so the rebuilt index matches the
+    /// live one byte-for-byte.
+    pub fn byte_mode_chunks(&self) -> Vec<Addr> {
+        let mut out = Vec::new();
+        for dir in self.dirs.iter().flatten() {
+            for (ci, chunk) in dir.chunks.iter().enumerate() {
+                if chunk.as_ref().is_some_and(|c| c.byte_mode) {
+                    out.push(Addr((dir.key << DIR_SHIFT) + (ci as u64) * CHUNK_BYTES));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Forces the chunk containing `addr` into byte mode, preserving
+    /// existing cells exactly as an unaligned insert would. No-op when
+    /// the chunk is absent or already expanded.
+    pub fn force_byte_mode(&mut self, addr: Addr) {
+        let Some(di) = self.dir_index(Self::dir_key(addr)) else {
+            return;
+        };
+        let Some(dir) = self.dirs[di as usize].as_mut() else {
+            return;
+        };
+        let Some(chunk) = dir.chunks[Self::chunk_index(addr)].as_mut() else {
+            return;
+        };
+        if chunk.byte_mode {
+            return;
+        }
+        let mut slots: Vec<Option<T>> = (0..BYTE_SLOTS).map(|_| None).collect();
+        for (i, cell) in chunk.slots.drain(..).enumerate() {
+            slots[i * 4] = cell;
+        }
+        chunk.slots = slots;
+        chunk.byte_mode = true;
+        self.bytes += hash_entry_bytes(BYTE_SLOTS) - hash_entry_bytes(WORD_SLOTS);
+    }
+
     /// Applies `f` to every populated cell, in unspecified order.
     pub fn for_each(&self, mut f: impl FnMut(Addr, &T)) {
         for dir in self.dirs.iter().flatten() {
@@ -535,6 +577,16 @@ impl<T: std::fmt::Debug> crate::store::ShadowStore<T> for PagedShadow<T> {
 
     fn for_each_mut(&mut self, f: impl FnMut(Addr, &mut T)) {
         PagedShadow::for_each_mut(self, f)
+    }
+
+    #[inline]
+    fn byte_mode_chunks(&self) -> Vec<Addr> {
+        PagedShadow::byte_mode_chunks(self)
+    }
+
+    #[inline]
+    fn force_byte_mode(&mut self, addr: Addr) {
+        PagedShadow::force_byte_mode(self, addr)
     }
 }
 

@@ -87,6 +87,17 @@ pub trait ShadowStore<T>: Default + Debug {
 
     /// Applies `f` to every populated cell mutably, in unspecified order.
     fn for_each_mut(&mut self, f: impl FnMut(Addr, &mut T));
+
+    /// Base addresses of chunks currently in byte mode, in ascending
+    /// order. Together with the populated cells this fully determines the
+    /// index structure, so snapshot restore can rebuild a store whose
+    /// modeled footprint and lookup behaviour match the original exactly.
+    fn byte_mode_chunks(&self) -> Vec<Addr>;
+
+    /// Forces the chunk containing `addr` into byte mode, preserving
+    /// existing cells exactly as an unaligned insert would. No-op when the
+    /// chunk is absent or already expanded.
+    fn force_byte_mode(&mut self, addr: Addr);
 }
 
 impl<T: Debug> ShadowStore<T> for ShadowTable<T> {
@@ -150,6 +161,16 @@ impl<T: Debug> ShadowStore<T> for ShadowTable<T> {
 
     fn for_each_mut(&mut self, f: impl FnMut(Addr, &mut T)) {
         ShadowTable::for_each_mut(self, f)
+    }
+
+    #[inline]
+    fn byte_mode_chunks(&self) -> Vec<Addr> {
+        ShadowTable::byte_mode_chunks(self)
+    }
+
+    #[inline]
+    fn force_byte_mode(&mut self, addr: Addr) {
+        ShadowTable::force_byte_mode(self, addr)
     }
 }
 

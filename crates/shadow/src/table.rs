@@ -319,6 +319,43 @@ impl<T> ShadowTable<T> {
         self.bytes
     }
 
+    /// Base addresses of chunks currently in byte mode, ascending.
+    /// Snapshot restore replays these through
+    /// [`ShadowTable::force_byte_mode`] so the rebuilt index matches the
+    /// live one byte-for-byte (a byte-mode chunk whose only unaligned
+    /// cells were removed stays expanded).
+    pub fn byte_mode_chunks(&self) -> Vec<Addr> {
+        let mut out: Vec<Addr> = self
+            .map
+            .iter()
+            .filter(|(_, e)| e.byte_mode)
+            .map(|(key, _)| Addr(key << self.shift))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Forces the chunk containing `addr` into byte mode, preserving
+    /// existing cells exactly as an unaligned insert would. No-op when
+    /// the chunk is absent or already expanded.
+    pub fn force_byte_mode(&mut self, addr: Addr) {
+        let key = self.key(addr);
+        let m = self.m;
+        let Some(entry) = self.map.get_mut(&key) else {
+            return;
+        };
+        if entry.byte_mode {
+            return;
+        }
+        let mut slots: Vec<Option<T>> = (0..m).map(|_| None).collect();
+        for (i, cell) in entry.slots.drain(..).enumerate() {
+            slots[i * 4] = cell;
+        }
+        entry.slots = slots;
+        entry.byte_mode = true;
+        self.bytes += hash_entry_bytes(m) - hash_entry_bytes(m / 4);
+    }
+
     /// Iterates populated `(addr, cell)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (Addr, &T)> {
         self.map.iter().flat_map(move |(key, entry)| {

@@ -129,6 +129,14 @@ pub enum TraceError {
         /// The configured bound.
         limit: u64,
     },
+    /// A structurally invalid field in a snapshot/checkpoint stream
+    /// (e.g. a boolean byte that is neither 0 nor 1, or non-UTF-8 text).
+    Malformed {
+        /// Absolute byte offset of the offending field.
+        offset: u64,
+        /// What was being decoded.
+        what: &'static str,
+    },
 }
 
 /// Backwards-compatible alias: the decode error was renamed when it grew
@@ -146,6 +154,7 @@ impl TraceError {
                 | TraceError::BadSize { .. }
                 | TraceError::BadClass { .. }
                 | TraceError::LimitExceeded { .. }
+                | TraceError::Malformed { .. }
         )
     }
 
@@ -156,7 +165,8 @@ impl TraceError {
             | TraceError::BadSize { offset, .. }
             | TraceError::BadClass { offset, .. }
             | TraceError::Truncated { offset, .. }
-            | TraceError::LimitExceeded { offset, .. } => Some(*offset),
+            | TraceError::LimitExceeded { offset, .. }
+            | TraceError::Malformed { offset, .. } => Some(*offset),
             _ => None,
         }
     }
@@ -197,6 +207,9 @@ impl std::fmt::Display for TraceError {
                 f,
                 "limit exceeded at byte {offset}: {what} {value} > {limit}"
             ),
+            TraceError::Malformed { offset, what } => {
+                write!(f, "corrupt stream at byte {offset}: malformed {what}")
+            }
         }
     }
 }

@@ -41,6 +41,7 @@ mod batch;
 mod builder;
 mod event;
 pub mod io;
+pub mod snapshot;
 pub mod stats;
 pub mod summary;
 mod validate;
@@ -49,6 +50,10 @@ pub use batch::EventBatch;
 pub use builder::TraceBuilder;
 pub use event::{AccessSize, Addr, Event, LockId};
 pub use io::{DecodeLimits, DecodeStats, ReadOptions, TraceError};
+pub use snapshot::{
+    write_file_atomic, SnapshotLimits, SnapshotReader, SnapshotWriter, CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION, STATE_MAGIC, STATE_VERSION,
+};
 pub use summary::{
     AnalysisSummary, ClassCounts, ClassifiedRange, LocationClass, PruneSet, SummaryStats,
     SUMMARY_VERSION,

@@ -94,7 +94,7 @@ fn check_resync(bytes: &[u8]) {
 /// Streaming decode: the iterator must terminate (bounded by the input
 /// length) and stop permanently after its first error.
 fn check_streaming(bytes: &[u8]) {
-    let Ok(reader) = EventReader::new(&bytes[..]) else {
+    let Ok(reader) = EventReader::new(bytes) else {
         return;
     };
     let mut decoded = 0usize;

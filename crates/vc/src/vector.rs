@@ -91,6 +91,19 @@ impl VectorClock {
         Self::from_vec(values.to_vec())
     }
 
+    /// Rebuilds a clock from `(Tid, value)` pairs, the inverse of
+    /// [`VectorClock::iter`]. Zero values are ignored; duplicate tids keep
+    /// the last value. Used when decoding serialized snapshots, so the
+    /// chosen representation (inline vs dense) matches what a live clock
+    /// with the same contents would use.
+    pub fn from_pairs<I: IntoIterator<Item = (Tid, ClockValue)>>(pairs: I) -> Self {
+        let mut vc = VectorClock::new();
+        for (t, v) in pairs {
+            vc.set(t, v);
+        }
+        vc
+    }
+
     fn from_vec(mut values: Vec<ClockValue>) -> Self {
         while values.last() == Some(&0) {
             values.pop();
@@ -577,6 +590,21 @@ mod tests {
         narrow.join(&wide);
         assert!(!narrow.is_inline(), "joining a dense clock spills");
         assert_eq!(narrow, vc(&[1, 9, 3]));
+    }
+
+    #[test]
+    fn from_pairs_inverts_iter() {
+        for values in [
+            &[][..],
+            &[1, 0, 3][..],
+            &[5][..],
+            &[1, 2, 3, 4, 5, 0, 7][..],
+        ] {
+            let original = vc(values);
+            let rebuilt = VectorClock::from_pairs(original.iter());
+            assert_eq!(rebuilt, original);
+            assert_eq!(rebuilt.is_inline(), original.is_inline());
+        }
     }
 
     #[test]
