@@ -1,0 +1,105 @@
+//! Quick timing harness for the sharing-churn workload (dev tool).
+use std::time::Instant;
+
+use dgrace_core::DynamicGranularity;
+use dgrace_detectors::{Detector, DetectorExt, FastTrack};
+use dgrace_trace::{AccessSize, Trace, TraceBuilder};
+
+fn sharing_churn_trace() -> Trace {
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32);
+    for pass in 0..2 {
+        if pass == 1 {
+            b.locked(0u32, 0u32, |_| {});
+        }
+        for g in 0..64u64 {
+            let base = 0x10_0000 + g * 0x1000;
+            for i in 0..256u64 {
+                b.write(0u32, base + i * 4, AccessSize::U32);
+            }
+        }
+    }
+    for g in 0..64u64 {
+        let base = 0x10_0000 + g * 0x1000;
+        b.write(1u32, base + 512, AccessSize::U32);
+    }
+    b.join(0u32, 1u32);
+    b.build()
+}
+
+fn time<D: Detector>(name: &str, mk: impl Fn() -> D, trace: &Trace, reps: usize) {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps + 1 {
+        let mut d = mk();
+        let t = Instant::now();
+        let rep = d.run(trace);
+        let dt = t.elapsed().as_secs_f64();
+        std::hint::black_box(rep);
+        best = best.min(dt);
+    }
+    let evs = trace.len() as f64;
+    println!(
+        "{name:<12} best {:8.3} ms  {:7.2} Mev/s",
+        best * 1e3,
+        evs / best / 1e6
+    );
+}
+
+fn phases(trace: &Trace) {
+    // Layout: fork | pass0 16384 writes | lock+unlock | pass1 16384 | 64 racy | join
+    let cuts = [
+        1usize,
+        1 + 16384,
+        1 + 16384 + 2,
+        1 + 16384 + 2 + 16384,
+        trace.len(),
+    ];
+    let names = [
+        "fork",
+        "pass0-first-epoch",
+        "sync",
+        "pass1-second-epoch",
+        "dissolve-tail",
+    ];
+    let evs: Vec<_> = trace.iter().copied().collect();
+    for _ in 0..3 {
+        let mut det = DynamicGranularity::new();
+        let mut prev = 0usize;
+        print!("dynamic ");
+        for (cut, name) in cuts.iter().zip(names) {
+            let t = Instant::now();
+            for ev in &evs[prev..*cut] {
+                dgrace_detectors::Detector::on_event(&mut det, ev);
+            }
+            let dt = t.elapsed().as_secs_f64();
+            print!(" | {name} {:.3}ms", dt * 1e3);
+            prev = *cut;
+        }
+        println!();
+    }
+    for _ in 0..3 {
+        let mut det = FastTrack::new();
+        let mut prev = 0usize;
+        print!("fasttrk ");
+        for (cut, name) in cuts.iter().zip(names) {
+            let t = Instant::now();
+            for ev in &evs[prev..*cut] {
+                dgrace_detectors::Detector::on_event(&mut det, ev);
+            }
+            let dt = t.elapsed().as_secs_f64();
+            print!(" | {name} {:.3}ms", dt * 1e3);
+            prev = *cut;
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let trace = sharing_churn_trace();
+    println!("trace: {} events", trace.len());
+    time("fasttrack", FastTrack::new, &trace, 5);
+    time("dynamic", DynamicGranularity::new, &trace, 5);
+    phases(&trace);
+}
+
+// Appended: per-phase timing by feeding trace slices.

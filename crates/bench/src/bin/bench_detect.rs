@@ -1,24 +1,24 @@
 //! End-to-end replay-throughput baseline: events/sec for each tracked
 //! detector × shadow store × shard count, written to `BENCH_detect.json`
 //! at the repo root in a stable schema so successive runs (and CI
-//! artifacts) can be diffed.
+//! artifacts) can be diffed. `bench_scaling_gate` validates the file.
 //!
 //! ```text
 //! cargo run --release -p dgrace-bench --bin bench_detect [-- --scale 0.3]
 //! ```
 //!
-//! Schema (`schema_version` 1): `{ schema_version, scale, seed, runs: [
-//! { workload, detector, store, shards, events, median_secs,
-//!   events_per_sec, races, vc_allocs, peak_vc_bytes,
-//!   peak_total_bytes } ] }`. Keys are emitted in that order; new keys
-//! may be appended but existing ones never renamed.
+//! Shard count 1 replays through the serial funnel (the correctness
+//! reference); counts > 1 go through the SPSC-ring pipeline, so the
+//! shard curve measures the parallel ingestion path end to end. The
+//! schema lives in [`dgrace_bench::scaling`] (`schema_version` 2:
+//! adds `host_cpus` and the 8/16-shard points).
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
+use dgrace_bench::scaling::{BenchFile, BenchRun, REQUIRED_SHARDS};
 use dgrace_core::DynamicGranularityOn;
 use dgrace_detectors::{DjitOn, FastTrackOn, Granularity, Report, ShardableDetector};
-use dgrace_runtime::replay_sharded;
+use dgrace_runtime::{replay_pipelined, replay_sharded};
 use dgrace_shadow::{HashSelect, PagedSelect, StoreSelect};
 use dgrace_trace::{AccessSize, Trace, TraceBuilder};
 use dgrace_workloads::{Workload, WorkloadKind};
@@ -59,22 +59,8 @@ fn sharing_churn_trace() -> Trace {
     b.build()
 }
 
-const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 const REPS: usize = 3;
 const SEED: u64 = 7;
-
-struct Run {
-    workload: String,
-    detector: String,
-    store: &'static str,
-    shards: usize,
-    events: u64,
-    median_secs: f64,
-    races: usize,
-    vc_allocs: u64,
-    peak_vc_bytes: usize,
-    peak_total_bytes: usize,
-}
 
 fn detector_suite<K: StoreSelect>() -> Vec<Box<dyn ShardableDetector>> {
     vec![
@@ -84,13 +70,18 @@ fn detector_suite<K: StoreSelect>() -> Vec<Box<dyn ShardableDetector>> {
     ]
 }
 
-/// Median-of-[`REPS`] timed sharded replay.
+/// Median-of-[`REPS`] timed replay: funnel at shards=1, SPSC pipeline
+/// otherwise.
 fn timed(proto: &dyn ShardableDetector, trace: &Trace, shards: usize) -> (f64, Report) {
     let mut times = Vec::with_capacity(REPS);
     let mut report = None;
     for _ in 0..REPS {
         let start = Instant::now();
-        let rep = replay_sharded(proto, trace, shards);
+        let rep = if shards == 1 {
+            replay_sharded(proto, trace, shards)
+        } else {
+            replay_pipelined(proto, trace, shards)
+        };
         times.push(start.elapsed().as_secs_f64());
         report = Some(rep);
     }
@@ -102,15 +93,15 @@ fn bench_store<K: StoreSelect>(
     store: &'static str,
     workload: &str,
     trace: &Trace,
-    runs: &mut Vec<Run>,
+    runs: &mut Vec<BenchRun>,
 ) {
     for proto in detector_suite::<K>() {
-        for shards in SHARD_COUNTS {
+        for shards in REQUIRED_SHARDS {
             let (secs, rep) = timed(proto.as_ref(), trace, shards);
-            runs.push(Run {
+            runs.push(BenchRun {
                 workload: workload.to_string(),
                 detector: rep.detector.clone(),
-                store,
+                store: store.to_string(),
                 shards,
                 events: rep.stats.events,
                 median_secs: secs,
@@ -123,44 +114,12 @@ fn bench_store<K: StoreSelect>(
     }
 }
 
-fn to_json(scale: f64, runs: &[Run]) -> String {
-    let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema_version\": 1,");
-    let _ = writeln!(out, "  \"scale\": {scale},");
-    let _ = writeln!(out, "  \"seed\": {SEED},");
-    out.push_str("  \"runs\": [\n");
-    for (i, r) in runs.iter().enumerate() {
-        let eps = r.events as f64 / r.median_secs.max(1e-9);
-        let _ = write!(
-            out,
-            "    {{\"workload\": \"{}\", \"detector\": \"{}\", \"store\": \"{}\", \
-             \"shards\": {}, \"events\": {}, \"median_secs\": {:.6}, \
-             \"events_per_sec\": {:.0}, \"races\": {}, \"vc_allocs\": {}, \
-             \"peak_vc_bytes\": {}, \"peak_total_bytes\": {}}}",
-            r.workload,
-            r.detector,
-            r.store,
-            r.shards,
-            r.events,
-            r.median_secs,
-            eps,
-            r.races,
-            r.vc_allocs,
-            r.peak_vc_bytes,
-            r.peak_total_bytes,
-        );
-        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
-
 fn parse_args() -> (f64, std::path::PathBuf) {
     let default_out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_detect.json");
     let args: Vec<String> = std::env::args().collect();
-    let mut scale = 0.3;
+    let mut scale = 1.0;
     let mut out = default_out;
     let mut i = 1;
     while i < args.len() {
@@ -184,6 +143,7 @@ fn parse_args() -> (f64, std::path::PathBuf) {
 
 fn main() {
     let (scale, out_path) = parse_args();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut runs = Vec::new();
     let mut traces: Vec<(String, Trace)> = WORKLOADS
         .iter()
@@ -201,28 +161,44 @@ fn main() {
         bench_store::<HashSelect>("hash", name, trace, &mut runs);
         bench_store::<PagedSelect>("paged", name, trace, &mut runs);
     }
-    let json = to_json(scale, &runs);
-    std::fs::write(&out_path, &json).expect("write BENCH_detect.json");
-    // Human-readable digest on stdout: events/sec, hash vs paged, serial.
-    println!("replay throughput (Mev/s, shards=1):");
+    let file = BenchFile {
+        schema_version: 2,
+        scale,
+        seed: SEED,
+        host_cpus,
+        runs,
+    };
+    std::fs::write(&out_path, file.to_json()).expect("write BENCH_detect.json");
+    // Human-readable digest on stdout: serial throughput plus the
+    // pipeline's shards=4 speedup per workload.
+    println!("replay throughput (Mev/s), host_cpus={host_cpus}:");
     println!(
-        "{:<14} {:<16} {:>8} {:>8}",
-        "workload", "detector", "hash", "paged"
+        "{:<14} {:<16} {:>8} {:>8} {:>9}",
+        "workload", "detector", "hash", "paged", "x4/x1"
     );
     for (name, _) in &traces {
         for base in ["fasttrack-byte", "djit-byte", "dynamic"] {
-            let find = |store: &str| {
-                runs.iter()
+            let find = |store: &str, shards: usize| {
+                file.runs
+                    .iter()
                     .find(|r| {
                         r.workload == *name
-                            && r.shards == 1
+                            && r.shards == shards
                             && r.store == store
                             && r.detector.starts_with(base)
                     })
-                    .map(|r| r.events as f64 / r.median_secs.max(1e-9) / 1e6)
+                    .map(BenchRun::events_per_sec)
             };
-            if let (Some(h), Some(p)) = (find("hash"), find("paged")) {
-                println!("{:<14} {:<16} {:>8.1} {:>8.1}", name, base, h, p);
+            if let (Some(h1), Some(p1)) = (find("hash", 1), find("paged", 1)) {
+                let speedup = find("hash", 4).map_or(0.0, |h4| h4 / h1.max(1e-9));
+                println!(
+                    "{:<14} {:<16} {:>8.1} {:>8.1} {:>8.2}x",
+                    name,
+                    base,
+                    h1 / 1e6,
+                    p1 / 1e6,
+                    speedup
+                );
             }
         }
     }

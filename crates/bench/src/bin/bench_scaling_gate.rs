@@ -1,0 +1,147 @@
+//! CI gate over `BENCH_detect.json`: validates the checked-in baseline
+//! (or a freshly produced file) against the scaling policy, and can
+//! compare fresh vs baseline for determinism drift.
+//!
+//! ```text
+//! # Validate the checked-in baseline:
+//! cargo run --release -p dgrace-bench --bin bench_scaling_gate
+//!
+//! # Validate an arbitrary file:
+//! cargo run --release -p dgrace-bench --bin bench_scaling_gate -- --check fresh.json
+//!
+//! # Compare a fresh run against the baseline (exact events/races,
+//! # banded throughput):
+//! cargo run --release -p dgrace-bench --bin bench_scaling_gate -- \
+//!     --compare fresh.json --baseline BENCH_detect.json --tolerance 0.6
+//! ```
+//!
+//! Checks applied (see [`dgrace_bench::scaling`] for the policy
+//! constants):
+//! - **structure** — every (workload, detector, store) cell carries the
+//!   full {1, 2, 4, 8, 16} shard curve, with identical event and race
+//!   counts across the curve (funnel and pipeline must agree).
+//! - **scaling** — on a host with ≥ 4 CPUs, ≥ 3 workloads must reach
+//!   1.8× at shards=4; on a narrower host that is unmeasurable, so the
+//!   gate warns and instead enforces a floor on pipeline overhead.
+//! - **compare** (optional) — a fresh file must reproduce the baseline's
+//!   verdicts exactly; throughput drift beyond `--tolerance` only warns,
+//!   because wall-clock numbers are machine-dependent.
+//!
+//! Exit status 0 on pass (warnings allowed), 1 on any error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dgrace_bench::scaling::{check_scaling, check_structure, compare, BenchFile};
+
+struct Args {
+    check: PathBuf,
+    compare_baseline: Option<PathBuf>,
+    tolerance: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let default_baseline = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_detect.json");
+    let argv: Vec<String> = std::env::args().collect();
+    let mut check = default_baseline.clone();
+    let mut fresh: Option<PathBuf> = None;
+    let mut baseline = default_baseline;
+    let mut tolerance = None;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--check" => {
+                check = argv.get(i + 1).expect("--check needs a path").into();
+                i += 2;
+            }
+            "--compare" => {
+                fresh = Some(argv.get(i + 1).expect("--compare needs a path").into());
+                i += 2;
+            }
+            "--baseline" => {
+                baseline = argv.get(i + 1).expect("--baseline needs a path").into();
+                i += 2;
+            }
+            "--tolerance" => {
+                tolerance = Some(
+                    argv.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--tolerance needs a fraction, e.g. 0.6"),
+                );
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: bench_scaling_gate [--check FILE] [--compare FRESH --baseline BASE] [--tolerance F]");
+                std::process::exit(2);
+            }
+        }
+    }
+    // In compare mode the fresh file is also the one structurally
+    // checked.
+    if let Some(f) = &fresh {
+        check = f.clone();
+    }
+    Args {
+        check,
+        compare_baseline: fresh.map(|_| baseline),
+        tolerance,
+    }
+}
+
+fn load(path: &PathBuf) -> Result<BenchFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    BenchFile::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut errors: Vec<String> = Vec::new();
+    let mut warnings: Vec<String> = Vec::new();
+
+    let file = match load(&args.check) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ERROR {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "checking {} (scale={}, host_cpus={}, {} runs)",
+        args.check.display(),
+        file.scale,
+        file.host_cpus,
+        file.runs.len()
+    );
+    errors.extend(check_structure(&file));
+    let (e, w) = check_scaling(&file);
+    errors.extend(e);
+    warnings.extend(w);
+
+    if let Some(baseline_path) = &args.compare_baseline {
+        match load(baseline_path) {
+            Ok(baseline) => {
+                let (e, w) = compare(&file, &baseline, args.tolerance);
+                errors.extend(e);
+                warnings.extend(w);
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+
+    for w in &warnings {
+        println!("WARN  {w}");
+    }
+    for e in &errors {
+        println!("ERROR {e}");
+    }
+    if errors.is_empty() {
+        println!("bench-scaling gate: PASS ({} warnings)", warnings.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("bench-scaling gate: FAIL ({} errors)", errors.len());
+        ExitCode::FAILURE
+    }
+}

@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scaling;
+
 use std::time::Instant;
 
 use dgrace_baselines::{HybridDetector, SegmentDetector};

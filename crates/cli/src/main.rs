@@ -3,7 +3,7 @@
 //! ```text
 //! dgrace gen <workload> [--scale S] [--seed N] -o trace.dgrt
 //! dgrace analyze <trace.dgrt> [-o summary.dgas]
-//! dgrace detect <detector> <trace.dgrt> [--max-races N] [--shards N] [--prune-with summary.dgas]
+//! dgrace detect <detector> <trace.dgrt> [--max-races N] [--shards N] [--pipeline] [--prune-with summary.dgas]
 //!                                       [--shadow-budget BYTES] [--resync] [--json] [--self-heal]
 //!                                       [--checkpoint-dir D] [--checkpoint-every N|Ns] [--resume D]
 //! dgrace stats <trace.dgrt>
@@ -28,8 +28,9 @@ use dgrace_detectors::{
     ShardableDetector, StaticPruneFilter,
 };
 use dgrace_runtime::{
-    replay_checkpointed, replay_sharded_pruned, CheckpointInterval, CheckpointManifest,
-    CheckpointOptions, ReplayError, SupervisorPolicy, CHECKPOINT_FILE,
+    replay_checkpointed, replay_pipelined_checkpointed, replay_pipelined_pruned,
+    replay_sharded_pruned, CheckpointInterval, CheckpointManifest, CheckpointOptions, ReplayError,
+    SupervisorPolicy, CHECKPOINT_FILE,
 };
 use dgrace_shadow::{HashSelect, PagedSelect, StoreSelect};
 use dgrace_trace::io::{read_summary, read_trace_with, write_summary, write_trace};
@@ -154,7 +155,9 @@ fn print_help() {
          \x20                                 [--checkpoint-dir D]     --shadow-budget caps shadow memory\n\
          \x20                                 [--checkpoint-every N|Ns] (cold state is evicted past the cap),\n\
          \x20                                 [--resume D]             --resync skips damaged trace frames,\n\
-         \x20                                                          --json prints a deterministic report,\n\
+         \x20                                 [--pipeline]             --json prints a deterministic report,\n\
+         \x20                                                          --pipeline feeds shards through\n\
+         \x20                                                          per-shard SPSC rings (same report),\n\
          \x20                                                          --self-heal respawns panicked shards\n\
          \x20                                                          from their last checkpoint,\n\
          \x20                                                          --checkpoint-dir writes durable\n\
@@ -514,7 +517,7 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
             "--checkpoint-every",
             "--resume",
         ],
-        &["--resync", "--json", "--self-heal"],
+        &["--resync", "--json", "--self-heal", "--pipeline"],
     )?;
     let det_name = p.positional(0).ok_or("detect: missing detector name")?;
     let path = p.positional(1).ok_or("detect: missing trace file")?;
@@ -527,6 +530,7 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
     let shadow = parse_shadow(&p)?;
     let json_out = p.flag("--json");
     let self_heal = p.flag("--self-heal");
+    let pipeline = p.flag("--pipeline");
     let ckpt_dir = p.opt("--checkpoint-dir").map(PathBuf::from);
     let resume_dir = p.opt("--resume").map(PathBuf::from);
     let every = p
@@ -573,7 +577,12 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
             every: every.unwrap_or(CheckpointInterval::Events(65536)),
         });
         let policy = self_heal.then(SupervisorPolicy::default);
-        replay_checkpointed(
+        let run = if pipeline {
+            replay_pipelined_checkpointed
+        } else {
+            replay_checkpointed
+        };
+        run(
             proto,
             &trace,
             shards.max(1),
@@ -583,12 +592,16 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
             resume.as_ref(),
         )
         .map_err(replay_failure)?
-    } else if shards > 1 {
+    } else if shards > 1 || pipeline {
         let mut proto = make_shardable(det_name, shadow)?;
         // The budget is a whole-run cap: each shard holds a slice of the
         // address space, so it gets a slice of the budget.
-        proto.set_shadow_budget(budget.map(|b| (b / shards as u64).max(1)));
-        replay_sharded_pruned(proto.as_ref(), &trace, shards, prune)
+        proto.set_shadow_budget(budget.map(|b| (b / shards.max(1) as u64).max(1)));
+        if pipeline {
+            replay_pipelined_pruned(proto.as_ref(), &trace, shards.max(1), prune)
+        } else {
+            replay_sharded_pruned(proto.as_ref(), &trace, shards, prune)
+        }
     } else {
         let mut det = make_detector(det_name, shadow)?;
         det.set_shadow_budget(budget);
@@ -604,8 +617,12 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         // and uninterrupted runs over the same trace diff byte-equal.
         println!("{}", json::report(&report, &dstats));
     } else {
-        if shards > 1 {
-            println!("sharded replay: {shards} detector shards (merged report)");
+        if shards > 1 || pipeline {
+            let path = if pipeline { "pipelined" } else { "sharded" };
+            println!(
+                "{path} replay: {} detector shards (merged report)",
+                shards.max(1)
+            );
         }
         render::report(&report, &trace, secs, max_races);
     }

@@ -345,6 +345,17 @@ impl<K: StoreSelect> DynamicGranularityOn<K> {
         } else {
             self.race_check(addr, kind, now, Some(id))
         };
+        // Lazy dissolve: a member of a raced group detaches here, on its
+        // first access after the race, so the group's frozen clock is
+        // never mutated. `split` hands it a refcounted reference to that
+        // clock in the `Race` state — exactly the cell an eager dissolve
+        // would have built (not counted in `splits`: the dissolution was
+        // already accounted for when the race was reported).
+        let id = if raced && self.plane(kind).cell(id).count > 1 {
+            self.plane_mut(kind).split(addr).0
+        } else {
+            id
+        };
         let inflated = self.record_access(kind, id, tid, now, my_epoch);
         if let Some((race_kind, witness, wt)) = race {
             self.report_race(addr, kind, race_kind, witness, my_epoch, wt);
@@ -465,9 +476,20 @@ impl<K: StoreSelect> DynamicGranularityOn<K> {
     }
 
     /// Reports a race at `addr` and executes `splitAndSetRace`: the whole
-    /// sharing group is dissolved, every member becomes `Race` with a
-    /// private clock. With `report_group_races` (default), a race is
-    /// reported for every member — the paper's observed x264 behaviour.
+    /// sharing group becomes `Race` and — with `report_group_races`
+    /// (default) — a race is reported for every member, the paper's
+    /// observed x264 behaviour.
+    ///
+    /// The dissolve itself is *lazy*: the group cell is marked `Race` in
+    /// place and members detach only when next accessed
+    /// ([`steady_access`](Self::steady_access)). Raced cells skip race
+    /// checks and the group clock is never written again (a member splits
+    /// out before recording), so the frozen clock each member eventually
+    /// inherits is exactly what an eager per-member dissolve would have
+    /// handed it — without paying one cell allocation and hash probe per
+    /// member on the hot path. A sharing-churn workload dissolving 64 ×
+    /// 256-word groups spends O(racy accesses), not O(group members), in
+    /// here.
     fn report_race(
         &mut self,
         addr: Addr,
@@ -482,7 +504,11 @@ impl<K: StoreSelect> DynamicGranularityOn<K> {
         let count = plane.cell(id).count;
         let tainted = plane.cell(id).tainted || witness_tainted;
         if count > 1 {
-            let members = plane.dissolve_group(addr, VcState::Race);
+            let members = plane.group_members(addr);
+            plane.set_state(id, VcState::Race);
+            // The members *will* separate (on their next access); the
+            // split counter records the dissolution decision itself so
+            // its totals match an eager dissolve.
             self.splits += (members.len() - 1) as u64;
             let report_all = self.config.report_group_races;
             for m in members {
@@ -948,6 +974,58 @@ mod tests {
         let rep = DynamicGranularity::with_config(cfg).run(&trace);
         assert_eq!(rep.races.len(), 1);
         assert_eq!(rep.races[0].share_count, 4);
+    }
+
+    #[test]
+    fn racy_group_dissolves_lazily() {
+        // Regression test for the sharing-churn hot path: a race against
+        // a shared group freezes the cell in `Race` state instead of
+        // eagerly re-pointing every member, so dissolution costs
+        // O(members touched again), not O(group size). The race report
+        // still covers the whole group
+        // (steady_group_race_reports_every_member pins that).
+        let mut det = DynamicGranularity::new();
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .write_block(0u32, X, 64, AccessSize::U32) // init group of 16 words
+            .release(0u32, 0u32)
+            .write_block(0u32, X, 64, AccessSize::U32) // re-share → Shared
+            .write(1u32, X + 4, AccessSize::U32); // race from T1
+        for ev in b.build().iter() {
+            det.on_event(ev);
+        }
+        det.check_invariants();
+        // The group survives the race intact — frozen in `Race` state,
+        // all 16 members still sharing one cell.
+        let group = det.write_group(Addr(X)).unwrap();
+        assert_eq!(group.state, VcState::Race);
+        assert_eq!(group.members.len(), 16, "no eager per-member split");
+        // Members touched later detach alone, quietly (raced cells are
+        // exempt from further race checks). A new T1 epoch first — the
+        // group clock already covers the racing epoch, so same-epoch
+        // touches would be filtered before reaching the plane.
+        b.release(1u32, 1u32)
+            .write(1u32, X + 4, AccessSize::U32)
+            .write(1u32, X + 8, AccessSize::U32);
+        for ev in b.build().iter() {
+            det.on_event(ev);
+        }
+        det.check_invariants();
+        assert_eq!(det.write_group(Addr(X)).unwrap().members.len(), 14);
+        let hit = det.write_group(Addr(X + 4)).unwrap();
+        assert_eq!(hit.state, VcState::Race);
+        assert_eq!(hit.members, vec![Addr(X + 4)]);
+        assert_eq!(
+            det.write_group(Addr(X + 8)).unwrap().members,
+            vec![Addr(X + 8)]
+        );
+        let rep = det.finish();
+        // Identical report to the eager scheme: every original member,
+        // once, with the full share count, and `splits` accounts the
+        // whole group at dissolve time.
+        assert_eq!(rep.races.len(), 16, "{:?}", rep.races);
+        assert!(rep.races.iter().all(|r| r.share_count == 16));
+        assert!(rep.stats.sharing.unwrap().splits >= 15);
     }
 
     #[test]

@@ -239,10 +239,10 @@ impl<K: StoreSelect> PlaneOn<K> {
         id
     }
 
-    /// Attaches `addr` to `neighbor`'s cell (`id`, already resolved by
-    /// the caller's neighbor search). `addr` must not have a location
-    /// yet.
-    fn attach(&mut self, addr: Addr, neighbor: Addr, id: SlabId) -> SlabId {
+    /// Appends `addr` to `neighbor`'s cell member list (`id` already
+    /// resolved by the caller's neighbor search), returning `addr`'s
+    /// member index. The caller writes `addr`'s `Loc`.
+    fn join_members(&mut self, addr: Addr, neighbor: Addr, id: SlabId) -> u32 {
         debug_assert_eq!(self.table.get(neighbor).expect("neighbor exists").cell, id);
         let cell = self.cells.get_mut(id);
         if cell.members.is_empty() {
@@ -257,6 +257,14 @@ impl<K: StoreSelect> PlaneOn<K> {
         if cell.count > self.max_group {
             self.max_group = cell.count;
         }
+        idx
+    }
+
+    /// Attaches `addr` to `neighbor`'s cell (`id`, already resolved by
+    /// the caller's neighbor search). `addr` must not have a location
+    /// yet.
+    fn attach(&mut self, addr: Addr, neighbor: Addr, id: SlabId) -> SlabId {
+        let idx = self.join_members(addr, neighbor, id);
         self.table.insert(addr, Loc { cell: id, idx });
         id
     }
@@ -280,8 +288,14 @@ impl<K: StoreSelect> PlaneOn<K> {
             "rejoin requires a private cell"
         );
         self.free_cell(loc.cell);
-        self.table.remove(addr);
-        self.attach(addr, neighbor, nid)
+        // Re-point the existing location in place — the second-epoch
+        // re-share sweep hits this once per member, and a hash
+        // remove+insert pair here costs more than the rest of the join.
+        let idx = self.join_members(addr, neighbor, nid);
+        let l = self.table.get_mut(addr).expect("location must exist");
+        l.cell = nid;
+        l.idx = idx;
+        nid
     }
 
     /// Detaches `addr` from the member list of `cell_id`, patching the

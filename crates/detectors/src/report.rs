@@ -161,15 +161,18 @@ pub struct DetectorStats {
     pub peak_bitmap_bytes: usize,
     /// Peak of the instantaneous total (Table 2 "Overhead total").
     pub peak_total_bytes: usize,
-    /// Events that were *not* analyzed because their shard had been
-    /// quarantined after a panic (see [`ShardFailure`]).
+    /// Events that were *never* analyzed because their shard had been
+    /// quarantined after a panic (see [`ShardFailure`]): the unprocessed
+    /// remainder of the panicking batch plus everything that arrived
+    /// after the quarantine.
     pub dropped: u64,
-    /// Total events routed to permanently quarantined shards over the
-    /// whole run — the exact per-shard coverage forfeited by each failure,
-    /// recovered from the shard journals. Unlike `dropped` (events that
-    /// arrived *after* the panic), this counts everything the dead shard
-    /// would have analyzed, so merged reports no longer silently
-    /// under-state what a quarantine cost.
+    /// Events a permanently quarantined shard had *analyzed* before it
+    /// failed — analysis results that die with the shard. Strictly
+    /// disjoint from `dropped`: `dropped + events_lost` is the exact
+    /// total coverage forfeited by shard failures, with no event counted
+    /// in both buckets (an event routed to a dead shard lands in exactly
+    /// one of them, even when the shard was also under memory-budget
+    /// eviction pressure).
     pub events_lost: u64,
     /// Shadow cells discarded by memory-budget eviction (see
     /// [`Report::budget_degraded`]).

@@ -278,10 +278,12 @@ struct ShardState {
     checkpoint: Option<ShardCheckpoint>,
     /// Stamps of recent supervisor respawns, pruned to the policy window.
     respawns: Vec<u64>,
-    /// Every access event routed to this shard since the last
-    /// finish/restore, processed or not. If the shard dies permanently
-    /// this is exactly what its analysis would have covered, so it is
-    /// reported as `events_lost`.
+    /// Access events this shard's detector actually *processed* since
+    /// the last finish/restore. Strictly disjoint from `dropped`: an
+    /// event moves from `routed` to `dropped` the moment it is counted
+    /// as never-analyzed, so a failed shard's forfeited coverage is
+    /// exactly `routed + dropped` with no event counted twice. If the
+    /// shard dies permanently, `routed` is reported as `events_lost`.
     routed: u64,
     /// `events_lost` inherited from a restored checkpoint (events a
     /// previous incarnation of this shard had already lost).
@@ -703,11 +705,15 @@ impl Engine {
     /// fed before this part — the delta replay source — and `part`
     /// itself is re-fed explicitly.
     fn feed(&self, st: &mut ShardState, shard: usize, stamp: u64, part: &[Event]) {
-        st.routed += part.len() as u64;
         let Some(det) = st.det.as_mut() else {
+            // Never analyzed: counted as `dropped` only — `routed` holds
+            // analyzed events, so the two stay disjoint (an event routed
+            // to a quarantined shard must not surface in both `dropped`
+            // and `events_lost`).
             st.dropped += part.len() as u64;
             return;
         };
+        st.routed += part.len() as u64;
         let mut processed = 0usize;
         let result = catch_unwind(AssertUnwindSafe(|| {
             for ev in part {
@@ -751,7 +757,12 @@ impl Engine {
             let offending = site.part.get(processed);
             let Some(sup) = self.supervisor.as_ref() else {
                 if site.count_drops {
-                    st.dropped += (site.part.len() - processed) as u64;
+                    // The unprocessed remainder was counted as routed
+                    // (analyzed) up front; reclassify it as dropped so
+                    // `dropped` and `events_lost` stay disjoint.
+                    let rem = (site.part.len() - processed) as u64;
+                    st.dropped += rem;
+                    st.routed -= rem;
                 }
                 st.quarantine(site.shard, site.stamp, payload, offending);
                 return;
@@ -759,7 +770,9 @@ impl Engine {
             st.respawns.retain(|&s| s + sup.policy.window > site.stamp);
             if st.respawns.len() >= sup.policy.max_respawns {
                 if site.count_drops {
-                    st.dropped += (site.part.len() - processed) as u64;
+                    let rem = (site.part.len() - processed) as u64;
+                    st.dropped += rem;
+                    st.routed -= rem;
                 }
                 st.quarantine(site.shard, site.stamp, payload, offending);
                 return;
@@ -813,7 +826,11 @@ impl Engine {
                 }
                 Ok(Err(e)) => {
                     if site.count_drops {
-                        st.dropped += site.part.len() as u64;
+                        // The whole part is unanalyzed relative to the
+                        // rollback point; reclassify it out of `routed`.
+                        let n = site.part.len() as u64;
+                        st.dropped += n;
+                        st.routed -= n;
                     }
                     st.quarantine(
                         site.shard,
@@ -884,6 +901,100 @@ impl Engine {
     pub(crate) fn emit_alloc(&self, tid: Tid, ev: Event) {
         self.flush_tid(tid);
         self.dispatch(vec![ev]);
+    }
+
+    // ---- parallel-pipeline support (see `crate::pipeline`) ------------
+
+    /// Whether the warm-start prune predicate drops this event. The
+    /// pipeline producer prunes before routing, exactly like `dispatch`.
+    pub(crate) fn prunes_event(&self, ev: &Event) -> bool {
+        !self.prune.is_empty() && self.prunes(ev)
+    }
+
+    /// Allocates one sequence stamp. The pipeline producer stamps every
+    /// logical event; a sync event reuses one stamp across all shard
+    /// lanes, so per-shard journals stay globally ordered by stamp.
+    pub(crate) fn alloc_stamp(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records `n` logical events as emitted (pipeline producer side).
+    pub(crate) fn note_emitted(&self, n: u64) {
+        self.emitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` accesses dropped by the prune predicate.
+    pub(crate) fn note_pruned(&self, n: u64) {
+        self.pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Collects the routing targets of one access/alloc/free event into
+    /// `out` (cleared first). `Free` fans out to every owning shard,
+    /// everything else routes to exactly one.
+    pub(crate) fn route_targets(&self, ev: &Event, out: &mut Vec<usize>) {
+        let router = self.router.read();
+        if let Event::Free { addr, size, .. } = *ev {
+            router.routes_for_range(addr.0, size, out);
+        } else {
+            out.clear();
+            out.push(router.route(route_addr(ev)));
+        }
+    }
+
+    /// Feeds one shard a stamped segment of its per-shard event stream:
+    /// its routed accesses interleaved with *every* sync event, in trace
+    /// order. This is the worker half of the ring pipeline — the shard
+    /// lock is taken once per segment, sync events are applied inline
+    /// (epoch-batched broadcast: no cross-shard locking), and access
+    /// runs are fed as batches through the same panic-containing
+    /// [`feed`](Engine::feed) path as funnel dispatch.
+    ///
+    /// When journaling (supervision), sync events are appended to the
+    /// *shard* journal rather than the engine-global sync journal: each
+    /// lane carries its own copy, so a heal replays its own journal
+    /// suffix in stamp order (merged with the — empty — sync journal)
+    /// and reconstructs exactly the per-shard sequence. The journal
+    /// append happens after the detector processed the entry, matching
+    /// `dispatch`'s delta-replay invariant.
+    pub(crate) fn feed_segment(&self, shard: usize, entries: &[(u64, Event)]) {
+        let mut st = self.shards[shard].lock();
+        let mut scratch: Vec<Event> = Vec::new();
+        let mut i = 0;
+        while i < entries.len() {
+            let (stamp, ev) = entries[i];
+            if ev.is_sync() {
+                if let Some(det) = st.det.as_mut() {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| det.on_event(&ev))) {
+                        self.recover(
+                            &mut st,
+                            PanicSite {
+                                shard,
+                                stamp,
+                                part: std::slice::from_ref(&ev),
+                                processed: 0,
+                                count_drops: false,
+                            },
+                            payload,
+                        );
+                    }
+                }
+                if self.record {
+                    st.journal.push((stamp, ev));
+                }
+                i += 1;
+            } else {
+                let start = i;
+                while i < entries.len() && !entries[i].1.is_sync() {
+                    i += 1;
+                }
+                scratch.clear();
+                scratch.extend(entries[start..i].iter().map(|&(_, e)| e));
+                self.feed(&mut st, shard, stamp, &scratch);
+                if self.record {
+                    st.journal.extend_from_slice(&entries[start..i]);
+                }
+            }
+        }
     }
 
     /// Captures the engine's complete state: per-shard detector
@@ -990,14 +1101,16 @@ impl Engine {
     /// emitted count.
     ///
     /// Quarantined shards contribute a [`ShardFailure`], their
-    /// dropped-event counts, and `events_lost` — the full count of
-    /// accesses routed to them over the run (everything their analysis
-    /// would have covered), including events a pre-resume incarnation
-    /// had already received — instead of a report; the merged report is
-    /// then *degraded* — its race set is exact for the healthy shards'
-    /// addresses. A shard whose `finish` itself panics is quarantined the
-    /// same way. With zero healthy shards the report carries only the
-    /// failures and counters; it never hangs or poisons a lock.
+    /// dropped-event counts, and `events_lost` — the accesses the dead
+    /// shard had *analyzed* before it failed (including events a
+    /// pre-resume incarnation had analyzed), whose results die with it —
+    /// instead of a report. `events_lost` and `dropped` are disjoint:
+    /// their sum is the shard's total forfeited coverage, and no event
+    /// is counted in both. The merged report is then *degraded* — its
+    /// race set is exact for the healthy shards' addresses. A shard
+    /// whose `finish` itself panics is quarantined the same way. With
+    /// zero healthy shards the report carries only the failures and
+    /// counters; it never hangs or poisons a lock.
     pub(crate) fn finish(&self) -> Report {
         self.flush_all();
         let emitted = self.emitted.swap(0, Ordering::Relaxed);
@@ -1372,7 +1485,10 @@ mod tests {
         let rep = eng.finish();
         assert_eq!(rep.failures.len(), 1, "budget exhausted → quarantine");
         assert_eq!(rep.stats.dropped, 1);
-        assert_eq!(rep.stats.events_lost, 1);
+        assert_eq!(
+            rep.stats.events_lost, 0,
+            "the event was never analyzed: it counts as dropped only"
+        );
         let last = rep.failures[0].last_event.as_deref().unwrap_or("");
         assert!(
             last.contains("write 0x100"),
@@ -1381,9 +1497,13 @@ mod tests {
     }
 
     #[test]
-    fn events_lost_counts_everything_routed_to_a_dead_shard() {
+    fn lost_and_dropped_partition_a_dead_shards_traffic() {
         crate::silence_injected_panics();
-        let proto = crate::PanicOnEvent::new(dgrace_detectors::FastTrack::new(), 1, 1);
+        // Shard 1 analyzes one event, dies on its second, and receives
+        // one more after quarantine. The dead shard's traffic must be
+        // *partitioned* between the two counters — one analyzed-then-
+        // lost, two never-analyzed — with no event in both buckets.
+        let proto = crate::PanicOnEvent::new(dgrace_detectors::FastTrack::new(), 1, 2);
         let detectors = (0..2).map(|_| proto.new_shard()).collect();
         let eng = Engine::new(
             detectors,
@@ -1393,22 +1513,82 @@ mod tests {
                 record: false,
             },
         );
-        eng.dispatch(vec![w(2, 0x1100)]); // shard 1: dies here
-        eng.dispatch(vec![w(0, 0x1108)]); // shard 1: post-quarantine
+        eng.dispatch(vec![w(2, 0x1100)]); // shard 1: analyzed
+        eng.dispatch(vec![w(0, 0x1108)]); // shard 1: dies here
+        eng.dispatch(vec![w(3, 0x1110)]); // shard 1: post-quarantine
         eng.dispatch(vec![w(1, 0x100)]); // shard 0: healthy
         let rep = eng.finish();
-        assert_eq!(rep.stats.dropped, 2);
+        assert_eq!(rep.stats.events_lost, 1, "one event was analyzed pre-panic");
+        assert_eq!(rep.stats.dropped, 2, "killer + post-quarantine arrival");
         assert_eq!(
-            rep.stats.events_lost, 2,
-            "both events routed to the dead shard are lost"
+            rep.stats.events_lost + rep.stats.dropped,
+            3,
+            "disjoint counters partition the dead shard's three events"
         );
+        assert_eq!(rep.stats.events, 4, "emitted count is exact");
         assert_eq!(rep.failures.len(), 1);
         assert_eq!(rep.failures[0].payload_type, "str");
         let last = rep.failures[0].last_event.as_deref().unwrap_or("");
         assert!(
-            last.contains("write 0x1100"),
+            last.contains("write 0x1108"),
             "failure names the killing event: {last}"
         );
+    }
+
+    #[test]
+    fn lost_dropped_and_evicted_stay_disjoint_under_budget_pressure() {
+        crate::silence_injected_panics();
+        // The overlap case from the counter-accounting fix: a shard that
+        // is *both* under memory-budget eviction pressure *and* later
+        // quarantined must not double-count any event. Shard 1 evicts
+        // cells while alive, analyzes 64 accesses, dies on its 65th, and
+        // receives 3 more after quarantine; shard 0 stays healthy under
+        // the same budget.
+        let mut inner = dgrace_detectors::FastTrack::new();
+        inner.set_shadow_budget(Some(1024));
+        let proto = crate::PanicOnEvent::new(inner, 1, 257);
+        let detectors = (0..2).map(|_| proto.new_shard()).collect();
+        let eng = Engine::new(
+            detectors,
+            RuntimeOptions {
+                shards: 2,
+                buffer_capacity: 4,
+                record: false,
+            },
+        );
+        // 256 distinct words inside the 4 KiB region 0x1000..0x2000 (all
+        // of which routes to shard 1) force evictions under the 1 KiB
+        // budget; mirrored traffic in region 0 keeps shard 0 busy,
+        // healthy, and equally budget-pressured.
+        for i in 0..256u64 {
+            eng.dispatch(vec![w(0, 0x1000 + i * 16)]);
+            eng.dispatch(vec![w(0, 0x0100 + i * 8)]);
+        }
+        eng.dispatch(vec![w(1, 0x1200)]); // shard 1: dies here (257th)
+        for i in 0..3u64 {
+            eng.dispatch(vec![w(2, 0x1f00 + i * 8)]); // post-quarantine
+        }
+        let rep = eng.finish();
+        assert_eq!(rep.failures.len(), 1, "shard 1 quarantined");
+        assert_eq!(
+            rep.stats.events_lost, 256,
+            "exactly the analyzed-then-lost accesses, none double-counted"
+        );
+        assert_eq!(rep.stats.dropped, 4, "killer + three post-quarantine");
+        assert_eq!(
+            rep.stats.events_lost + rep.stats.dropped,
+            260,
+            "lost + dropped partition the dead shard's 260 events exactly"
+        );
+        assert_eq!(rep.stats.events, 256 + 256 + 1 + 3);
+        assert!(
+            rep.stats.evicted > 0,
+            "healthy shard still reports its budget evictions"
+        );
+        // Eviction counts shadow *cells* from live shards' reports only;
+        // the dead shard's evictions die with it rather than leaking
+        // into the event-loss accounting.
+        assert!(rep.budget_degraded);
     }
 
     #[test]

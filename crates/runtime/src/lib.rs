@@ -45,7 +45,9 @@ mod checkpoint;
 mod engine;
 mod faults;
 mod mem;
+mod pipeline;
 mod replay;
+mod ring;
 mod runtime;
 mod sync;
 mod sync_ext;
@@ -54,10 +56,15 @@ pub use checkpoint::{CheckpointManifest, CHECKPOINT_FILE};
 pub use engine::{EngineError, RuntimeOptions, SupervisorPolicy};
 pub use faults::{corrupt_byte, silence_injected_panics, PanicOnEvent, INJECTED_PANIC_MARKER};
 pub use mem::{TrackedArray, TrackedCell};
+pub use pipeline::{
+    replay_pipelined, replay_pipelined_checkpointed, replay_pipelined_pruned,
+    replay_pipelined_supervised,
+};
 pub use replay::{
     replay_checkpointed, replay_sharded, replay_sharded_pruned, replay_supervised,
     CheckpointInterval, CheckpointOptions, ReplayError,
 };
+pub use ring::{PushError, Spsc};
 pub use runtime::{JoinTicket, Runtime, ThreadHandle};
 pub use sync::{TrackedMutex, TrackedMutexGuard};
 pub use sync_ext::{

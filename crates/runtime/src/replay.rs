@@ -121,6 +121,43 @@ impl std::fmt::Display for ReplayError {
 
 impl std::error::Error for ReplayError {}
 
+/// Checks that a manifest matches the requested run (same detector,
+/// shard count, and trace) and that its offset is sane. Shared by the
+/// funnel path and the ring pipeline so both reject the same mismatches
+/// — and therefore accept each other's checkpoints.
+pub(crate) fn validate_resume(
+    m: &CheckpointManifest,
+    det_name: &str,
+    shards: usize,
+    trace_len: u64,
+) -> Result<(), ReplayError> {
+    if m.detector != det_name {
+        return Err(ReplayError::Mismatch(format!(
+            "checkpoint was taken with detector '{}', this run uses '{det_name}'",
+            m.detector
+        )));
+    }
+    if m.shard_count() != shards {
+        return Err(ReplayError::Mismatch(format!(
+            "checkpoint has {} shards, this run uses {shards}",
+            m.shard_count()
+        )));
+    }
+    if m.trace_len != trace_len {
+        return Err(ReplayError::Mismatch(format!(
+            "checkpoint covers a trace of {} events, this trace has {trace_len}",
+            m.trace_len
+        )));
+    }
+    if m.trace_offset > trace_len {
+        return Err(ReplayError::Corrupt(format!(
+            "trace offset {} past the end of the trace ({trace_len})",
+            m.trace_offset
+        )));
+    }
+    Ok(())
+}
+
 /// [`replay_sharded`] with a self-healing supervisor: a shard whose
 /// detector panics is respawned from the prototype, rolled forward
 /// through the engine's journals, and re-fed the offending batch, within
@@ -179,30 +216,7 @@ pub fn replay_checkpointed(
 
     let mut start = 0usize;
     if let Some(m) = resume {
-        if m.detector != det_name {
-            return Err(ReplayError::Mismatch(format!(
-                "checkpoint was taken with detector '{}', this run uses '{det_name}'",
-                m.detector
-            )));
-        }
-        if m.shard_count() != shards {
-            return Err(ReplayError::Mismatch(format!(
-                "checkpoint has {} shards, this run uses {shards}",
-                m.shard_count()
-            )));
-        }
-        if m.trace_len != trace_len {
-            return Err(ReplayError::Mismatch(format!(
-                "checkpoint covers a trace of {} events, this trace has {trace_len}",
-                m.trace_len
-            )));
-        }
-        if m.trace_offset > trace_len {
-            return Err(ReplayError::Corrupt(format!(
-                "trace offset {} past the end of the trace ({trace_len})",
-                m.trace_offset
-            )));
-        }
+        validate_resume(m, &det_name, shards, trace_len)?;
         engine.restore(&m.state).map_err(ReplayError::Corrupt)?;
         start = m.trace_offset as usize;
     }

@@ -1,0 +1,299 @@
+//! A bounded single-producer/single-consumer ring buffer.
+//!
+//! The parallel ingestion pipeline ([`crate::pipeline`]) gives every
+//! detector shard its own `Spsc` lane: the producer thread routes
+//! address batches into the lanes, each shard worker drains its own.
+//! Keeping the channel strictly SPSC means the hot path needs no
+//! compare-and-swap loops: the producer owns `tail`, the consumer owns
+//! `head`, and each side only ever *reads* the other's cursor (Lamport's
+//! classic ring protocol).
+//!
+//! The workspace forbids `unsafe`, so slots are not `UnsafeCell`s: each
+//! slot is a `parking_lot::Mutex<Option<T>>`. Under the SPSC protocol a
+//! slot mutex is only ever taken by one thread at a time (the producer
+//! before publishing `tail`, the consumer after observing it), so every
+//! slot lock is uncontended — it costs an atomic exchange, not a futex
+//! wait. Head and tail live on their own cache lines so the two cursors
+//! do not false-share.
+//!
+//! Blocking `push`/`pop` park on a condvar. Notification is always
+//! performed while holding the park mutex, and waiters re-check the
+//! cursor state under the same mutex before sleeping, so wakeups cannot
+//! be lost: a publisher either publishes before the waiter's re-check
+//! (the waiter sees the item and never sleeps) or acquires the park
+//! mutex after the waiter has begun waiting (the notification is
+//! delivered).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A cursor on its own cache line. 64 bytes covers every target this
+/// workspace builds for; on 128-byte-line hardware two padded cursors
+/// still never share a line with each other.
+#[repr(align(64))]
+struct PaddedCursor(AtomicU64);
+
+/// Error returned by [`Spsc::try_push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The ring is full; the value is handed back.
+    Full(T),
+    /// The ring was closed; the value is handed back.
+    Closed(T),
+}
+
+/// A bounded SPSC ring. See the module docs for the protocol.
+///
+/// The type itself does not enforce single-producer/single-consumer
+/// usage (that would need `!Sync` tokens); callers uphold it. Violating
+/// it cannot corrupt memory — slots are mutexes — but can reorder or
+/// interleave items, exactly like any MPMC queue would.
+pub struct Spsc<T> {
+    slots: Vec<Mutex<Option<T>>>,
+    /// Consumer cursor: index of the next slot to pop. Monotonic;
+    /// wrap-around is `index % capacity`.
+    head: PaddedCursor,
+    /// Producer cursor: index of the next slot to fill. Monotonic.
+    tail: PaddedCursor,
+    closed: AtomicBool,
+    /// Parking lot for blocked pushers and poppers; notifications are
+    /// issued under this mutex (see module docs).
+    park: Mutex<()>,
+    /// Signaled when the ring gains an item or is closed.
+    not_empty: Condvar,
+    /// Signaled when the ring frees a slot or is closed.
+    not_full: Condvar,
+}
+
+impl<T> Spsc<T> {
+    /// Creates a ring holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        Spsc {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: PaddedCursor(AtomicU64::new(0)),
+            tail: PaddedCursor(AtomicU64::new(0)),
+            closed: AtomicBool::new(false),
+            park: Mutex::new(()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let head = self.head.0.load(Ordering::Acquire);
+        tail.saturating_sub(head) as usize
+    }
+
+    /// Whether the ring holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`close`](Spsc::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Attempts to enqueue without blocking.
+    pub fn try_push(&self, value: T) -> Result<(), PushError<T>> {
+        if self.is_closed() {
+            return Err(PushError::Closed(value));
+        }
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail - head >= self.slots.len() as u64 {
+            return Err(PushError::Full(value));
+        }
+        // Sole producer: the slot at `tail` was drained by the consumer
+        // (head has passed it modulo capacity), so the lock is free.
+        *self.slots[(tail % self.slots.len() as u64) as usize].lock() = Some(value);
+        self.tail.0.store(tail + 1, Ordering::Release);
+        // Wake a popper that may have parked on empty.
+        let _g = self.park.lock();
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `value`, blocking while the ring is full. Returns the
+    /// value back if the ring is (or becomes) closed.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut value = value;
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err(PushError::Closed(v)) => return Err(v),
+                Err(PushError::Full(v)) => {
+                    value = v;
+                    let mut g = self.park.lock();
+                    // Re-check under the park mutex: the consumer
+                    // notifies under the same mutex after advancing
+                    // `head`, so a free slot cannot slip past us.
+                    if self.len() < self.capacity() || self.is_closed() {
+                        continue;
+                    }
+                    self.not_full.wait(&mut g);
+                }
+            }
+        }
+    }
+
+    /// Attempts to dequeue without blocking. `None` means *currently
+    /// empty*, not closed — check [`is_closed`](Spsc::is_closed).
+    pub fn try_pop(&self) -> Option<T> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let value = self.slots[(head % self.slots.len() as u64) as usize]
+            .lock()
+            .take();
+        debug_assert!(value.is_some(), "published slot must be filled");
+        self.head.0.store(head + 1, Ordering::Release);
+        // Wake a pusher that may have parked on full.
+        let _g = self.park.lock();
+        self.not_full.notify_one();
+        value
+    }
+
+    /// Dequeues the next item, blocking while the ring is empty.
+    /// Returns `None` only once the ring is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        loop {
+            if let Some(v) = self.try_pop() {
+                return Some(v);
+            }
+            let mut g = self.park.lock();
+            if !self.is_empty() {
+                continue;
+            }
+            if self.is_closed() {
+                // Closed and (still) empty: the producer is gone.
+                return None;
+            }
+            self.not_empty.wait(&mut g);
+        }
+    }
+
+    /// Closes the ring: subsequent pushes fail, and poppers drain the
+    /// remaining items before observing `None`.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        let _g = self.park.lock();
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_and_wraparound() {
+        let r = Spsc::new(2);
+        assert_eq!(r.capacity(), 2);
+        // Three full cycles through a 2-slot ring exercises wrap-around.
+        for base in (0..6).step_by(2) {
+            assert_eq!(r.try_push(base), Ok(()));
+            assert_eq!(r.try_push(base + 1), Ok(()));
+            assert!(matches!(r.try_push(99), Err(PushError::Full(99))));
+            assert_eq!(r.len(), 2);
+            assert_eq!(r.try_pop(), Some(base));
+            assert_eq!(r.try_pop(), Some(base + 1));
+            assert_eq!(r.try_pop(), None);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_drains_poppers() {
+        let r = Spsc::new(4);
+        r.try_push(1).unwrap();
+        r.try_push(2).unwrap();
+        r.close();
+        assert!(r.is_closed());
+        assert!(matches!(r.try_push(3), Err(PushError::Closed(3))));
+        assert_eq!(r.push(3), Err(3));
+        // Queued items survive the close...
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), Some(2));
+        // ...then poppers observe end-of-stream instead of blocking.
+        assert_eq!(r.pop(), None);
+        assert_eq!(r.try_pop(), None);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let r = Arc::new(Spsc::new(1));
+        let r2 = Arc::clone(&r);
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = r2.pop() {
+                got.push(v);
+            }
+            got
+        });
+        for i in 0..100 {
+            r.push(i).unwrap();
+        }
+        r.close();
+        assert_eq!(consumer.join().unwrap(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocking_push_wakes_on_pop() {
+        let r = Arc::new(Spsc::new(1));
+        let r2 = Arc::clone(&r);
+        let producer = thread::spawn(move || {
+            for i in 0..100 {
+                r2.push(i).unwrap();
+            }
+            r2.close();
+        });
+        let mut got = Vec::new();
+        while let Some(v) = r.pop() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn close_unblocks_a_parked_popper() {
+        let r = Arc::new(Spsc::<u32>::new(1));
+        let r2 = Arc::clone(&r);
+        let consumer = thread::spawn(move || r2.pop());
+        // Give the popper time to park, then close with nothing queued.
+        thread::sleep(std::time::Duration::from_millis(20));
+        r.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn close_unblocks_a_parked_pusher() {
+        let r = Arc::new(Spsc::new(1));
+        r.try_push(0u32).unwrap();
+        let r2 = Arc::clone(&r);
+        let producer = thread::spawn(move || r2.push(1));
+        thread::sleep(std::time::Duration::from_millis(20));
+        r.close();
+        assert_eq!(producer.join().unwrap(), Err(1));
+        assert_eq!(r.pop(), Some(0));
+        assert_eq!(r.pop(), None);
+    }
+}
