@@ -44,10 +44,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod affinity;
 mod atoms;
+mod heat;
+mod lockgraph;
+mod manager;
 mod passes;
 
 use dgrace_trace::{AnalysisSummary, ClassifiedRange, LocationClass, SummaryStats, Trace};
+
+pub use affinity::AffinityPass;
+pub use heat::HeatPass;
+pub use lockgraph::LockGraphPass;
+pub use manager::{AnalysisPass, PassManager, PassStats};
 
 use atoms::Atoms;
 
@@ -63,12 +72,41 @@ fn rank(class: &LocationClass) -> u8 {
     }
 }
 
-/// Runs all passes over `trace` and produces the classification summary.
+/// Runs the standard pass pipeline over `trace` and produces the full
+/// analysis summary (classification, affinity, warnings, routing plan),
+/// discarding per-pass stats. Use [`analyze_with_stats`] to keep them.
 ///
 /// The trace should be structurally valid (see `dgrace_trace::validate`);
 /// on malformed traces the result is still well-formed but its proofs
 /// are meaningless.
 pub fn analyze(trace: &Trace) -> AnalysisSummary {
+    PassManager::standard().run(trace).0
+}
+
+/// Like [`analyze`], additionally returning per-pass item counts and
+/// wall-clock timings.
+pub fn analyze_with_stats(trace: &Trace) -> (AnalysisSummary, Vec<PassStats>) {
+    PassManager::standard().run(trace)
+}
+
+/// The classification pass: the original three-proof sweep producing
+/// [`ClassifiedRange`]s and [`SummaryStats`] (see the module docs).
+/// Always runs first in the standard pipeline — [`LockGraphPass`] reads
+/// its `Contended` ranges.
+pub struct ClassifyPass;
+
+impl AnalysisPass for ClassifyPass {
+    fn name(&self) -> &'static str {
+        "classify"
+    }
+
+    fn run(&mut self, trace: &Trace, summary: &mut AnalysisSummary) -> u64 {
+        classify(trace, summary);
+        summary.ranges.len() as u64
+    }
+}
+
+fn classify(trace: &Trace, summary: &mut AnalysisSummary) {
     let atoms = Atoms::build(trace);
     let ordered = passes::fork_join_ordered(trace, &atoms);
     let read_only = passes::single_threaded_writes(trace, &atoms);
@@ -157,12 +195,10 @@ pub fn analyze(trace: &Trace) -> AnalysisSummary {
         }
     }
 
-    AnalysisSummary {
-        trace_events: trace.len() as u64,
-        trace_accesses,
-        ranges,
-        stats,
-    }
+    summary.trace_events = trace.len() as u64;
+    summary.trace_accesses = trace_accesses;
+    summary.ranges = ranges;
+    summary.stats = stats;
 }
 
 fn counts_for<'a>(
@@ -354,6 +390,28 @@ mod tests {
         assert_eq!(s.ranges.len(), 1);
         assert_eq!(s.ranges[0].start, Addr(X));
         assert_eq!(s.ranges[0].len, 8);
+    }
+
+    #[test]
+    fn standard_pipeline_fills_all_artifacts_and_stats() {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32);
+        for i in 0..4u64 {
+            b.write(0u32, X + i * 4, AccessSize::U32);
+            b.write(1u32, X + i * 4, AccessSize::U32);
+        }
+        b.join(0u32, 1u32);
+        let t = b.build();
+        let (s, stats) = analyze_with_stats(&t);
+        assert_eq!(s.fingerprint, dgrace_trace::trace_fingerprint(&t));
+        assert_ne!(s.fingerprint, 0);
+        assert!(!s.affinity.is_empty());
+        assert!(!s.plan.is_empty());
+        assert_eq!(
+            stats.iter().map(|p| p.name).collect::<Vec<_>>(),
+            vec!["classify", "affinity", "lock-graph", "heat"]
+        );
+        assert_eq!(s, analyze(&t), "analyze and analyze_with_stats agree");
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Interleaved A/B measurement behind the EXPERIMENTS.md pre-seeding
+//! table: for each workload, replays the dynamic-granularity detector
+//! cold and warm-started from the AOT sharing-affinity map, strictly
+//! alternating the two variants so slow drift (frequency scaling, page
+//! cache, allocator arena growth) cancels out of the comparison.
+//! Reports median-of-7 throughput, the speedup ratio, the pre-seed
+//! verification counters, and the clock-allocation savings.
+//!
+//! ```text
+//! cargo run --release -p dgrace-bench --example preseed_ab
+//! ```
+//!
+//! The race sets are asserted identical on every pair — this harness
+//! re-checks the equivalence contract while it measures.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dgrace_analysis::analyze;
+use dgrace_core::DynamicGranularityOn;
+use dgrace_runtime::replay_sharded;
+use dgrace_shadow::HashSelect;
+use dgrace_trace::{AccessSize, Trace, TraceBuilder};
+use dgrace_workloads::{Workload, WorkloadKind};
+
+const REPS: usize = 7;
+const SEED: u64 = 7;
+
+/// The synthetic sharing-churn stress from `bench_detect`: init sweep,
+/// same-thread second-epoch re-sweep (the firm sharing decision), then
+/// a racing thread dissolves every group.
+fn sharing_churn_trace() -> Trace {
+    let mut b = TraceBuilder::new();
+    b.fork(0u32, 1u32);
+    for pass in 0..2 {
+        if pass == 1 {
+            b.locked(0u32, 0u32, |_| {});
+        }
+        for g in 0..64u64 {
+            let base = 0x10_0000 + g * 0x1000;
+            for i in 0..256u64 {
+                b.write(0u32, base + i * 4, AccessSize::U32);
+            }
+        }
+    }
+    for g in 0..64u64 {
+        let base = 0x10_0000 + g * 0x1000;
+        b.write(1u32, base + 512, AccessSize::U32);
+    }
+    b.join(0u32, 1u32);
+    b.build()
+}
+
+fn main() {
+    let mut traces: Vec<(String, Trace)> = [
+        WorkloadKind::Pbzip2,
+        WorkloadKind::Streamcluster,
+        WorkloadKind::Dedup,
+        WorkloadKind::Ffmpeg,
+        WorkloadKind::Fluidanimate,
+        WorkloadKind::Facesim,
+        WorkloadKind::Ferret,
+        WorkloadKind::X264,
+        WorkloadKind::Canneal,
+    ]
+    .iter()
+    .map(|&k| {
+        let (trace, _) = Workload::new(k).with_seed(SEED).generate();
+        (k.name().to_string(), trace)
+    })
+    .collect();
+    traces.push(("sharing-churn".to_string(), sharing_churn_trace()));
+
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>8} {:>9} {:>8} {:>16}",
+        "workload", "events", "cold", "preseed", "speedup", "hits", "misses", "vc_allocs"
+    );
+    for (name, trace) in &traces {
+        let map = Arc::new(analyze(trace).affinity);
+        // Batch small traces so every timed sample covers at least ~2M
+        // events; a single replay of the smaller workloads is only a few
+        // milliseconds, well inside this machine's scheduling noise.
+        let inner = (2_000_000 / trace.events.len().max(1)).max(1);
+        let mut cold_secs = Vec::with_capacity(REPS);
+        let mut warm_secs = Vec::with_capacity(REPS);
+        let (mut hits, mut misses) = (0, 0);
+        let (mut cold_allocs, mut warm_allocs) = (0, 0);
+        let mut cold_races = Vec::new();
+        for _ in 0..REPS {
+            for seeded in [false, true] {
+                let start = Instant::now();
+                let mut last = None;
+                for _ in 0..inner {
+                    let mut proto = DynamicGranularityOn::<HashSelect>::new();
+                    if seeded {
+                        proto.set_affinity(Arc::clone(&map));
+                    }
+                    last = Some(replay_sharded(&proto, trace, 1));
+                }
+                let secs = start.elapsed().as_secs_f64() / inner as f64;
+                let rep = last.expect("inner >= 1");
+                let races: Vec<_> = rep.races.iter().map(|r| (r.addr, r.kind)).collect();
+                if seeded {
+                    warm_secs.push(secs);
+                    hits = rep.stats.preseed_hits;
+                    misses = rep.stats.preseed_misses;
+                    warm_allocs = rep.stats.vc_allocs;
+                    assert_eq!(races, cold_races, "{name}: race set diverged under seeding");
+                } else {
+                    cold_secs.push(secs);
+                    cold_allocs = rep.stats.vc_allocs;
+                    cold_races = races;
+                }
+            }
+        }
+        cold_secs.sort_by(f64::total_cmp);
+        warm_secs.sort_by(f64::total_cmp);
+        let (c, w) = (cold_secs[REPS / 2], warm_secs[REPS / 2]);
+        let ev = trace.events.len() as f64;
+        println!(
+            "{:<14} {:>8} {:>7.2}M/s {:>7.2}M/s {:>7.3}x {:>9} {:>8} {:>7} -> {:>6}",
+            name,
+            ev as u64,
+            ev / c / 1e6,
+            ev / w / 1e6,
+            c / w,
+            hits,
+            misses,
+            cold_allocs,
+            warm_allocs
+        );
+    }
+}

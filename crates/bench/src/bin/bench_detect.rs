@@ -10,26 +10,33 @@
 //! Shard count 1 replays through the serial funnel (the correctness
 //! reference); counts > 1 go through the SPSC-ring pipeline, so the
 //! shard curve measures the parallel ingestion path end to end. The
-//! schema lives in [`dgrace_bench::scaling`] (`schema_version` 2:
-//! adds `host_cpus` and the 8/16-shard points).
+//! schema lives in [`dgrace_bench::scaling`] (`schema_version` 3:
+//! adds the `variant` column and the `dynamic+preseed` rows, which
+//! warm-start the dynamic detector from the AOT analyzer's
+//! sharing-affinity map).
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use dgrace_analysis::analyze;
 use dgrace_bench::scaling::{BenchFile, BenchRun, REQUIRED_SHARDS};
 use dgrace_core::DynamicGranularityOn;
 use dgrace_detectors::{DjitOn, FastTrackOn, Granularity, Report, ShardableDetector};
 use dgrace_runtime::{replay_pipelined, replay_sharded};
 use dgrace_shadow::{HashSelect, PagedSelect, StoreSelect};
-use dgrace_trace::{AccessSize, Trace, TraceBuilder};
+use dgrace_trace::{AccessSize, AffinityMap, Trace, TraceBuilder};
 use dgrace_workloads::{Workload, WorkloadKind};
 
 /// Workloads tracked by the baseline: the three the paper leans on for
-/// its sharing argument plus one byte-heavy outlier.
-const WORKLOADS: [WorkloadKind; 4] = [
+/// its sharing argument, one byte-heavy outlier, and ffmpeg — the
+/// workload where the AOT pre-seed's second-epoch shortcut saves the
+/// most clock allocations.
+const WORKLOADS: [WorkloadKind; 5] = [
     WorkloadKind::Pbzip2,
     WorkloadKind::Streamcluster,
     WorkloadKind::Dedup,
     WorkloadKind::X264,
+    WorkloadKind::Ffmpeg,
 ];
 
 /// A synthetic sharing-churn stress: 64 firm groups of 256 words each
@@ -62,11 +69,22 @@ fn sharing_churn_trace() -> Trace {
 const REPS: usize = 3;
 const SEED: u64 = 7;
 
-fn detector_suite<K: StoreSelect>() -> Vec<Box<dyn ShardableDetector>> {
+/// Cold prototypes plus the preseed variant: the dynamic detector
+/// warm-started from the AOT analyzer's sharing-affinity map. Each
+/// entry carries the `variant` column value for its rows.
+fn detector_suite<K: StoreSelect>(
+    affinity: &Arc<AffinityMap>,
+) -> Vec<(Box<dyn ShardableDetector>, &'static str)> {
+    let mut seeded = DynamicGranularityOn::<K>::new();
+    seeded.set_affinity(Arc::clone(affinity));
     vec![
-        Box::new(FastTrackOn::<K>::with_granularity(Granularity::Byte)),
-        Box::new(DjitOn::<K>::new()),
-        Box::new(DynamicGranularityOn::<K>::new()),
+        (
+            Box::new(FastTrackOn::<K>::with_granularity(Granularity::Byte)) as Box<_>,
+            "cold",
+        ),
+        (Box::new(DjitOn::<K>::new()), "cold"),
+        (Box::new(DynamicGranularityOn::<K>::new()), "cold"),
+        (Box::new(seeded), "preseed"),
     ]
 }
 
@@ -93,14 +111,16 @@ fn bench_store<K: StoreSelect>(
     store: &'static str,
     workload: &str,
     trace: &Trace,
+    affinity: &Arc<AffinityMap>,
     runs: &mut Vec<BenchRun>,
 ) {
-    for proto in detector_suite::<K>() {
+    for (proto, variant) in detector_suite::<K>(affinity) {
         for shards in REQUIRED_SHARDS {
             let (secs, rep) = timed(proto.as_ref(), trace, shards);
             runs.push(BenchRun {
                 workload: workload.to_string(),
                 detector: rep.detector.clone(),
+                variant: variant.to_string(),
                 store: store.to_string(),
                 shards,
                 events: rep.stats.events,
@@ -157,12 +177,22 @@ fn main() {
         .collect();
     traces.push(("sharing-churn".to_string(), sharing_churn_trace()));
     for (name, trace) in &traces {
-        eprintln!("{name}: {} events", trace.len());
-        bench_store::<HashSelect>("hash", name, trace, &mut runs);
-        bench_store::<PagedSelect>("paged", name, trace, &mut runs);
+        let affinity = Arc::new(analyze(trace).affinity);
+        assert!(
+            !affinity.is_empty(),
+            "{name}: analyzer certified no affinity ranges; the preseed \
+             rows would collapse into the cold `dynamic` cells"
+        );
+        eprintln!(
+            "{name}: {} events, {} affinity ranges",
+            trace.len(),
+            affinity.ranges.len()
+        );
+        bench_store::<HashSelect>("hash", name, trace, &affinity, &mut runs);
+        bench_store::<PagedSelect>("paged", name, trace, &affinity, &mut runs);
     }
     let file = BenchFile {
-        schema_version: 2,
+        schema_version: 3,
         scale,
         seed: SEED,
         host_cpus,
@@ -177,7 +207,12 @@ fn main() {
         "workload", "detector", "hash", "paged", "x4/x1"
     );
     for (name, _) in &traces {
-        for base in ["fasttrack-byte", "djit-byte", "dynamic"] {
+        for (base, variant) in [
+            ("fasttrack-byte", "cold"),
+            ("djit-byte", "cold"),
+            ("dynamic", "cold"),
+            ("dynamic", "preseed"),
+        ] {
             let find = |store: &str, shards: usize| {
                 file.runs
                     .iter()
@@ -185,16 +220,22 @@ fn main() {
                         r.workload == *name
                             && r.shards == shards
                             && r.store == store
+                            && r.variant == variant
                             && r.detector.starts_with(base)
                     })
                     .map(BenchRun::events_per_sec)
             };
             if let (Some(h1), Some(p1)) = (find("hash", 1), find("paged", 1)) {
                 let speedup = find("hash", 4).map_or(0.0, |h4| h4 / h1.max(1e-9));
+                let label = if variant == "preseed" {
+                    format!("{base}+preseed")
+                } else {
+                    base.to_string()
+                };
                 println!(
                     "{:<14} {:<16} {:>8.1} {:>8.1} {:>8.2}x",
                     name,
-                    base,
+                    label,
                     h1 / 1e6,
                     p1 / 1e6,
                     speedup

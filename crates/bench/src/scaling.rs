@@ -1,14 +1,17 @@
 //! The `BENCH_detect.json` schema, shared by the `bench_detect` writer
 //! and the `bench_scaling_gate` checker.
 //!
-//! Schema (`schema_version` 2): `{ schema_version, scale, seed,
-//! host_cpus, runs: [ { workload, detector, store, shards, events,
-//! median_secs, events_per_sec, races, vc_allocs, peak_vc_bytes,
-//! peak_total_bytes } ] }`. Keys are emitted in that order; new keys may
-//! be appended but existing ones never renamed. `host_cpus` records the
-//! parallelism of the machine that produced the file — scaling claims
-//! are only meaningful relative to it, so the gate reads it before
-//! judging speedup ratios.
+//! Schema (`schema_version` 3): `{ schema_version, scale, seed,
+//! host_cpus, runs: [ { workload, detector, variant, store, shards,
+//! events, median_secs, events_per_sec, races, vc_allocs,
+//! peak_vc_bytes, peak_total_bytes } ] }`. Keys are emitted in that
+//! order; new keys may be appended but existing ones never renamed.
+//! `host_cpus` records the parallelism of the machine that produced the
+//! file — scaling claims are only meaningful relative to it, so the
+//! gate reads it before judging speedup ratios. Version 3 adds the
+//! `variant` column (`cold` or `preseed`) and the `dynamic+preseed`
+//! rows, which replay the dynamic-granularity detector warm-started
+//! from an AOT sharing-affinity map.
 //!
 //! The parser below is deliberately minimal: it reads exactly the format
 //! [`BenchFile::to_json`] emits (one run object per line), which is the
@@ -23,6 +26,10 @@ pub struct BenchRun {
     pub workload: String,
     /// Detector name as reported (e.g. `dynamic`, `fasttrack-byte`).
     pub detector: String,
+    /// Seeding variant: `cold` (no AOT artifacts) or `preseed` (the
+    /// detector was handed the analyzer's sharing-affinity map before
+    /// replay). Absent in schema ≤ 2 files, where every row is `cold`.
+    pub variant: String,
     /// Shadow store: `hash` or `paged`.
     pub store: String,
     /// Shard count; 1 replays through the funnel, >1 through the
@@ -52,7 +59,8 @@ impl BenchRun {
 /// The whole baseline file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchFile {
-    /// Schema version (2 adds `host_cpus` and the 8/16-shard points).
+    /// Schema version (2 adds `host_cpus` and the 8/16-shard points;
+    /// 3 adds the `variant` column and the `dynamic+preseed` rows).
     pub schema_version: u64,
     /// Workload scale factor the traces were generated at.
     pub scale: f64,
@@ -76,12 +84,14 @@ impl BenchFile {
         for (i, r) in self.runs.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"workload\": \"{}\", \"detector\": \"{}\", \"store\": \"{}\", \
+                "    {{\"workload\": \"{}\", \"detector\": \"{}\", \"variant\": \"{}\", \
+                 \"store\": \"{}\", \
                  \"shards\": {}, \"events\": {}, \"median_secs\": {:.6}, \
                  \"events_per_sec\": {:.0}, \"races\": {}, \"vc_allocs\": {}, \
                  \"peak_vc_bytes\": {}, \"peak_total_bytes\": {}}}",
                 r.workload,
                 r.detector,
+                r.variant,
                 r.store,
                 r.shards,
                 r.events,
@@ -126,6 +136,8 @@ impl BenchFile {
             runs.push(BenchRun {
                 workload: string_field(line, "workload")?,
                 detector: string_field(line, "detector")?,
+                // Absent before schema 3: every older row ran cold.
+                variant: string_field(line, "variant").unwrap_or_else(|_| "cold".into()),
                 store: string_field(line, "store")?,
                 shards: num_field(line, "shards")?,
                 events: num_field(line, "events")?,
@@ -231,8 +243,8 @@ pub const SERIAL_RATIO_FLOOR: f64 = 0.2;
 /// and agree on the verdict).
 pub fn check_structure(file: &BenchFile) -> Vec<String> {
     let mut errors = Vec::new();
-    if file.schema_version != 2 {
-        errors.push(format!("schema_version {} != 2", file.schema_version));
+    if file.schema_version != 3 {
+        errors.push(format!("schema_version {} != 3", file.schema_version));
     }
     if file.host_cpus == 0 {
         errors.push("host_cpus missing or zero".into());
@@ -406,6 +418,7 @@ mod tests {
                 runs.push(BenchRun {
                     workload: workload.into(),
                     detector: "dynamic".into(),
+                    variant: "cold".into(),
                     store: "hash".into(),
                     shards,
                     events: 1000,
@@ -418,7 +431,7 @@ mod tests {
             }
         }
         BenchFile {
-            schema_version: 2,
+            schema_version: 3,
             scale: 1.0,
             seed: 7,
             host_cpus,
@@ -430,7 +443,7 @@ mod tests {
     fn roundtrips_through_json() {
         let f = file_with(2.0, 8);
         let parsed = BenchFile::parse(&f.to_json()).unwrap();
-        assert_eq!(parsed.schema_version, 2);
+        assert_eq!(parsed.schema_version, 3);
         assert_eq!(parsed.host_cpus, 8);
         assert_eq!(parsed.runs.len(), f.runs.len());
         assert_eq!(parsed.runs[0], f.runs[0]);

@@ -1,15 +1,17 @@
-//! Machine-readable report rendering (`detect --json`).
+//! Machine-readable report rendering (`detect --json`, `analyze --json`).
 //!
 //! Hand-rolled writer — the workspace has no serialization dependency,
 //! and the schema is small and stable. Deliberately **no wall-clock
 //! fields**: two runs over the same trace produce byte-identical JSON,
 //! so crash-recovery CI can `diff` a resumed run against an
-//! uninterrupted baseline.
+//! uninterrupted baseline (and the plan-equivalence CI job can `diff`
+//! planned against unplanned detection).
 
 use std::fmt::Write;
 
+use dgrace_analysis::PassStats;
 use dgrace_detectors::Report;
-use dgrace_trace::DecodeStats;
+use dgrace_trace::{AnalysisSummary, AnalysisWarning, DecodeStats, LocationClass};
 
 /// Escapes a string for a JSON string literal.
 fn esc(s: &str) -> String {
@@ -67,8 +69,17 @@ pub fn report(rep: &Report, decode: &DecodeStats) -> String {
     let _ = writeln!(
         o,
         "  \"stats\": {{\"events\": {}, \"accesses\": {}, \"pruned\": {}, \
-         \"same_epoch\": {}, \"dropped\": {}, \"events_lost\": {}, \"evicted\": {}}},",
-        s.events, s.accesses, s.pruned, s.same_epoch, s.dropped, s.events_lost, s.evicted
+         \"same_epoch\": {}, \"dropped\": {}, \"events_lost\": {}, \"evicted\": {}, \
+         \"preseed_hits\": {}, \"preseed_misses\": {}}},",
+        s.events,
+        s.accesses,
+        s.pruned,
+        s.same_epoch,
+        s.dropped,
+        s.events_lost,
+        s.evicted,
+        s.preseed_hits,
+        s.preseed_misses
     );
 
     o.push_str("  \"failures\": [");
@@ -106,6 +117,99 @@ pub fn report(rep: &Report, decode: &DecodeStats) -> String {
         "  \"decode\": {{\"dropped_events\": {}, \"dropped_bytes\": {}}}",
         decode.dropped_events, decode.dropped_bytes
     );
+    o.push('}');
+    o
+}
+
+/// Renders an analysis summary plus its per-pass statistics as a single
+/// deterministic JSON object (`analyze --json`). Pass timings are
+/// deliberately excluded — only the item counts, which are a pure
+/// function of the trace — so the output diffs byte-equal across runs.
+pub fn analyze_report(summary: &AnalysisSummary, passes: &[PassStats]) -> String {
+    let mut o = String::with_capacity(1024);
+    o.push_str("{\n");
+    let _ = writeln!(o, "  \"fingerprint\": \"{:#018x}\",", summary.fingerprint);
+    let _ = writeln!(o, "  \"trace_events\": {},", summary.trace_events);
+    let _ = writeln!(o, "  \"trace_accesses\": {},", summary.trace_accesses);
+
+    let s = &summary.stats;
+    o.push_str("  \"classes\": {");
+    for (i, (key, c)) in [
+        (LocationClass::ThreadLocal.label(), &s.thread_local),
+        (LocationClass::ReadOnlyAfterInit.label(), &s.read_only),
+        ("consistently-locked", &s.locked),
+        (LocationClass::Contended.label(), &s.contended),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        o.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            o,
+            "    \"{key}\": {{\"bytes\": {}, \"accesses\": {}}}",
+            c.bytes, c.accesses
+        );
+    }
+    o.push_str("\n  },\n");
+    let _ = writeln!(o, "  \"prunable_accesses\": {},", s.prunable_accesses());
+    let _ = writeln!(o, "  \"total_accesses\": {},", s.total_accesses());
+
+    o.push_str("  \"affinity\": [");
+    for (i, r) in summary.affinity.ranges.iter().enumerate() {
+        o.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            o,
+            "    {{\"start\": \"{:#x}\", \"len\": {}, \"stride\": {}}}",
+            r.start.0, r.len, r.stride
+        );
+    }
+    o.push_str(if summary.affinity.ranges.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    o.push_str("  \"warnings\": [");
+    for (i, w) in summary.warnings.iter().enumerate() {
+        o.push_str(if i == 0 { "\n" } else { ",\n" });
+        match w {
+            AnalysisWarning::LockOrderCycle { locks } => {
+                let ids: Vec<String> = locks.iter().map(|l| l.0.to_string()).collect();
+                let _ = write!(
+                    o,
+                    "    {{\"kind\": \"lock-order-cycle\", \"locks\": [{}]}}",
+                    ids.join(", ")
+                );
+            }
+            AnalysisWarning::UnlockedSharedRange { start, len } => {
+                let _ = write!(
+                    o,
+                    "    {{\"kind\": \"unlocked-shared-range\", \"start\": \"{:#x}\", \
+                     \"len\": {len}}}",
+                    start.0
+                );
+            }
+        }
+    }
+    o.push_str(if summary.warnings.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    let _ = writeln!(o, "  \"warning_count\": {},", summary.warnings.len());
+    let _ = writeln!(o, "  \"heat_buckets\": {},", summary.plan.buckets.len());
+
+    o.push_str("  \"passes\": [");
+    for (i, ps) in passes.iter().enumerate() {
+        o.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            o,
+            "    {{\"name\": \"{}\", \"items\": {}}}",
+            esc(ps.name),
+            ps.items
+        );
+    }
+    o.push_str(if passes.is_empty() { "]\n" } else { "\n  ]\n" });
     o.push('}');
     o
 }
@@ -159,8 +263,57 @@ mod tests {
             "\"last_event\": null",
             "\"dropped_events\": 1",
             "\"degraded\": true",
+            "\"preseed_hits\": 0",
+            "\"preseed_misses\": 0",
         ] {
             assert!(a.contains(needle), "missing {needle} in:\n{a}");
         }
+    }
+
+    #[test]
+    fn analyze_json_is_deterministic_and_complete() {
+        use dgrace_trace::{AffinityRange, AnalysisSummary, AnalysisWarning, LockId};
+        let summary = AnalysisSummary {
+            fingerprint: 0xabcd,
+            trace_events: 12,
+            trace_accesses: 9,
+            affinity: dgrace_trace::AffinityMap {
+                ranges: vec![AffinityRange {
+                    start: Addr(0x1000),
+                    len: 64,
+                    stride: 8,
+                }],
+            },
+            warnings: vec![
+                AnalysisWarning::LockOrderCycle {
+                    locks: vec![LockId(1), LockId(2)],
+                },
+                AnalysisWarning::UnlockedSharedRange {
+                    start: Addr(0x200),
+                    len: 8,
+                },
+            ],
+            ..Default::default()
+        };
+        let passes = [PassStats {
+            name: "classify",
+            items: 12,
+            nanos: 1234,
+        }];
+        let a = analyze_report(&summary, &passes);
+        let b = analyze_report(&summary, &passes);
+        assert_eq!(a, b, "same inputs render byte-identically");
+        for needle in [
+            "\"fingerprint\": \"0x000000000000abcd\"",
+            "\"trace_events\": 12",
+            "\"stride\": 8",
+            "\"kind\": \"lock-order-cycle\", \"locks\": [1, 2]",
+            "\"kind\": \"unlocked-shared-range\", \"start\": \"0x200\"",
+            "\"warning_count\": 2",
+            "{\"name\": \"classify\", \"items\": 12}",
+        ] {
+            assert!(a.contains(needle), "missing {needle} in:\n{a}");
+        }
+        assert!(!a.contains("nanos"), "timings must stay out of JSON");
     }
 }

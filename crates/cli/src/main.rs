@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! dgrace gen <workload> [--scale S] [--seed N] -o trace.dgrt
-//! dgrace analyze <trace.dgrt> [-o summary.dgas]
+//! dgrace analyze <trace.dgrt> [-o summary.dgas] [--json]
 //! dgrace detect <detector> <trace.dgrt> [--max-races N] [--shards N] [--pipeline] [--prune-with summary.dgas]
+//!                                       [--plan-with summary.dgas] [--affinity-with summary.dgas]
 //!                                       [--shadow-budget BYTES] [--resync] [--json] [--self-heal]
 //!                                       [--checkpoint-dir D] [--checkpoint-every N|Ns] [--resume D]
 //! dgrace stats <trace.dgrt>
@@ -13,14 +14,16 @@
 //! Exit codes are stable so scripts can triage failures (see the README
 //! troubleshooting table): 0 success (possibly with a flagged degraded
 //! report), 2 usage, 3 file i/o, 4 trace decode, 5 trace validation,
-//! 6 all detector shards failed, 7 partial report (some shards failed).
+//! 6 all detector shards failed, 7 partial report (some shards failed),
+//! 8 stale analysis summary (built from a different trace).
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use dgrace_analysis::analyze;
+use dgrace_analysis::analyze_with_stats;
 use dgrace_baselines::{HybridDetector, LockSetDetector, SegmentDetector};
 use dgrace_core::{DynamicConfig, DynamicGranularityOn};
 use dgrace_detectors::{
@@ -28,15 +31,15 @@ use dgrace_detectors::{
     ShardableDetector, StaticPruneFilter,
 };
 use dgrace_runtime::{
-    replay_checkpointed, replay_pipelined_checkpointed, replay_pipelined_pruned,
-    replay_sharded_pruned, CheckpointInterval, CheckpointManifest, CheckpointOptions, ReplayError,
+    replay_checkpointed_planned, replay_pipelined_checkpointed_planned, replay_pipelined_planned,
+    replay_sharded_planned, CheckpointInterval, CheckpointManifest, CheckpointOptions, ReplayError,
     SupervisorPolicy, CHECKPOINT_FILE,
 };
 use dgrace_shadow::{HashSelect, PagedSelect, StoreSelect};
 use dgrace_trace::io::{read_summary, read_trace_with, write_summary, write_trace};
 use dgrace_trace::{
-    stats::stats, validate, AnalysisSummary, DecodeLimits, DecodeStats, LocationClass, PruneSet,
-    ReadOptions, Trace, TraceError,
+    stats::stats, trace_fingerprint, validate, AffinityMap, AnalysisSummary, DecodeLimits,
+    DecodeStats, LocationClass, PruneSet, ReadOptions, Trace, TraceError,
 };
 use dgrace_workloads::{Workload, WorkloadKind};
 
@@ -60,6 +63,9 @@ enum Failure {
     Invalid(String),
     /// Every detector shard was lost; no report exists (exit 6).
     Engine(String),
+    /// An analysis summary was built from a different trace than the one
+    /// being detected; using it would be unsound (exit 8).
+    Stale(String),
 }
 
 impl Failure {
@@ -70,6 +76,7 @@ impl Failure {
             Failure::Decode(_) => 4,
             Failure::Invalid(_) => 5,
             Failure::Engine(_) => 6,
+            Failure::Stale(_) => 8,
         }
     }
 
@@ -79,7 +86,8 @@ impl Failure {
             | Failure::Io(m)
             | Failure::Decode(m)
             | Failure::Invalid(m)
-            | Failure::Engine(m) => m,
+            | Failure::Engine(m)
+            | Failure::Stale(m) => m,
         }
     }
 }
@@ -145,17 +153,24 @@ fn print_help() {
         "dgrace — dynamic-granularity data race detection\n\n\
          USAGE:\n\
          \x20 dgrace gen <workload> [--scale S] [--seed N] -o <file>   generate a workload trace\n\
-         \x20 dgrace analyze <file> [-o <summary>]                     classify every location ahead of\n\
-         \x20                                                          time; -o saves a prune summary\n\
+         \x20 dgrace analyze <file> [-o <summary>] [--json]            run the multi-pass AOT analysis\n\
+         \x20                                                          (classify, affinity, lock-graph,\n\
+         \x20                                                          heat); -o saves a .dgas summary,\n\
+         \x20                                                          --json prints a deterministic report\n\
          \x20 dgrace detect <detector> <file> [--max-races N] [--shards N] [--prune-with <summary>]\n\
-         \x20                                 [--shadow hash|paged]    run a detector over a trace,\n\
-         \x20                                 [--shadow-budget BYTES]  optionally across N address shards,\n\
-         \x20                                 [--resync] [--json]      skipping provably race-free accesses;\n\
-         \x20                                 [--self-heal]            --shadow picks the shadow store,\n\
-         \x20                                 [--checkpoint-dir D]     --shadow-budget caps shadow memory\n\
-         \x20                                 [--checkpoint-every N|Ns] (cold state is evicted past the cap),\n\
-         \x20                                 [--resume D]             --resync skips damaged trace frames,\n\
-         \x20                                 [--pipeline]             --json prints a deterministic report,\n\
+         \x20                                 [--plan-with <summary>]  run a detector over a trace,\n\
+         \x20                                 [--affinity-with <summary>] optionally across N address shards,\n\
+         \x20                                 [--shadow hash|paged]    skipping provably race-free accesses;\n\
+         \x20                                 [--shadow-budget BYTES]  --plan-with balances shards from the\n\
+         \x20                                 [--resync] [--json]      summary's heat histogram,\n\
+         \x20                                 [--self-heal]            --affinity-with pre-seeds the dynamic\n\
+         \x20                                 [--checkpoint-dir D]     detector's grouping (same race set,\n\
+         \x20                                 [--checkpoint-every N|Ns] fewer probe epochs),\n\
+         \x20                                 [--resume D]             --shadow picks the shadow store,\n\
+         \x20                                 [--pipeline]             --shadow-budget caps shadow memory\n\
+         \x20                                                          (cold state is evicted past the cap),\n\
+         \x20                                                          --resync skips damaged trace frames,\n\
+         \x20                                                          --json prints a deterministic report,\n\
          \x20                                                          --pipeline feeds shards through\n\
          \x20                                                          per-shard SPSC rings (same report),\n\
          \x20                                                          --self-heal respawns panicked shards\n\
@@ -293,19 +308,41 @@ fn cmd_gen(rest: &[String]) -> Result<(), Failure> {
 }
 
 fn cmd_analyze(rest: &[String]) -> Result<(), Failure> {
-    let p = Parsed::parse(rest, &["-o"])?;
+    let p = Parsed::parse_with_flags(rest, &["-o"], &["--json"])?;
     let path = p.positional(0).ok_or("analyze: missing trace file")?;
     let (trace, _) = load_trace(path, false)?;
     let start = std::time::Instant::now();
-    let summary = analyze(&trace);
+    let (summary, passes) = analyze_with_stats(&trace);
     let secs = start.elapsed().as_secs_f64();
 
+    if let Some(out) = p.opt("-o") {
+        let mut w = BufWriter::new(
+            File::create(out).map_err(|e| Failure::Io(format!("create {out}: {e}")))?,
+        );
+        write_summary(&summary, &mut w).map_err(|e| Failure::Io(format!("write {out}: {e}")))?;
+    }
+    if p.flag("--json") {
+        // Deterministic machine-readable output (no wall-clock fields),
+        // mirroring `detect --json`: same trace in, same bytes out.
+        println!("{}", json::analyze_report(&summary, &passes));
+        return Ok(());
+    }
+
     println!(
-        "analyzed      : {} events, {} access events ({:.1} ms)",
+        "analyzed      : {} events, {} access events ({:.1} ms, fingerprint {:#018x})",
         summary.trace_events,
         summary.trace_accesses,
-        secs * 1e3
+        secs * 1e3,
+        summary.fingerprint
     );
+    for ps in &passes {
+        println!(
+            "  pass {:<15} {:>10} items  {:>8.1} ms",
+            ps.name,
+            ps.items,
+            ps.nanos as f64 / 1e6
+        );
+    }
     let s = &summary.stats;
     for (class, c) in [
         (LocationClass::ThreadLocal.label(), &s.thread_local),
@@ -324,29 +361,65 @@ fn cmd_analyze(rest: &[String]) -> Result<(), Failure> {
         s.total_accesses(),
         s.prunable_fraction() * 100.0
     );
+    println!(
+        "affinity      : {} certified stride range(s)",
+        summary.affinity.len()
+    );
+    println!("routing heat  : {} bucket(s)", summary.plan.buckets.len());
+    if summary.warnings.is_empty() {
+        println!("warnings      : none");
+    } else {
+        println!("warnings      : {}", summary.warnings.len());
+        for w in &summary.warnings {
+            match w {
+                dgrace_trace::AnalysisWarning::LockOrderCycle { locks } => {
+                    let ids: Vec<String> = locks.iter().map(|l| l.0.to_string()).collect();
+                    println!(
+                        "  lock-order cycle     : locks {{{}}} acquired in conflicting orders",
+                        ids.join(", ")
+                    );
+                }
+                dgrace_trace::AnalysisWarning::UnlockedSharedRange { start, len } => {
+                    println!(
+                        "  unlocked shared range: {:#x} +{len} written by multiple threads \
+                         without a common lock",
+                        start.0
+                    );
+                }
+            }
+        }
+    }
     if let Some(out) = p.opt("-o") {
-        let mut w = BufWriter::new(
-            File::create(out).map_err(|e| Failure::Io(format!("create {out}: {e}")))?,
-        );
-        write_summary(&summary, &mut w).map_err(|e| Failure::Io(format!("write {out}: {e}")))?;
         println!("summary       : written to {out}");
     }
     Ok(())
 }
 
-/// Loads a `.dgas` prune summary and checks it was produced from the
-/// trace being detected (pruning with a summary from a *different*
-/// trace would be unsound).
+/// Loads a `.dgas` analysis summary and checks it was produced from the
+/// trace being detected (pruning, pre-seeding, or routing with a
+/// summary from a *different* trace would be unsound). v2 summaries
+/// carry a content fingerprint of the source trace; v1 summaries fall
+/// back to the event-count check. Either mismatch is [`Failure::Stale`]
+/// (exit 8), so scripts can distinguish "re-run analyze" from a corrupt
+/// file or a bad invocation.
 fn load_summary(path: &str, trace: &Trace) -> Result<AnalysisSummary, Failure> {
     let f = File::open(path).map_err(|e| Failure::Io(format!("open {path}: {e}")))?;
     let summary =
         read_summary(&mut BufReader::new(f)).map_err(|e| decode_failure(path, &e, false))?;
     if summary.trace_events != trace.len() as u64 {
-        return Err(Failure::Invalid(format!(
+        return Err(Failure::Stale(format!(
             "summary {path} was built from a {}-event trace, but this trace has {} events \
              (re-run `dgrace analyze`)",
             summary.trace_events,
             trace.len()
+        )));
+    }
+    let fp = trace_fingerprint(trace);
+    if summary.fingerprint != 0 && summary.fingerprint != fp {
+        return Err(Failure::Stale(format!(
+            "summary {path} was built from a different trace (fingerprint {:#018x}, this trace \
+             is {fp:#018x}); re-run `dgrace analyze`",
+            summary.fingerprint
         )));
     }
     Ok(summary)
@@ -370,6 +443,19 @@ fn compile_prune(det_name: &str, summary: &AnalysisSummary) -> Result<PruneSet, 
         }
     };
     Ok(summary.prune_set(granule, margin))
+}
+
+/// Extracts the sharing-affinity map for `--affinity-with`: only the
+/// dynamic-granularity family consults it (the certified strides seed
+/// its grouping decisions); other detectors have no grouping to seed.
+fn compile_affinity(det_name: &str, summary: &AnalysisSummary) -> Result<Arc<AffinityMap>, String> {
+    match det_name {
+        "dynamic" | "dynamic-no-init" | "dynamic-guided" => Ok(Arc::new(summary.affinity.clone())),
+        other => Err(format!(
+            "detector `{other}` does not support --affinity-with (supported: \
+             dynamic, dynamic-no-init, dynamic-guided)"
+        )),
+    }
 }
 
 /// One-line decode failure: file, what went wrong (with the byte offset,
@@ -511,6 +597,8 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
             "--max-races",
             "--shards",
             "--prune-with",
+            "--plan-with",
+            "--affinity-with",
             "--shadow",
             "--shadow-budget",
             "--checkpoint-dir",
@@ -546,6 +634,17 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         Some(sp) => compile_prune(det_name, &load_summary(sp, &trace)?)?,
         None => PruneSet::empty(),
     };
+    // The routing plan balances the summary's heat histogram across the
+    // requested shard count; with one shard (and no pipeline) it
+    // compiles to nothing and detection proceeds unplanned.
+    let routes: Vec<(u64, u64, usize)> = match p.opt("--plan-with") {
+        Some(sp) => load_summary(sp, &trace)?.plan.compile(shards.max(1)),
+        None => Vec::new(),
+    };
+    let affinity: Option<Arc<AffinityMap>> = match p.opt("--affinity-with") {
+        Some(sp) => Some(compile_affinity(det_name, &load_summary(sp, &trace)?)?),
+        None => None,
+    };
 
     let start = std::time::Instant::now();
     let report = if ckpt_dir.is_some() || resume_dir.is_some() || self_heal {
@@ -554,6 +653,9 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         // self-healing supervisor.
         let mut proto = make_shardable(det_name, shadow)?;
         proto.set_shadow_budget(budget.map(|b| (b / shards.max(1) as u64).max(1)));
+        if let Some(map) = &affinity {
+            proto.set_affinity(Arc::clone(map));
+        }
         let resume = match &resume_dir {
             Some(d) => {
                 let file = d.join(CHECKPOINT_FILE);
@@ -578,9 +680,9 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         });
         let policy = self_heal.then(SupervisorPolicy::default);
         let run = if pipeline {
-            replay_pipelined_checkpointed
+            replay_pipelined_checkpointed_planned
         } else {
-            replay_checkpointed
+            replay_checkpointed_planned
         };
         run(
             proto,
@@ -590,6 +692,7 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
             policy,
             ckpt.as_ref(),
             resume.as_ref(),
+            &routes,
         )
         .map_err(replay_failure)?
     } else if shards > 1 || pipeline {
@@ -597,14 +700,20 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         // The budget is a whole-run cap: each shard holds a slice of the
         // address space, so it gets a slice of the budget.
         proto.set_shadow_budget(budget.map(|b| (b / shards.max(1) as u64).max(1)));
+        if let Some(map) = &affinity {
+            proto.set_affinity(Arc::clone(map));
+        }
         if pipeline {
-            replay_pipelined_pruned(proto.as_ref(), &trace, shards.max(1), prune)
+            replay_pipelined_planned(proto.as_ref(), &trace, shards.max(1), prune, &routes)
         } else {
-            replay_sharded_pruned(proto.as_ref(), &trace, shards, prune)
+            replay_sharded_planned(proto.as_ref(), &trace, shards, prune, &routes)
         }
     } else {
         let mut det = make_detector(det_name, shadow)?;
         det.set_shadow_budget(budget);
+        if let Some(map) = &affinity {
+            det.set_affinity(Arc::clone(map));
+        }
         if prune.is_empty() {
             det.run(&trace)
         } else {

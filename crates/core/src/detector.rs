@@ -4,8 +4,12 @@ use dgrace_detectors::{
     AccessKind, Detector, HbState, RaceKind, RaceReport, Report, ShardableDetector, SharingStats,
 };
 use dgrace_shadow::{HashSelect, MemClass, MemoryModel, SlabId, StoreSelect};
+use std::sync::Arc;
+
 use dgrace_trace::snapshot::{STATE_MAGIC, STATE_VERSION};
-use dgrace_trace::{Addr, Event, SnapshotLimits, SnapshotReader, SnapshotWriter, TraceError};
+use dgrace_trace::{
+    Addr, AffinityMap, Event, SnapshotLimits, SnapshotReader, SnapshotWriter, TraceError,
+};
 use dgrace_vc::{AccessClock, Epoch, Tid, VectorClock};
 
 use crate::plane::PlaneOn;
@@ -36,6 +40,15 @@ pub struct DynamicGranularityOn<K: StoreSelect> {
     peak_locs: usize,
     cells_at_peak: usize,
     event_index: u64,
+    /// AOT sharing-affinity map used to pre-seed group decisions; empty
+    /// when running unseeded. Shared across shards.
+    affinity: Arc<AffinityMap>,
+    /// Locality memo for [`AffinityMap::certified_hinted`]: index of the
+    /// last certifying run. Pure performance state — any value yields
+    /// the same answers — so it is neither snapshotted nor compared.
+    affinity_hint: usize,
+    preseed_hits: u64,
+    preseed_misses: u64,
     /// Reusable clock buffer: avoids a heap allocation per access.
     scratch: VectorClock,
 }
@@ -73,6 +86,10 @@ impl<K: StoreSelect> DynamicGranularityOn<K> {
             peak_locs: 0,
             cells_at_peak: 0,
             event_index: 0,
+            affinity: Arc::new(AffinityMap::default()),
+            affinity_hint: 0,
+            preseed_hits: 0,
+            preseed_misses: 0,
             scratch: VectorClock::new(),
         }
     }
@@ -80,6 +97,44 @@ impl<K: StoreSelect> DynamicGranularityOn<K> {
     /// The active configuration.
     pub fn config(&self) -> &DynamicConfig {
         &self.config
+    }
+
+    /// Installs an AOT sharing-affinity map (`detect --affinity-with`).
+    ///
+    /// Every prediction is re-verified against live shadow state before
+    /// it is taken, and any mismatch falls back to the unseeded probe
+    /// path, so a stale or adversarial map can cost probes but cannot
+    /// change the race set. Must be installed before any events; the
+    /// map survives [`Detector::finish`] resets and is cloned into
+    /// shards.
+    pub fn set_affinity(&mut self, map: Arc<AffinityMap>) {
+        self.affinity = map;
+        self.affinity_hint = 0;
+    }
+
+    /// Certification check through the locality memo (see
+    /// [`AffinityMap::certified_hinted`]); updates the memo on a hit.
+    fn affinity_certified(&mut self, addr: Addr, size: u64) -> bool {
+        match self
+            .affinity
+            .certified_hinted(addr, size, self.affinity_hint)
+        {
+            Some(i) => {
+                self.affinity_hint = i;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The installed affinity map (empty when unseeded).
+    pub fn affinity(&self) -> &AffinityMap {
+        &self.affinity
+    }
+
+    /// Pre-seed verification counters: `(hits, misses)`.
+    pub fn preseed_counters(&self) -> (u64, u64) {
+        (self.preseed_hits, self.preseed_misses)
     }
 
     /// Read-plane group snapshot for `addr` (testing/diagnostics).
@@ -191,19 +246,48 @@ impl<K: StoreSelect> DynamicGranularityOn<K> {
                 && *det.plane(kind).clock_of(id) == clock
                 && det.write_guidance_ok(kind, addr, n)
         };
-        let neighbor = if !enable_sharing || (init_state && !share_at_init) {
+        let mut preseed = None;
+        let sharing_on = enable_sharing && (share_at_init || !init_state);
+        // Affinity fast path: a certified write stride shrinks the
+        // predecessor window from `scan` to the stride. A hit is the
+        // *same* neighbor the full-window scan would return (the
+        // nearest populated predecessor), so the decision is
+        // byte-identical under any map; a miss falls through to the
+        // unseeded probes, paying at most `size` wasted lookups.
+        // (Hoisted above the plane borrow for the hint memo's `&mut`.)
+        let seeded_ok = sharing_on
+            && kind == AccessKind::Write
+            && size <= scan
+            && self.affinity_certified(addr, size);
+        let neighbor = if !sharing_on {
             None // sharing disabled / Table 5 "no sharing at Init"
         } else {
             let plane = self.plane(kind);
-            plane
-                .nearest_predecessor(addr, scan)
-                .filter(|&(n, nid)| compatible(self, n, nid))
-                .or_else(|| {
-                    plane
-                        .nearest_successor(addr, scan)
-                        .filter(|&(n, nid)| compatible(self, n, nid))
-                })
+            let seeded = if seeded_ok {
+                let hit = plane
+                    .nearest_predecessor(addr, size)
+                    .filter(|&(n, nid)| compatible(self, n, nid));
+                preseed = Some(hit.is_some());
+                hit
+            } else {
+                None
+            };
+            seeded.or_else(|| {
+                plane
+                    .nearest_predecessor(addr, scan)
+                    .filter(|&(n, nid)| compatible(self, n, nid))
+                    .or_else(|| {
+                        plane
+                            .nearest_successor(addr, scan)
+                            .filter(|&(n, nid)| compatible(self, n, nid))
+                    })
+            })
         };
+        match preseed {
+            Some(true) => self.preseed_hits += 1,
+            Some(false) => self.preseed_misses += 1,
+            None => {}
+        }
 
         let plane = self.plane_mut(kind);
         let id = match neighbor {
@@ -249,8 +333,15 @@ impl<K: StoreSelect> DynamicGranularityOn<K> {
         kind: AccessKind,
         now: &VectorClock,
         my_epoch: Epoch,
-        _old_id: SlabId,
+        old_id: SlabId,
     ) {
+        // Affinity fast path: join the certified predecessor's group
+        // directly, skipping the split (and its clock bookkeeping). Any
+        // verification failure falls through to the unseeded sequence.
+        if self.try_preseeded_second_epoch(addr, size, kind, now, my_epoch, old_id) {
+            return;
+        }
+
         // Split L out of any temporary first-epoch group.
         let plane = self.plane_mut(kind);
         let (id, split) = plane.split(addr);
@@ -280,6 +371,72 @@ impl<K: StoreSelect> DynamicGranularityOn<K> {
         if !shared {
             self.plane_mut(kind).set_state(id, VcState::Private);
         }
+    }
+
+    /// The pre-seeded second-epoch path for a certified write: when the
+    /// access is race-free and the predecessor at `addr - size` passes
+    /// exactly the checks [`try_share_with_exact_neighbors`] applies to
+    /// its *first* probe, the location transfers into that group without
+    /// ever splitting out a private clock. Returns `true` when taken.
+    ///
+    /// Byte-identical to the unseeded sequence: the race check sees the
+    /// same clock (split shares the clock entry, and a write's recorded
+    /// clock is `Epoch(my_epoch)` — which the neighbor must already
+    /// equal), the probe address and acceptance checks match the
+    /// unseeded first probe, and every failure path falls back to the
+    /// full unseeded sequence. Only `vc_allocs`/`vc_frees` differ — the
+    /// skipped split is the perf win.
+    ///
+    /// [`try_share_with_exact_neighbors`]: Self::try_share_with_exact_neighbors
+    fn try_preseeded_second_epoch(
+        &mut self,
+        addr: Addr,
+        size: u64,
+        kind: AccessKind,
+        now: &VectorClock,
+        my_epoch: Epoch,
+        old_id: SlabId,
+    ) -> bool {
+        if kind != AccessKind::Write
+            || !self.config.enable_sharing
+            || !self.affinity_certified(addr, size)
+        {
+            return false;
+        }
+        // Race first: a racing access must split, record and report on
+        // the unseeded path (the report's group membership depends on
+        // the split having happened).
+        if self.race_check(addr, kind, now, Some(old_id)).is_some() {
+            self.preseed_misses += 1;
+            return false;
+        }
+        let n = Addr(addr.0.wrapping_sub(size));
+        let candidate = {
+            let plane = self.plane(kind);
+            plane
+                .lookup(n)
+                .filter(|&nid| {
+                    // `nid == old_id` needs no special case: the old
+                    // group is still in an Init state, which
+                    // `accepts_second_epoch_sharing` rejects.
+                    plane.cell(nid).state.accepts_second_epoch_sharing()
+                        && *plane.clock_of(nid) == AccessClock::Epoch(my_epoch)
+                })
+                .filter(|_| self.write_guidance_ok(kind, addr, n))
+        };
+        let Some(nid) = candidate else {
+            self.preseed_misses += 1;
+            return false;
+        };
+        let plane = self.plane_mut(kind);
+        let (gid, was_grouped) = plane.transfer(addr, n, nid);
+        plane.set_state(gid, VcState::Shared);
+        self.shares += 1;
+        if was_grouped {
+            self.splits += 1;
+        }
+        self.preseed_hits += 1;
+        true
     }
 
     /// Attempts the exact-neighbor (`L±size`) sharing decision for the
@@ -618,13 +775,19 @@ impl<K: StoreSelect> ShardableDetector for DynamicGranularityOn<K> {
     fn new_shard(&self) -> Box<dyn Detector + Send> {
         let mut shard = DynamicGranularityOn::<K>::with_config(self.config);
         shard.model.set_budget(self.model.budget());
+        shard.affinity = Arc::clone(&self.affinity);
         Box::new(shard)
     }
 }
 
 impl<K: StoreSelect> Detector for DynamicGranularityOn<K> {
     fn name(&self) -> String {
-        format!("{}{}", self.config.label(), K::NAME_SUFFIX)
+        let seeded = if self.affinity.is_empty() {
+            ""
+        } else {
+            "+preseed"
+        };
+        format!("{}{}{seeded}", self.config.label(), K::NAME_SUFFIX)
     }
 
     fn on_event(&mut self, ev: &Event) {
@@ -680,15 +843,23 @@ impl<K: StoreSelect> Detector for DynamicGranularityOn<K> {
             max_group: self.read.max_group().max(self.write.max_group()),
         });
         rep.stats.evicted = self.evicted;
+        rep.stats.preseed_hits = self.preseed_hits;
+        rep.stats.preseed_misses = self.preseed_misses;
         rep.budget_degraded = self.model.breached();
         let budget = self.model.budget();
+        let affinity = Arc::clone(&self.affinity);
         *self = Self::with_config(self.config);
         self.model.set_budget(budget);
+        self.affinity = affinity;
         rep
     }
 
     fn set_shadow_budget(&mut self, bytes: Option<u64>) {
         self.model.set_budget(bytes.map(|b| b as usize));
+    }
+
+    fn set_affinity(&mut self, map: Arc<AffinityMap>) {
+        DynamicGranularityOn::set_affinity(self, map);
     }
 
     fn snapshot(&self) -> Option<Vec<u8>> {
@@ -721,9 +892,15 @@ impl<K: StoreSelect> Detector for DynamicGranularityOn<K> {
             self.peak_locs as u64,
             self.cells_at_peak as u64,
             self.event_index,
+            self.preseed_hits,
+            self.preseed_misses,
         ] {
             w.u64(c);
         }
+        // Resuming under a *different* affinity map than the one the
+        // snapshot was taken with would silently change which probes are
+        // attempted; bind the snapshot to the map by digest.
+        w.u64(self.affinity.digest());
         Some(w.finish())
     }
 
@@ -763,9 +940,17 @@ impl<K: StoreSelect> Detector for DynamicGranularityOn<K> {
         for _ in 0..n {
             races.push(RaceReport::decode(&mut r).map_err(fail)?);
         }
-        let mut counters = [0u64; 9];
+        let mut counters = [0u64; 11];
         for c in counters.iter_mut() {
             *c = r.u64().map_err(fail)?;
+        }
+        let digest = r.u64().map_err(fail)?;
+        if digest != self.affinity.digest() {
+            return Err(format!(
+                "{name}: snapshot was taken with a different affinity map \
+                 (digest {digest:#x} vs {:#x})",
+                self.affinity.digest()
+            ));
         }
         r.expect_end().map_err(fail)?;
         model.set_budget(self.model.budget());
@@ -785,6 +970,10 @@ impl<K: StoreSelect> Detector for DynamicGranularityOn<K> {
             peak_locs: counters[6] as usize,
             cells_at_peak: counters[7] as usize,
             event_index: counters[8],
+            affinity: Arc::clone(&self.affinity),
+            affinity_hint: 0,
+            preseed_hits: counters[9],
+            preseed_misses: counters[10],
             scratch: VectorClock::new(),
         };
         Ok(())
@@ -864,6 +1053,108 @@ mod tests {
         assert_eq!(snap.members.len(), 8);
         let rep = det.finish();
         assert!(rep.races.is_empty());
+    }
+
+    #[test]
+    fn preseeded_detection_matches_unseeded_and_skips_probes() {
+        // The resharing workload above, with the array's stride certified
+        // by a hand-built affinity map: identical races and sharing
+        // decisions, fewer clock allocations, nonzero hit counter.
+        let mut b = TraceBuilder::new();
+        b.write_block(0u32, X, 32, AccessSize::U32)
+            .release(0u32, 0u32)
+            .write_block(0u32, X, 32, AccessSize::U32);
+        let t = b.build();
+        let map = Arc::new(AffinityMap {
+            ranges: vec![dgrace_trace::AffinityRange {
+                start: Addr(X),
+                len: 32,
+                stride: 4,
+            }],
+        });
+        let mut det = DynamicGranularity::new();
+        det.set_affinity(Arc::clone(&map));
+        assert_eq!(det.name(), "dynamic+preseed");
+        let seeded = det.run(&t);
+        let unseeded = DynamicGranularity::new().run(&t);
+        assert_eq!(seeded.races, unseeded.races);
+        assert_eq!(seeded.stats.same_epoch, unseeded.stats.same_epoch);
+        let (ss, us) = (
+            seeded.stats.sharing.as_ref().unwrap(),
+            unseeded.stats.sharing.as_ref().unwrap(),
+        );
+        assert_eq!(ss.shares, us.shares);
+        assert_eq!(ss.splits, us.splits);
+        assert_eq!(ss.max_group, us.max_group);
+        assert!(seeded.stats.preseed_hits > 0, "predictions must be taken");
+        assert_eq!(unseeded.stats.preseed_hits, 0);
+        assert!(
+            seeded.stats.vc_allocs < unseeded.stats.vc_allocs,
+            "pre-seeding must skip split clocks ({} vs {})",
+            seeded.stats.vc_allocs,
+            unseeded.stats.vc_allocs
+        );
+    }
+
+    #[test]
+    fn adversarial_affinity_map_is_harmless() {
+        // A map certifying a stride the program does not use: racy and
+        // clean locations alike must produce byte-identical reports, with
+        // every prediction counted as a miss or simply unusable.
+        let mut b = TraceBuilder::new();
+        b.write(0u32, X, AccessSize::U8)
+            .write(0u32, X + 1, AccessSize::U8)
+            .fork(0u32, 1u32)
+            .write(0u32, X + 4, AccessSize::U32)
+            .write(1u32, X + 4, AccessSize::U32)
+            .join(0u32, 1u32);
+        let t = b.build();
+        let map = Arc::new(AffinityMap {
+            ranges: vec![dgrace_trace::AffinityRange {
+                start: Addr(X),
+                len: 64,
+                stride: 4,
+            }],
+        });
+        let mut det = DynamicGranularity::new();
+        det.set_affinity(map);
+        let seeded = det.run(&t);
+        let unseeded = DynamicGranularity::new().run(&t);
+        assert_eq!(seeded.races, unseeded.races);
+        let (ss, us) = (
+            seeded.stats.sharing.as_ref().unwrap(),
+            unseeded.stats.sharing.as_ref().unwrap(),
+        );
+        assert_eq!((ss.shares, ss.splits), (us.shares, us.splits));
+    }
+
+    #[test]
+    fn snapshot_is_bound_to_the_affinity_map() {
+        let map = Arc::new(AffinityMap {
+            ranges: vec![dgrace_trace::AffinityRange {
+                start: Addr(X),
+                len: 32,
+                stride: 4,
+            }],
+        });
+        let mut seeded = DynamicGranularity::new();
+        seeded.set_affinity(Arc::clone(&map));
+        let mut b = TraceBuilder::new();
+        b.write_block(0u32, X, 32, AccessSize::U32);
+        for ev in b.build().iter() {
+            seeded.on_event(ev);
+        }
+        let bytes = seeded.snapshot().unwrap();
+
+        // Same map → restores, counters preserved.
+        let mut twin = DynamicGranularity::new();
+        twin.set_affinity(map);
+        twin.restore(&bytes).unwrap();
+        assert_eq!(twin.preseed_counters(), seeded.preseed_counters());
+
+        // No map → the name differs, which already rejects.
+        let err = DynamicGranularity::new().restore(&bytes).unwrap_err();
+        assert!(err.contains("dynamic+preseed"), "{err}");
     }
 
     #[test]

@@ -298,6 +298,29 @@ impl<K: StoreSelect> PlaneOn<K> {
         nid
     }
 
+    /// Moves an *existing* location into `neighbor`'s cell without
+    /// allocating a clock: the affinity pre-seeded second-epoch path,
+    /// which generalizes [`PlaneOn::rejoin`] to locations still inside a
+    /// first-epoch group. A private source frees its cell (as `rejoin`);
+    /// a grouped source detaches (the split the unseeded path would
+    /// have paid, minus the temporary cell). Returns the new cell id and
+    /// whether the location left a multi-member group.
+    pub fn transfer(&mut self, addr: Addr, neighbor: Addr, nid: SlabId) -> (SlabId, bool) {
+        let loc = *self.table.get(addr).expect("location must exist");
+        debug_assert_ne!(loc.cell, nid, "transfer must change groups");
+        let was_grouped = self.cells.get(loc.cell).count > 1;
+        if was_grouped {
+            self.detach(addr, loc.cell, loc.idx);
+        } else {
+            self.free_cell(loc.cell);
+        }
+        let idx = self.join_members(addr, neighbor, nid);
+        let l = self.table.get_mut(addr).expect("location must exist");
+        l.cell = nid;
+        l.idx = idx;
+        (nid, was_grouped)
+    }
+
     /// Detaches `addr` from the member list of `cell_id`, patching the
     /// index of the member that `swap_remove` relocates.
     fn detach(&mut self, addr: Addr, cell_id: SlabId, idx: u32) {

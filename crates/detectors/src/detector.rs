@@ -1,6 +1,8 @@
 //! The detector interface.
 
-use dgrace_trace::{Event, Trace};
+use std::sync::Arc;
+
+use dgrace_trace::{AffinityMap, Event, Trace};
 
 use crate::Report;
 
@@ -35,6 +37,15 @@ pub trait Detector: std::any::Any {
         let _ = bytes;
     }
 
+    /// Installs an ahead-of-time sharing-affinity map (the pre-seeding
+    /// artifact of `dgrace analyze`). Detectors that exploit it — the
+    /// dynamic-granularity family — use certified strides as a fast
+    /// path for grouping decisions while keeping the race set
+    /// byte-identical; the default implementation ignores the map.
+    fn set_affinity(&mut self, map: Arc<AffinityMap>) {
+        let _ = map;
+    }
+
     /// Serializes the detector's complete analysis state into a versioned
     /// `DGSS` snapshot, or `None` if the detector does not support
     /// checkpointing (the default). A supported snapshot restores through
@@ -67,6 +78,9 @@ impl Detector for Box<dyn Detector> {
     fn set_shadow_budget(&mut self, bytes: Option<u64>) {
         (**self).set_shadow_budget(bytes)
     }
+    fn set_affinity(&mut self, map: Arc<AffinityMap>) {
+        (**self).set_affinity(map)
+    }
     fn snapshot(&self) -> Option<Vec<u8>> {
         (**self).snapshot()
     }
@@ -87,6 +101,9 @@ impl Detector for Box<dyn Detector + Send> {
     }
     fn set_shadow_budget(&mut self, bytes: Option<u64>) {
         (**self).set_shadow_budget(bytes)
+    }
+    fn set_affinity(&mut self, map: Arc<AffinityMap>) {
+        (**self).set_affinity(map)
     }
     fn snapshot(&self) -> Option<Vec<u8>> {
         (**self).snapshot()

@@ -23,7 +23,9 @@
 //! set — and the dropped count is carried in the report
 //! (`stats.pruned`) so runs stay auditable.
 
-use dgrace_trace::{Addr, Event, PruneSet};
+use std::sync::Arc;
+
+use dgrace_trace::{Addr, AffinityMap, Event, PruneSet};
 
 use crate::shard::sort_races;
 use crate::{Detector, Report};
@@ -159,6 +161,10 @@ impl<D: Detector> Detector for FilteredDetector<D> {
     fn set_shadow_budget(&mut self, bytes: Option<u64>) {
         self.inner.set_shadow_budget(bytes);
     }
+
+    fn set_affinity(&mut self, map: Arc<AffinityMap>) {
+        self.inner.set_affinity(map);
+    }
 }
 
 /// Drops accesses a static analysis proved race-free before they reach
@@ -221,6 +227,10 @@ impl<D: Detector> Detector for StaticPruneFilter<D> {
 
     fn set_shadow_budget(&mut self, bytes: Option<u64>) {
         self.inner.set_shadow_budget(bytes);
+    }
+
+    fn set_affinity(&mut self, map: Arc<AffinityMap>) {
+        self.inner.set_affinity(map);
     }
 }
 

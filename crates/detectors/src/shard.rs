@@ -98,6 +98,8 @@ pub fn merge_shard_reports(reports: Vec<Report>) -> Report {
         s.dropped += o.dropped;
         s.events_lost += o.events_lost;
         s.evicted += o.evicted;
+        s.preseed_hits += o.preseed_hits;
+        s.preseed_misses += o.preseed_misses;
         s.sharing = match (s.sharing.take(), o.sharing) {
             (None, None) => None,
             (Some(a), None) | (None, Some(a)) => Some(a),

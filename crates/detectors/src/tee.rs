@@ -4,7 +4,9 @@
 //! detect races online *and* keep the execution for offline replay under
 //! other detectors.
 
-use dgrace_trace::Event;
+use std::sync::Arc;
+
+use dgrace_trace::{AffinityMap, Event};
 
 use crate::{Detector, Report};
 
@@ -66,6 +68,11 @@ impl<A: Detector, B: Detector> Detector for Tee<A, B> {
     fn set_shadow_budget(&mut self, bytes: Option<u64>) {
         self.a.set_shadow_budget(bytes);
         self.b.set_shadow_budget(bytes);
+    }
+
+    fn set_affinity(&mut self, map: Arc<AffinityMap>) {
+        self.a.set_affinity(Arc::clone(&map));
+        self.b.set_affinity(map);
     }
 }
 

@@ -90,6 +90,10 @@ impl<D: Detector> Detector for PanicOnEvent<D> {
         self.inner.set_shadow_budget(bytes);
     }
 
+    fn set_affinity(&mut self, map: Arc<dgrace_trace::AffinityMap>) {
+        self.inner.set_affinity(map);
+    }
+
     // Checkpointing passes through to the wrapped detector: the fault
     // specification is not part of the analysis state, so a snapshot
     // taken through the wrapper restores into any detector of the same

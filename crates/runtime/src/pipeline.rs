@@ -91,6 +91,20 @@ pub fn replay_pipelined_pruned<D: ShardableDetector + ?Sized>(
     shards: usize,
     prune: PruneSet,
 ) -> Report {
+    replay_pipelined_planned(prototype, trace, shards, prune, &[])
+}
+
+/// [`replay_pipelined_pruned`] with an ahead-of-time shard routing plan
+/// (the parallel analog of [`crate::replay_sharded_planned`]): plan
+/// buckets are preloaded into the router before the producer starts, so
+/// the hottest address ranges are balanced across lanes up front.
+pub fn replay_pipelined_planned<D: ShardableDetector + ?Sized>(
+    prototype: &D,
+    trace: &Trace,
+    shards: usize,
+    prune: PruneSet,
+    routes: &[(u64, u64, usize)],
+) -> Report {
     let shards = shards.max(1);
     let opts = RuntimeOptions {
         shards,
@@ -99,6 +113,7 @@ pub fn replay_pipelined_pruned<D: ShardableDetector + ?Sized>(
     };
     let detectors = (0..shards).map(|_| prototype.new_shard()).collect();
     let engine = Engine::with_prune(detectors, opts, prune);
+    engine.preload_routes(routes);
     run_pipeline(&engine, trace, 0, "", None)
         .expect("unsupervised pipeline performs no checkpoint I/O");
     engine.finish()
@@ -133,6 +148,32 @@ pub fn replay_pipelined_checkpointed(
     ckpt: Option<&CheckpointOptions>,
     resume: Option<&CheckpointManifest>,
 ) -> Result<Report, ReplayError> {
+    replay_pipelined_checkpointed_planned(
+        prototype,
+        trace,
+        shards,
+        prune,
+        policy,
+        ckpt,
+        resume,
+        &[],
+    )
+}
+
+/// [`replay_pipelined_checkpointed`] with an ahead-of-time routing plan
+/// (see [`crate::replay_checkpointed_planned`] for the resume
+/// semantics: a restored checkpoint's captured ranges win).
+#[allow(clippy::too_many_arguments)]
+pub fn replay_pipelined_checkpointed_planned(
+    prototype: Box<dyn ShardableDetector + Send>,
+    trace: &Trace,
+    shards: usize,
+    prune: PruneSet,
+    policy: Option<SupervisorPolicy>,
+    ckpt: Option<&CheckpointOptions>,
+    resume: Option<&CheckpointManifest>,
+    routes: &[(u64, u64, usize)],
+) -> Result<Report, ReplayError> {
     let shards = shards.max(1);
     let opts = RuntimeOptions {
         shards,
@@ -151,6 +192,7 @@ pub fn replay_pipelined_checkpointed(
         }
         None => Engine::with_prune(detectors, opts, prune),
     };
+    engine.preload_routes(routes);
     let trace_len = trace.len() as u64;
     let mut start = 0usize;
     if let Some(m) = resume {
@@ -313,7 +355,7 @@ fn quiesce(rings: &[Spsc<Job>]) -> Result<(), ReplayError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::replay::{replay_sharded, replay_sharded_pruned};
+    use crate::replay::{replay_sharded, replay_sharded_planned, replay_sharded_pruned};
     use dgrace_core::DynamicGranularity;
     use dgrace_detectors::{race_signature, FastTrack};
     use dgrace_trace::{AccessSize, TraceBuilder};
@@ -397,6 +439,58 @@ mod tests {
                 race_signature(&funnel),
                 "shards={shards}"
             );
+        }
+    }
+
+    #[test]
+    fn planned_routing_preserves_fasttrack_races_on_both_paths() {
+        use dgrace_trace::{HeatBucket, RoutingPlan};
+        let trace = racy_trace();
+        // Heat buckets covering both hot addresses; compiling balances
+        // them across shards, overriding the region-hash fallback.
+        let plan = RoutingPlan {
+            buckets: vec![
+                HeatBucket {
+                    start: dgrace_trace::Addr(0x0),
+                    len: 0x1000,
+                    weight: 10,
+                },
+                HeatBucket {
+                    start: dgrace_trace::Addr(0x5000),
+                    len: 0x1000,
+                    weight: 9,
+                },
+            ],
+        };
+        let bare = replay_sharded(&FastTrack::new(), &trace, 1);
+        for shards in [2usize, 4] {
+            let routes = plan.compile(shards);
+            assert!(!routes.is_empty(), "plan compiles for shards={shards}");
+            let funnel = replay_sharded_planned(
+                &FastTrack::new(),
+                &trace,
+                shards,
+                PruneSet::empty(),
+                &routes,
+            );
+            let piped = replay_pipelined_planned(
+                &FastTrack::new(),
+                &trace,
+                shards,
+                PruneSet::empty(),
+                &routes,
+            );
+            assert_eq!(
+                race_signature(&funnel),
+                race_signature(&bare),
+                "shards={shards}"
+            );
+            assert_eq!(
+                race_signature(&piped),
+                race_signature(&bare),
+                "shards={shards}"
+            );
+            assert_eq!(funnel.stats.events, trace.len() as u64);
         }
     }
 }

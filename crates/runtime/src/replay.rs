@@ -47,6 +47,23 @@ pub fn replay_sharded_pruned<D: ShardableDetector + ?Sized>(
     shards: usize,
     prune: PruneSet,
 ) -> Report {
+    replay_sharded_planned(prototype, trace, shards, prune, &[])
+}
+
+/// [`replay_sharded_pruned`] with an ahead-of-time shard routing plan:
+/// `routes` are sorted, disjoint `(base, end, shard)` buckets (see
+/// `RoutingPlan::compile`) preloaded into the router before the first
+/// event, so the hottest address ranges are balanced across shards
+/// instead of placed round-robin by allocation order. Allocations
+/// overlapping a plan bucket keep the planned shard. An empty plan is
+/// exactly [`replay_sharded_pruned`].
+pub fn replay_sharded_planned<D: ShardableDetector + ?Sized>(
+    prototype: &D,
+    trace: &Trace,
+    shards: usize,
+    prune: PruneSet,
+    routes: &[(u64, u64, usize)],
+) -> Report {
     let shards = shards.max(1);
     let opts = RuntimeOptions {
         shards,
@@ -55,6 +72,7 @@ pub fn replay_sharded_pruned<D: ShardableDetector + ?Sized>(
     };
     let detectors = (0..shards).map(|_| prototype.new_shard()).collect();
     let engine = Engine::with_prune(detectors, opts, prune);
+    engine.preload_routes(routes);
 
     let mut pending: Vec<Event> = Vec::new();
     for ev in trace.iter() {
@@ -193,6 +211,26 @@ pub fn replay_checkpointed(
     ckpt: Option<&CheckpointOptions>,
     resume: Option<&CheckpointManifest>,
 ) -> Result<Report, ReplayError> {
+    replay_checkpointed_planned(prototype, trace, shards, prune, policy, ckpt, resume, &[])
+}
+
+/// [`replay_checkpointed`] with an ahead-of-time routing plan (see
+/// [`replay_sharded_planned`]). The plan is preloaded before any resume
+/// state is restored; a restored checkpoint overwrites the router
+/// wholesale with its captured ranges, which already reflect whatever
+/// plan was active when the checkpoint was taken — so an interrupted
+/// planned run resumes with the same routing it started with.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_checkpointed_planned(
+    prototype: Box<dyn ShardableDetector + Send>,
+    trace: &Trace,
+    shards: usize,
+    prune: PruneSet,
+    policy: Option<SupervisorPolicy>,
+    ckpt: Option<&CheckpointOptions>,
+    resume: Option<&CheckpointManifest>,
+    routes: &[(u64, u64, usize)],
+) -> Result<Report, ReplayError> {
     let shards = shards.max(1);
     let opts = RuntimeOptions {
         shards,
@@ -212,6 +250,7 @@ pub fn replay_checkpointed(
         }
         None => Engine::with_prune(detectors, opts, prune),
     };
+    engine.preload_routes(routes);
     let trace_len = trace.len() as u64;
 
     let mut start = 0usize;

@@ -55,7 +55,8 @@ pub use snapshot::{
     CHECKPOINT_VERSION, STATE_MAGIC, STATE_VERSION,
 };
 pub use summary::{
-    AnalysisSummary, ClassCounts, ClassifiedRange, LocationClass, PruneSet, SummaryStats,
+    trace_fingerprint, AffinityMap, AffinityRange, AnalysisSummary, AnalysisWarning, ClassCounts,
+    ClassifiedRange, HeatBucket, LocationClass, PruneSet, RoutingPlan, SummaryStats,
     SUMMARY_VERSION,
 };
 pub use validate::{validate, ValidationError};

@@ -25,7 +25,10 @@ use crate::io::TraceError;
 /// Magic prefix for serialized per-shard detector state.
 pub const STATE_MAGIC: [u8; 4] = *b"DGSS";
 /// Current detector-state snapshot format version.
-pub const STATE_VERSION: u32 = 1;
+///
+/// Bumped to 2 when the dynamic detector grew pre-seed counters and an
+/// affinity digest; snapshots are not migrated across versions.
+pub const STATE_VERSION: u32 = 2;
 /// Magic prefix for run-level checkpoint manifests.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"DGCP";
 /// Current checkpoint manifest format version.

@@ -16,7 +16,7 @@
 //! cannot change any HB detector's race set — provided granularity
 //! effects are compensated, which is [`PruneSet`]'s job.
 
-use crate::{Addr, LockId};
+use crate::{Addr, Event, LockId, Trace};
 
 /// What the analysis proved about one byte range.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -118,7 +118,292 @@ impl SummaryStats {
 }
 
 /// Format version of the serialized summary (`DGAS` container).
-pub const SUMMARY_VERSION: u32 = 1;
+///
+/// Version 2 adds the trace fingerprint and the planning sections
+/// (affinity map, analysis warnings, heat histogram). Version-1 files are
+/// still read: they decode with a zero fingerprint and empty sections.
+pub const SUMMARY_VERSION: u32 = 2;
+
+/// Deterministic content fingerprint of a trace (FNV-1a over every event
+/// field). Binds an [`AnalysisSummary`] to the exact trace it was
+/// computed from: `detect --prune-with`/`--plan-with` reject a summary
+/// whose fingerprint disagrees with the trace being detected.
+pub fn trace_fingerprint(trace: &Trace) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    let mut fold = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for ev in trace.iter() {
+        match *ev {
+            Event::Read { tid, addr, size } => {
+                fold(1);
+                fold(tid.0 as u64);
+                fold(addr.0);
+                fold(size.bytes());
+            }
+            Event::Write { tid, addr, size } => {
+                fold(2);
+                fold(tid.0 as u64);
+                fold(addr.0);
+                fold(size.bytes());
+            }
+            Event::Acquire { tid, lock } => {
+                fold(3);
+                fold(tid.0 as u64);
+                fold(lock.0 as u64);
+            }
+            Event::Release { tid, lock } => {
+                fold(4);
+                fold(tid.0 as u64);
+                fold(lock.0 as u64);
+            }
+            Event::Fork { parent, child } => {
+                fold(5);
+                fold(parent.0 as u64);
+                fold(child.0 as u64);
+            }
+            Event::Join { parent, child } => {
+                fold(6);
+                fold(parent.0 as u64);
+                fold(child.0 as u64);
+            }
+            Event::Alloc { tid, addr, size } => {
+                fold(7);
+                fold(tid.0 as u64);
+                fold(addr.0);
+                fold(size);
+            }
+            Event::Free { tid, addr, size } => {
+                fold(8);
+                fold(tid.0 as u64);
+                fold(addr.0);
+                fold(size);
+            }
+            Event::AcquireRead { tid, lock } => {
+                fold(9);
+                fold(tid.0 as u64);
+                fold(lock.0 as u64);
+            }
+            Event::ReleaseRead { tid, lock } => {
+                fold(10);
+                fold(tid.0 as u64);
+                fold(lock.0 as u64);
+            }
+            Event::CvSignal { tid, cv } => {
+                fold(11);
+                fold(tid.0 as u64);
+                fold(cv.0 as u64);
+            }
+            Event::CvWait { tid, cv } => {
+                fold(12);
+                fold(tid.0 as u64);
+                fold(cv.0 as u64);
+            }
+            Event::BarrierArrive { tid, bar } => {
+                fold(13);
+                fold(tid.0 as u64);
+                fold(bar.0 as u64);
+            }
+            Event::BarrierDepart { tid, bar } => {
+                fold(14);
+                fold(tid.0 as u64);
+                fold(bar.0 as u64);
+            }
+        }
+    }
+    fold(trace.len() as u64);
+    h
+}
+
+/// One certified write-run: every write landing inside
+/// `[start, start+len)` begins at `start + k·stride` and is exactly
+/// `stride` bytes wide. The dynamic-granularity detector may therefore
+/// treat a single probe at `addr − stride` as equivalent to its full
+/// neighbor scan for any interior member (no populated write location can
+/// exist strictly between two stride positions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AffinityRange {
+    /// First byte of the run.
+    pub start: Addr,
+    /// Length in bytes (a multiple of `stride`, at least `2·stride`).
+    pub len: u64,
+    /// Element stride in bytes (1, 2, 4, or 8).
+    pub stride: u8,
+}
+
+impl AffinityRange {
+    /// One past the last byte.
+    pub fn end(&self) -> u64 {
+        self.start.0 + self.len
+    }
+}
+
+/// The sharing-affinity artifact: sorted, disjoint certified write-runs.
+/// Consumed by the dynamic-granularity detector to pre-seed sharing
+/// groups; a lookup that misses (or a certified probe that fails) falls
+/// back to the unseeded path, so mispredictions degrade lazily and race
+/// sets stay byte-identical.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AffinityMap {
+    /// Sorted, disjoint certified runs.
+    pub ranges: Vec<AffinityRange>,
+}
+
+impl AffinityMap {
+    /// Whether a *write* of `size` bytes at `addr` is a certified
+    /// interior run member: the run's stride equals the access size,
+    /// `addr` sits on a stride position, and it has at least one stride
+    /// slot of run before it (so `addr − stride` is the only possible
+    /// populated predecessor within the gap).
+    pub fn certified(&self, addr: Addr, size: u64) -> bool {
+        self.certified_hinted(addr, size, usize::MAX).is_some()
+    }
+
+    /// [`certified`](Self::certified) with a locality memo: `hint` is the
+    /// range index returned by a previous positive lookup, checked before
+    /// the binary search. Access streams walk one run at a time, so the
+    /// hint hits almost always and the per-access cost collapses from a
+    /// binary search over the whole map to one bounds check. Because the
+    /// ranges are sorted and disjoint, a hint hit is exactly the range
+    /// the search would pick — the result is identical for any hint
+    /// value (an out-of-bounds hint is simply ignored). Returns the
+    /// certifying range's index, to be passed back as the next hint.
+    pub fn certified_hinted(&self, addr: Addr, size: u64, hint: usize) -> Option<usize> {
+        if let Some(r) = self.ranges.get(hint) {
+            if Self::range_certifies(r, addr, size) {
+                return Some(hint);
+            }
+        }
+        let i = self
+            .ranges
+            .partition_point(|r| r.start.0 <= addr.0)
+            .checked_sub(1)?;
+        Self::range_certifies(&self.ranges[i], addr, size).then_some(i)
+    }
+
+    /// The certification predicate for a single run (see
+    /// [`certified`](Self::certified)).
+    fn range_certifies(r: &AffinityRange, addr: Addr, size: u64) -> bool {
+        let g = r.stride as u64;
+        g == size
+            && addr.0 >= r.start.0 + g
+            && addr.0 + size <= r.end()
+            && (addr.0 - r.start.0).is_multiple_of(g)
+    }
+
+    /// Whether the map certifies nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of certified runs.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Deterministic digest of the map contents. Stored in detector
+    /// snapshots so a checkpointed run cannot resume under a different
+    /// affinity map (the pre-seed counters would silently diverge).
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for r in &self.ranges {
+            fold(r.start.0);
+            fold(r.len);
+            fold(r.stride as u64);
+        }
+        fold(self.ranges.len() as u64);
+        h
+    }
+}
+
+/// A structured warning from the lock-graph pass: a *potential* hazard
+/// beyond the observed schedule (this run need not have raced or
+/// deadlocked for the warning to fire). Deterministically ordered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisWarning {
+    /// The static lock-order graph contains a cycle over these locks:
+    /// some schedule of this program can deadlock. Locks are sorted.
+    LockOrderCycle {
+        /// The locks forming the cycle, sorted by id.
+        locks: Vec<LockId>,
+    },
+    /// A multi-thread, written byte range was accessed at least once with
+    /// no exclusive lock held — a potential race even if this schedule
+    /// happened to order the accesses.
+    UnlockedSharedRange {
+        /// First byte of the range.
+        start: Addr,
+        /// Length in bytes.
+        len: u64,
+    },
+}
+
+/// One bucket of the address-range heat histogram: access traffic that
+/// landed in `[start, start+len)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeatBucket {
+    /// First byte of the bucket.
+    pub start: Addr,
+    /// Length in bytes.
+    pub len: u64,
+    /// Access events that landed in the bucket.
+    pub weight: u64,
+}
+
+/// The shard-routing artifact: a heat histogram compiled at warm start
+/// into balanced router ranges for a concrete shard count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoutingPlan {
+    /// Sorted, disjoint heat buckets.
+    pub buckets: Vec<HeatBucket>,
+}
+
+impl RoutingPlan {
+    /// Whether the plan carries no heat information.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Compiles the histogram into sorted, disjoint
+    /// `(start, end, shard)` router ranges for `shards` shards: greedy
+    /// least-loaded assignment over buckets in descending weight (ties:
+    /// ascending start; ties among shards: lowest index), then adjacent
+    /// same-shard ranges merge. Deterministic for a given (plan, shards).
+    pub fn compile(&self, shards: usize) -> Vec<(u64, u64, usize)> {
+        if shards <= 1 || self.buckets.is_empty() {
+            return Vec::new();
+        }
+        let mut order: Vec<&HeatBucket> = self.buckets.iter().collect();
+        order.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.start.0.cmp(&b.start.0)));
+        let mut load = vec![0u64; shards];
+        let mut routes: Vec<(u64, u64, usize)> = Vec::with_capacity(order.len());
+        for b in order {
+            let shard = (0..shards).min_by_key(|&s| (load[s], s)).unwrap_or(0);
+            load[shard] += b.weight.max(1);
+            routes.push((b.start.0, b.start.0 + b.len, shard));
+        }
+        routes.sort_unstable_by_key(|r| r.0);
+        let mut merged: Vec<(u64, u64, usize)> = Vec::with_capacity(routes.len());
+        for (s, e, shard) in routes {
+            match merged.last_mut() {
+                Some(last) if last.1 == s && last.2 == shard => last.1 = e,
+                _ => merged.push((s, e, shard)),
+            }
+        }
+        merged
+    }
+}
 
 /// The versioned output of the ahead-of-time analysis over one trace.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -127,11 +412,20 @@ pub struct AnalysisSummary {
     pub trace_events: u64,
     /// Number of access events in the analyzed trace.
     pub trace_accesses: u64,
+    /// Content fingerprint of the analyzed trace
+    /// ([`trace_fingerprint`]); zero for version-1 summaries.
+    pub fingerprint: u64,
     /// Sorted, disjoint classified ranges. Bytes never accessed by the
     /// trace appear in no range.
     pub ranges: Vec<ClassifiedRange>,
     /// Per-class tallies.
     pub stats: SummaryStats,
+    /// Certified write-runs for detector pre-seeding.
+    pub affinity: AffinityMap,
+    /// Lock-graph warnings (potential deadlocks / unprotected sharing).
+    pub warnings: Vec<AnalysisWarning>,
+    /// Address-range heat histogram for shard routing plans.
+    pub plan: RoutingPlan,
 }
 
 impl AnalysisSummary {
@@ -363,6 +657,114 @@ mod tests {
         let p = PruneSet::empty();
         assert!(p.is_empty());
         assert!(!p.prunes(Addr(0), 8));
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        use crate::{AccessSize, TraceBuilder};
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32).write(0u32, 0x100u64, AccessSize::U32);
+        let t1 = b.build();
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32).write(0u32, 0x100u64, AccessSize::U32);
+        let t2 = b.build();
+        assert_eq!(trace_fingerprint(&t1), trace_fingerprint(&t2));
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32).write(0u32, 0x104u64, AccessSize::U32);
+        let t3 = b.build();
+        assert_ne!(trace_fingerprint(&t1), trace_fingerprint(&t3));
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32).write(1u32, 0x100u64, AccessSize::U32);
+        let t4 = b.build();
+        assert_ne!(trace_fingerprint(&t1), trace_fingerprint(&t4));
+    }
+
+    #[test]
+    fn affinity_certifies_interior_stride_members_only() {
+        let map = AffinityMap {
+            ranges: vec![AffinityRange {
+                start: Addr(0x1000),
+                len: 0x40,
+                stride: 4,
+            }],
+        };
+        assert!(!map.certified(Addr(0x1000), 4), "run head has no gap proof");
+        assert!(map.certified(Addr(0x1004), 4));
+        assert!(map.certified(Addr(0x103c), 4));
+        assert!(!map.certified(Addr(0x1040), 4), "past the end");
+        assert!(!map.certified(Addr(0x1006), 4), "off-stride");
+        assert!(!map.certified(Addr(0x1004), 8), "size != stride");
+        assert!(!map.certified(Addr(0xfff), 4));
+        assert!(AffinityMap::default().is_empty());
+        assert_ne!(map.digest(), AffinityMap::default().digest());
+    }
+
+    #[test]
+    fn routing_plan_compiles_balanced_disjoint_routes() {
+        let plan = RoutingPlan {
+            buckets: vec![
+                HeatBucket {
+                    start: Addr(0x0000),
+                    len: 0x1000,
+                    weight: 100,
+                },
+                HeatBucket {
+                    start: Addr(0x1000),
+                    len: 0x1000,
+                    weight: 90,
+                },
+                HeatBucket {
+                    start: Addr(0x2000),
+                    len: 0x1000,
+                    weight: 10,
+                },
+                HeatBucket {
+                    start: Addr(0x3000),
+                    len: 0x1000,
+                    weight: 8,
+                },
+            ],
+        };
+        let routes = plan.compile(2);
+        // Sorted, disjoint.
+        for w in routes.windows(2) {
+            assert!(w[0].1 <= w[1].0, "{routes:?}");
+        }
+        // Greedy least-loaded: 100→s0, 90→s1, 10→s1, 8→s1? no: after
+        // 10→s1 load is (100, 100), tie → s0 gets 8.
+        let shard_of = |a: u64| routes.iter().find(|r| r.0 <= a && a < r.1).unwrap().2;
+        assert_eq!(shard_of(0x0000), 0);
+        assert_eq!(shard_of(0x1000), 1);
+        assert_eq!(shard_of(0x2000), 1);
+        assert_eq!(shard_of(0x3000), 0);
+        // Deterministic and shard-1 trivially empty.
+        assert_eq!(routes, plan.compile(2));
+        assert!(plan.compile(1).is_empty());
+        // Adjacent buckets landing on one shard merge into one route:
+        // 10 → s0, 9 → s1, then 1 → s1 (load 10 vs 9), adjacent to 9.
+        let tail_heavy = RoutingPlan {
+            buckets: vec![
+                HeatBucket {
+                    start: Addr(0x0000),
+                    len: 0x1000,
+                    weight: 10,
+                },
+                HeatBucket {
+                    start: Addr(0x1000),
+                    len: 0x1000,
+                    weight: 9,
+                },
+                HeatBucket {
+                    start: Addr(0x2000),
+                    len: 0x1000,
+                    weight: 1,
+                },
+            ],
+        };
+        assert_eq!(
+            tail_heavy.compile(2),
+            vec![(0x0000, 0x1000, 0), (0x1000, 0x3000, 1)]
+        );
     }
 
     #[test]
