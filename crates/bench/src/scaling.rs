@@ -1,17 +1,22 @@
 //! The `BENCH_detect.json` schema, shared by the `bench_detect` writer
 //! and the `bench_scaling_gate` checker.
 //!
-//! Schema (`schema_version` 3): `{ schema_version, scale, seed,
+//! Schema (`schema_version` 4): `{ schema_version, scale, seed,
 //! host_cpus, runs: [ { workload, detector, variant, store, shards,
-//! events, median_secs, events_per_sec, races, vc_allocs,
-//! peak_vc_bytes, peak_total_bytes } ] }`. Keys are emitted in that
-//! order; new keys may be appended but existing ones never renamed.
+//! events, best_secs, events_per_sec, races, vc_allocs,
+//! peak_vc_bytes, peak_total_bytes, recall } ] }`. Keys are emitted in
+//! that order; new keys may be appended but existing ones never renamed.
 //! `host_cpus` records the parallelism of the machine that produced the
 //! file — scaling claims are only meaningful relative to it, so the
 //! gate reads it before judging speedup ratios. Version 3 adds the
 //! `variant` column (`cold` or `preseed`) and the `dynamic+preseed`
 //! rows, which replay the dynamic-granularity detector warm-started
-//! from an AOT sharing-affinity map.
+//! from an AOT sharing-affinity map. Version 4 adds the `recall`
+//! column and the `sampled@<spec>` rows: the dynamic detector behind
+//! the sampling tier, with recall measured against the full (unsampled)
+//! detector's race set on the same cell. Sampled rows run at shards=1
+//! only — they chart recall vs overhead, not the scaling curve — so the
+//! structural full-curve requirement exempts them.
 //!
 //! The parser below is deliberately minimal: it reads exactly the format
 //! [`BenchFile::to_json`] emits (one run object per line), which is the
@@ -37,8 +42,9 @@ pub struct BenchRun {
     pub shards: usize,
     /// Events analyzed.
     pub events: u64,
-    /// Median wall-clock seconds over the reps.
-    pub median_secs: f64,
+    /// Best (minimum) wall-clock seconds over the reps — the
+    /// least-noise-contaminated estimate on a shared host.
+    pub best_secs: f64,
     /// Races reported.
     pub races: usize,
     /// Vector-clock allocations.
@@ -47,12 +53,25 @@ pub struct BenchRun {
     pub peak_vc_bytes: usize,
     /// Peak total shadow bytes.
     pub peak_total_bytes: usize,
+    /// Fraction of the full detector's racy locations this run reported
+    /// (race-address set intersection over the full set). `1.0` for
+    /// unsampled rows by construction; absent in schema ≤ 3 files,
+    /// where it defaults to `1.0`.
+    pub recall: f64,
 }
 
 impl BenchRun {
     /// Throughput in events per second.
     pub fn events_per_sec(&self) -> f64 {
-        self.events as f64 / self.median_secs.max(1e-9)
+        self.events as f64 / self.best_secs.max(1e-9)
+    }
+
+    /// Whether this row ran behind the sampling tier (`variant` is
+    /// `sampled@<spec>`). Sampled rows chart the recall-vs-overhead
+    /// curve at shards=1 and are exempt from the full-curve and
+    /// race-agreement structural requirements.
+    pub fn is_sampled(&self) -> bool {
+        self.variant.starts_with("sampled@")
     }
 }
 
@@ -86,21 +105,22 @@ impl BenchFile {
                 out,
                 "    {{\"workload\": \"{}\", \"detector\": \"{}\", \"variant\": \"{}\", \
                  \"store\": \"{}\", \
-                 \"shards\": {}, \"events\": {}, \"median_secs\": {:.6}, \
+                 \"shards\": {}, \"events\": {}, \"best_secs\": {:.6}, \
                  \"events_per_sec\": {:.0}, \"races\": {}, \"vc_allocs\": {}, \
-                 \"peak_vc_bytes\": {}, \"peak_total_bytes\": {}}}",
+                 \"peak_vc_bytes\": {}, \"peak_total_bytes\": {}, \"recall\": {:.4}}}",
                 r.workload,
                 r.detector,
                 r.variant,
                 r.store,
                 r.shards,
                 r.events,
-                r.median_secs,
+                r.best_secs,
                 r.events_per_sec(),
                 r.races,
                 r.vc_allocs,
                 r.peak_vc_bytes,
                 r.peak_total_bytes,
+                r.recall,
             );
             out.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
         }
@@ -141,11 +161,13 @@ impl BenchFile {
                 store: string_field(line, "store")?,
                 shards: num_field(line, "shards")?,
                 events: num_field(line, "events")?,
-                median_secs: num_field(line, "median_secs")?,
+                best_secs: num_field(line, "best_secs")?,
                 races: num_field(line, "races")?,
                 vc_allocs: num_field(line, "vc_allocs")?,
                 peak_vc_bytes: num_field(line, "peak_vc_bytes")?,
                 peak_total_bytes: num_field(line, "peak_total_bytes")?,
+                // Absent before schema 4: unsampled rows see everything.
+                recall: num_field(line, "recall").unwrap_or(1.0),
             });
         }
         if runs.is_empty() {
@@ -190,10 +212,14 @@ impl BenchFile {
     /// Distinct (detector, store) pairs, in first-seen order. Detector
     /// names embed the store variant (e.g. `dynamic+paged`), so the
     /// pairing is intrinsic — a cross product of the two dimensions
-    /// would invent cells that never run.
+    /// would invent cells that never run. Sampled rows are excluded:
+    /// they deliberately run a partial grid (shards=1 only).
     pub fn detector_stores(&self) -> Vec<(String, String)> {
         let mut out: Vec<(String, String)> = Vec::new();
         for r in &self.runs {
+            if r.is_sampled() {
+                continue;
+            }
             if !out.iter().any(|(d, s)| *d == r.detector && *s == r.store) {
                 out.push((r.detector.clone(), r.store.clone()));
             }
@@ -240,14 +266,29 @@ pub const SERIAL_RATIO_FLOOR: f64 = 0.2;
 
 /// Structural validation: full shard curve per cell, and identical
 /// events/races across the curve (the paths must analyze the same trace
-/// and agree on the verdict).
+/// and agree on the verdict). Sampled rows are exempt from the curve
+/// requirement but must carry a recall in `[0, 1]`; unsampled rows must
+/// report exactly `1.0` (they see everything, by definition).
 pub fn check_structure(file: &BenchFile) -> Vec<String> {
     let mut errors = Vec::new();
-    if file.schema_version != 3 {
-        errors.push(format!("schema_version {} != 3", file.schema_version));
+    if file.schema_version != 4 {
+        errors.push(format!("schema_version {} != 4", file.schema_version));
     }
     if file.host_cpus == 0 {
         errors.push("host_cpus missing or zero".into());
+    }
+    for r in &file.runs {
+        if !(0.0..=1.0).contains(&r.recall) {
+            errors.push(format!(
+                "{}/{}/{} shards={}: recall {} outside [0, 1]",
+                r.workload, r.detector, r.store, r.shards, r.recall
+            ));
+        } else if !r.is_sampled() && r.recall != 1.0 {
+            errors.push(format!(
+                "{}/{}/{} shards={}: unsampled row has recall {} != 1",
+                r.workload, r.detector, r.store, r.shards, r.recall
+            ));
+        }
     }
     for workload in file.dimension(|r| &r.workload) {
         for (detector, store) in file.detector_stores() {
@@ -325,6 +366,14 @@ pub fn check_scaling(file: &BenchFile) -> (Vec<String>, Vec<String>) {
             ));
         }
     } else {
+        if file.host_cpus == 1 {
+            warnings.push(
+                "host_cpus=1: single-core host — the multi-core speedup claim \
+                 (>=1.8x at shards=4) is UNVERIFIED by this baseline; regenerate \
+                 BENCH_detect.json on a >=4-core host to verify it"
+                    .into(),
+            );
+        }
         warnings.push(format!(
             "host_cpus={} < 4: parallel speedup unmeasurable on this host; applying serial floor {SERIAL_RATIO_FLOOR}x instead of speedup gate",
             file.host_cpus
@@ -422,16 +471,17 @@ mod tests {
                     store: "hash".into(),
                     shards,
                     events: 1000,
-                    median_secs: 1.0 / speed,
+                    best_secs: 1.0 / speed,
                     races: 2,
                     vc_allocs: 5,
                     peak_vc_bytes: 64,
                     peak_total_bytes: 128,
+                    recall: 1.0,
                 });
             }
         }
         BenchFile {
-            schema_version: 3,
+            schema_version: 4,
             scale: 1.0,
             seed: 7,
             host_cpus,
@@ -443,7 +493,7 @@ mod tests {
     fn roundtrips_through_json() {
         let f = file_with(2.0, 8);
         let parsed = BenchFile::parse(&f.to_json()).unwrap();
-        assert_eq!(parsed.schema_version, 3);
+        assert_eq!(parsed.schema_version, 4);
         assert_eq!(parsed.host_cpus, 8);
         assert_eq!(parsed.runs.len(), f.runs.len());
         assert_eq!(parsed.runs[0], f.runs[0]);
@@ -489,6 +539,58 @@ mod tests {
         // Narrow host, cratered pipeline: fails the floor.
         let (e, _) = check_scaling(&file_with(0.05, 1));
         assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn sampled_rows_are_curve_exempt_but_recall_checked() {
+        let mut f = file_with(2.0, 8);
+        // A sampled row at shards=1 only: no curve requirement.
+        f.runs.push(BenchRun {
+            workload: "a".into(),
+            detector: "dynamic+sampled@loc:2".into(),
+            variant: "sampled@loc:2".into(),
+            store: "hash".into(),
+            shards: 1,
+            events: 1000,
+            best_secs: 0.25,
+            races: 1,
+            vc_allocs: 3,
+            peak_vc_bytes: 32,
+            peak_total_bytes: 64,
+            recall: 0.5,
+        });
+        let errors = check_structure(&f);
+        assert!(errors.is_empty(), "{errors:?}");
+        // Out-of-range recall on a sampled row is flagged.
+        f.runs.last_mut().unwrap().recall = 1.5;
+        assert!(
+            check_structure(&f).iter().any(|e| e.contains("outside")),
+            "{:?}",
+            check_structure(&f)
+        );
+        // An unsampled row claiming partial recall is flagged.
+        f.runs.last_mut().unwrap().recall = 1.0;
+        f.runs[0].recall = 0.9;
+        assert!(
+            check_structure(&f)
+                .iter()
+                .any(|e| e.contains("unsampled row has recall")),
+            "{:?}",
+            check_structure(&f)
+        );
+    }
+
+    #[test]
+    fn single_core_host_gets_explicit_unverified_warning() {
+        let (e, w) = check_scaling(&file_with(1.0, 1));
+        assert!(e.is_empty(), "{e:?}");
+        assert!(
+            w.iter().any(|m| m.contains("UNVERIFIED")),
+            "host_cpus=1 must state the speedup claim is unverified: {w:?}"
+        );
+        // A 2-core host gets the generic narrow-host warning only.
+        let (_, w) = check_scaling(&file_with(1.0, 2));
+        assert!(!w.iter().any(|m| m.contains("UNVERIFIED")), "{w:?}");
     }
 
     #[test]

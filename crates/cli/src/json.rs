@@ -70,7 +70,8 @@ pub fn report(rep: &Report, decode: &DecodeStats) -> String {
         o,
         "  \"stats\": {{\"events\": {}, \"accesses\": {}, \"pruned\": {}, \
          \"same_epoch\": {}, \"dropped\": {}, \"events_lost\": {}, \"evicted\": {}, \
-         \"preseed_hits\": {}, \"preseed_misses\": {}}},",
+         \"preseed_hits\": {}, \"preseed_misses\": {}, \
+         \"sample_admitted\": {}, \"sample_skipped\": {}}},",
         s.events,
         s.accesses,
         s.pruned,
@@ -79,7 +80,9 @@ pub fn report(rep: &Report, decode: &DecodeStats) -> String {
         s.events_lost,
         s.evicted,
         s.preseed_hits,
-        s.preseed_misses
+        s.preseed_misses,
+        s.sample_admitted,
+        s.sample_skipped
     );
 
     o.push_str("  \"failures\": [");
@@ -265,6 +268,8 @@ mod tests {
             "\"degraded\": true",
             "\"preseed_hits\": 0",
             "\"preseed_misses\": 0",
+            "\"sample_admitted\": 0",
+            "\"sample_skipped\": 0",
         ] {
             assert!(a.contains(needle), "missing {needle} in:\n{a}");
         }

@@ -7,6 +7,7 @@
 //!                                       [--plan-with summary.dgas] [--affinity-with summary.dgas]
 //!                                       [--shadow-budget BYTES] [--resync] [--json] [--self-heal]
 //!                                       [--checkpoint-dir D] [--checkpoint-every N|Ns] [--resume D]
+//!                                       [--sample full|loc:K|period:N|adaptive:F]
 //! dgrace stats <trace.dgrt>
 //! dgrace list
 //! ```
@@ -27,8 +28,8 @@ use dgrace_analysis::analyze_with_stats;
 use dgrace_baselines::{HybridDetector, LockSetDetector, SegmentDetector};
 use dgrace_core::{DynamicConfig, DynamicGranularityOn};
 use dgrace_detectors::{
-    Detector, DetectorExt, DjitOn, FastTrackOn, Granularity, OracleDetector, Report,
-    ShardableDetector, StaticPruneFilter,
+    Detector, DetectorExt, DjitOn, FastTrackOn, Granularity, OracleDetector, Report, SampleSpec,
+    Sampled, ShardableDetector, StaticPruneFilter,
 };
 use dgrace_runtime::{
     replay_checkpointed_planned, replay_pipelined_checkpointed_planned, replay_pipelined_planned,
@@ -39,7 +40,7 @@ use dgrace_shadow::{HashSelect, PagedSelect, StoreSelect};
 use dgrace_trace::io::{read_summary, read_trace_with, write_summary, write_trace};
 use dgrace_trace::{
     stats::stats, trace_fingerprint, validate, AffinityMap, AnalysisSummary, DecodeLimits,
-    DecodeStats, LocationClass, PruneSet, ReadOptions, Trace, TraceError,
+    DecodeStats, LocationClass, PruneSet, ReadOptions, RoutingPlan, Trace, TraceError,
 };
 use dgrace_workloads::{Workload, WorkloadKind};
 
@@ -168,7 +169,7 @@ fn print_help() {
          \x20                                 [--checkpoint-every N|Ns] fewer probe epochs),\n\
          \x20                                 [--resume D]             --shadow picks the shadow store,\n\
          \x20                                 [--pipeline]             --shadow-budget caps shadow memory\n\
-         \x20                                                          (cold state is evicted past the cap),\n\
+         \x20                                 [--sample <spec>]        (cold state is evicted past the cap),\n\
          \x20                                                          --resync skips damaged trace frames,\n\
          \x20                                                          --json prints a deterministic report,\n\
          \x20                                                          --pipeline feeds shards through\n\
@@ -178,7 +179,15 @@ fn print_help() {
          \x20                                                          --checkpoint-dir writes durable\n\
          \x20                                                          checkpoints every N events (or Ns\n\
          \x20                                                          seconds), --resume continues an\n\
-         \x20                                                          interrupted run from one\n\
+         \x20                                                          interrupted run from one,\n\
+         \x20                                                          --sample bounds overhead by analyzing\n\
+         \x20                                                          a subset of accesses: full, loc:K\n\
+         \x20                                                          (K per location then decay),\n\
+         \x20                                                          period:N[,window:W] (1-in-N windows),\n\
+         \x20                                                          adaptive:F (budget follows the heat\n\
+         \x20                                                          histogram; needs --plan-with), each\n\
+         \x20                                                          with optional ,seed:S (sync events\n\
+         \x20                                                          are always processed)\n\
          \x20 dgrace compare <detA> <detB> <file> [--shadow hash|paged]  diff two detectors' findings\n\
          \x20 dgrace stats <file>                                      trace statistics\n\
          \x20 dgrace list                                              available workloads & detectors\n\n\
@@ -539,6 +548,22 @@ fn make_shardable(
     })
 }
 
+/// Wraps a shardable prototype in the sampling tier. The adaptive
+/// strategy is fed the AOT heat histogram when `--plan-with` supplied
+/// one, so the admission budget concentrates where sharing churn was
+/// measured.
+fn wrap_sampled_shardable(
+    det: Box<dyn ShardableDetector + Send>,
+    spec: &SampleSpec,
+    plan: Option<&RoutingPlan>,
+) -> Box<dyn ShardableDetector + Send> {
+    let mut sampled = Sampled::new(det, spec.clone());
+    if let Some(p) = plan {
+        sampled.set_heat(p);
+    }
+    Box::new(sampled)
+}
+
 /// Maps a finished report onto the process exit code: success for clean
 /// and budget-degraded runs (the report itself is flagged), `EXIT_PARTIAL`
 /// when some shards were quarantined, and an engine failure when *no*
@@ -604,6 +629,7 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
             "--checkpoint-dir",
             "--checkpoint-every",
             "--resume",
+            "--sample",
         ],
         &["--resync", "--json", "--self-heal", "--pipeline"],
     )?;
@@ -629,6 +655,12 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         return Err("--checkpoint-every needs --checkpoint-dir (or --resume) to write to".into());
     }
 
+    let sample: Option<SampleSpec> = p
+        .opt("--sample")
+        .map(SampleSpec::parse)
+        .transpose()
+        .map_err(Failure::Usage)?;
+
     let (trace, dstats) = load_trace(path, p.flag("--resync"))?;
     let prune = match p.opt("--prune-with") {
         Some(sp) => compile_prune(det_name, &load_summary(sp, &trace)?)?,
@@ -636,11 +668,18 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
     };
     // The routing plan balances the summary's heat histogram across the
     // requested shard count; with one shard (and no pipeline) it
-    // compiles to nothing and detection proceeds unplanned.
-    let routes: Vec<(u64, u64, usize)> = match p.opt("--plan-with") {
-        Some(sp) => load_summary(sp, &trace)?.plan.compile(shards.max(1)),
-        None => Vec::new(),
+    // compiles to nothing and detection proceeds unplanned. The raw
+    // histogram is kept around: `--sample adaptive:F` re-weights its
+    // admission budget from the same heat data.
+    let plan_summary: Option<AnalysisSummary> = match p.opt("--plan-with") {
+        Some(sp) => Some(load_summary(sp, &trace)?),
+        None => None,
     };
+    let routes: Vec<(u64, u64, usize)> = plan_summary
+        .as_ref()
+        .map(|s| s.plan.compile(shards.max(1)))
+        .unwrap_or_default();
+    let heat: Option<&RoutingPlan> = plan_summary.as_ref().map(|s| &s.plan);
     let affinity: Option<Arc<AffinityMap>> = match p.opt("--affinity-with") {
         Some(sp) => Some(compile_affinity(det_name, &load_summary(sp, &trace)?)?),
         None => None,
@@ -656,6 +695,10 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         if let Some(map) = &affinity {
             proto.set_affinity(Arc::clone(map));
         }
+        let proto = match &sample {
+            Some(spec) => wrap_sampled_shardable(proto, spec, heat),
+            None => proto,
+        };
         let resume = match &resume_dir {
             Some(d) => {
                 let file = d.join(CHECKPOINT_FILE);
@@ -703,6 +746,10 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         if let Some(map) = &affinity {
             proto.set_affinity(Arc::clone(map));
         }
+        let proto = match &sample {
+            Some(spec) => wrap_sampled_shardable(proto, spec, heat),
+            None => proto,
+        };
         if pipeline {
             replay_pipelined_planned(proto.as_ref(), &trace, shards.max(1), prune, &routes)
         } else {
@@ -714,6 +761,20 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         if let Some(map) = &affinity {
             det.set_affinity(Arc::clone(map));
         }
+        // Prune stays *outside* the sampler (same ordering as the sharded
+        // engines, which prune upstream of the shards): pruned accesses
+        // never reach the sampler, so its budget is spent on the
+        // residue that actually needs analysis.
+        let mut det: Box<dyn Detector> = match &sample {
+            Some(spec) => {
+                let mut s = Sampled::new(det, spec.clone());
+                if let Some(plan) = heat {
+                    s.set_heat(plan);
+                }
+                Box::new(s)
+            }
+            None => det,
+        };
         if prune.is_empty() {
             det.run(&trace)
         } else {

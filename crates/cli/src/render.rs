@@ -31,6 +31,14 @@ pub fn report(rep: &Report, trace: &Trace, secs: f64, max_races: usize) {
             s.pruned + s.accesses
         );
     }
+    if s.sample_admitted + s.sample_skipped > 0 {
+        println!(
+            "sampled       : {} of {} accesses analyzed ({:.1}% admitted)",
+            s.sample_admitted,
+            s.sample_admitted + s.sample_skipped,
+            s.sample_admitted as f64 / (s.sample_admitted + s.sample_skipped).max(1) as f64 * 100.0
+        );
+    }
     println!(
         "shadow peak   : {:.1} KiB (hash {:.1}, clocks {:.1}, bitmaps {:.1})",
         s.peak_total_bytes as f64 / 1024.0,

@@ -56,6 +56,16 @@ pub struct DynamicGranularityOn<K: StoreSelect> {
 /// The default detector: dynamic granularity on the chained-hash store.
 pub type DynamicGranularity = DynamicGranularityOn<HashSelect>;
 
+/// Minimum verification misses before the pre-seed bailout can trigger
+/// (see [`DynamicGranularityOn::preseed_bailed`]). Small maps get a fair
+/// shake; a handful of early misses never disables a good map.
+pub const PRESEED_BAILOUT_MISSES: u64 = 64;
+
+/// Miss-rate threshold for the bailout as `(numerator, denominator)`:
+/// once [`PRESEED_BAILOUT_MISSES`] is reached, the map is abandoned when
+/// misses account for at least 3/4 of all verifications so far.
+pub const PRESEED_BAILOUT_RATE: (u64, u64) = (3, 4);
+
 impl<K: StoreSelect> Default for DynamicGranularityOn<K> {
     fn default() -> Self {
         Self::new()
@@ -114,17 +124,38 @@ impl<K: StoreSelect> DynamicGranularityOn<K> {
 
     /// Certification check through the locality memo (see
     /// [`AffinityMap::certified_hinted`]); updates the memo on a hit.
+    /// Once the map has [bailed](Self::preseed_bailed) every check
+    /// answers `false` without consulting the map — the seeded probe
+    /// paths disappear and the counters freeze at the bailout point.
     fn affinity_certified(&mut self, addr: Addr, size: u64) -> bool {
         match self
             .affinity
             .certified_hinted(addr, size, self.affinity_hint)
         {
-            Some(i) => {
+            // The bailout latch is checked only on a hit: a miss is
+            // `false` either way, and cold runs (empty map) never pay
+            // for the check.
+            Some(i) if !self.preseed_bailed() => {
                 self.affinity_hint = i;
                 true
             }
-            None => false,
+            _ => false,
         }
+    }
+
+    /// Whether the pre-seed verification counters have crossed the
+    /// bailout threshold: at least [`PRESEED_BAILOUT_MISSES`] misses
+    /// *and* a miss rate of [`PRESEED_BAILOUT_RATE`] or worse. A map
+    /// that mispredicts this consistently costs a wasted verification
+    /// probe on nearly every write (canneal-style workloads lose ~8%),
+    /// so the detector stops consulting it. Pure function of the two
+    /// serialized counters — a resumed run is bailed exactly when the
+    /// interrupted one was, and every prediction actually taken was
+    /// verified, so the race set is byte-identical either way.
+    pub fn preseed_bailed(&self) -> bool {
+        let (num, den) = PRESEED_BAILOUT_RATE;
+        self.preseed_misses >= PRESEED_BAILOUT_MISSES
+            && self.preseed_misses * den >= (self.preseed_hits + self.preseed_misses) * num
     }
 
     /// The installed affinity map (empty when unseeded).
@@ -1126,6 +1157,61 @@ mod tests {
             unseeded.stats.sharing.as_ref().unwrap(),
         );
         assert_eq!((ss.shares, ss.splits), (us.shares, us.splits));
+    }
+
+    #[test]
+    fn preseed_bailout_freezes_counters_and_preserves_races() {
+        // A map whose certified stride (4) the program never populates
+        // (writes land 8 bytes apart): every seeded probe misses. After
+        // PRESEED_BAILOUT_MISSES consecutive misses the detector stops
+        // consulting the map, so the counters freeze *exactly* at the
+        // threshold even though hundreds more mispredictable writes
+        // follow — and the race set stays byte-identical to unseeded.
+        let n = 4 * PRESEED_BAILOUT_MISSES;
+        let mut b = TraceBuilder::new();
+        for i in 0..n {
+            b.write(0u32, X + 8 * i, AccessSize::U32);
+        }
+        // A race planted after the bailout has latched, inside the
+        // certified range: the bailed detector must still catch it.
+        let racy = X + 8 * n;
+        b.fork(0u32, 1u32)
+            .write(0u32, racy, AccessSize::U32)
+            .write(1u32, racy, AccessSize::U32)
+            .join(0u32, 1u32);
+        let t = b.build();
+        let map = Arc::new(AffinityMap {
+            ranges: vec![dgrace_trace::AffinityRange {
+                start: Addr(X),
+                len: 8 * n + 64,
+                stride: 4,
+            }],
+        });
+        let mut det = DynamicGranularity::new();
+        det.set_affinity(map);
+        assert!(!det.preseed_bailed(), "fresh detector has not bailed");
+        let seeded = det.run(&t);
+        let unseeded = DynamicGranularity::new().run(&t);
+        assert_eq!(seeded.races, unseeded.races);
+        assert_eq!(seeded.races.len(), 1, "the planted race is caught");
+        assert_eq!(seeded.stats.preseed_hits, 0);
+        assert_eq!(
+            seeded.stats.preseed_misses, PRESEED_BAILOUT_MISSES,
+            "misses freeze exactly at the bailout threshold"
+        );
+    }
+
+    #[test]
+    fn preseed_bailout_needs_both_volume_and_rate() {
+        // Below the minimum miss count the bailout never fires, however
+        // bad the rate; above it, a healthy hit rate keeps the map live.
+        let mut det = DynamicGranularity::new();
+        det.preseed_misses = PRESEED_BAILOUT_MISSES - 1;
+        assert!(!det.preseed_bailed(), "volume floor not reached");
+        det.preseed_misses = PRESEED_BAILOUT_MISSES;
+        assert!(det.preseed_bailed(), "all-miss past the floor bails");
+        det.preseed_hits = PRESEED_BAILOUT_MISSES; // rate drops to 1/2
+        assert!(!det.preseed_bailed(), "hits keep a useful map alive");
     }
 
     #[test]

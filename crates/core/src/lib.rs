@@ -51,6 +51,8 @@ mod plane;
 mod state;
 
 pub use config::DynamicConfig;
-pub use detector::{DynamicGranularity, DynamicGranularityOn};
+pub use detector::{
+    DynamicGranularity, DynamicGranularityOn, PRESEED_BAILOUT_MISSES, PRESEED_BAILOUT_RATE,
+};
 pub use plane::{GroupSnapshot, Plane, PlaneOn};
 pub use state::VcState;

@@ -25,10 +25,43 @@
 
 use std::sync::Arc;
 
-use dgrace_trace::{Addr, AffinityMap, Event, PruneSet};
+use dgrace_trace::{
+    Addr, AffinityMap, Event, PruneSet, SnapshotLimits, SnapshotReader, SnapshotWriter,
+};
 
 use crate::shard::sort_races;
 use crate::{Detector, Report};
+
+/// Magic prefix for the filter wrappers' snapshot envelope (mid-run
+/// counter + inner detector blob).
+const FILTER_MAGIC: [u8; 4] = *b"DGWF";
+const FILTER_VERSION: u32 = 1;
+
+/// Wraps one mid-run counter plus the inner detector's snapshot, so a
+/// filtered/pruned run checkpoints and resumes byte-identically.
+fn wrap_snapshot(counter: u64, inner: Option<Vec<u8>>) -> Option<Vec<u8>> {
+    let inner = inner?;
+    let mut w = SnapshotWriter::new(FILTER_MAGIC, FILTER_VERSION);
+    w.u64(counter);
+    w.blob(&inner);
+    Some(w.finish())
+}
+
+/// Inverse of [`wrap_snapshot`]: returns `(counter, inner_bytes)`.
+fn unwrap_snapshot(bytes: &[u8]) -> Result<(u64, Vec<u8>), String> {
+    let mut r = SnapshotReader::new(
+        bytes,
+        FILTER_MAGIC,
+        FILTER_VERSION,
+        SnapshotLimits::default(),
+    )
+    .map_err(|e| format!("filter snapshot: {e}"))?;
+    let counter = r.u64().map_err(|e| format!("filter snapshot: {e}"))?;
+    let inner = r.blob().map_err(|e| format!("filter snapshot: {e}"))?;
+    r.expect_end()
+        .map_err(|e| format!("filter snapshot: {e}"))?;
+    Ok((counter, inner))
+}
 
 /// A set of half-open address ranges `[start, end)`.
 #[derive(Clone, Debug, Default)]
@@ -165,6 +198,17 @@ impl<D: Detector> Detector for FilteredDetector<D> {
     fn set_affinity(&mut self, map: Arc<AffinityMap>) {
         self.inner.set_affinity(map);
     }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        wrap_snapshot(self.skipped, self.inner.snapshot())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let (skipped, inner) = unwrap_snapshot(bytes)?;
+        self.inner.restore(&inner)?;
+        self.skipped = skipped;
+        Ok(())
+    }
 }
 
 /// Drops accesses a static analysis proved race-free before they reach
@@ -231,6 +275,17 @@ impl<D: Detector> Detector for StaticPruneFilter<D> {
 
     fn set_affinity(&mut self, map: Arc<AffinityMap>) {
         self.inner.set_affinity(map);
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        wrap_snapshot(self.pruned, self.inner.snapshot())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let (pruned, inner) = unwrap_snapshot(bytes)?;
+        self.inner.restore(&inner)?;
+        self.pruned = pruned;
+        Ok(())
     }
 }
 

@@ -17,7 +17,11 @@
 //! * [`OracleDetector`] — an exact, history-keeping first-race oracle used
 //!   as ground truth in tests (quadratic memory; not for production);
 //! * [`NopDetector`] — consumes events and does nothing; the "base time"
-//!   measurement of the slowdown tables.
+//!   measurement of the slowdown tables;
+//! * [`Sampled`] — the always-on sampling tier: wraps any detector with
+//!   per-location budgets (`loc:K`), periodic windows (`period:N`), or
+//!   heat-adaptive admission (`adaptive:F`), trading recall for bounded
+//!   overhead while keeping every decision deterministic and resumable.
 
 //! ```
 //! use dgrace_detectors::{DetectorExt, FastTrack, OracleDetector};
@@ -46,6 +50,7 @@ mod nop;
 mod oracle;
 mod recorder;
 mod report;
+mod sample;
 mod shard;
 pub mod snap;
 mod tee;
@@ -61,6 +66,10 @@ pub use oracle::OracleDetector;
 pub use recorder::Recorder;
 pub use report::{
     AccessKind, DetectorStats, RaceKind, RaceReport, Report, ShardFailure, SharingStats,
+};
+pub use sample::{
+    SampleSpec, SampleStrategy, Sampled, Sampler, DEFAULT_WINDOW, LOC_GRANULE, SAMPLE_MAGIC,
+    SAMPLE_VERSION,
 };
 pub use shard::{merge_shard_reports, race_signature, sort_races, ShardableDetector};
 pub use tee::Tee;

@@ -184,6 +184,13 @@ pub struct DetectorStats {
     /// Pre-seed predictions that failed live verification and fell back
     /// to the unseeded probe path.
     pub preseed_misses: u64,
+    /// Accesses the sampling tier admitted to the wrapped detector
+    /// (0 when the run is unsampled; equals `accesses` at 100% budget).
+    pub sample_admitted: u64,
+    /// Accesses the sampling tier skipped without analysis. Like
+    /// `pruned`, skipped accesses still count in `events` — the trace
+    /// had `accesses + pruned + sample_skipped` access events.
+    pub sample_skipped: u64,
     /// Dynamic-granularity sharing statistics, if applicable.
     pub sharing: Option<SharingStats>,
 }

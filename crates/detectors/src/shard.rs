@@ -29,6 +29,39 @@ pub trait ShardableDetector: Detector {
     fn new_shard(&self) -> Box<dyn Detector + Send>;
 }
 
+/// Forwarding impls so a boxed shardable prototype can itself be
+/// wrapped (e.g. by [`crate::Sampled`]) and passed wherever a concrete
+/// [`ShardableDetector`] is expected.
+impl Detector for Box<dyn ShardableDetector + Send> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn on_event(&mut self, ev: &dgrace_trace::Event) {
+        (**self).on_event(ev)
+    }
+    fn finish(&mut self) -> Report {
+        (**self).finish()
+    }
+    fn set_shadow_budget(&mut self, bytes: Option<u64>) {
+        (**self).set_shadow_budget(bytes)
+    }
+    fn set_affinity(&mut self, map: std::sync::Arc<dgrace_trace::AffinityMap>) {
+        (**self).set_affinity(map)
+    }
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        (**self).snapshot()
+    }
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        (**self).restore(bytes)
+    }
+}
+
+impl ShardableDetector for Box<dyn ShardableDetector + Send> {
+    fn new_shard(&self) -> Box<dyn Detector + Send> {
+        (**self).new_shard()
+    }
+}
+
 /// Total order on race kinds used for the stable merged ordering.
 fn kind_rank(kind: RaceKind) -> u8 {
     match kind {
@@ -100,6 +133,8 @@ pub fn merge_shard_reports(reports: Vec<Report>) -> Report {
         s.evicted += o.evicted;
         s.preseed_hits += o.preseed_hits;
         s.preseed_misses += o.preseed_misses;
+        s.sample_admitted += o.sample_admitted;
+        s.sample_skipped += o.sample_skipped;
         s.sharing = match (s.sharing.take(), o.sharing) {
             (None, None) => None,
             (Some(a), None) | (None, Some(a)) => Some(a),

@@ -6,9 +6,13 @@
 
 use std::sync::Arc;
 
-use dgrace_trace::{AffinityMap, Event};
+use dgrace_trace::{AffinityMap, Event, SnapshotLimits, SnapshotReader, SnapshotWriter};
 
 use crate::{Detector, Report};
+
+/// Magic prefix for the tee's snapshot envelope (both sides' blobs).
+const TEE_MAGIC: [u8; 4] = *b"DGWT";
+const TEE_VERSION: u32 = 1;
 
 /// Feeds every event to both `a` and `b`. [`Detector::finish`] returns
 /// `b`'s report (the "primary" analysis); access `a` through
@@ -73,6 +77,24 @@ impl<A: Detector, B: Detector> Detector for Tee<A, B> {
     fn set_affinity(&mut self, map: Arc<AffinityMap>) {
         self.a.set_affinity(Arc::clone(&map));
         self.b.set_affinity(map);
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        let (a, b) = (self.a.snapshot()?, self.b.snapshot()?);
+        let mut w = SnapshotWriter::new(TEE_MAGIC, TEE_VERSION);
+        w.blob(&a);
+        w.blob(&b);
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = SnapshotReader::new(bytes, TEE_MAGIC, TEE_VERSION, SnapshotLimits::default())
+            .map_err(|e| format!("tee snapshot: {e}"))?;
+        let a = r.blob().map_err(|e| format!("tee snapshot: {e}"))?;
+        let b = r.blob().map_err(|e| format!("tee snapshot: {e}"))?;
+        r.expect_end().map_err(|e| format!("tee snapshot: {e}"))?;
+        self.a.restore(&a)?;
+        self.b.restore(&b)
     }
 }
 
