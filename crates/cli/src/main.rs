@@ -8,6 +8,11 @@
 //!                                       [--shadow-budget BYTES] [--resync] [--json] [--self-heal]
 //!                                       [--checkpoint-dir D] [--checkpoint-every N|Ns] [--resume D]
 //!                                       [--sample full|loc:K|period:N|adaptive:F]
+//! dgrace serve <socket> [--shards N] [--max-sessions N] [--degrade-sessions N]
+//!                       [--degrade-sample SPEC|off] [--idle-timeout SECS]
+//!                       [--checkpoint-dir D] [--checkpoint-every N] [--resume]
+//!                       [--shadow-budget BYTES] [--credits N]
+//! dgrace feed <detector> <trace.dgrt> <socket> [--session NAME] [--json]
 //! dgrace stats <trace.dgrt>
 //! dgrace list
 //! ```
@@ -16,7 +21,9 @@
 //! troubleshooting table): 0 success (possibly with a flagged degraded
 //! report), 2 usage, 3 file i/o, 4 trace decode, 5 trace validation,
 //! 6 all detector shards failed, 7 partial report (some shards failed),
-//! 8 stale analysis summary (built from a different trace).
+//! 8 stale analysis summary (built from a different trace), 9 interrupted
+//! by SIGINT/SIGTERM (partial report; final checkpoint written when
+//! checkpointing is configured).
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -36,6 +43,7 @@ use dgrace_runtime::{
     replay_sharded_planned, CheckpointInterval, CheckpointManifest, CheckpointOptions, ReplayError,
     SupervisorPolicy, CHECKPOINT_FILE,
 };
+use dgrace_server::{Client, ClientError, Server, ServerConfig};
 use dgrace_shadow::{HashSelect, PagedSelect, StoreSelect};
 use dgrace_trace::io::{read_summary, read_trace_with, write_summary, write_trace};
 use dgrace_trace::{
@@ -47,6 +55,7 @@ use dgrace_workloads::{Workload, WorkloadKind};
 mod args;
 mod json;
 mod render;
+mod signals;
 
 use args::Parsed;
 
@@ -111,6 +120,11 @@ impl From<&str> for Failure {
 /// printed races cover only the survivors.
 const EXIT_PARTIAL: u8 = 7;
 
+/// Exit code for a run wound down by SIGINT/SIGTERM: the report covers
+/// the prefix processed so far, and (when checkpointing is configured) a
+/// final checkpoint makes the run resumable.
+const EXIT_INTERRUPTED: u8 = 9;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
@@ -134,6 +148,8 @@ fn run(argv: &[String]) -> Result<ExitCode, Failure> {
         "gen" => cmd_gen(rest),
         "analyze" => cmd_analyze(rest),
         "detect" => return cmd_detect(rest),
+        "serve" => cmd_serve(rest),
+        "feed" => cmd_feed(rest),
         "compare" => cmd_compare(rest),
         "stats" => cmd_stats(rest),
         "list" => {
@@ -188,6 +204,18 @@ fn print_help() {
          \x20                                                          histogram; needs --plan-with), each\n\
          \x20                                                          with optional ,seed:S (sync events\n\
          \x20                                                          are always processed)\n\
+         \x20 dgrace serve <socket> [--shards N]                        run the live ingestion server on a\n\
+         \x20                       [--max-sessions N]                  Unix socket: hard admission watermark\n\
+         \x20                       [--degrade-sessions N]              (shed with OVERLOADED past it), soft\n\
+         \x20                       [--degrade-sample SPEC|off]         watermark (new sessions run sampled),\n\
+         \x20                       [--idle-timeout SECS]               idle/slowloris quarantine deadline,\n\
+         \x20                       [--checkpoint-dir D]                per-session durable checkpoints,\n\
+         \x20                       [--checkpoint-every N] [--resume]   --resume reconstructs sessions after\n\
+         \x20                       [--shadow-budget BYTES]             a crash; SIGINT/SIGTERM stop\n\
+         \x20                       [--credits N]                       gracefully (final checkpoints)\n\
+         \x20 dgrace feed <detector> <file> <socket> [--session NAME]   stream a trace into a running server\n\
+         \x20                                 [--json] [--resync]       (races stream back live; reconnecting\n\
+         \x20                                                          with the same --session resumes)\n\
          \x20 dgrace compare <detA> <detB> <file> [--shadow hash|paged]  diff two detectors' findings\n\
          \x20 dgrace stats <file>                                      trace statistics\n\
          \x20 dgrace list                                              available workloads & detectors\n\n\
@@ -686,7 +714,8 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
     };
 
     let start = std::time::Instant::now();
-    let report = if ckpt_dir.is_some() || resume_dir.is_some() || self_heal {
+    let ckpt_some = ckpt_dir.is_some() || resume_dir.is_some();
+    let report = if ckpt_some || self_heal {
         // The checkpointing engine path: sharded replay (1 shard is fine)
         // with periodic durable snapshots, crash resume, and optionally a
         // self-healing supervisor.
@@ -722,6 +751,10 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
             every: every.unwrap_or(CheckpointInterval::Events(65536)),
         });
         let policy = self_heal.then(SupervisorPolicy::default);
+        // Graceful interruption: SIGINT/SIGTERM flip a flag the replay
+        // loop polls, so the run winds down with a final checkpoint and
+        // a partial report (exit 9) instead of dying mid-trace.
+        let stop = signals::install_stop_flag();
         let run = if pipeline {
             replay_pipelined_checkpointed_planned
         } else {
@@ -736,6 +769,7 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
             ckpt.as_ref(),
             resume.as_ref(),
             &routes,
+            Some(stop),
         )
         .map_err(replay_failure)?
     } else if shards > 1 || pipeline {
@@ -796,7 +830,187 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         }
         render::report(&report, &trace, secs, max_races);
     }
+    if signals::stop_requested() && report.stats.events < trace.len() as u64 {
+        eprintln!(
+            "dgrace: interrupted; report covers {} of {} events{}",
+            report.stats.events,
+            trace.len(),
+            if ckpt_some {
+                " (final checkpoint written; rerun with --resume to continue)"
+            } else {
+                ""
+            }
+        );
+        return Ok(ExitCode::from(EXIT_INTERRUPTED));
+    }
     detect_exit(&report, shards.max(1))
+}
+
+/// Maps a `dgrace feed` client failure onto the stable exit-code
+/// classes: transport trouble is i/o (3), a server that breaks protocol
+/// is a decode failure (4), a refusal/quarantine is validation (5), and
+/// an admission shed is an engine failure (6) — no report exists and
+/// retrying later is the remedy.
+fn client_failure(e: ClientError) -> Failure {
+    match e {
+        ClientError::Io(m) => Failure::Io(m),
+        ClientError::Protocol(m) => Failure::Decode(format!("server protocol violation: {m}")),
+        ClientError::Refused(m) => Failure::Invalid(format!("refused by server: {m}")),
+        ClientError::Overloaded => {
+            Failure::Engine("server overloaded (connection shed); retry later".to_string())
+        }
+    }
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), Failure> {
+    let p = Parsed::parse_with_flags(
+        rest,
+        &[
+            "--shards",
+            "--max-sessions",
+            "--degrade-sessions",
+            "--degrade-sample",
+            "--idle-timeout",
+            "--checkpoint-dir",
+            "--checkpoint-every",
+            "--shadow-budget",
+            "--credits",
+        ],
+        &["--resume"],
+    )?;
+    let socket = p.positional(0).ok_or("serve: missing socket path")?;
+    let mut cfg = ServerConfig::new(socket);
+    if let Some(n) = p.opt_parse("--shards")? {
+        cfg.shards_per_session = n;
+    }
+    if let Some(n) = p.opt_parse("--max-sessions")? {
+        cfg.max_sessions = n;
+    }
+    if let Some(n) = p.opt_parse("--degrade-sessions")? {
+        cfg.degrade_sessions = n;
+    }
+    if let Some(spec) = p.opt("--degrade-sample") {
+        cfg.degrade_sample = match spec {
+            "off" => None,
+            s => Some(SampleSpec::parse(s).map_err(Failure::Usage)?),
+        };
+    }
+    if let Some(secs) = p.opt_parse::<u64>("--idle-timeout")? {
+        if secs == 0 {
+            return Err("--idle-timeout must be positive".into());
+        }
+        cfg.idle_timeout = std::time::Duration::from_secs(secs);
+    }
+    cfg.checkpoint_dir = p.opt("--checkpoint-dir").map(PathBuf::from);
+    if let Some(n) = p.opt_parse("--checkpoint-every")? {
+        if n == 0 {
+            return Err("--checkpoint-every must be positive".into());
+        }
+        cfg.checkpoint_every = n;
+    }
+    cfg.shadow_budget = p.opt_parse("--shadow-budget")?;
+    if cfg.shadow_budget == Some(0) {
+        return Err("--shadow-budget must be positive (omit it for no cap)".into());
+    }
+    if let Some(n) = p.opt_parse("--credits")? {
+        if n == 0 {
+            return Err("--credits must be positive".into());
+        }
+        cfg.credits = n;
+    }
+    cfg.resume = p.flag("--resume");
+    if cfg.resume && cfg.checkpoint_dir.is_none() {
+        return Err("serve: --resume needs --checkpoint-dir to read manifests from".into());
+    }
+
+    // SIGINT/SIGTERM stop the accept loop; every live session winds
+    // down with a final checkpoint (when durability is on) so a
+    // restarted `serve --resume` reconstructs it. A graceful stop is the
+    // server's normal lifecycle, so it exits 0.
+    let stop = signals::install_stop_flag();
+    let server = Server::bind(cfg).map_err(|e| Failure::Io(format!("bind {socket}: {e}")))?;
+    eprintln!("dgrace serve: listening on {socket} (SIGINT/SIGTERM to stop gracefully)");
+    let stats = server
+        .run(Some(stop))
+        .map_err(|e| Failure::Io(format!("serve: {e}")))?;
+    println!(
+        "served        : {} session(s) finished, {} suspended, {} resumed",
+        stats.finished, stats.suspended, stats.resumed
+    );
+    println!(
+        "degradation   : {} degraded to sampling, {} shed at admission",
+        stats.degraded, stats.shed
+    );
+    println!(
+        "faults        : {} session(s) quarantined, {} event(s) lost (exact)",
+        stats.quarantined, stats.events_lost
+    );
+    println!(
+        "throughput    : {} event(s) analyzed, {} race(s) streamed, {} checkpoint(s)",
+        stats.events, stats.races_streamed, stats.checkpoints
+    );
+    Ok(())
+}
+
+fn cmd_feed(rest: &[String]) -> Result<(), Failure> {
+    let p = Parsed::parse_with_flags(rest, &["--session"], &["--json", "--resync"])?;
+    let det_name = p.positional(0).ok_or("feed: missing detector name")?;
+    let path = p.positional(1).ok_or("feed: missing trace file")?;
+    let socket = p.positional(2).ok_or("feed: missing server socket path")?;
+    let (trace, _) = load_trace(path, p.flag("--resync"))?;
+
+    // The session name is the durable resume identity; default to the
+    // trace's file stem so re-feeding the same file resumes it.
+    let session = match p.opt("--session") {
+        Some(s) => s.to_string(),
+        None => std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "feed".to_string())
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect(),
+    };
+
+    let mut client = Client::connect(std::path::Path::new(socket), &session, det_name)
+        .map_err(client_failure)?;
+    let skip = client.start_offset();
+    if skip > trace.len() as u64 {
+        return Err(Failure::Invalid(format!(
+            "server already covers {skip} events for session `{session}`, but {path} has only \
+             {} — wrong trace for this session?",
+            trace.len()
+        )));
+    }
+    if skip > 0 {
+        eprintln!("dgrace feed: resuming session `{session}`: server covers {skip} events");
+    }
+    if client.degraded() {
+        eprintln!(
+            "dgrace feed: warning: session admitted on the sampling tier (server under load); \
+             recall may drop, every reported race is still real"
+        );
+    }
+    client
+        .send_events(&trace.events[skip as usize..])
+        .map_err(client_failure)?;
+    let end = client.finish().map_err(client_failure)?;
+    if p.flag("--json") {
+        println!("{}", end.report_json);
+    } else {
+        println!(
+            "session `{session}`: {} race(s) streamed live; final report:",
+            end.races.len()
+        );
+        println!("{}", end.report_json);
+    }
+    Ok(())
 }
 
 fn cmd_compare(rest: &[String]) -> Result<(), Failure> {

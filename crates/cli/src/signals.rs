@@ -1,0 +1,53 @@
+//! Graceful-shutdown plumbing: SIGINT/SIGTERM set a process-wide stop
+//! flag instead of killing the process outright.
+//!
+//! The replay engines and the ingestion server poll the flag at their
+//! event-loop boundaries and wind down cleanly: a final checkpoint is
+//! written (when checkpointing is configured) and the partial report is
+//! rendered, so an interrupted run is resumable instead of lost. A
+//! *second* signal falls back to the default disposition — the handler
+//! re-arms SIG_DFL after firing — so a stuck shutdown can still be
+//! killed interactively.
+//!
+//! This is the one spot in the workspace that needs `unsafe`: every lib
+//! crate carries `#![forbid(unsafe_code)]`, so the two-line libc
+//! `signal(2)` registration lives here in the binary. The handler body
+//! is a single relaxed atomic store, which is async-signal-safe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+/// `SIG_DFL` — the default disposition, restored after the first signal.
+const SIG_DFL: usize = 0;
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn mark_stop(sig: i32) {
+    STOP.store(true, Ordering::Relaxed);
+    // One graceful chance: the next ^C kills the process the normal way.
+    unsafe {
+        signal(sig, SIG_DFL);
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handlers and returns the stop flag they
+/// set. Idempotent; safe to call once per command that supports graceful
+/// interruption.
+pub fn install_stop_flag() -> &'static AtomicBool {
+    unsafe {
+        signal(SIGINT, mark_stop as extern "C" fn(i32) as usize);
+        signal(SIGTERM, mark_stop as extern "C" fn(i32) as usize);
+    }
+    &STOP
+}
+
+/// Whether a graceful-stop signal has been received.
+pub fn stop_requested() -> bool {
+    STOP.load(Ordering::Relaxed)
+}

@@ -63,6 +63,17 @@ pub trait Detector: std::any::Any {
         let _ = bytes;
         Err(format!("{}: snapshot/restore not supported", self.name()))
     }
+
+    /// The races reported *so far*, without consuming them: a live view of
+    /// the accumulator that [`Detector::finish`] will eventually drain.
+    /// Incremental consumers (the ingestion server streaming races back to
+    /// clients mid-run) read a watermark suffix of this slice; because
+    /// nothing is removed, snapshots and the final report stay
+    /// byte-identical to a run that never peeked. The default (for
+    /// detectors without an accumulator) is an empty slice.
+    fn races_so_far(&self) -> &[crate::RaceReport] {
+        &[]
+    }
 }
 
 impl Detector for Box<dyn Detector> {
@@ -87,6 +98,9 @@ impl Detector for Box<dyn Detector> {
     fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
         (**self).restore(bytes)
     }
+    fn races_so_far(&self) -> &[crate::RaceReport] {
+        (**self).races_so_far()
+    }
 }
 
 impl Detector for Box<dyn Detector + Send> {
@@ -110,6 +124,9 @@ impl Detector for Box<dyn Detector + Send> {
     }
     fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
         (**self).restore(bytes)
+    }
+    fn races_so_far(&self) -> &[crate::RaceReport] {
+        (**self).races_so_far()
     }
 }
 

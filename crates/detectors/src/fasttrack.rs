@@ -319,6 +319,10 @@ impl<K: StoreSelect> Detector for FastTrackOn<K> {
         Some(w.finish())
     }
 
+    fn races_so_far(&self) -> &[RaceReport] {
+        &self.races
+    }
+
     fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
         let name = self.name();
         let fail = |e: TraceError| format!("{name}: corrupt snapshot: {e}");

@@ -209,6 +209,13 @@ impl<D: Detector> Detector for FilteredDetector<D> {
         self.skipped = skipped;
         Ok(())
     }
+
+    // Live view: suppressed addresses are filtered only at finish(), so
+    // mid-run consumers may see races finish() will drop; callers that
+    // need the filtered set must use the final report.
+    fn races_so_far(&self) -> &[crate::RaceReport] {
+        self.inner.races_so_far()
+    }
 }
 
 /// Drops accesses a static analysis proved race-free before they reach
@@ -286,6 +293,10 @@ impl<D: Detector> Detector for StaticPruneFilter<D> {
         self.inner.restore(&inner)?;
         self.pruned = pruned;
         Ok(())
+    }
+
+    fn races_so_far(&self) -> &[crate::RaceReport] {
+        self.inner.races_so_far()
     }
 }
 

@@ -687,6 +687,10 @@ impl<D: Detector> Detector for Sampled<D> {
             .map_err(|e| format!("sampler snapshot: {e}"))?;
         self.inner.restore(&inner)
     }
+
+    fn races_so_far(&self) -> &[crate::RaceReport] {
+        self.inner.races_so_far()
+    }
 }
 
 impl<D: ShardableDetector> ShardableDetector for Sampled<D> {

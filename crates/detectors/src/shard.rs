@@ -54,6 +54,9 @@ impl Detector for Box<dyn ShardableDetector + Send> {
     fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
         (**self).restore(bytes)
     }
+    fn races_so_far(&self) -> &[RaceReport] {
+        (**self).races_so_far()
+    }
 }
 
 impl ShardableDetector for Box<dyn ShardableDetector + Send> {

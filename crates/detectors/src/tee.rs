@@ -96,6 +96,12 @@ impl<A: Detector, B: Detector> Detector for Tee<A, B> {
         self.a.restore(&a)?;
         self.b.restore(&b)
     }
+
+    fn races_so_far(&self) -> &[crate::RaceReport] {
+        // The primary (`b`) is the reported detector; its accumulator is
+        // the live view.
+        self.b.races_so_far()
+    }
 }
 
 #[cfg(test)]

@@ -1040,6 +1040,32 @@ impl Engine {
         }
     }
 
+    /// Reads each healthy shard's live race accumulator past its
+    /// watermark, returning the new races and advancing the watermarks.
+    /// Purely observational: the accumulators are not drained, so
+    /// `finish` and `capture` are unaffected. `watermarks` is resized to
+    /// the shard count on first use.
+    pub(crate) fn new_races(
+        &self,
+        watermarks: &mut Vec<usize>,
+    ) -> Vec<dgrace_detectors::RaceReport> {
+        watermarks.resize(self.shards.len(), 0);
+        let mut out = Vec::new();
+        for (st, mark) in self.shards.iter().zip(watermarks.iter_mut()) {
+            let st = st.lock();
+            let Some(det) = st.det.as_ref() else { continue };
+            let races = det.races_so_far();
+            if races.len() > *mark {
+                out.extend_from_slice(&races[*mark..]);
+                *mark = races.len();
+            } else {
+                // finish()/restore reset the accumulator; resynchronize.
+                *mark = races.len();
+            }
+        }
+        out
+    }
+
     /// Captures the engine's complete state: per-shard detector
     /// snapshots (refreshing each shard's in-memory checkpoint so later
     /// delta replays start here), the router, and the counters.

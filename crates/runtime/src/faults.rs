@@ -105,6 +105,10 @@ impl<D: Detector> Detector for PanicOnEvent<D> {
     fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
         self.inner.restore(bytes)
     }
+
+    fn races_so_far(&self) -> &[dgrace_detectors::RaceReport] {
+        self.inner.races_so_far()
+    }
 }
 
 impl<D: ShardableDetector> ShardableDetector for PanicOnEvent<D> {

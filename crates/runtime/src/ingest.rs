@@ -1,0 +1,305 @@
+//! Live ingestion sessions: the engine wrapper behind `dgrace serve`.
+//!
+//! Offline replay walks a complete [`dgrace_trace::Trace`]; a server
+//! session receives its events incrementally from a socket and must
+//! interleave feeding with race streaming, checkpointing, and an
+//! eventual finalize — without ever holding the whole stream in memory.
+//! [`IngestSession`] packages the sharded [`Engine`](crate::engine) for
+//! that shape:
+//!
+//! * **Funnel-exact feeding.** Events are fed with the same ordering
+//!   rules as [`crate::replay_sharded`]: accesses batch into a pending
+//!   buffer, sync events flush the batch and broadcast, `Alloc` events
+//!   register their range with the router first. A live session that
+//!   feeds the same event sequence as an offline replay produces a
+//!   byte-identical report. The pending batch is additionally capped at
+//!   [`INGEST_BATCH`] events so a sync-free stream cannot grow it
+//!   unboundedly.
+//! * **Incremental race streaming.** [`IngestSession::drain_new_races`]
+//!   reads each shard's live accumulator (via
+//!   `Detector::races_so_far`) past a per-shard watermark — nothing is
+//!   removed, so detector snapshots and the final report are unaffected
+//!   by how often the caller drains.
+//! * **Crash durability.** [`IngestSession::checkpoint`] captures the
+//!   engine into the same [`CheckpointManifest`] (`DGCP`) container the
+//!   offline paths persist; [`IngestSession::resume`] restores one into
+//!   a fresh session. For a live stream the trace length is unknown, so
+//!   the manifest records `trace_len == trace_offset == events fed`; a
+//!   resumed session reports how many events it already covers and the
+//!   client replays only the suffix.
+
+use dgrace_detectors::{RaceReport, Report, ShardableDetector};
+use dgrace_trace::{Event, PruneSet};
+
+use crate::checkpoint::CheckpointManifest;
+use crate::engine::{Engine, RuntimeOptions};
+
+/// Maximum pending accesses before a forced dispatch. Bounds both the
+/// session's buffering and the latency between an event arriving and
+/// its shard seeing it, even on sync-free streams.
+pub const INGEST_BATCH: usize = 256;
+
+/// One live detection session: a sharded engine fed incrementally.
+///
+/// Sessions are single-consumer (the server drives each from its
+/// client's connection handler); the engine underneath still shards the
+/// analysis by address exactly like offline replay.
+pub struct IngestSession {
+    engine: Engine,
+    det_name: String,
+    pending: Vec<Event>,
+    /// Logical events fed so far (accesses + syncs), i.e. the stream
+    /// offset the next event will occupy.
+    fed: u64,
+    /// Per-shard positions into `races_so_far()` already drained.
+    watermarks: Vec<usize>,
+}
+
+impl IngestSession {
+    /// Builds a session: `shards` instances of the prototype behind an
+    /// address-routing engine. `shadow_budget` caps each shard's modeled
+    /// shadow bytes (the degradation tier below full analysis).
+    pub fn new<D: ShardableDetector + ?Sized>(
+        prototype: &D,
+        shards: usize,
+        shadow_budget: Option<u64>,
+    ) -> Self {
+        let shards = shards.max(1);
+        let detectors = (0..shards)
+            .map(|_| {
+                let mut det = prototype.new_shard();
+                if shadow_budget.is_some() {
+                    det.set_shadow_budget(shadow_budget);
+                }
+                det
+            })
+            .collect();
+        let opts = RuntimeOptions {
+            shards,
+            buffer_capacity: 1,
+            record: false,
+        };
+        IngestSession {
+            engine: Engine::with_prune(detectors, opts, PruneSet::empty()),
+            det_name: prototype.name(),
+            pending: Vec::new(),
+            fed: 0,
+            watermarks: vec![0; shards],
+        }
+    }
+
+    /// The prototype detector's name (checkpoint identity).
+    pub fn detector(&self) -> &str {
+        &self.det_name
+    }
+
+    /// Number of detector shards.
+    pub fn shards(&self) -> usize {
+        self.watermarks.len()
+    }
+
+    /// Logical events fed so far — the offset of the next event.
+    pub fn events(&self) -> u64 {
+        self.fed
+    }
+
+    /// Feeds one event, preserving the offline funnel's ordering rules.
+    pub fn feed(&mut self, ev: &Event) {
+        if ev.is_sync() {
+            self.flush();
+            self.engine.emit_sync(ev.tid(), *ev);
+        } else {
+            if let Event::Alloc { addr, size, .. } = *ev {
+                self.engine.register_range(addr.0, size);
+            }
+            self.pending.push(*ev);
+            if self.pending.len() >= INGEST_BATCH {
+                self.flush();
+            }
+        }
+        self.fed += 1;
+    }
+
+    /// Feeds a batch of events in order.
+    pub fn feed_all(&mut self, events: &[Event]) {
+        for ev in events {
+            self.feed(ev);
+        }
+    }
+
+    /// Dispatches any pending accesses to the shards.
+    pub fn flush(&mut self) {
+        if !self.pending.is_empty() {
+            self.engine.dispatch(std::mem::take(&mut self.pending));
+        }
+    }
+
+    /// Races reported since the last drain, across all shards. The
+    /// detector accumulators are read, not consumed: snapshots and the
+    /// final report are byte-identical no matter how often (or whether)
+    /// this is called. Quarantined shards contribute nothing.
+    pub fn drain_new_races(&mut self) -> Vec<RaceReport> {
+        self.flush();
+        self.engine.new_races(&mut self.watermarks)
+    }
+
+    /// Captures the session as a persistable [`CheckpointManifest`].
+    /// The stream has no known end, so `trace_len` records the events
+    /// covered so far (equal to `trace_offset`).
+    pub fn checkpoint(&mut self) -> CheckpointManifest {
+        self.flush();
+        CheckpointManifest {
+            detector: self.det_name.clone(),
+            trace_len: self.fed,
+            trace_offset: self.fed,
+            state: self.engine.capture(),
+        }
+    }
+
+    /// Restores a [`checkpoint`](IngestSession::checkpoint) into this
+    /// freshly built session (same detector, same shard count). After a
+    /// successful resume [`events`](IngestSession::events) reports the
+    /// covered prefix; feeding the stream's suffix from that offset
+    /// reproduces the uninterrupted run byte-identically. Races already
+    /// drained by the previous incarnation are not re-drained (the
+    /// final report still carries the complete set).
+    pub fn resume(&mut self, m: &CheckpointManifest) -> Result<(), String> {
+        if m.detector != self.det_name {
+            return Err(format!(
+                "checkpoint was taken with detector '{}', this session uses '{}'",
+                m.detector, self.det_name
+            ));
+        }
+        if m.shard_count() != self.shards() {
+            return Err(format!(
+                "checkpoint has {} shards, this session uses {}",
+                m.shard_count(),
+                self.shards()
+            ));
+        }
+        if self.fed != 0 {
+            return Err("resume into a session that already fed events".to_string());
+        }
+        self.engine.restore(&m.state)?;
+        self.fed = m.trace_offset;
+        // Races inside the restored snapshots were streamed by the
+        // previous incarnation; start watermarks past them.
+        self.watermarks.fill(0);
+        let _ = self.engine.new_races(&mut self.watermarks);
+        Ok(())
+    }
+
+    /// Finishes the session: flushes, finalizes every shard, and merges
+    /// the reports (exact event counts, quarantine accounting included).
+    pub fn finalize(mut self) -> Report {
+        self.flush();
+        self.engine.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrace_detectors::{race_signature, DetectorExt, FastTrack};
+    use dgrace_trace::{AccessSize, Trace, TraceBuilder};
+
+    fn racy_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.fork(0u32, 1u32)
+            .write(0u32, 0x100u64, AccessSize::U64)
+            .write(1u32, 0x100u64, AccessSize::U64)
+            .locked(0u32, 0u32, |b| {
+                b.write(0u32, 0x5000u64, AccessSize::U64);
+            })
+            .locked(1u32, 0u32, |b| {
+                b.write(1u32, 0x5000u64, AccessSize::U64);
+            })
+            .join(0u32, 1u32);
+        b.build()
+    }
+
+    #[test]
+    fn session_matches_offline_run() {
+        let trace = racy_trace();
+        let solo = FastTrack::new().run(&trace);
+        for shards in [1usize, 2, 4] {
+            let mut s = IngestSession::new(&FastTrack::new(), shards, None);
+            s.feed_all(&trace.events);
+            let rep = s.finalize();
+            assert_eq!(
+                race_signature(&rep),
+                race_signature(&solo),
+                "shards={shards}"
+            );
+            assert_eq!(rep.stats.events, trace.len() as u64);
+        }
+    }
+
+    #[test]
+    fn incremental_drain_does_not_perturb_final_report() {
+        let trace = racy_trace();
+        let solo = FastTrack::new().run(&trace);
+        let mut s = IngestSession::new(&FastTrack::new(), 2, None);
+        let mut streamed = 0usize;
+        for ev in trace.iter() {
+            s.feed(ev);
+            streamed += s.drain_new_races().len();
+        }
+        assert!(streamed > 0, "races streamed incrementally");
+        // A second drain with no new events yields nothing.
+        assert!(s.drain_new_races().is_empty());
+        let rep = s.finalize();
+        assert_eq!(race_signature(&rep), race_signature(&solo));
+        assert_eq!(streamed, rep.races.len());
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical() {
+        let trace = racy_trace();
+        for shards in [1usize, 2] {
+            let mut whole = IngestSession::new(&FastTrack::new(), shards, None);
+            whole.feed_all(&trace.events);
+            let want = whole.finalize();
+
+            for cut in 0..trace.len() {
+                let mut first = IngestSession::new(&FastTrack::new(), shards, None);
+                first.feed_all(&trace.events[..cut]);
+                let m = first.checkpoint();
+                assert_eq!(m.trace_offset, cut as u64);
+                drop(first);
+
+                let mut second = IngestSession::new(&FastTrack::new(), shards, None);
+                second.resume(&m).expect("resume");
+                assert_eq!(second.events(), cut as u64);
+                second.feed_all(&trace.events[cut..]);
+                let got = second.finalize();
+                assert_eq!(
+                    race_signature(&got),
+                    race_signature(&want),
+                    "shards={shards} cut={cut}"
+                );
+                assert_eq!(got.stats.events, want.stats.events, "cut={cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatches() {
+        let mut a = IngestSession::new(&FastTrack::new(), 2, None);
+        a.feed(&Event::Fork {
+            parent: dgrace_trace::Tid(0),
+            child: dgrace_trace::Tid(1),
+        });
+        let m = a.checkpoint();
+        let mut wrong_shards = IngestSession::new(&FastTrack::new(), 3, None);
+        assert!(wrong_shards.resume(&m).is_err());
+        let mut wrong_det = IngestSession::new(&dgrace_detectors::Djit::new(), 2, None);
+        assert!(wrong_det.resume(&m).is_err());
+        let mut used = IngestSession::new(&FastTrack::new(), 2, None);
+        used.feed(&Event::Fork {
+            parent: dgrace_trace::Tid(0),
+            child: dgrace_trace::Tid(1),
+        });
+        assert!(used.resume(&m).is_err());
+    }
+}

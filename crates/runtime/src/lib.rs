@@ -44,6 +44,7 @@
 mod checkpoint;
 mod engine;
 mod faults;
+mod ingest;
 mod mem;
 mod pipeline;
 mod replay;
@@ -55,6 +56,7 @@ mod sync_ext;
 pub use checkpoint::{CheckpointManifest, CHECKPOINT_FILE};
 pub use engine::{EngineError, RuntimeOptions, SupervisorPolicy};
 pub use faults::{corrupt_byte, silence_injected_panics, PanicOnEvent, INJECTED_PANIC_MARKER};
+pub use ingest::{IngestSession, INGEST_BATCH};
 pub use mem::{TrackedArray, TrackedCell};
 pub use pipeline::{
     replay_pipelined, replay_pipelined_checkpointed, replay_pipelined_checkpointed_planned,

@@ -40,6 +40,7 @@
 //! [`Router`]: crate::engine — see the engine module docs.
 //! [`EngineState`]: crate::engine — see the engine module docs.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
@@ -114,7 +115,7 @@ pub fn replay_pipelined_planned<D: ShardableDetector + ?Sized>(
     let detectors = (0..shards).map(|_| prototype.new_shard()).collect();
     let engine = Engine::with_prune(detectors, opts, prune);
     engine.preload_routes(routes);
-    run_pipeline(&engine, trace, 0, "", None)
+    run_pipeline(&engine, trace, 0, "", None, None)
         .expect("unsupervised pipeline performs no checkpoint I/O");
     engine.finish()
 }
@@ -157,12 +158,15 @@ pub fn replay_pipelined_checkpointed(
         ckpt,
         resume,
         &[],
+        None,
     )
 }
 
 /// [`replay_pipelined_checkpointed`] with an ahead-of-time routing plan
 /// (see [`crate::replay_checkpointed_planned`] for the resume
-/// semantics: a restored checkpoint's captured ranges win).
+/// semantics: a restored checkpoint's captured ranges win) and a
+/// cooperative `stop` flag (same contract as the funnel path: flush,
+/// final checkpoint, partial report).
 #[allow(clippy::too_many_arguments)]
 pub fn replay_pipelined_checkpointed_planned(
     prototype: Box<dyn ShardableDetector + Send>,
@@ -173,6 +177,7 @@ pub fn replay_pipelined_checkpointed_planned(
     ckpt: Option<&CheckpointOptions>,
     resume: Option<&CheckpointManifest>,
     routes: &[(u64, u64, usize)],
+    stop: Option<&AtomicBool>,
 ) -> Result<Report, ReplayError> {
     let shards = shards.max(1);
     let opts = RuntimeOptions {
@@ -204,7 +209,7 @@ pub fn replay_pipelined_checkpointed_planned(
         std::fs::create_dir_all(&c.dir)
             .map_err(|e| ReplayError::Io(format!("{}: {e}", c.dir.display())))?;
     }
-    run_pipeline(&engine, trace, start, &det_name, ckpt)?;
+    run_pipeline(&engine, trace, start, &det_name, ckpt, stop)?;
     Ok(engine.finish())
 }
 
@@ -218,6 +223,7 @@ fn run_pipeline(
     start: usize,
     det_name: &str,
     ckpt: Option<&CheckpointOptions>,
+    stop: Option<&AtomicBool>,
 ) -> Result<(), ReplayError> {
     let shards = engine.shard_count();
     let rings: Vec<Spsc<Job>> = (0..shards).map(|_| Spsc::new(RING_SEGMENTS)).collect();
@@ -235,7 +241,7 @@ fn run_pipeline(
                 }
             });
         }
-        result = produce(engine, trace, start, det_name, ckpt, &rings);
+        result = produce(engine, trace, start, det_name, ckpt, stop, &rings);
         for ring in &rings {
             ring.close();
         }
@@ -244,12 +250,14 @@ fn run_pipeline(
 }
 
 /// The producer loop: stamp, route, stage, flush, checkpoint.
+#[allow(clippy::too_many_arguments)]
 fn produce(
     engine: &Engine,
     trace: &Trace,
     start: usize,
     det_name: &str,
     ckpt: Option<&CheckpointOptions>,
+    stop: Option<&AtomicBool>,
     rings: &[Spsc<Job>],
 ) -> Result<(), ReplayError> {
     let shards = rings.len();
@@ -259,6 +267,28 @@ fn produce(
     let mut since = 0u64;
     let mut last = Instant::now();
     for (idx, ev) in trace.iter().enumerate().skip(start) {
+        if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+            // Graceful interruption: quiesce every lane at this trace
+            // boundary (the same cut a cadence checkpoint uses), persist
+            // a final manifest at offset `idx`, and stop producing. The
+            // caller's `finish()` then yields the partial report.
+            for (lane, ring) in stage.iter_mut().zip(rings) {
+                flush_lane(ring, lane);
+            }
+            quiesce(rings)?;
+            if let Some(c) = ckpt {
+                let manifest = CheckpointManifest {
+                    detector: det_name.to_string(),
+                    trace_len,
+                    trace_offset: idx as u64,
+                    state: engine.capture(),
+                };
+                manifest
+                    .save(&c.dir.join(CHECKPOINT_FILE))
+                    .map_err(|e| ReplayError::Io(format!("saving checkpoint: {e}")))?;
+            }
+            return Ok(());
+        }
         if ev.is_sync() {
             // Epoch-batched broadcast: one stamp, appended to every
             // lane's segment; workers apply it without cross-shard

@@ -16,6 +16,7 @@
 //! shard.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -211,7 +212,17 @@ pub fn replay_checkpointed(
     ckpt: Option<&CheckpointOptions>,
     resume: Option<&CheckpointManifest>,
 ) -> Result<Report, ReplayError> {
-    replay_checkpointed_planned(prototype, trace, shards, prune, policy, ckpt, resume, &[])
+    replay_checkpointed_planned(
+        prototype,
+        trace,
+        shards,
+        prune,
+        policy,
+        ckpt,
+        resume,
+        &[],
+        None,
+    )
 }
 
 /// [`replay_checkpointed`] with an ahead-of-time routing plan (see
@@ -220,6 +231,13 @@ pub fn replay_checkpointed(
 /// wholesale with its captured ranges, which already reflect whatever
 /// plan was active when the checkpoint was taken — so an interrupted
 /// planned run resumes with the same routing it started with.
+///
+/// `stop` is a cooperative interruption flag (a SIGINT/SIGTERM handler
+/// sets it): when it reads `true`, the replay flushes what it has,
+/// writes a final checkpoint (if configured) covering exactly the
+/// events processed so far, and returns the *partial* report instead of
+/// running to the end. The caller distinguishes a partial report by
+/// re-reading the flag.
 #[allow(clippy::too_many_arguments)]
 pub fn replay_checkpointed_planned(
     prototype: Box<dyn ShardableDetector + Send>,
@@ -230,6 +248,7 @@ pub fn replay_checkpointed_planned(
     ckpt: Option<&CheckpointOptions>,
     resume: Option<&CheckpointManifest>,
     routes: &[(u64, u64, usize)],
+    stop: Option<&AtomicBool>,
 ) -> Result<Report, ReplayError> {
     let shards = shards.max(1);
     let opts = RuntimeOptions {
@@ -268,6 +287,27 @@ pub fn replay_checkpointed_planned(
     let mut since = 0u64;
     let mut last = Instant::now();
     for (idx, ev) in trace.iter().enumerate().skip(start) {
+        if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+            // Graceful interruption: event `idx` has not been processed,
+            // so a final checkpoint at offset `idx` lets a resumed run
+            // continue exactly here; the partial report covers the
+            // prefix.
+            if !pending.is_empty() {
+                engine.dispatch(std::mem::take(&mut pending));
+            }
+            if let Some(c) = ckpt {
+                let manifest = CheckpointManifest {
+                    detector: det_name.clone(),
+                    trace_len,
+                    trace_offset: idx as u64,
+                    state: engine.capture(),
+                };
+                manifest
+                    .save(&c.dir.join(CHECKPOINT_FILE))
+                    .map_err(|e| ReplayError::Io(format!("saving checkpoint: {e}")))?;
+            }
+            return Ok(engine.finish());
+        }
         if ev.is_sync() {
             if !pending.is_empty() {
                 engine.dispatch(std::mem::take(&mut pending));

@@ -82,7 +82,7 @@ const VERSION: u32 = 1;
 const SUMMARY_MAGIC: &[u8; 4] = b"DGAS";
 
 /// Largest possible encoded event record (tag 6/7: `1 + 4 + 8 + 8`).
-const MAX_EVENT_BYTES: usize = 21;
+pub(crate) const MAX_EVENT_BYTES: usize = 21;
 
 /// Errors while decoding a trace or summary stream.
 ///
@@ -309,7 +309,7 @@ pub fn write_trace<W: io::Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
     Ok(())
 }
 
-fn write_event<W: io::Write>(ev: &Event, w: &mut W) -> io::Result<()> {
+pub(crate) fn write_event<W: io::Write>(ev: &Event, w: &mut W) -> io::Result<()> {
     match *ev {
         Event::Read { tid, addr, size } => {
             w.write_all(&[0u8])?;
@@ -398,7 +398,7 @@ fn le_u64(b: &[u8]) -> u64 {
 }
 
 /// Outcome of attempting to decode one event from a byte window.
-enum SliceDecode {
+pub(crate) enum SliceDecode {
     /// Decoded an event spanning `usize` bytes.
     Done(Event, usize),
     /// The window is too short; the record needs this many bytes total.
@@ -410,7 +410,7 @@ enum SliceDecode {
 /// Decodes one event from the front of `buf`. `offset` is the absolute
 /// stream position of `buf[0]`, used only for error reporting. Never
 /// panics and never allocates.
-fn decode_event(buf: &[u8], offset: u64, limits: &DecodeLimits) -> SliceDecode {
+pub(crate) fn decode_event(buf: &[u8], offset: u64, limits: &DecodeLimits) -> SliceDecode {
     if buf.is_empty() {
         return SliceDecode::NeedMore(1);
     }

@@ -40,6 +40,7 @@
 mod batch;
 mod builder;
 mod event;
+pub mod frame;
 pub mod io;
 pub mod snapshot;
 pub mod stats;
@@ -49,6 +50,10 @@ mod validate;
 pub use batch::EventBatch;
 pub use builder::TraceBuilder;
 pub use event::{AccessSize, Addr, Event, LockId};
+pub use frame::{
+    decode_event_at, decode_events, encode_events, read_frame, write_frame, EventBatchDecode,
+    Frame, MAX_FRAME_LEN,
+};
 pub use io::{DecodeLimits, DecodeStats, ReadOptions, TraceError};
 pub use snapshot::{
     write_file_atomic, SnapshotLimits, SnapshotReader, SnapshotWriter, CHECKPOINT_MAGIC,

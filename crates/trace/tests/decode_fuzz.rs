@@ -16,7 +16,10 @@
 use proptest::prelude::*;
 
 use dgrace_trace::io::{from_bytes, read_trace_with, summary_from_bytes, to_bytes, EventReader};
-use dgrace_trace::{AccessSize, DecodeLimits, ReadOptions, Trace, TraceBuilder, TraceError};
+use dgrace_trace::{
+    decode_events, encode_events, read_frame, write_frame, AccessSize, DecodeLimits, ReadOptions,
+    Trace, TraceBuilder, TraceError, MAX_FRAME_LEN,
+};
 
 /// Upper bound on events any honest decode of `n` input bytes can yield.
 fn max_events(n: usize) -> usize {
@@ -217,6 +220,157 @@ proptest! {
                 prop_assert_eq!(limit, 8);
             }
             other => prop_assert!(false, "expected LimitExceeded, got {:?}", other.map(|(t, _)| t.len())),
+        }
+    }
+}
+
+/// Encodes a live-protocol stream: each op chunk becomes one framed
+/// event batch, exactly as `dgrace serve` clients send them.
+fn framed_stream(ops: &[(u8, u32, u64, u8, u64)], per_frame: usize) -> Vec<u8> {
+    let trace = trace_from_ops(ops);
+    let mut bytes = Vec::new();
+    for chunk in trace.events.chunks(per_frame.max(1)) {
+        write_frame(&mut bytes, 0x02, &encode_events(chunk)).expect("frame fits");
+    }
+    bytes
+}
+
+/// Reads frames until EOF or the first error, asserting the loop is
+/// bounded by the input and every recovered event batch accounts its
+/// losses exactly (`decoded + lost == declared`).
+fn check_framed(bytes: &[u8]) {
+    let limits = DecodeLimits::default();
+    let mut r = &bytes[..];
+    let mut offset = 0u64;
+    let mut frames = 0usize;
+    loop {
+        frames += 1;
+        assert!(
+            frames <= bytes.len() + 1,
+            "frame reader did not terminate within the input length"
+        );
+        match read_frame(&mut r, &mut offset, MAX_FRAME_LEN) {
+            Ok(Some(frame)) => {
+                assert!(offset <= bytes.len() as u64, "offset ran past the input");
+                let batch =
+                    decode_events(&frame.payload, offset - frame.payload.len() as u64, &limits);
+                assert_eq!(
+                    batch.events.len() as u64 + batch.lost(),
+                    batch.declared as u64,
+                    "loss accounting must cover every declared event"
+                );
+                assert!(batch.error.is_some() || batch.lost() == 0);
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // Typed, positioned failure — the server quarantines on
+                // this; it must never be a panic or a runaway offset.
+                if let Some(off) = e.offset() {
+                    assert!(off <= bytes.len() as u64, "error offset {off} beyond input");
+                }
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10_000))]
+
+    /// A valid framed event stream cut off mid-frame: the reader yields
+    /// every whole frame, then one typed error or clean EOF — the
+    /// disconnect-mid-segment path of the live server.
+    #[test]
+    fn framed_stream_truncations_never_panic(
+        ops in proptest::collection::vec(
+            (any::<u8>(), any::<u32>(), 0u64..0x4000, any::<u8>(), any::<u64>()),
+            1..24,
+        ),
+        per_frame in 1usize..32,
+        cut in any::<usize>(),
+    ) {
+        let bytes = framed_stream(&ops, per_frame);
+        check_framed(&bytes[..cut % (bytes.len() + 1)]);
+    }
+
+    /// A hostile length prefix: zero and oversized lengths fail typed
+    /// before any payload allocation; anything under the cap either
+    /// truncates or decodes bounded.
+    #[test]
+    fn oversized_length_prefixes_fail_typed(
+        len in any::<u32>(),
+        kind in any::<u8>(),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.push(kind);
+        bytes.extend_from_slice(&body);
+        let mut r = &bytes[..];
+        let mut offset = 0u64;
+        match read_frame(&mut r, &mut offset, MAX_FRAME_LEN) {
+            Err(TraceError::LimitExceeded { value, limit, .. }) => {
+                prop_assert_eq!(value, len as u64);
+                prop_assert_eq!(limit, MAX_FRAME_LEN as u64);
+                prop_assert!(len > MAX_FRAME_LEN);
+            }
+            Err(TraceError::Malformed { offset, .. }) => {
+                prop_assert_eq!(len, 0);
+                prop_assert_eq!(offset, 0);
+            }
+            Err(TraceError::Truncated { .. }) => prop_assert!(len as usize > 1 + body.len()),
+            Ok(Some(frame)) => prop_assert_eq!(frame.payload.len() + 1, len as usize),
+            other => prop_assert!(false, "unexpected read_frame result: {other:?}"),
+        }
+    }
+
+    /// Garbage spliced into a valid framed stream (the interleaved-
+    /// session corruption case): whole frames before the splice still
+    /// decode, and the stream fails typed at or after it.
+    #[test]
+    fn interleaved_garbage_never_panics(
+        ops in proptest::collection::vec(
+            (any::<u8>(), any::<u32>(), 0u64..0x4000, any::<u8>(), any::<u64>()),
+            1..24,
+        ),
+        per_frame in 1usize..32,
+        splice_at in any::<usize>(),
+        garbage in proptest::collection::vec(any::<u8>(), 1..48),
+    ) {
+        let mut bytes = framed_stream(&ops, per_frame);
+        let at = splice_at % (bytes.len() + 1);
+        bytes.splice(at..at, garbage);
+        check_framed(&bytes);
+    }
+
+    /// A single flipped byte inside one framed batch: the prefix before
+    /// the corrupt record survives and `lost()` is exactly the declared
+    /// remainder — the quarantine arithmetic the server reports.
+    #[test]
+    fn event_batch_mutations_account_losses(
+        ops in proptest::collection::vec(
+            (any::<u8>(), any::<u32>(), 0u64..0x4000, any::<u8>(), any::<u64>()),
+            1..24,
+        ),
+        offset in any::<usize>(),
+        value in any::<u8>(),
+    ) {
+        let trace = trace_from_ops(&ops);
+        let declared = trace.events.len() as u32;
+        let mut payload = encode_events(&trace.events);
+        let n = payload.len();
+        payload[offset % n] ^= value | 1;
+        let batch = decode_events(&payload, 0, &DecodeLimits::default());
+        prop_assert!(batch.events.len() <= trace.events.len());
+        if batch.error.is_none() {
+            // The flip hit a value field (address, size, length): same
+            // shape, different content.
+            prop_assert_eq!(batch.declared, declared);
+            prop_assert_eq!(batch.lost(), 0);
+        } else {
+            prop_assert_eq!(
+                batch.events.len() as u64 + batch.lost(),
+                batch.declared as u64
+            );
         }
     }
 }
