@@ -1,0 +1,133 @@
+//! Throughput under a memory cap: the governor's overhead and the cost
+//! of each pressure rung, measured end to end on the replay path.
+//!
+//! ```text
+//! cargo run --release -p dgrace-bench --bin bench_governor [-- --scale 0.3]
+//! ```
+//!
+//! For every tracked workload and detector the binary measures the
+//! ungoverned run (events/sec and modeled peak bytes), then re-runs
+//! under `--memory-limit` caps carved from that peak — 75%, 50%, 30% —
+//! and reports throughput, the peak rung reached, eviction volume, and
+//! the races kept. The stdout digest is the source of the
+//! "throughput under a memory cap" table in `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+use dgrace_core::DynamicGranularityOn;
+use dgrace_detectors::{
+    FastTrackOn, Governed, GovernorSpec, Granularity, Report, ShardableDetector,
+};
+use dgrace_runtime::replay_sharded;
+use dgrace_shadow::HashSelect;
+use dgrace_trace::Trace;
+use dgrace_workloads::{Workload, WorkloadKind};
+
+const WORKLOADS: [WorkloadKind; 5] = [
+    WorkloadKind::Pbzip2,
+    WorkloadKind::Streamcluster,
+    WorkloadKind::Dedup,
+    WorkloadKind::X264,
+    WorkloadKind::Ffmpeg,
+];
+
+const CAP_PCTS: [u64; 3] = [75, 50, 30];
+const REPS: usize = 5;
+const SEED: u64 = 7;
+
+type Proto = Box<dyn ShardableDetector + Send>;
+
+/// Constructors, not instances: every governed cap needs a fresh
+/// detector of the same family.
+fn suite() -> Vec<Box<dyn Fn() -> Proto>> {
+    vec![
+        Box::new(|| {
+            Box::new(FastTrackOn::<HashSelect>::with_granularity(
+                Granularity::Byte,
+            )) as Proto
+        }),
+        Box::new(|| Box::new(DynamicGranularityOn::<HashSelect>::new()) as Proto),
+    ]
+}
+
+/// Best-of-[`REPS`] serialized replay (shards=1 funnel: the stable
+/// single-core reference, no pipeline jitter in the numbers).
+fn timed(proto: &dyn ShardableDetector, trace: &Trace) -> (f64, Report) {
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let rep = replay_sharded(proto, trace, 1);
+        best = best.min(start.elapsed().as_secs_f64());
+        report = Some(rep);
+    }
+    (best, report.expect("ran at least once"))
+}
+
+fn parse_scale() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = 1.0;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale needs a positive number");
+                i += 2;
+            }
+            other => panic!("unknown argument {other} (use --scale X)"),
+        }
+    }
+    scale
+}
+
+fn main() {
+    let scale = parse_scale();
+    println!("throughput under a memory cap (shards=1, hash store, best of {REPS}):");
+    println!(
+        "{:<14} {:<15} {:>5} {:>9} {:>8} {:>5} {:>8} {:>6}",
+        "workload", "detector", "cap", "Mev/s", "vs full", "rung", "evicted", "races"
+    );
+    for kind in WORKLOADS {
+        let (trace, _) = Workload::new(kind)
+            .with_scale(scale)
+            .with_seed(SEED)
+            .generate();
+        for make in suite() {
+            let (full_secs, full) = timed(make().as_ref(), &trace);
+            let full_tput = full.stats.events as f64 / full_secs.max(1e-9);
+            let peak = full.stats.peak_total_bytes as u64;
+            println!(
+                "{:<14} {:<15} {:>5} {:>9.1} {:>7.2}x {:>5} {:>8} {:>6}",
+                kind.name(),
+                full.detector,
+                "none",
+                full_tput / 1e6,
+                1.0,
+                "-",
+                full.stats.evicted,
+                full.races.len()
+            );
+            for pct in CAP_PCTS {
+                let limit = (peak * pct / 100).max(1);
+                let governed = Governed::new(make(), GovernorSpec::for_limit(limit, 1));
+                let (secs, rep) = timed(&governed, &trace);
+                let tput = rep.stats.events as f64 / secs.max(1e-9);
+                let rung = rep.governor.as_ref().map_or(0, |g| g.peak_rung);
+                println!(
+                    "{:<14} {:<15} {:>4}% {:>9.1} {:>7.2}x {:>5} {:>8} {:>6}",
+                    kind.name(),
+                    rep.detector,
+                    pct,
+                    tput / 1e6,
+                    tput / full_tput.max(1e-9),
+                    rung,
+                    rep.stats.evicted,
+                    rep.races.len()
+                );
+            }
+        }
+    }
+}

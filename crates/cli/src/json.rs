@@ -71,7 +71,7 @@ pub fn report(rep: &Report, decode: &DecodeStats) -> String {
         "  \"stats\": {{\"events\": {}, \"accesses\": {}, \"pruned\": {}, \
          \"same_epoch\": {}, \"dropped\": {}, \"events_lost\": {}, \"evicted\": {}, \
          \"preseed_hits\": {}, \"preseed_misses\": {}, \
-         \"sample_admitted\": {}, \"sample_skipped\": {}}},",
+         \"sample_admitted\": {}, \"sample_skipped\": {}, \"peak_total_bytes\": {}}},",
         s.events,
         s.accesses,
         s.pruned,
@@ -82,7 +82,8 @@ pub fn report(rep: &Report, decode: &DecodeStats) -> String {
         s.preseed_hits,
         s.preseed_misses,
         s.sample_admitted,
-        s.sample_skipped
+        s.sample_skipped,
+        s.peak_total_bytes
     );
 
     o.push_str("  \"failures\": [");
@@ -112,8 +113,42 @@ pub fn report(rep: &Report, decode: &DecodeStats) -> String {
     let _ = writeln!(o, "  \"budget_degraded\": {},", rep.budget_degraded);
     let _ = writeln!(
         o,
+        "  \"checkpointing_degraded\": {},",
+        rep.checkpointing_degraded
+    );
+    if let Some(g) = &rep.governor {
+        o.push_str("  \"governor\": {\n");
+        let _ = writeln!(o, "    \"limit\": {},", g.limit);
+        let _ = writeln!(o, "    \"peak_rung\": {},", g.peak_rung);
+        let _ = writeln!(o, "    \"final_rung\": {},", g.final_rung);
+        let _ = writeln!(o, "    \"decisions\": {},", g.decisions);
+        let _ = writeln!(o, "    \"peak_assessed_bytes\": {},", g.peak_assessed_bytes);
+        let _ = writeln!(
+            o,
+            "    \"engaged\": [{}, {}, {}],",
+            g.engaged[0], g.engaged[1], g.engaged[2]
+        );
+        o.push_str("    \"transitions\": [");
+        for (i, t) in g.transitions.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                o,
+                "      {{\"event\": {}, \"shard\": {}, \"from\": {}, \"to\": {}, \
+                 \"assessed_bytes\": {}}}",
+                t.event, t.shard, t.from, t.to, t.assessed_bytes
+            );
+        }
+        o.push_str(if g.transitions.is_empty() {
+            "]\n"
+        } else {
+            "\n    ]\n"
+        });
+        o.push_str("  },\n");
+    }
+    let _ = writeln!(
+        o,
         "  \"degraded\": {},",
-        !rep.failures.is_empty() || s.dropped > 0 || rep.budget_degraded || decode.lossy()
+        rep.is_degraded() || decode.lossy()
     );
     let _ = writeln!(
         o,

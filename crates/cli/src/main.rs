@@ -5,14 +5,15 @@
 //! dgrace analyze <trace.dgrt> [-o summary.dgas] [--json]
 //! dgrace detect <detector> <trace.dgrt> [--max-races N] [--shards N] [--pipeline] [--prune-with summary.dgas]
 //!                                       [--plan-with summary.dgas] [--affinity-with summary.dgas]
-//!                                       [--shadow-budget BYTES] [--resync] [--json] [--self-heal]
+//!                                       [--shadow-budget BYTES] [--memory-limit BYTES]
+//!                                       [--resync] [--json] [--self-heal]
 //!                                       [--checkpoint-dir D] [--checkpoint-every N|Ns] [--resume D]
 //!                                       [--sample full|loc:K|period:N|adaptive:F]
 //! dgrace serve <socket> [--shards N] [--max-sessions N] [--degrade-sessions N]
 //!                       [--degrade-sample SPEC|off] [--idle-timeout SECS]
 //!                       [--checkpoint-dir D] [--checkpoint-every N] [--resume]
-//!                       [--shadow-budget BYTES] [--credits N]
-//! dgrace feed <detector> <trace.dgrt> <socket> [--session NAME] [--json]
+//!                       [--shadow-budget BYTES] [--memory-limit BYTES] [--credits N]
+//! dgrace feed <detector> <trace.dgrt> <socket> [--session NAME] [--retry N] [--json]
 //! dgrace stats <trace.dgrt>
 //! dgrace list
 //! ```
@@ -35,8 +36,8 @@ use dgrace_analysis::analyze_with_stats;
 use dgrace_baselines::{HybridDetector, LockSetDetector, SegmentDetector};
 use dgrace_core::{DynamicConfig, DynamicGranularityOn};
 use dgrace_detectors::{
-    Detector, DetectorExt, DjitOn, FastTrackOn, Granularity, OracleDetector, Report, SampleSpec,
-    Sampled, ShardableDetector, StaticPruneFilter,
+    Detector, DetectorExt, DjitOn, FastTrackOn, Governed, GovernorSpec, Granularity,
+    OracleDetector, Report, SampleSpec, Sampled, ShardableDetector, StaticPruneFilter,
 };
 use dgrace_runtime::{
     replay_checkpointed_planned, replay_pipelined_checkpointed_planned, replay_pipelined_planned,
@@ -186,6 +187,10 @@ fn print_help() {
          \x20                                 [--resume D]             --shadow picks the shadow store,\n\
          \x20                                 [--pipeline]             --shadow-budget caps shadow memory\n\
          \x20                                 [--sample <spec>]        (cold state is evicted past the cap),\n\
+         \x20                                 [--memory-limit BYTES]   --memory-limit caps accounted memory\n\
+         \x20                                                          with a deterministic pressure ladder\n\
+         \x20                                                          (evict, coarsen, sample — the run\n\
+         \x20                                                          completes instead of aborting),\n\
          \x20                                                          --resync skips damaged trace frames,\n\
          \x20                                                          --json prints a deterministic report,\n\
          \x20                                                          --pipeline feeds shards through\n\
@@ -212,10 +217,16 @@ fn print_help() {
          \x20                       [--checkpoint-dir D]                per-session durable checkpoints,\n\
          \x20                       [--checkpoint-every N] [--resume]   --resume reconstructs sessions after\n\
          \x20                       [--shadow-budget BYTES]             a crash; SIGINT/SIGTERM stop\n\
-         \x20                       [--credits N]                       gracefully (final checkpoints)\n\
+         \x20                       [--memory-limit BYTES]              gracefully (final checkpoints);\n\
+         \x20                       [--credits N]                       --memory-limit governs sessions and\n\
+         \x20                                                          sheds admissions past the critical\n\
+         \x20                                                          watermark\n\
          \x20 dgrace feed <detector> <file> <socket> [--session NAME]   stream a trace into a running server\n\
          \x20                                 [--json] [--resync]       (races stream back live; reconnecting\n\
-         \x20                                                          with the same --session resumes)\n\
+         \x20                                 [--retry N]               with the same --session resumes);\n\
+         \x20                                                          --retry N reconnects with bounded\n\
+         \x20                                                          backoff when the server is down or\n\
+         \x20                                                          overloaded\n\
          \x20 dgrace compare <detA> <detB> <file> [--shadow hash|paged]  diff two detectors' findings\n\
          \x20 dgrace stats <file>                                      trace statistics\n\
          \x20 dgrace list                                              available workloads & detectors\n\n\
@@ -576,6 +587,27 @@ fn make_shardable(
     })
 }
 
+/// Wraps a shardable prototype in the memory governor (outermost, so it
+/// both captures the user's `--shadow-budget` and meters every arriving
+/// event) and then applies the per-shard budget slice. The governor
+/// quota splits `--memory-limit` evenly across shards, which keeps the
+/// pressure ladder deterministic: each shard decides rungs from its own
+/// substream and modeled bytes, never from global allocator state.
+fn govern_shardable(
+    det: Box<dyn ShardableDetector + Send>,
+    memory_limit: Option<u64>,
+    shard_budget: Option<u64>,
+    shards: usize,
+) -> Box<dyn ShardableDetector + Send> {
+    let mut det = match memory_limit {
+        Some(lim) => Box::new(Governed::new(det, GovernorSpec::for_limit(lim, shards)))
+            as Box<dyn ShardableDetector + Send>,
+        None => det,
+    };
+    det.set_shadow_budget(shard_budget);
+    det
+}
+
 /// Wraps a shardable prototype in the sampling tier. The adaptive
 /// strategy is fed the AOT heat histogram when `--plan-with` supplied
 /// one, so the admission budget concentrates where sharing churn was
@@ -658,6 +690,7 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
             "--checkpoint-every",
             "--resume",
             "--sample",
+            "--memory-limit",
         ],
         &["--resync", "--json", "--self-heal", "--pipeline"],
     )?;
@@ -668,6 +701,10 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
     let budget: Option<u64> = p.opt_parse("--shadow-budget")?;
     if budget == Some(0) {
         return Err("--shadow-budget must be positive (omit it for no cap)".into());
+    }
+    let memory_limit: Option<u64> = p.opt_parse("--memory-limit")?;
+    if memory_limit == Some(0) {
+        return Err("--memory-limit must be positive (omit it for no cap)".into());
     }
     let shadow = parse_shadow(&p)?;
     let json_out = p.flag("--json");
@@ -720,7 +757,6 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         // with periodic durable snapshots, crash resume, and optionally a
         // self-healing supervisor.
         let mut proto = make_shardable(det_name, shadow)?;
-        proto.set_shadow_budget(budget.map(|b| (b / shards.max(1) as u64).max(1)));
         if let Some(map) = &affinity {
             proto.set_affinity(Arc::clone(map));
         }
@@ -728,6 +764,12 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
             Some(spec) => wrap_sampled_shardable(proto, spec, heat),
             None => proto,
         };
+        let proto = govern_shardable(
+            proto,
+            memory_limit,
+            budget.map(|b| (b / shards.max(1) as u64).max(1)),
+            shards.max(1),
+        );
         let resume = match &resume_dir {
             Some(d) => {
                 let file = d.join(CHECKPOINT_FILE);
@@ -774,9 +816,6 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         .map_err(replay_failure)?
     } else if shards > 1 || pipeline {
         let mut proto = make_shardable(det_name, shadow)?;
-        // The budget is a whole-run cap: each shard holds a slice of the
-        // address space, so it gets a slice of the budget.
-        proto.set_shadow_budget(budget.map(|b| (b / shards.max(1) as u64).max(1)));
         if let Some(map) = &affinity {
             proto.set_affinity(Arc::clone(map));
         }
@@ -784,6 +823,14 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
             Some(spec) => wrap_sampled_shardable(proto, spec, heat),
             None => proto,
         };
+        // The budget (like the governor quota) is a whole-run cap: each
+        // shard holds a slice of the address space, so it gets a slice.
+        let proto = govern_shardable(
+            proto,
+            memory_limit,
+            budget.map(|b| (b / shards.max(1) as u64).max(1)),
+            shards.max(1),
+        );
         if pipeline {
             replay_pipelined_planned(proto.as_ref(), &trace, shards.max(1), prune, &routes)
         } else {
@@ -791,7 +838,6 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         }
     } else {
         let mut det = make_detector(det_name, shadow)?;
-        det.set_shadow_budget(budget);
         if let Some(map) = &affinity {
             det.set_affinity(Arc::clone(map));
         }
@@ -799,7 +845,7 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
         // engines, which prune upstream of the shards): pruned accesses
         // never reach the sampler, so its budget is spent on the
         // residue that actually needs analysis.
-        let mut det: Box<dyn Detector> = match &sample {
+        let det: Box<dyn Detector> = match &sample {
             Some(spec) => {
                 let mut s = Sampled::new(det, spec.clone());
                 if let Some(plan) = heat {
@@ -809,6 +855,14 @@ fn cmd_detect(rest: &[String]) -> Result<ExitCode, Failure> {
             }
             None => det,
         };
+        // The governor wraps outside the sampler (it meters arrivals and
+        // captures the user budget) but inside the prune filter, exactly
+        // like the sharded engines where pruning happens upstream.
+        let mut det: Box<dyn Detector> = match memory_limit {
+            Some(lim) => Box::new(Governed::new(det, GovernorSpec::for_limit(lim, 1))),
+            None => det,
+        };
+        det.set_shadow_budget(budget);
         if prune.is_empty() {
             det.run(&trace)
         } else {
@@ -874,6 +928,7 @@ fn cmd_serve(rest: &[String]) -> Result<(), Failure> {
             "--checkpoint-dir",
             "--checkpoint-every",
             "--shadow-budget",
+            "--memory-limit",
             "--credits",
         ],
         &["--resume"],
@@ -911,6 +966,10 @@ fn cmd_serve(rest: &[String]) -> Result<(), Failure> {
     cfg.shadow_budget = p.opt_parse("--shadow-budget")?;
     if cfg.shadow_budget == Some(0) {
         return Err("--shadow-budget must be positive (omit it for no cap)".into());
+    }
+    cfg.memory_limit = p.opt_parse("--memory-limit")?;
+    if cfg.memory_limit == Some(0) {
+        return Err("--memory-limit must be positive (omit it for no cap)".into());
     }
     if let Some(n) = p.opt_parse("--credits")? {
         if n == 0 {
@@ -952,11 +1011,60 @@ fn cmd_serve(rest: &[String]) -> Result<(), Failure> {
     Ok(())
 }
 
+/// Backoff before retry `attempt` (1-based): exponential from 100 ms,
+/// capped at 5 s, plus a deterministic splitmix-derived jitter of up to
+/// 25% so a fleet of clients kicked off together does not reconnect in
+/// lockstep.
+fn backoff_delay(attempt: u32) -> std::time::Duration {
+    let base = 100u64
+        .checked_shl(attempt.saturating_sub(1))
+        .unwrap_or(u64::MAX)
+        .min(5_000);
+    let mut z = (attempt as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    std::time::Duration::from_millis(base + z % (base / 4 + 1))
+}
+
+/// Connects to the server, retrying transient failures — a socket that
+/// is not (yet) accepting, or an `OVERLOADED` shed — up to `retries`
+/// times with bounded exponential backoff. Refusals and protocol
+/// violations are permanent and fail immediately.
+fn connect_with_retry(
+    socket: &str,
+    session: &str,
+    det_name: &str,
+    retries: u32,
+) -> Result<Client, Failure> {
+    let mut attempt = 0u32;
+    loop {
+        match Client::connect(std::path::Path::new(socket), session, det_name) {
+            Ok(c) => return Ok(c),
+            Err(e @ (ClientError::Io(_) | ClientError::Overloaded)) if attempt < retries => {
+                attempt += 1;
+                let delay = backoff_delay(attempt);
+                let why = match &e {
+                    ClientError::Overloaded => "server overloaded".to_string(),
+                    other => other.to_string(),
+                };
+                eprintln!(
+                    "dgrace feed: {why}; retry {attempt}/{retries} in {} ms",
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+            }
+            Err(e) => return Err(client_failure(e)),
+        }
+    }
+}
+
 fn cmd_feed(rest: &[String]) -> Result<(), Failure> {
-    let p = Parsed::parse_with_flags(rest, &["--session"], &["--json", "--resync"])?;
+    let p = Parsed::parse_with_flags(rest, &["--session", "--retry"], &["--json", "--resync"])?;
     let det_name = p.positional(0).ok_or("feed: missing detector name")?;
     let path = p.positional(1).ok_or("feed: missing trace file")?;
     let socket = p.positional(2).ok_or("feed: missing server socket path")?;
+    let retries: u32 = p.opt_parse("--retry")?.unwrap_or(0);
     let (trace, _) = load_trace(path, p.flag("--resync"))?;
 
     // The session name is the durable resume identity; default to the
@@ -978,8 +1086,7 @@ fn cmd_feed(rest: &[String]) -> Result<(), Failure> {
             .collect(),
     };
 
-    let mut client = Client::connect(std::path::Path::new(socket), &session, det_name)
-        .map_err(client_failure)?;
+    let mut client = connect_with_retry(socket, &session, det_name, retries)?;
     let skip = client.start_offset();
     if skip > trace.len() as u64 {
         return Err(Failure::Invalid(format!(

@@ -77,6 +77,29 @@ pub fn report(rep: &Report, trace: &Trace, secs: f64, max_races: usize) {
             s.evicted
         );
     }
+    if let Some(g) = &rep.governor {
+        println!(
+            "GOVERNOR      : {} byte cap; peak rung {} ({}), final rung {}, \
+             {} decision(s), {} transition(s), peak assessed {:.1} KiB",
+            g.limit,
+            g.peak_rung,
+            dgrace_shadow::PressureLevel::from_rung(g.peak_rung).label(),
+            g.final_rung,
+            g.decisions,
+            g.transitions.len(),
+            g.peak_assessed_bytes as f64 / 1024.0
+        );
+        println!(
+            "  rungs engaged: evict ×{}, coarsen ×{}, sample ×{}",
+            g.engaged[0], g.engaged[1], g.engaged[2]
+        );
+    }
+    if rep.checkpointing_degraded {
+        println!(
+            "CHECKPOINTING : degraded — one or more checkpoint writes failed; detection \
+             continued on the last complete checkpoint"
+        );
+    }
     println!("races         : {}", rep.races.len());
     for race in rep.races.iter().take(max_races) {
         println!(

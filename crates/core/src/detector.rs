@@ -3,7 +3,7 @@
 use dgrace_detectors::{
     AccessKind, Detector, HbState, RaceKind, RaceReport, Report, ShardableDetector, SharingStats,
 };
-use dgrace_shadow::{HashSelect, MemClass, MemoryModel, SlabId, StoreSelect};
+use dgrace_shadow::{HashSelect, MemClass, MemoryModel, PressureLevel, SlabId, StoreSelect};
 use std::sync::Arc;
 
 use dgrace_trace::snapshot::{STATE_MAGIC, STATE_VERSION};
@@ -51,6 +51,12 @@ pub struct DynamicGranularityOn<K: StoreSelect> {
     preseed_misses: u64,
     /// Reusable clock buffer: avoids a heap allocation per access.
     scratch: VectorClock,
+    /// Governor-forced first-epoch scan widening (0 = no pressure). The
+    /// effective scan is `config.first_epoch_scan.max(pressure_scan)`.
+    /// Deliberately *not* part of [`DynamicConfig`] and not serialized:
+    /// snapshots compare configs for equality on restore, and the
+    /// governor re-applies pressure for the resumed rung itself.
+    pressure_scan: u64,
 }
 
 /// The default detector: dynamic granularity on the chained-hash store.
@@ -65,6 +71,13 @@ pub const PRESEED_BAILOUT_MISSES: u64 = 64;
 /// once [`PRESEED_BAILOUT_MISSES`] is reached, the map is abandoned when
 /// misses account for at least 3/4 of all verifications so far.
 pub const PRESEED_BAILOUT_RATE: (u64, u64) = (3, 4);
+
+/// First-epoch scan width the memory governor forces at
+/// [`PressureLevel::High`] and above (the default is 8 bytes): a wider
+/// probe window forms coarser first-epoch sharing groups, so more
+/// locations ride one clock and modeled shadow bytes shrink — the
+/// paper's own granularity mechanism repurposed as a pressure valve.
+pub const PRESSURE_SCAN: u64 = 64;
 
 impl<K: StoreSelect> Default for DynamicGranularityOn<K> {
     fn default() -> Self {
@@ -101,6 +114,7 @@ impl<K: StoreSelect> DynamicGranularityOn<K> {
             preseed_hits: 0,
             preseed_misses: 0,
             scratch: VectorClock::new(),
+            pressure_scan: 0,
         }
     }
 
@@ -256,7 +270,9 @@ impl<K: StoreSelect> DynamicGranularityOn<K> {
         my_epoch: Epoch,
     ) {
         let clock = AccessClock::Epoch(my_epoch);
-        let scan = self.config.first_epoch_scan;
+        // Under governor pressure the probe window widens: coarser
+        // first-epoch groups are the paper's own memory valve.
+        let scan = self.config.first_epoch_scan.max(self.pressure_scan);
         let init_state = self.config.init_state;
         let share_at_init = self.config.share_at_init;
         let enable_sharing = self.config.enable_sharing;
@@ -807,6 +823,7 @@ impl<K: StoreSelect> ShardableDetector for DynamicGranularityOn<K> {
         let mut shard = DynamicGranularityOn::<K>::with_config(self.config);
         shard.model.set_budget(self.model.budget());
         shard.affinity = Arc::clone(&self.affinity);
+        shard.pressure_scan = self.pressure_scan;
         Box::new(shard)
     }
 }
@@ -879,9 +896,11 @@ impl<K: StoreSelect> Detector for DynamicGranularityOn<K> {
         rep.budget_degraded = self.model.breached();
         let budget = self.model.budget();
         let affinity = Arc::clone(&self.affinity);
+        let pressure_scan = self.pressure_scan;
         *self = Self::with_config(self.config);
         self.model.set_budget(budget);
         self.affinity = affinity;
+        self.pressure_scan = pressure_scan;
         rep
     }
 
@@ -891,6 +910,22 @@ impl<K: StoreSelect> Detector for DynamicGranularityOn<K> {
 
     fn set_affinity(&mut self, map: Arc<AffinityMap>) {
         DynamicGranularityOn::set_affinity(self, map);
+    }
+
+    fn set_pressure(&mut self, level: PressureLevel) {
+        self.pressure_scan = if level >= PressureLevel::High {
+            PRESSURE_SCAN
+        } else {
+            0
+        };
+    }
+
+    fn mem_classes(&self) -> [u64; 3] {
+        [
+            self.model.current(MemClass::Hash) as u64,
+            self.model.current(MemClass::VectorClock) as u64,
+            self.model.current(MemClass::Bitmap) as u64,
+        ]
     }
 
     fn snapshot(&self) -> Option<Vec<u8>> {
@@ -1010,6 +1045,7 @@ impl<K: StoreSelect> Detector for DynamicGranularityOn<K> {
             preseed_hits: counters[9],
             preseed_misses: counters[10],
             scratch: VectorClock::new(),
+            pressure_scan: self.pressure_scan,
         };
         Ok(())
     }

@@ -53,6 +53,7 @@ mod state;
 pub use config::DynamicConfig;
 pub use detector::{
     DynamicGranularity, DynamicGranularityOn, PRESEED_BAILOUT_MISSES, PRESEED_BAILOUT_RATE,
+    PRESSURE_SCAN,
 };
 pub use plane::{GroupSnapshot, Plane, PlaneOn};
 pub use state::VcState;

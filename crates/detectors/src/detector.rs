@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use dgrace_shadow::PressureLevel;
 use dgrace_trace::{AffinityMap, Event, Trace};
 
 use crate::Report;
@@ -74,6 +75,31 @@ pub trait Detector: std::any::Any {
     fn races_so_far(&self) -> &[crate::RaceReport] {
         &[]
     }
+
+    /// Current modeled bytes by memory class, `[hash, vector-clock,
+    /// bitmap]` — the live counterpart of the peak columns in the
+    /// report. The memory governor samples this at its decision points.
+    /// Detectors without a memory model report zeros (the default).
+    fn mem_classes(&self) -> [u64; 3] {
+        [0; 3]
+    }
+
+    /// Total modeled shadow bytes right now: the governor's assessed
+    /// quantity. Defaults to the sum of [`Detector::mem_classes`].
+    fn shadow_bytes(&self) -> u64 {
+        self.mem_classes().iter().sum()
+    }
+
+    /// Applies governor pressure. Detectors with a pressure response —
+    /// the dynamic-granularity family widens its first-epoch sharing
+    /// scan at [`PressureLevel::High`] and above — react; everyone else
+    /// ignores it (the default). The response must never change which
+    /// events are *observed*, only how aggressively state is shared, so
+    /// a governed run under 100% headroom stays byte-identical to an
+    /// ungoverned one.
+    fn set_pressure(&mut self, level: PressureLevel) {
+        let _ = level;
+    }
 }
 
 impl Detector for Box<dyn Detector> {
@@ -101,6 +127,15 @@ impl Detector for Box<dyn Detector> {
     fn races_so_far(&self) -> &[crate::RaceReport] {
         (**self).races_so_far()
     }
+    fn mem_classes(&self) -> [u64; 3] {
+        (**self).mem_classes()
+    }
+    fn shadow_bytes(&self) -> u64 {
+        (**self).shadow_bytes()
+    }
+    fn set_pressure(&mut self, level: PressureLevel) {
+        (**self).set_pressure(level)
+    }
 }
 
 impl Detector for Box<dyn Detector + Send> {
@@ -127,6 +162,15 @@ impl Detector for Box<dyn Detector + Send> {
     }
     fn races_so_far(&self) -> &[crate::RaceReport] {
         (**self).races_so_far()
+    }
+    fn mem_classes(&self) -> [u64; 3] {
+        (**self).mem_classes()
+    }
+    fn shadow_bytes(&self) -> u64 {
+        (**self).shadow_bytes()
+    }
+    fn set_pressure(&mut self, level: PressureLevel) {
+        (**self).set_pressure(level)
     }
 }
 

@@ -294,6 +294,14 @@ impl<K: StoreSelect> Detector for FastTrackOn<K> {
         self.model.set_budget(bytes.map(|b| b as usize));
     }
 
+    fn mem_classes(&self) -> [u64; 3] {
+        [
+            self.model.current(MemClass::Hash) as u64,
+            self.model.current(MemClass::VectorClock) as u64,
+            self.model.current(MemClass::Bitmap) as u64,
+        ]
+    }
+
     fn snapshot(&self) -> Option<Vec<u8>> {
         let mut w = SnapshotWriter::new(STATE_MAGIC, STATE_VERSION);
         w.str(&self.name());

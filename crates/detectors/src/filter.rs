@@ -216,6 +216,18 @@ impl<D: Detector> Detector for FilteredDetector<D> {
     fn races_so_far(&self) -> &[crate::RaceReport] {
         self.inner.races_so_far()
     }
+
+    fn mem_classes(&self) -> [u64; 3] {
+        self.inner.mem_classes()
+    }
+
+    fn shadow_bytes(&self) -> u64 {
+        self.inner.shadow_bytes()
+    }
+
+    fn set_pressure(&mut self, level: dgrace_shadow::PressureLevel) {
+        self.inner.set_pressure(level);
+    }
 }
 
 /// Drops accesses a static analysis proved race-free before they reach
@@ -297,6 +309,18 @@ impl<D: Detector> Detector for StaticPruneFilter<D> {
 
     fn races_so_far(&self) -> &[crate::RaceReport] {
         self.inner.races_so_far()
+    }
+
+    fn mem_classes(&self) -> [u64; 3] {
+        self.inner.mem_classes()
+    }
+
+    fn shadow_bytes(&self) -> u64 {
+        self.inner.shadow_bytes()
+    }
+
+    fn set_pressure(&mut self, level: dgrace_shadow::PressureLevel) {
+        self.inner.set_pressure(level);
     }
 }
 

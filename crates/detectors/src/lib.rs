@@ -44,6 +44,7 @@ mod detector;
 mod djit;
 mod fasttrack;
 mod filter;
+mod govern;
 mod granularity;
 mod hb;
 mod nop;
@@ -59,13 +60,17 @@ pub use detector::{Detector, DetectorExt};
 pub use djit::{Djit, DjitOn};
 pub use fasttrack::{FastTrack, FastTrackOn};
 pub use filter::{AddressFilter, FilteredDetector, StaticPruneFilter};
+pub use govern::{
+    Governed, GovernorSpec, CRITICAL_SAMPLE, DECISION_INTERVAL, GOVERN_MAGIC, GOVERN_VERSION,
+};
 pub use granularity::Granularity;
 pub use hb::HbState;
 pub use nop::NopDetector;
 pub use oracle::OracleDetector;
 pub use recorder::Recorder;
 pub use report::{
-    AccessKind, DetectorStats, RaceKind, RaceReport, Report, ShardFailure, SharingStats,
+    AccessKind, DetectorStats, GovernorReport, GovernorTransition, RaceKind, RaceReport, Report,
+    ShardFailure, SharingStats,
 };
 pub use sample::{
     SampleSpec, SampleStrategy, Sampled, Sampler, DEFAULT_WINDOW, LOC_GRANULE, SAMPLE_MAGIC,

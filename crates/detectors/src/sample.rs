@@ -526,7 +526,7 @@ impl Sampler {
 
     /// Serializes the sampler's counters into `w` (canonical: nonzero
     /// counter slots in ascending order).
-    fn encode(&self, w: &mut SnapshotWriter) {
+    pub(crate) fn encode(&self, w: &mut SnapshotWriter) {
         w.str(&self.spec.to_string());
         w.u64(self.heat_digest);
         w.u64(self.seen);
@@ -547,7 +547,7 @@ impl Sampler {
 
     /// Restores counters from [`Sampler::encode`]d state; the spec and
     /// heat digest must match this sampler's configuration.
-    fn decode(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), String> {
+    pub(crate) fn decode(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), String> {
         let spec = r.str().map_err(|e| format!("sampler snapshot: {e}"))?;
         if spec != self.spec.to_string() {
             return Err(format!(
@@ -690,6 +690,18 @@ impl<D: Detector> Detector for Sampled<D> {
 
     fn races_so_far(&self) -> &[crate::RaceReport] {
         self.inner.races_so_far()
+    }
+
+    fn mem_classes(&self) -> [u64; 3] {
+        self.inner.mem_classes()
+    }
+
+    fn shadow_bytes(&self) -> u64 {
+        self.inner.shadow_bytes()
+    }
+
+    fn set_pressure(&mut self, level: dgrace_shadow::PressureLevel) {
+        self.inner.set_pressure(level);
     }
 }
 

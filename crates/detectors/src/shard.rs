@@ -57,6 +57,15 @@ impl Detector for Box<dyn ShardableDetector + Send> {
     fn races_so_far(&self) -> &[RaceReport] {
         (**self).races_so_far()
     }
+    fn mem_classes(&self) -> [u64; 3] {
+        (**self).mem_classes()
+    }
+    fn shadow_bytes(&self) -> u64 {
+        (**self).shadow_bytes()
+    }
+    fn set_pressure(&mut self, level: dgrace_shadow::PressureLevel) {
+        (**self).set_pressure(level)
+    }
 }
 
 impl ShardableDetector for Box<dyn ShardableDetector + Send> {
@@ -104,16 +113,28 @@ pub fn sort_races(races: &mut [RaceReport]) {
 ///
 /// Returns an empty report if `reports` is empty.
 pub fn merge_shard_reports(reports: Vec<Report>) -> Report {
-    let mut iter = reports.into_iter();
+    let mut iter = reports.into_iter().enumerate();
     let mut merged = match iter.next() {
-        Some(first) => first,
+        Some((_, first)) => first,
         None => return Report::default(),
     };
     // Per-shard event numbering is meaningless after a merge.
     for race in merged.races.iter_mut() {
         race.event_index = None;
     }
-    for rep in iter {
+    // Governor transitions are stamped with the shard they happened on
+    // (each detector only knows its shard-local event counts).
+    if let Some(gov) = merged.governor.as_mut() {
+        for t in gov.transitions.iter_mut() {
+            t.shard = 0;
+        }
+    }
+    for (shard, mut rep) in iter {
+        if let Some(gov) = rep.governor.as_mut() {
+            for t in gov.transitions.iter_mut() {
+                t.shard = shard;
+            }
+        }
         merged.races.extend(rep.races.into_iter().map(|mut race| {
             race.event_index = None;
             race
@@ -145,10 +166,34 @@ pub fn merge_shard_reports(reports: Vec<Report>) -> Report {
         };
         merged.failures.extend(rep.failures);
         merged.budget_degraded |= rep.budget_degraded;
+        merged.checkpointing_degraded |= rep.checkpointing_degraded;
+        merged.governor = match (merged.governor.take(), rep.governor.take()) {
+            (None, None) => None,
+            (Some(g), None) | (None, Some(g)) => Some(g),
+            (Some(a), Some(b)) => Some(merge_governor(a, b)),
+        };
     }
     merged.failures.sort_by_key(|f| (f.shard, f.event_seq));
+    if let Some(gov) = merged.governor.as_mut() {
+        gov.transitions.sort_by_key(|t| (t.event, t.shard));
+    }
     sort_races(&mut merged.races);
     merged
+}
+
+fn merge_governor(
+    mut a: crate::GovernorReport,
+    mut b: crate::GovernorReport,
+) -> crate::GovernorReport {
+    a.transitions.append(&mut b.transitions);
+    a.peak_rung = a.peak_rung.max(b.peak_rung);
+    a.final_rung = a.final_rung.max(b.final_rung);
+    a.decisions += b.decisions;
+    a.peak_assessed_bytes = a.peak_assessed_bytes.max(b.peak_assessed_bytes);
+    for (x, y) in a.engaged.iter_mut().zip(b.engaged) {
+        *x += y;
+    }
+    a
 }
 
 fn merge_sharing(a: SharingStats, b: SharingStats) -> SharingStats {

@@ -102,6 +102,16 @@ impl<A: Detector, B: Detector> Detector for Tee<A, B> {
         // the live view.
         self.b.races_so_far()
     }
+
+    fn mem_classes(&self) -> [u64; 3] {
+        let (a, b) = (self.a.mem_classes(), self.b.mem_classes());
+        [a[0] + b[0], a[1] + b[1], a[2] + b[2]]
+    }
+
+    fn set_pressure(&mut self, level: dgrace_shadow::PressureLevel) {
+        self.a.set_pressure(level);
+        self.b.set_pressure(level);
+    }
 }
 
 #[cfg(test)]

@@ -10,11 +10,18 @@
 //! partial copy made outside the atomic writer) fails decoding with a
 //! structured [`TraceError`] instead of resuming from garbage.
 //!
+//! Since format version 2 every manifest ends with a little-endian
+//! CRC32 (IEEE) over all preceding bytes — atomic writes stop *torn*
+//! files, the checksum stops *rotten* ones: a flipped bit anywhere in a
+//! stored checkpoint surfaces as [`TraceError::ChecksumMismatch`]
+//! instead of resuming from silently wrong state. Version-1 manifests
+//! (no trailer) still load.
+//!
 //! Layout (all integers little-endian, strings/blobs length-prefixed):
 //!
 //! ```text
 //! magic            : b"DGCP"
-//! version          : u32   (currently 1)
+//! version          : u32   (currently 2)
 //! detector         : str   (prototype name; must match at resume)
 //! trace_len        : u64   (event count of the source trace)
 //! trace_offset     : u64   (index of the first unprocessed event)
@@ -29,14 +36,15 @@
 //!                    payload_type str, (bool, str) last_event if set
 //!   dropped        : u64
 //!   lost           : u64
+//! crc32            : u32   (over everything above; v2+ only)
 //! ```
 
 use std::path::Path;
 
 use dgrace_detectors::ShardFailure;
 use dgrace_trace::{
-    write_file_atomic, SnapshotLimits, SnapshotReader, SnapshotWriter, TraceError,
-    CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+    seal_crc, verify_crc, write_file_atomic, SnapshotLimits, SnapshotReader, SnapshotWriter,
+    TraceError, CHECKPOINT_MAGIC, CHECKPOINT_MIN_VERSION, CHECKPOINT_VERSION,
 };
 
 use crate::engine::{EngineState, ShardCapture};
@@ -109,16 +117,31 @@ impl CheckpointManifest {
             w.u64(cap.dropped);
             w.u64(cap.lost);
         }
-        w.finish()
+        let mut bytes = w.finish();
+        seal_crc(&mut bytes);
+        bytes
     }
 
     /// Decodes a `DGCP` container, rejecting torn, truncated, or
     /// malformed input with a structured error.
     pub fn decode(bytes: &[u8]) -> Result<Self, TraceError> {
-        let mut r = SnapshotReader::new(
+        // Peek the header version to know whether a CRC trailer is
+        // present, then re-open the reader over the verified payload.
+        let header = SnapshotReader::new_ranged(
             bytes,
             CHECKPOINT_MAGIC,
-            CHECKPOINT_VERSION,
+            CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION,
+            SnapshotLimits::default(),
+        )?;
+        let payload = if header.version() >= 2 {
+            verify_crc(bytes)?
+        } else {
+            bytes
+        };
+        let mut r = SnapshotReader::new_ranged(
+            payload,
+            CHECKPOINT_MAGIC,
+            CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION,
             SnapshotLimits::default(),
         )?;
         let detector = r.str()?;
@@ -268,6 +291,36 @@ mod tests {
                 "prefix of {len} bytes must not decode"
             );
         }
+    }
+
+    #[test]
+    fn bit_rot_anywhere_is_rejected() {
+        let bytes = sample().encode();
+        // Flip one bit at a spread of offsets across the container —
+        // header, payload, and the CRC trailer itself.
+        for i in (0..bytes.len()).step_by(7).chain([bytes.len() - 1]) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x04;
+            assert!(
+                CheckpointManifest::decode(&bad).is_err(),
+                "flipped bit at byte {i} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn version_1_manifests_without_crc_still_load() {
+        // Re-frame the sample as a v1 container: same payload layout,
+        // version 1 header, no CRC trailer.
+        let v2 = sample().encode();
+        let payload = dgrace_trace::verify_crc(&v2).unwrap();
+        let mut v1 = payload.to_vec();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let back = CheckpointManifest::decode(&v1).expect("v1 decodes");
+        assert_eq!(back.detector, "fasttrack");
+        assert_eq!(back.trace_offset, 42);
+        // Re-encoding upgrades to the current sealed format.
+        assert_eq!(back.encode(), v2);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //!   client replays only the suffix.
 
 use dgrace_detectors::{RaceReport, Report, ShardableDetector};
+use dgrace_shadow::{process_gauge, MemComponent};
 use dgrace_trace::{Event, PruneSet};
 
 use crate::checkpoint::CheckpointManifest;
@@ -113,6 +114,9 @@ impl IngestSession {
                 self.engine.register_range(addr.0, size);
             }
             self.pending.push(*ev);
+            // Book the buffered event against the process-wide session
+            // gauge (reporting + server shedding; never the ladder).
+            process_gauge().add(MemComponent::Sessions, std::mem::size_of::<Event>() as u64);
             if self.pending.len() >= INGEST_BATCH {
                 self.flush();
             }
@@ -130,6 +134,10 @@ impl IngestSession {
     /// Dispatches any pending accesses to the shards.
     pub fn flush(&mut self) {
         if !self.pending.is_empty() {
+            process_gauge().sub(
+                MemComponent::Sessions,
+                (self.pending.len() * std::mem::size_of::<Event>()) as u64,
+            );
             self.engine.dispatch(std::mem::take(&mut self.pending));
         }
     }
@@ -194,6 +202,17 @@ impl IngestSession {
     pub fn finalize(mut self) -> Report {
         self.flush();
         self.engine.finish()
+    }
+}
+
+impl Drop for IngestSession {
+    fn drop(&mut self) {
+        // Retire any still-buffered events from the session gauge (a
+        // session abandoned mid-stream never flushed them).
+        process_gauge().sub(
+            MemComponent::Sessions,
+            (self.pending.len() * std::mem::size_of::<Event>()) as u64,
+        );
     }
 }
 

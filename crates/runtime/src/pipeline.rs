@@ -49,9 +49,13 @@ use std::time::{Duration, Instant};
 use dgrace_detectors::{Report, ShardableDetector};
 use dgrace_trace::{Event, PruneSet, Trace};
 
+use dgrace_shadow::{process_gauge, MemComponent};
+
 use crate::checkpoint::{CheckpointManifest, CHECKPOINT_FILE};
 use crate::engine::{DetectorFactory, Engine, RuntimeOptions, SupervisorPolicy};
-use crate::replay::{validate_resume, CheckpointInterval, CheckpointOptions, ReplayError};
+use crate::replay::{
+    validate_resume, CheckpointInterval, CheckpointOptions, CkptHealth, ReplayError,
+};
 use crate::ring::Spsc;
 
 /// Target events per ring segment. Large enough that ring and notify
@@ -115,7 +119,7 @@ pub fn replay_pipelined_planned<D: ShardableDetector + ?Sized>(
     let detectors = (0..shards).map(|_| prototype.new_shard()).collect();
     let engine = Engine::with_prune(detectors, opts, prune);
     engine.preload_routes(routes);
-    run_pipeline(&engine, trace, 0, "", None, None)
+    run_pipeline(&engine, trace, 0, "", None, None, &mut CkptHealth::new())
         .expect("unsupervised pipeline performs no checkpoint I/O");
     engine.finish()
 }
@@ -209,8 +213,11 @@ pub fn replay_pipelined_checkpointed_planned(
         std::fs::create_dir_all(&c.dir)
             .map_err(|e| ReplayError::Io(format!("{}: {e}", c.dir.display())))?;
     }
-    run_pipeline(&engine, trace, start, &det_name, ckpt, stop)?;
-    Ok(engine.finish())
+    let mut health = CkptHealth::new();
+    run_pipeline(&engine, trace, start, &det_name, ckpt, stop, &mut health)?;
+    let mut rep = engine.finish();
+    rep.checkpointing_degraded |= health.degraded();
+    Ok(rep)
 }
 
 /// Spawns one worker per shard lane, runs the producer on the calling
@@ -224,6 +231,7 @@ fn run_pipeline(
     det_name: &str,
     ckpt: Option<&CheckpointOptions>,
     stop: Option<&AtomicBool>,
+    health: &mut CkptHealth,
 ) -> Result<(), ReplayError> {
     let shards = engine.shard_count();
     let rings: Vec<Spsc<Job>> = (0..shards).map(|_| Spsc::new(RING_SEGMENTS)).collect();
@@ -233,7 +241,13 @@ fn run_pipeline(
             scope.spawn(move || {
                 while let Some(job) = ring.pop() {
                     match job {
-                        Job::Run(seg) => engine.feed_segment(i, &seg),
+                        Job::Run(seg) => {
+                            engine.feed_segment(i, &seg);
+                            // Retire this segment's bytes from the
+                            // process gauge (the producer booked them
+                            // at flush).
+                            process_gauge().sub(MemComponent::RingLanes, segment_bytes(&seg));
+                        }
                         Job::Barrier(ack) => {
                             let _ = ack.send(());
                         }
@@ -241,12 +255,19 @@ fn run_pipeline(
                 }
             });
         }
-        result = produce(engine, trace, start, det_name, ckpt, stop, &rings);
+        result = produce(engine, trace, start, det_name, ckpt, stop, &rings, health);
         for ring in &rings {
             ring.close();
         }
     });
     result
+}
+
+/// Heap bytes held by one in-flight ring segment, as booked against
+/// [`MemComponent::RingLanes`] on the process gauge. Reporting only —
+/// never an input to the deterministic pressure ladder.
+fn segment_bytes(seg: &[(u64, Event)]) -> u64 {
+    std::mem::size_of_val(seg) as u64
 }
 
 /// The producer loop: stamp, route, stage, flush, checkpoint.
@@ -259,6 +280,7 @@ fn produce(
     ckpt: Option<&CheckpointOptions>,
     stop: Option<&AtomicBool>,
     rings: &[Spsc<Job>],
+    health: &mut CkptHealth,
 ) -> Result<(), ReplayError> {
     let shards = rings.len();
     let trace_len = trace.len() as u64;
@@ -283,9 +305,8 @@ fn produce(
                     trace_offset: idx as u64,
                     state: engine.capture(),
                 };
-                manifest
-                    .save(&c.dir.join(CHECKPOINT_FILE))
-                    .map_err(|e| ReplayError::Io(format!("saving checkpoint: {e}")))?;
+                let path = c.dir.join(CHECKPOINT_FILE);
+                health.note(&path, manifest.save(&path));
             }
             return Ok(());
         }
@@ -337,9 +358,8 @@ fn produce(
                     trace_offset: (idx + 1) as u64,
                     state: engine.capture(),
                 };
-                manifest
-                    .save(&c.dir.join(CHECKPOINT_FILE))
-                    .map_err(|e| ReplayError::Io(format!("saving checkpoint: {e}")))?;
+                let path = c.dir.join(CHECKPOINT_FILE);
+                health.note(&path, manifest.save(&path));
                 since = 0;
                 last = Instant::now();
             }
@@ -358,6 +378,9 @@ fn flush_lane(ring: &Spsc<Job>, lane: &mut Vec<(u64, Event)>) {
         return;
     }
     let seg = std::mem::replace(lane, Vec::with_capacity(SEGMENT_EVENTS));
+    // Book the in-flight segment against the process gauge; the worker
+    // retires it after feeding the detector.
+    process_gauge().add(MemComponent::RingLanes, segment_bytes(&seg));
     // The rings are only closed after the producer returns, so the push
     // cannot be rejected mid-run.
     if ring.push(Job::Run(seg)).is_err() {

@@ -15,7 +15,7 @@
 //! does, because every tracked object is registered wholly with one
 //! shard.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -139,6 +139,43 @@ impl std::fmt::Display for ReplayError {
 }
 
 impl std::error::Error for ReplayError {}
+
+/// Tracks checkpoint-write health across a run. A failed manifest write
+/// (disk full, I/O error, permissions yanked mid-run) must not abort
+/// detection: [`dgrace_trace::write_file_atomic`] guarantees the last
+/// good manifest is still intact on disk, so the run continues, warns
+/// once, and flags its report as
+/// [`dgrace_detectors::Report::checkpointing_degraded`] — the analysis
+/// is complete, only crash-resumability regressed to the last
+/// checkpoint that did land.
+pub(crate) struct CkptHealth {
+    degraded: bool,
+}
+
+impl CkptHealth {
+    pub(crate) fn new() -> Self {
+        CkptHealth { degraded: false }
+    }
+
+    /// Records the outcome of one manifest write; the first failure is
+    /// reported to stderr.
+    pub(crate) fn note(&mut self, path: &Path, res: std::io::Result<()>) {
+        if let Err(e) = res {
+            if !self.degraded {
+                eprintln!(
+                    "warning: failed to write checkpoint {}: {e}; detection continues \
+                     (the last complete checkpoint is retained)",
+                    path.display()
+                );
+            }
+            self.degraded = true;
+        }
+    }
+
+    pub(crate) fn degraded(&self) -> bool {
+        self.degraded
+    }
+}
 
 /// Checks that a manifest matches the requested run (same detector,
 /// shard count, and trace) and that its offset is sane. Shared by the
@@ -286,6 +323,7 @@ pub fn replay_checkpointed_planned(
     let mut pending: Vec<Event> = Vec::new();
     let mut since = 0u64;
     let mut last = Instant::now();
+    let mut health = CkptHealth::new();
     for (idx, ev) in trace.iter().enumerate().skip(start) {
         if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
             // Graceful interruption: event `idx` has not been processed,
@@ -302,11 +340,12 @@ pub fn replay_checkpointed_planned(
                     trace_offset: idx as u64,
                     state: engine.capture(),
                 };
-                manifest
-                    .save(&c.dir.join(CHECKPOINT_FILE))
-                    .map_err(|e| ReplayError::Io(format!("saving checkpoint: {e}")))?;
+                let path = c.dir.join(CHECKPOINT_FILE);
+                health.note(&path, manifest.save(&path));
             }
-            return Ok(engine.finish());
+            let mut rep = engine.finish();
+            rep.checkpointing_degraded |= health.degraded();
+            return Ok(rep);
         }
         if ev.is_sync() {
             if !pending.is_empty() {
@@ -340,9 +379,8 @@ pub fn replay_checkpointed_planned(
                     trace_offset: (idx + 1) as u64,
                     state: engine.capture(),
                 };
-                manifest
-                    .save(&c.dir.join(CHECKPOINT_FILE))
-                    .map_err(|e| ReplayError::Io(format!("saving checkpoint: {e}")))?;
+                let path = c.dir.join(CHECKPOINT_FILE);
+                health.note(&path, manifest.save(&path));
                 since = 0;
                 last = Instant::now();
             }
@@ -351,7 +389,9 @@ pub fn replay_checkpointed_planned(
     if !pending.is_empty() {
         engine.dispatch(pending);
     }
-    Ok(engine.finish())
+    let mut rep = engine.finish();
+    rep.checkpointing_degraded |= health.degraded();
+    Ok(rep)
 }
 
 #[cfg(test)]

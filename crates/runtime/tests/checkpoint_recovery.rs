@@ -340,6 +340,49 @@ fn mismatched_or_torn_checkpoints_are_rejected() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A failing checkpoint *write* must not abort detection: the run keeps
+/// going on the last complete checkpoint, flags the report as
+/// `checkpointing_degraded`, and everything else — races, counters —
+/// is exactly the clean run.
+#[test]
+fn checkpoint_write_failure_degrades_not_aborts() {
+    let trace = matrix_trace();
+    for (name, bare, _) in prototypes() {
+        for shards in [1usize, 2] {
+            let clean = replay_sharded(bare().as_ref(), &trace, shards);
+            let dir = scratch_dir(&format!("wrfail-{name}-s{shards}"));
+            std::fs::create_dir_all(&dir).expect("ckpt dir");
+            // Squat the manifest path with a non-empty directory: every
+            // atomic rename at commit time now fails, the same
+            // observable failure as ENOSPC or EIO on the final rename.
+            std::fs::create_dir_all(dir.join(CHECKPOINT_FILE).join("occupied"))
+                .expect("squat manifest path");
+            let ckpt = CheckpointOptions {
+                dir: dir.clone(),
+                every: CheckpointInterval::Events(3),
+            };
+            let mut rep = replay_checkpointed(
+                bare(),
+                &trace,
+                shards,
+                dgrace_trace::PruneSet::empty(),
+                None,
+                Some(&ckpt),
+                None,
+            )
+            .expect("write failure must not abort the run");
+            assert!(
+                rep.checkpointing_degraded,
+                "{name} s{shards}: failed writes must be flagged"
+            );
+            // Beyond the flag, the report is untouched by the failure.
+            rep.checkpointing_degraded = false;
+            assert_eq!(rep, clean, "{name} s{shards}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
 /// Supervision composes with checkpoints: a panicking shard heals by
 /// restoring its last snapshot and replaying only the journal delta,
 /// and the final report still equals the clean run.

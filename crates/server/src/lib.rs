@@ -51,7 +51,7 @@ use std::time::Duration;
 
 use dgrace_core::{DynamicConfig, DynamicGranularityOn};
 use dgrace_detectors::{DjitOn, FastTrackOn, Granularity, SampleSpec, Sampled, ShardableDetector};
-use dgrace_shadow::HashSelect;
+use dgrace_shadow::{process_gauge, HashSelect, Watermarks};
 
 /// Server tuning and robustness policy. Every knob has a sane default;
 /// construct with [`ServerConfig::new`] and override fields as needed.
@@ -88,6 +88,13 @@ pub struct ServerConfig {
     /// Per-session shadow-memory budget in modeled bytes (split across
     /// its shards); `None` is uncapped.
     pub shadow_budget: Option<u64>,
+    /// Process-wide accounted-memory cap (the governor ladder's server
+    /// rung). New sessions get a fair share (`limit / max_sessions`) as
+    /// their per-session governor quota; once the process gauge crosses
+    /// the high watermark new admissions run on the sampling tier, and
+    /// past the critical watermark new connections are shed with
+    /// `OVERLOADED`. `None` disables memory-based admission control.
+    pub memory_limit: Option<u64>,
     /// Credit window granted at the handshake, in events.
     pub credits: u32,
 }
@@ -106,6 +113,7 @@ impl ServerConfig {
             checkpoint_every: 65_536,
             resume: false,
             shadow_budget: None,
+            memory_limit: None,
             credits: 4096,
         }
     }
@@ -124,6 +132,10 @@ pub struct ServerStats {
     pub finished: u64,
     /// Connections shed by hard-watermark admission control.
     pub shed: u64,
+    /// Of the shed connections, how many were shed because the process
+    /// memory gauge sat at or above the critical watermark of
+    /// [`ServerConfig::memory_limit`].
+    pub shed_memory: u64,
     /// Sessions admitted onto the sampling tier.
     pub degraded: u64,
     /// Sessions quarantined (malformed frames, disconnects, timeouts,
@@ -251,10 +263,16 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     stream.set_nonblocking(false)?;
+                    // Governor rung 4: the process gauge at or past the
+                    // critical watermark sheds new connections outright.
+                    let mem_critical = self.cfg.memory_limit.is_some_and(|lim| {
+                        process_gauge().total() >= Watermarks::for_limit(lim).critical
+                    });
                     let admitted = self.shared.with_stats(|s| {
                         s.accepted += 1;
-                        if s.active >= self.cfg.max_sessions as u64 {
+                        if s.active >= self.cfg.max_sessions as u64 || mem_critical {
                             s.shed += 1;
+                            s.shed_memory += mem_critical as u64;
                             false
                         } else {
                             s.active += 1;

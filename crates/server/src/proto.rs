@@ -287,6 +287,27 @@ pub fn report_json(session: &str, report: &Report, events_lost: u64, degraded: b
     } else {
         "false"
     });
+    s.push_str(",\"checkpointing_degraded\":");
+    s.push_str(if report.checkpointing_degraded {
+        "true"
+    } else {
+        "false"
+    });
+    if let Some(g) = &report.governor {
+        s.push_str(&format!(
+            ",\"governor\":{{\"limit\":{},\"peak_rung\":{},\"final_rung\":{},\"decisions\":{},\
+             \"peak_assessed_bytes\":{},\"engaged\":[{},{},{}],\"transitions\":{}}}",
+            g.limit,
+            g.peak_rung,
+            g.final_rung,
+            g.decisions,
+            g.peak_assessed_bytes,
+            g.engaged[0],
+            g.engaged[1],
+            g.engaged[2],
+            g.transitions.len()
+        ));
+    }
     s.push_str(",\"shard_failures\":");
     s.push_str(&report.failures.len().to_string());
     s.push_str(",\"races\":[");

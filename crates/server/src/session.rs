@@ -22,7 +22,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
+use dgrace_detectors::{Governed, GovernorSpec};
 use dgrace_runtime::{CheckpointManifest, IngestSession};
+use dgrace_shadow::{process_gauge, Watermarks};
 use dgrace_trace::{decode_events, DecodeLimits, TraceError};
 
 use crate::proto::{self, Hello, Welcome, FRAME_ERROR, FRAME_EVENTS, FRAME_FINISH, FRAME_HELLO};
@@ -216,10 +218,15 @@ fn run_session(
     let _name_guard = NameGuard::register(shared, &hello.session)
         .ok_or_else(|| Quarantine::new(format!("session `{}` is already live", hello.session)))?;
 
-    // Degradation ladder step 1: past the soft watermark, new sessions
-    // run on the sampling tier (step 2, shedding, happened at accept).
+    // Degradation ladder step 1: past the soft session watermark — or
+    // with the process memory gauge past the high watermark of
+    // `memory_limit` — new sessions run on the sampling tier (step 2,
+    // shedding, happened at accept).
     let active = shared.with_stats(|s| s.active);
-    let degrade_spec = (active > cfg.degrade_sessions as u64)
+    let mem_high = cfg
+        .memory_limit
+        .is_some_and(|lim| process_gauge().total() >= Watermarks::for_limit(lim).high);
+    let degrade_spec = (active > cfg.degrade_sessions as u64 || mem_high)
         .then_some(cfg.degrade_sample.as_ref())
         .flatten();
     let degraded = degrade_spec.is_some();
@@ -233,7 +240,17 @@ fn run_session(
 
     let shards = cfg.shards_per_session.max(1);
     let budget = cfg.shadow_budget.map(|b| (b / shards as u64).max(1));
-    let mut sess = IngestSession::new(&*proto_det, shards, budget);
+    // With a process cap configured, each session runs under the memory
+    // governor with a fair share of the cap as its quota; the ladder
+    // then degrades this session deterministically from its own stream.
+    let mut sess = match cfg.memory_limit {
+        Some(limit) => {
+            let share = (limit / cfg.max_sessions.max(1) as u64).max(1);
+            let governed = Governed::new(proto_det, GovernorSpec::for_limit(share, shards));
+            IngestSession::new(&governed, shards, budget)
+        }
+        None => IngestSession::new(&*proto_det, shards, budget),
+    };
 
     // ---- Resume ----------------------------------------------------
     let ckpt_path: Option<PathBuf> = cfg
@@ -272,6 +289,10 @@ fn run_session(
     // ---- Event loop ------------------------------------------------
     let mut sess = Some(sess);
     let mut last_ckpt = welcome.start_offset;
+    // A periodic checkpoint that fails to persist degrades durability,
+    // not detection: the session keeps analyzing on its last good
+    // manifest and the final report carries the flag.
+    let mut ckpt_degraded = false;
     let limits = DecodeLimits::default();
     loop {
         reader.frame_done();
@@ -307,12 +328,23 @@ fn run_session(
                     .map_err(|e| Quarantine::new(format!("write failed: {e}")))?;
                 if ckpt_path.is_some() && s.events() - last_ckpt >= cfg.checkpoint_every {
                     let m = s.checkpoint();
-                    save_manifest(&m, ckpt_path.as_deref().expect("path"), shared)?;
+                    let path = ckpt_path.as_deref().expect("path");
+                    if let Err(e) = save_manifest(&m, path, shared) {
+                        if !ckpt_degraded {
+                            eprintln!(
+                                "dgrace serve: warning: checkpoint write {} failed: {e}; \
+                                 detection continues (the last complete checkpoint is retained)",
+                                path.display()
+                            );
+                        }
+                        ckpt_degraded = true;
+                    }
                     last_ckpt = s.events();
                 }
             }
             Ok(Some(frame)) if frame.kind == FRAME_FINISH => {
-                let report = sess.take().expect("session live").finalize();
+                let mut report = sess.take().expect("session live").finalize();
+                report.checkpointing_degraded |= ckpt_degraded;
                 // A batch that lost events always quarantines the
                 // session, so a session that reaches FINISH has lost
                 // exactly zero — the field documents that invariant.
@@ -380,9 +412,8 @@ fn final_checkpoint(sess: &mut IngestSession, path: Option<&Path>, shared: &Shar
     }
 }
 
-fn save_manifest(m: &CheckpointManifest, path: &Path, shared: &Shared) -> Result<(), Quarantine> {
-    m.save(path)
-        .map_err(|e| Quarantine::new(format!("checkpoint write {}: {e}", path.display())))?;
+fn save_manifest(m: &CheckpointManifest, path: &Path, shared: &Shared) -> io::Result<()> {
+    m.save(path)?;
     shared.with_stats(|s| s.checkpoints += 1);
     Ok(())
 }

@@ -238,6 +238,89 @@ fn overload_degrades_then_sheds() {
 }
 
 #[test]
+fn memory_pressure_degrades_then_sheds() {
+    let dir = scratch("mempress");
+    let mut cfg = base_config(&dir);
+    cfg.max_sessions = 8;
+    // Session-count ladder disabled: only memory pressure acts here.
+    cfg.degrade_sessions = 8;
+    cfg.memory_limit = Some(1 << 20); // high at 80%, critical at 95%
+    let handle = Server::spawn(cfg).expect("spawn");
+    let trace = racy_trace();
+    let gauge = dgrace_shadow::process_gauge();
+
+    // Plenty of headroom: full fidelity, byte-identical to a solo run.
+    let mut c1 = Client::connect(handle.socket(), "roomy", "byte").expect("c1");
+    assert!(!c1.degraded());
+
+    // Push the process gauge past the high watermark: new sessions are
+    // admitted, but onto the sampling tier.
+    gauge.add(dgrace_shadow::MemComponent::Shadow, 850 << 10);
+    let mut c2 = Client::connect(handle.socket(), "tight", "byte").expect("c2");
+    assert!(c2.degraded(), "high watermark degrades new admissions");
+
+    // Past the critical watermark: new sessions are shed with a typed
+    // OVERLOADED reply; the live ones keep running.
+    gauge.add(dgrace_shadow::MemComponent::Shadow, 200 << 10);
+    match Client::connect(handle.socket(), "doomed", "byte") {
+        Err(ClientError::Overloaded) => {}
+        Err(other) => panic!("expected Overloaded, got {other}"),
+        Ok(_) => panic!("expected Overloaded, got a session"),
+    }
+    gauge.sub(
+        dgrace_shadow::MemComponent::Shadow,
+        (850 << 10) + (200 << 10),
+    );
+
+    c1.send_events(&trace.events).expect("send");
+    c2.send_events(&trace.events).expect("send");
+    let full = c1.finish().expect("finish");
+    let sampled = c2.finish().expect("finish");
+    assert_eq!(full.report_json, solo_json("roomy", &trace));
+    assert!(sampled.report_json.contains("\"degraded\":true"));
+
+    let stats = handle.stop().expect("stop");
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.shed_memory, 1);
+    assert_eq!(stats.degraded, 1);
+    assert_eq!(stats.finished, 2);
+}
+
+#[test]
+fn checkpoint_write_failure_degrades_not_aborts() {
+    let dir = scratch("ckptfail");
+    let ckpt = dir.join("ckpt");
+    let mut cfg = base_config(&dir);
+    cfg.checkpoint_dir = Some(ckpt.clone());
+    cfg.checkpoint_every = 2; // several periodic attempts over the trace
+    let handle = Server::spawn(cfg).expect("spawn");
+    let trace = racy_trace();
+
+    // Sabotage the manifest path: a non-empty directory where the
+    // manifest file should land makes every atomic rename fail, the
+    // same observable failure as ENOSPC at commit time.
+    let manifest = ckpt.join("brownout.dgcp");
+    std::fs::create_dir_all(manifest.join("occupied")).expect("squat manifest path");
+
+    let mut c = Client::connect(handle.socket(), "brownout", "byte").expect("connect");
+    c.send_events(&trace.events).expect("send");
+    let end = c
+        .finish()
+        .expect("checkpoint failure must not kill the session");
+
+    // Detection ran to completion on the full stream and the report
+    // carries the durability caveat.
+    assert!(end.report_json.contains("\"checkpointing_degraded\":true"));
+    assert!(end.report_json.contains("\"events_lost\":0"));
+    assert!(!end.races.is_empty(), "races still streamed live");
+
+    let stats = handle.stop().expect("stop");
+    assert_eq!(stats.finished, 1);
+    assert_eq!(stats.quarantined, 0, "degraded durability is not a fault");
+    assert_eq!(stats.events, trace.len() as u64);
+}
+
+#[test]
 fn restart_resume_is_byte_identical() {
     let dir = scratch("resume");
     let trace = racy_trace();

@@ -1,0 +1,304 @@
+//! Process-wide memory governor primitives.
+//!
+//! Two cooperating layers share these types:
+//!
+//! * **Deterministic ladder** (`dgrace_detectors::Governed`): each shard
+//!   assesses *its own modeled bytes* against a per-shard quota at fixed
+//!   event-count decision points, and climbs/descends the pressure
+//!   ladder — evict, coarsen, sample. Only shard-local deterministic
+//!   inputs feed those decisions, so governed runs replay byte-identically
+//!   across the funnel and pipeline paths.
+//! * **Process gauge** (this module's [`ProcessGauge`]): a global set of
+//!   atomic byte counters that every allocation-owning component —
+//!   shadow stores, vector-clock arenas, pipeline ring lanes, server
+//!   session buffers — taps into. The gauge powers *reporting* and the
+//!   server's admission shedding (rung 4), where cross-thread timing
+//!   already makes determinism impossible; it is never consulted by the
+//!   per-shard ladder.
+//!
+//! Watermarks divide a byte limit into four [`PressureLevel`] bands with
+//! hysteresis handled by the ladder's de-escalation slack (see
+//! [`Watermarks::release_floor`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pressure bands over a byte limit, lowest to highest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PressureLevel {
+    /// Below the soft watermark: no response.
+    None,
+    /// Soft watermark crossed: evict cold shadow state.
+    Soft,
+    /// High watermark crossed: coarsen granularity in the dynamic plane.
+    High,
+    /// Critical watermark crossed: sample new admissions / shed sessions.
+    Critical,
+}
+
+impl PressureLevel {
+    /// The ladder rung ordinal (0–3).
+    pub fn rung(self) -> u8 {
+        match self {
+            PressureLevel::None => 0,
+            PressureLevel::Soft => 1,
+            PressureLevel::High => 2,
+            PressureLevel::Critical => 3,
+        }
+    }
+
+    /// Inverse of [`PressureLevel::rung`]; saturates at `Critical`.
+    pub fn from_rung(rung: u8) -> Self {
+        match rung {
+            0 => PressureLevel::None,
+            1 => PressureLevel::Soft,
+            2 => PressureLevel::High,
+            _ => PressureLevel::Critical,
+        }
+    }
+
+    /// Short lower-case label for reports and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            PressureLevel::None => "none",
+            PressureLevel::Soft => "soft",
+            PressureLevel::High => "high",
+            PressureLevel::Critical => "critical",
+        }
+    }
+}
+
+/// Soft watermark numerator over a limit of 100 (60%).
+pub const SOFT_PCT: u64 = 60;
+/// High watermark numerator over a limit of 100 (80%).
+pub const HIGH_PCT: u64 = 80;
+/// Critical watermark numerator over a limit of 100 (95%).
+pub const CRITICAL_PCT: u64 = 95;
+
+/// The three byte thresholds carved out of a limit, plus the hysteresis
+/// slack applied on de-escalation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watermarks {
+    /// The full byte limit the watermarks divide.
+    pub limit: u64,
+    /// 60% of the limit: engage rung 1 (evict).
+    pub soft: u64,
+    /// 80% of the limit: engage rung 2 (coarsen).
+    pub high: u64,
+    /// 95% of the limit: engage rung 3 (sample) / shed sessions.
+    pub critical: u64,
+}
+
+impl Watermarks {
+    /// Computes the standard 60/80/95 split of `limit`.
+    pub fn for_limit(limit: u64) -> Self {
+        Watermarks {
+            limit,
+            soft: limit / 100 * SOFT_PCT + limit % 100 * SOFT_PCT / 100,
+            high: limit / 100 * HIGH_PCT + limit % 100 * HIGH_PCT / 100,
+            critical: limit / 100 * CRITICAL_PCT + limit % 100 * CRITICAL_PCT / 100,
+        }
+    }
+
+    /// The pressure band `bytes` falls in.
+    pub fn level(&self, bytes: u64) -> PressureLevel {
+        if bytes >= self.critical {
+            PressureLevel::Critical
+        } else if bytes >= self.high {
+            PressureLevel::High
+        } else if bytes >= self.soft {
+            PressureLevel::Soft
+        } else {
+            PressureLevel::None
+        }
+    }
+
+    /// The byte threshold that engages `level` (0 for `None`).
+    pub fn engage_at(&self, level: PressureLevel) -> u64 {
+        match level {
+            PressureLevel::None => 0,
+            PressureLevel::Soft => self.soft,
+            PressureLevel::High => self.high,
+            PressureLevel::Critical => self.critical,
+        }
+    }
+
+    /// De-escalation floor for `level`: the ladder steps down from
+    /// `level` only once assessed bytes fall below the engaging
+    /// watermark minus a sixteenth of the limit. The slack prevents
+    /// rung flapping when usage hovers at a watermark.
+    pub fn release_floor(&self, level: PressureLevel) -> u64 {
+        self.engage_at(level).saturating_sub(self.limit / 16)
+    }
+}
+
+/// Components whose bytes the process gauge accounts separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemComponent {
+    /// Shadow stores + vector clocks, as modeled by each detector's
+    /// `MemoryModel` (pushed at governor decision points).
+    Shadow = 0,
+    /// Copy-on-write vector-clock arenas (the `VectorClock` class of the
+    /// memory model, broken out for reporting).
+    VcClocks = 1,
+    /// Pipeline SPSC ring-lane capacity (registered at spawn).
+    RingLanes = 2,
+    /// Server per-session buffers (registered per live session).
+    Sessions = 3,
+}
+
+const COMPONENTS: usize = 4;
+
+/// Process-wide atomic byte accounting, one counter per
+/// [`MemComponent`] plus a monotonic peak of the total.
+///
+/// Purely observational: the deterministic ladder never reads it (see
+/// the module docs). `set`/`add`/`sub` are lock-free and may be called
+/// from any thread.
+#[derive(Debug)]
+pub struct ProcessGauge {
+    bytes: [AtomicU64; COMPONENTS],
+    peak_total: AtomicU64,
+}
+
+impl ProcessGauge {
+    /// An empty gauge (all counters zero).
+    pub const fn new() -> Self {
+        ProcessGauge {
+            bytes: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+            peak_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrites a component's byte count.
+    pub fn set(&self, c: MemComponent, bytes: u64) {
+        self.bytes[c as usize].store(bytes, Ordering::Relaxed);
+        self.bump_peak();
+    }
+
+    /// Adds bytes to a component.
+    pub fn add(&self, c: MemComponent, bytes: u64) {
+        self.bytes[c as usize].fetch_add(bytes, Ordering::Relaxed);
+        self.bump_peak();
+    }
+
+    /// Subtracts bytes from a component (saturating).
+    pub fn sub(&self, c: MemComponent, bytes: u64) {
+        let _ = self.bytes[c as usize].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(bytes))
+        });
+    }
+
+    /// A component's current byte count.
+    pub fn current(&self, c: MemComponent) -> u64 {
+        self.bytes[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Sum over all components.
+    pub fn total(&self) -> u64 {
+        self.bytes.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Highest total ever observed at an update.
+    pub fn peak_total(&self) -> u64 {
+        self.peak_total.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every counter (tests and between CLI runs).
+    pub fn reset(&self) {
+        for b in &self.bytes {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.peak_total.store(0, Ordering::Relaxed);
+    }
+
+    fn bump_peak(&self) {
+        let total = self.total();
+        self.peak_total.fetch_max(total, Ordering::Relaxed);
+    }
+}
+
+impl Default for ProcessGauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+static GAUGE: ProcessGauge = ProcessGauge::new();
+
+/// The process-wide gauge singleton.
+pub fn process_gauge() -> &'static ProcessGauge {
+    &GAUGE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermarks_split_the_limit() {
+        let w = Watermarks::for_limit(1000);
+        assert_eq!(w.soft, 600);
+        assert_eq!(w.high, 800);
+        assert_eq!(w.critical, 950);
+        assert_eq!(w.level(0), PressureLevel::None);
+        assert_eq!(w.level(599), PressureLevel::None);
+        assert_eq!(w.level(600), PressureLevel::Soft);
+        assert_eq!(w.level(800), PressureLevel::High);
+        assert_eq!(w.level(949), PressureLevel::High);
+        assert_eq!(w.level(950), PressureLevel::Critical);
+        assert_eq!(w.level(u64::MAX), PressureLevel::Critical);
+    }
+
+    #[test]
+    fn watermarks_avoid_mul_overflow() {
+        let w = Watermarks::for_limit(u64::MAX);
+        assert!(w.soft < w.high && w.high < w.critical && w.critical <= w.limit);
+    }
+
+    #[test]
+    fn release_floor_sits_below_the_watermark() {
+        let w = Watermarks::for_limit(1600);
+        // limit/16 = 100 of slack under each engaging watermark.
+        assert_eq!(w.release_floor(PressureLevel::Soft), 960 - 100);
+        assert_eq!(w.release_floor(PressureLevel::High), 1280 - 100);
+        assert_eq!(w.release_floor(PressureLevel::Critical), 1520 - 100);
+        assert_eq!(w.release_floor(PressureLevel::None), 0);
+    }
+
+    #[test]
+    fn rung_round_trips() {
+        for l in [
+            PressureLevel::None,
+            PressureLevel::Soft,
+            PressureLevel::High,
+            PressureLevel::Critical,
+        ] {
+            assert_eq!(PressureLevel::from_rung(l.rung()), l);
+        }
+        assert_eq!(PressureLevel::from_rung(200), PressureLevel::Critical);
+    }
+
+    #[test]
+    fn gauge_accounts_per_component() {
+        let g = ProcessGauge::new();
+        g.set(MemComponent::Shadow, 100);
+        g.add(MemComponent::RingLanes, 50);
+        g.add(MemComponent::RingLanes, 25);
+        assert_eq!(g.current(MemComponent::Shadow), 100);
+        assert_eq!(g.current(MemComponent::RingLanes), 75);
+        assert_eq!(g.total(), 175);
+        assert_eq!(g.peak_total(), 175);
+        g.sub(MemComponent::RingLanes, 80); // saturates at 0
+        assert_eq!(g.current(MemComponent::RingLanes), 0);
+        assert_eq!(g.total(), 100);
+        assert_eq!(g.peak_total(), 175, "peak is monotonic");
+        g.reset();
+        assert_eq!(g.total(), 0);
+        assert_eq!(g.peak_total(), 0);
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod accounting;
 mod bitmap;
+pub mod governor;
 mod hash;
 mod paged;
 mod slab;
@@ -48,6 +49,7 @@ mod table;
 
 pub use accounting::{MemClass, MemoryModel};
 pub use bitmap::EpochBitmap;
+pub use governor::{process_gauge, MemComponent, PressureLevel, ProcessGauge, Watermarks};
 pub use hash::{FastMap, FibBuildHasher, FibHasher};
 pub use paged::PagedShadow;
 pub use slab::{Slab, SlabId};

@@ -148,6 +148,15 @@ pub enum TraceError {
         /// What was being decoded.
         what: &'static str,
     },
+    /// A stored checksum does not match the payload: bit rot, a torn
+    /// copy, or any in-place mutation of an artifact after it was
+    /// written.
+    ChecksumMismatch {
+        /// The checksum stored in the artifact.
+        expected: u32,
+        /// The checksum recomputed over the payload.
+        actual: u32,
+    },
 }
 
 /// Backwards-compatible alias: the decode error was renamed when it grew
@@ -166,6 +175,7 @@ impl TraceError {
                 | TraceError::BadClass { .. }
                 | TraceError::LimitExceeded { .. }
                 | TraceError::Malformed { .. }
+                | TraceError::ChecksumMismatch { .. }
         )
     }
 
@@ -221,6 +231,11 @@ impl std::fmt::Display for TraceError {
             TraceError::Malformed { offset, what } => {
                 write!(f, "corrupt stream at byte {offset}: malformed {what}")
             }
+            TraceError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: stored {expected:#010x}, computed {actual:#010x} \
+                 (bit rot or a torn copy)"
+            ),
         }
     }
 }

@@ -56,8 +56,8 @@ pub use frame::{
 };
 pub use io::{DecodeLimits, DecodeStats, ReadOptions, TraceError};
 pub use snapshot::{
-    write_file_atomic, SnapshotLimits, SnapshotReader, SnapshotWriter, CHECKPOINT_MAGIC,
-    CHECKPOINT_VERSION, STATE_MAGIC, STATE_VERSION,
+    crc32, seal_crc, verify_crc, write_file_atomic, SnapshotLimits, SnapshotReader, SnapshotWriter,
+    CHECKPOINT_MAGIC, CHECKPOINT_MIN_VERSION, CHECKPOINT_VERSION, STATE_MAGIC, STATE_VERSION,
 };
 pub use summary::{
     trace_fingerprint, AffinityMap, AffinityRange, AnalysisSummary, AnalysisWarning, ClassCounts,

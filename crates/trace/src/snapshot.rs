@@ -32,7 +32,14 @@ pub const STATE_VERSION: u32 = 2;
 /// Magic prefix for run-level checkpoint manifests.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"DGCP";
 /// Current checkpoint manifest format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// Bumped to 2 when manifests and snapshot sidecars grew a trailing
+/// CRC32 ([`seal_crc`]) guarding against bit rot on the checkpoint
+/// directory. Version-1 files (no checksum) still decode — see
+/// [`CHECKPOINT_MIN_VERSION`].
+pub const CHECKPOINT_VERSION: u32 = 2;
+/// Oldest checkpoint manifest version this build still decodes.
+pub const CHECKPOINT_MIN_VERSION: u32 = 1;
 
 /// Sanity bounds applied while decoding untrusted snapshot bytes.
 ///
@@ -132,20 +139,38 @@ pub struct SnapshotReader<'a> {
     buf: &'a [u8],
     off: usize,
     limits: SnapshotLimits,
+    version: u32,
 }
 
 impl<'a> SnapshotReader<'a> {
-    /// Opens a stream, validating the magic and version header.
+    /// Opens a stream, validating the magic and requiring exactly
+    /// `version` in the header.
     pub fn new(
         bytes: &'a [u8],
         magic: [u8; 4],
         version: u32,
         limits: SnapshotLimits,
     ) -> Result<Self, TraceError> {
+        Self::new_ranged(bytes, magic, version..=version, limits)
+    }
+
+    /// Opens a stream, validating the magic and accepting any header
+    /// version inside `versions` — the entry point for formats that
+    /// still decode older revisions (e.g. `DGCP` v1 manifests written
+    /// before the CRC trailer). The accepted version is available
+    /// through [`SnapshotReader::version`] so callers can branch on
+    /// per-version fields.
+    pub fn new_ranged(
+        bytes: &'a [u8],
+        magic: [u8; 4],
+        versions: std::ops::RangeInclusive<u32>,
+        limits: SnapshotLimits,
+    ) -> Result<Self, TraceError> {
         let mut r = SnapshotReader {
             buf: bytes,
             off: 0,
             limits,
+            version: 0,
         };
         let mut m = [0u8; 4];
         r.raw(&mut m)?;
@@ -153,10 +178,16 @@ impl<'a> SnapshotReader<'a> {
             return Err(TraceError::BadMagic(m));
         }
         let v = r.u32()?;
-        if v != version {
+        if !versions.contains(&v) {
             return Err(TraceError::BadVersion(v));
         }
+        r.version = v;
         Ok(r)
+    }
+
+    /// The header version this stream was accepted at.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The absolute byte offset of the next read.
@@ -277,6 +308,64 @@ impl<'a> SnapshotReader<'a> {
         }
         Ok(())
     }
+}
+
+/// CRC32 (IEEE 802.3, the zlib/PNG polynomial) lookup table, built at
+/// compile time — no dependency, no runtime init.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes`. Matches zlib's `crc32(0, …)`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Appends a little-endian CRC32 trailer over everything currently in
+/// `bytes` (header included). The inverse of [`verify_crc`].
+pub fn seal_crc(bytes: &mut Vec<u8>) {
+    let c = crc32(bytes);
+    bytes.extend_from_slice(&c.to_le_bytes());
+}
+
+/// Validates and strips a [`seal_crc`] trailer, returning the payload.
+/// A missing trailer is [`TraceError::Truncated`]; a mismatch is
+/// [`TraceError::ChecksumMismatch`] — any flipped bit anywhere in the
+/// artifact (header, payload, or the trailer itself) is caught.
+pub fn verify_crc(bytes: &[u8]) -> Result<&[u8], TraceError> {
+    let Some(split) = bytes.len().checked_sub(4) else {
+        return Err(TraceError::Truncated {
+            offset: bytes.len() as u64,
+            expected: 4 - bytes.len(),
+        });
+    };
+    let (payload, trailer) = bytes.split_at(split);
+    let expected = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let actual = crc32(payload);
+    if expected != actual {
+        return Err(TraceError::ChecksumMismatch { expected, actual });
+    }
+    Ok(payload)
 }
 
 /// Writes `bytes` to `path` atomically: write to a temporary sibling,
@@ -455,6 +544,67 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(r.expect_end(), Err(TraceError::Malformed { .. })));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic zlib/PNG check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn seal_and_verify_round_trip() {
+        let mut w = SnapshotWriter::new(CHECKPOINT_MAGIC, CHECKPOINT_VERSION);
+        w.u64(7);
+        let mut bytes = w.finish();
+        seal_crc(&mut bytes);
+        let payload = verify_crc(&bytes).unwrap();
+        assert_eq!(payload, &bytes[..bytes.len() - 4]);
+        // Any single flipped bit — header, payload, or trailer — is caught.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                matches!(verify_crc(&bad), Err(TraceError::ChecksumMismatch { .. })),
+                "bit flip at byte {i} must be caught"
+            );
+        }
+        // Too short to even hold a trailer.
+        assert!(matches!(
+            verify_crc(&bytes[..3]),
+            Err(TraceError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn ranged_reader_accepts_old_versions_and_reports_them() {
+        let w = SnapshotWriter::new(CHECKPOINT_MAGIC, 1);
+        let bytes = w.finish();
+        let r = SnapshotReader::new_ranged(
+            &bytes,
+            CHECKPOINT_MAGIC,
+            CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION,
+            SnapshotLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.version(), 1);
+        // Below the floor and above the ceiling are both rejected.
+        let w = SnapshotWriter::new(CHECKPOINT_MAGIC, CHECKPOINT_VERSION + 1);
+        let bytes = w.finish();
+        assert!(matches!(
+            SnapshotReader::new_ranged(
+                &bytes,
+                CHECKPOINT_MAGIC,
+                CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION,
+                SnapshotLimits::default(),
+            ),
+            Err(TraceError::BadVersion(_))
+        ));
     }
 
     #[test]
